@@ -1,0 +1,85 @@
+//! Dead-code elimination on SSA form.
+//!
+//! Removes pure instructions whose results are never used. Run after GVN /
+//! constant folding to sweep the redundant definitions they strand.
+
+use abcd_ir::{Function, InstId};
+
+/// Removes unused pure instructions; returns how many were removed.
+///
+/// π-assignments count as pure: an unused π carries a constraint no check
+/// ever consults, so dropping it cannot hide a redundancy.
+pub fn eliminate_dead_code(func: &mut Function) -> usize {
+    let mut removed_total = 0;
+    // Iterate to a fixed point: removing one instruction may strand another.
+    loop {
+        let mut use_counts = vec![0u32; func.value_count()];
+        for b in func.blocks() {
+            for &id in func.block(b).insts() {
+                func.inst(id).kind.for_each_use(|v| use_counts[v.index()] += 1);
+            }
+            if let Some(t) = func.block(b).terminator_opt() {
+                t.for_each_use(|v| use_counts[v.index()] += 1);
+            }
+        }
+
+        let mut removed = 0;
+        for b in func.blocks().collect::<Vec<_>>() {
+            let ids: Vec<InstId> = func.block(b).insts().to_vec();
+            for id in ids {
+                let inst = func.inst(id);
+                let dead = match inst.result {
+                    Some(r) => use_counts[r.index()] == 0,
+                    None => false,
+                };
+                if dead && inst.kind.is_pure() {
+                    func.remove_inst(b, id);
+                    removed += 1;
+                }
+            }
+        }
+        removed_total += removed;
+        if removed == 0 {
+            break;
+        }
+    }
+    removed_total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abcd_ir::{BinOp, FunctionBuilder, Type};
+
+    #[test]
+    fn removes_unused_chain() {
+        let mut b = FunctionBuilder::new("f", vec![Type::Int], Some(Type::Int));
+        let x = b.param(0);
+        let one = b.iconst(1);
+        let dead1 = b.binary(BinOp::Add, x, one);
+        let _dead2 = b.binary(BinOp::Mul, dead1, dead1);
+        b.ret(Some(x));
+        let mut f = b.finish().unwrap();
+        assert_eq!(eliminate_dead_code(&mut f), 3); // dead2, dead1, one
+        let live: usize = f.blocks().map(|b| f.block(b).insts().len()).sum();
+        assert_eq!(live, 0);
+    }
+
+    #[test]
+    fn keeps_side_effects() {
+        let mut b = FunctionBuilder::new(
+            "f",
+            vec![Type::array_of(Type::Int)],
+            None,
+        );
+        let a = b.param(0);
+        let i = b.iconst(0);
+        b.bounds_check(a, i, abcd_ir::CheckKind::Upper);
+        let v = b.load(a, i); // result unused, but loads may trap → keep
+        let _ = v;
+        b.ret(None);
+        let mut f = b.finish().unwrap();
+        assert_eq!(eliminate_dead_code(&mut f), 0);
+        assert_eq!(f.count_checks(), (1, 0, 0));
+    }
+}

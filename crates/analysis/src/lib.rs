@@ -1,0 +1,116 @@
+//! Baseline analyses and cleanup passes for the ABCD reproduction.
+//!
+//! Two roles:
+//!
+//! * the **"basic set"** of optimizations the paper's host compiler
+//!   (Jalapeño) runs before ABCD — constant folding, copy propagation,
+//!   global CSE/value numbering, dead-code elimination ([`cleanup`]);
+//! * the **value-range-analysis baseline** the paper compares against
+//!   ([`eliminate_checks_by_range`]), an exhaustive interval analysis that
+//!   removes fully redundant checks but — unlike ABCD — no partially
+//!   redundant ones.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod constfold;
+mod dce;
+mod gvn;
+mod range;
+
+pub use constfold::fold_constants;
+pub use dce::eliminate_dead_code;
+pub use gvn::{congruent_arrays, record_load_congruence, value_number, GvnResult};
+pub use range::{eliminate_checks_by_range, Bound, Range, RangeStats};
+
+use abcd_ir::Function;
+
+/// Statistics from the [`cleanup`] pipeline.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CleanupStats {
+    /// Instructions rewritten by constant folding.
+    pub folded: usize,
+    /// Instructions removed by value numbering / copy propagation.
+    pub value_numbered: usize,
+    /// Instructions removed by dead-code elimination.
+    pub dce_removed: usize,
+}
+
+/// Runs the pre-ABCD cleanup pipeline on an SSA-form function:
+/// constant folding → value numbering → (repeat once) → DCE.
+///
+/// Returns the last GVN result so ABCD's §7.1 hook can query congruence.
+pub fn cleanup(func: &mut Function) -> (CleanupStats, GvnResult) {
+    let mut stats = CleanupStats::default();
+    stats.folded += fold_constants(func);
+    let mut gvn = value_number(func);
+    stats.value_numbered += gvn.removed;
+    let folded2 = fold_constants(func);
+    if folded2 > 0 {
+        stats.folded += folded2;
+        let g2 = value_number(func);
+        stats.value_numbered += g2.removed;
+        // Keep the union of congruence facts (later leaders win).
+        for (k, v) in g2.leader {
+            gvn.leader.insert(k, v);
+        }
+    }
+    stats.dce_removed += eliminate_dead_code(func);
+    (stats, gvn)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abcd_frontend::compile;
+
+    #[test]
+    fn cleanup_shrinks_frontend_output() {
+        let mut m = compile(
+            "fn f(a: int[]) -> int {
+                let x: int = a.length;
+                let y: int = a.length;
+                return x + y + (2 * 3);
+            }",
+        )
+        .unwrap();
+        let id = m.functions().next().unwrap().0;
+        let f = m.function_mut(id);
+        abcd_ssa::split_critical_edges(f);
+        abcd_ssa::promote_locals(f).unwrap();
+        let before: usize = f.blocks().map(|b| f.block(b).insts().len()).sum();
+        let (stats, _) = cleanup(f);
+        let after: usize = f.blocks().map(|b| f.block(b).insts().len()).sum();
+        assert!(after < before, "{stats:?}");
+        assert!(stats.folded >= 1);
+        assert!(stats.value_numbered >= 1);
+        abcd_ssa::verify_ssa(f).unwrap();
+        abcd_ir::verify_function(f, None).unwrap();
+    }
+
+    #[test]
+    fn cleanup_preserves_semantics() {
+        let src = "fn f(a: int[]) -> int {
+            let s: int = 0;
+            for (let i: int = 0; i < a.length; i = i + 1) {
+                s = s + a[i] * 2 + (1 + 1);
+            }
+            return s;
+        }";
+        let m1 = compile(src).unwrap();
+        let mut m2 = compile(src).unwrap();
+        abcd_ssa::module_to_essa(&mut m2).unwrap();
+        let ids: Vec<_> = m2.functions().map(|(i, _)| i).collect();
+        for id in ids {
+            cleanup(m2.function_mut(id));
+        }
+        let mut vm1 = abcd_vm::Vm::new(&m1);
+        let a1 = vm1.alloc_int_array(&[3, 1, 4]);
+        let mut vm2 = abcd_vm::Vm::new(&m2);
+        let a2 = vm2.alloc_int_array(&[3, 1, 4]);
+        assert_eq!(
+            vm1.call_by_name("f", &[a1]).unwrap(),
+            vm2.call_by_name("f", &[a2]).unwrap()
+        );
+    }
+}

@@ -1,0 +1,494 @@
+//! The value-range-analysis baseline (Harrison '77 / Patterson '95 style).
+//!
+//! The paper positions ABCD against "simpler algorithms (e.g., those based
+//! upon value-range analysis) [that] cannot eliminate partially redundant
+//! checks". This module implements that baseline: an exhaustive, SSA-based
+//! interval analysis with symbolic `A.length + d` bounds, branch refinement
+//! through the same π-assignments, and widening — then removes every check
+//! whose index interval is provably within bounds.
+//!
+//! Differences from ABCD that the ablation experiment (table A1) surfaces:
+//!
+//! * **exhaustive**: ranges are computed for *all* values up front, so the
+//!   work is proportional to the program, not to the queried checks;
+//! * **full redundancy only**: no insertion of compensating checks;
+//! * **single relation per bound**: an interval keeps one symbolic bound, so
+//!   transitive chains through several variables can be lost where ABCD's
+//!   graph keeps every difference constraint.
+
+use abcd_ir::{
+    BinOp, CheckKind, Function, InstId, InstKind, PiGuard, Terminator, Value, ValueDef,
+};
+use std::collections::HashMap;
+
+/// A symbolic bound: −∞, +∞, a constant, or `array.length + d`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Bound {
+    /// No information (lower side).
+    NegInf,
+    /// No information (upper side).
+    PosInf,
+    /// A known integer.
+    Finite(i64),
+    /// `length(array) + offset`.
+    Len(Value, i64),
+}
+
+impl Bound {
+    fn add_const(self, c: i64) -> Bound {
+        match self {
+            Bound::Finite(k) => Bound::Finite(k.saturating_add(c)),
+            Bound::Len(a, d) => Bound::Len(a, d.saturating_add(c)),
+            inf => inf,
+        }
+    }
+
+    /// Is `self ≤ other` certainly true? (Partial: incomparable ⇒ `None`.)
+    fn le(self, other: Bound) -> Option<bool> {
+        match (self, other) {
+            (Bound::NegInf, _) | (_, Bound::PosInf) => Some(true),
+            (Bound::PosInf, _) | (_, Bound::NegInf) => Some(false),
+            (Bound::Finite(a), Bound::Finite(b)) => Some(a <= b),
+            (Bound::Len(x, a), Bound::Len(y, b)) if x == y => Some(a <= b),
+            // length ≥ 0 relates some mixed cases:
+            // Finite(k) ≤ Len(_, d) certainly when k ≤ d (k ≤ 0+d ≤ len+d).
+            (Bound::Finite(k), Bound::Len(_, d)) if k <= d => Some(true),
+            _ => None,
+        }
+    }
+}
+
+/// An interval `[lo, hi]`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Range {
+    /// Lower bound.
+    pub lo: Bound,
+    /// Upper bound.
+    pub hi: Bound,
+}
+
+impl Range {
+    const TOP: Range = Range {
+        lo: Bound::NegInf,
+        hi: Bound::PosInf,
+    };
+
+    fn exact(k: i64) -> Range {
+        Range {
+            lo: Bound::Finite(k),
+            hi: Bound::Finite(k),
+        }
+    }
+
+    /// Union with widening hints handled by the caller.
+    fn union(self, other: Range) -> Range {
+        let lo = match other.lo.le(self.lo) {
+            Some(true) => other.lo,
+            Some(false) => self.lo,
+            None => Bound::NegInf,
+        };
+        let hi = match self.hi.le(other.hi) {
+            Some(true) => other.hi,
+            Some(false) => self.hi,
+            None => Bound::PosInf,
+        };
+        Range { lo, hi }
+    }
+
+    /// Intersection (refinement at πs); keeps `self` where incomparable.
+    fn refine_hi(self, hi: Bound) -> Range {
+        match hi.le(self.hi) {
+            Some(true) => Range { lo: self.lo, hi },
+            _ => self,
+        }
+    }
+
+    fn refine_lo(self, lo: Bound) -> Range {
+        match self.lo.le(lo) {
+            Some(true) => Range { lo, hi: self.hi },
+            _ => self,
+        }
+    }
+}
+
+/// Result of the baseline pass.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RangeStats {
+    /// Lower-bound checks removed.
+    pub removed_lower: usize,
+    /// Upper-bound checks removed.
+    pub removed_upper: usize,
+    /// Transfer-function evaluations (the analysis' work metric, compared
+    /// against ABCD's `prove` steps in the ablation).
+    pub steps: u64,
+}
+
+/// Runs the interval analysis and removes provably redundant checks.
+/// Expects e-SSA form (π-assignments drive branch refinement).
+pub fn eliminate_checks_by_range(func: &mut Function) -> RangeStats {
+    let mut stats = RangeStats::default();
+    let ranges = compute_ranges(func, &mut stats);
+
+    // Remove redundant checks.
+    for b in func.blocks().collect::<Vec<_>>() {
+        let ids: Vec<InstId> = func.block(b).insts().to_vec();
+        for id in ids {
+            let InstKind::BoundsCheck {
+                array,
+                index,
+                kind,
+                ..
+            } = func.inst(id).kind
+            else {
+                continue;
+            };
+            let r = ranges.get(&index).copied().unwrap_or(Range::TOP);
+            let redundant = match kind {
+                CheckKind::Lower => lower_proved(r.lo),
+                CheckKind::Upper => upper_proved(func, r.hi, array),
+                CheckKind::Both => {
+                    lower_proved(r.lo) && upper_proved(func, r.hi, array)
+                }
+            };
+            if redundant {
+                func.remove_inst(b, id);
+                match kind {
+                    CheckKind::Lower => stats.removed_lower += 1,
+                    CheckKind::Upper => stats.removed_upper += 1,
+                    CheckKind::Both => {
+                        stats.removed_lower += 1;
+                        stats.removed_upper += 1;
+                    }
+                }
+            }
+        }
+    }
+    stats
+}
+
+fn lower_proved(lo: Bound) -> bool {
+    match lo {
+        Bound::Finite(k) => k >= 0,
+        Bound::Len(_, d) => d >= 0, // length ≥ 0
+        _ => false,
+    }
+}
+
+fn upper_proved(func: &Function, hi: Bound, array: Value) -> bool {
+    match hi {
+        Bound::Len(a, d) => a == array && d <= -1,
+        Bound::Finite(k) => {
+            // Provable only against a constant-length allocation.
+            const_len_of(func, array).map(|n| k < n).unwrap_or(false)
+        }
+        _ => false,
+    }
+}
+
+/// The constant allocation length of `array`, if its definition is
+/// `new T[const]`.
+fn const_len_of(func: &Function, array: Value) -> Option<i64> {
+    let ValueDef::Inst(id) = func.value_def(array) else {
+        return None;
+    };
+    let InstKind::NewArray { len, .. } = func.inst(id).kind else {
+        return None;
+    };
+    let ValueDef::Inst(lid) = func.value_def(len) else {
+        return None;
+    };
+    match func.inst(lid).kind {
+        InstKind::Const(c) => Some(c),
+        _ => None,
+    }
+}
+
+/// Exhaustive fixpoint over all integer SSA values, with widening.
+fn compute_ranges(func: &Function, stats: &mut RangeStats) -> HashMap<Value, Range> {
+    let mut ranges: HashMap<Value, Range> = HashMap::new();
+    let mut visits: HashMap<Value, u32> = HashMap::new();
+    const WIDEN_AFTER: u32 = 4;
+
+    // Optimistic iteration: parameters start at TOP; everything else is
+    // absent (⊥) until its definition is first visited, so loop φs see the
+    // entry value before the back edge (defs dominate uses, and a dominator
+    // precedes its dominated blocks in RPO).
+    for i in 0..func.param_count() {
+        let p = func.param(i);
+        if matches!(func.value_type(p), abcd_ir::Type::Int) {
+            ranges.insert(p, Range::TOP);
+        }
+    }
+    let rpo = abcd_ir::reverse_postorder(func);
+    loop {
+        let mut changed = false;
+        for &b in &rpo {
+            for &id in func.block(b).insts() {
+                let inst = func.inst(id);
+                let Some(r) = inst.result else { continue };
+                if !matches!(func.value_type(r), abcd_ir::Type::Int) {
+                    continue;
+                }
+                stats.steps += 1;
+                let get = |v: Value| ranges.get(&v).copied();
+                let new = transfer(func, &inst.kind, get);
+                let old = ranges.get(&r).copied();
+                let mut merged = match old {
+                    None => new,
+                    Some(o) if o == new => continue,
+                    Some(o) => {
+                        // Monotone update with widening on oscillation.
+                        let n = visits.entry(r).or_insert(0);
+                        *n += 1;
+                        if *n > WIDEN_AFTER {
+                            widen(o, new)
+                        } else {
+                            // φ-style union keeps the analysis monotone.
+                            o.union(new)
+                        }
+                    }
+                };
+                // π refinements are applied after the merge so they are
+                // never widened away.
+                if let InstKind::Pi { .. } = inst.kind {
+                    merged = new;
+                }
+                if Some(merged) != old {
+                    ranges.insert(r, merged);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    ranges
+}
+
+fn widen(old: Range, new: Range) -> Range {
+    let lo = match new.lo.le(old.lo) {
+        Some(false) => old.lo, // still growing downward? keep old
+        Some(true) if new.lo != old.lo => Bound::NegInf,
+        _ => old.lo,
+    };
+    let hi = match old.hi.le(new.hi) {
+        Some(true) if new.hi != old.hi => Bound::PosInf,
+        _ => old.hi,
+    };
+    Range { lo, hi }
+}
+
+fn transfer(
+    func: &Function,
+    kind: &InstKind,
+    get_opt: impl Fn(Value) -> Option<Range>,
+) -> Range {
+    let get = |v: Value| get_opt(v).unwrap_or(Range::TOP);
+    match kind {
+        InstKind::Const(c) => Range::exact(*c),
+        InstKind::ArrayLen { array } => {
+            // length(a) ∈ [max(0, alloc-lo), Len(a, 0)]
+            Range {
+                lo: Bound::Finite(0),
+                hi: Bound::Len(*array, 0),
+            }
+        }
+        InstKind::Binary { op, lhs, rhs } => {
+            let (l, r) = (get(*lhs), get(*rhs));
+            match op {
+                BinOp::Add => Range {
+                    lo: add_bounds(l.lo, r.lo, Bound::NegInf),
+                    hi: add_bounds(l.hi, r.hi, Bound::PosInf),
+                },
+                BinOp::Sub => Range {
+                    lo: sub_bounds(l.lo, r.hi, Bound::NegInf),
+                    hi: sub_bounds(l.hi, r.lo, Bound::PosInf),
+                },
+                _ => Range::TOP,
+            }
+        }
+        InstKind::Copy { arg } => get(*arg),
+        InstKind::Phi { args } => {
+            // ⊥ (absent) arguments — back edges not yet evaluated — are
+            // skipped; the fixpoint loop revisits once they materialize.
+            let mut acc: Option<Range> = None;
+            for (_, v) in args {
+                if let Some(r) = get_opt(*v) {
+                    acc = Some(match acc {
+                        None => r,
+                        Some(a) => a.union(r),
+                    });
+                }
+            }
+            acc.unwrap_or(Range::TOP)
+        }
+        InstKind::Pi { input, guard } => {
+            let base = get(*input);
+            match guard {
+                PiGuard::Check { array, kind, .. } => match kind {
+                    CheckKind::Lower => base.refine_lo(Bound::Finite(0)),
+                    CheckKind::Upper => base.refine_hi(Bound::Len(*array, -1)),
+                    CheckKind::Both => base
+                        .refine_lo(Bound::Finite(0))
+                        .refine_hi(Bound::Len(*array, -1)),
+                },
+                PiGuard::Branch { block, taken } => {
+                    refine_by_branch(func, base, *input, *block, *taken, &get)
+                }
+            }
+        }
+        _ => Range::TOP,
+    }
+}
+
+fn add_bounds(a: Bound, b: Bound, inf: Bound) -> Bound {
+    match (a, b) {
+        (Bound::Finite(x), Bound::Finite(y)) => Bound::Finite(x.saturating_add(y)),
+        (Bound::Len(v, d), Bound::Finite(y)) | (Bound::Finite(y), Bound::Len(v, d)) => {
+            Bound::Len(v, d.saturating_add(y))
+        }
+        _ => inf,
+    }
+}
+
+fn sub_bounds(a: Bound, b: Bound, inf: Bound) -> Bound {
+    match (a, b) {
+        (Bound::Finite(x), Bound::Finite(y)) => Bound::Finite(x.saturating_sub(y)),
+        (Bound::Len(v, d), Bound::Finite(y)) => Bound::Len(v, d.saturating_sub(y)),
+        _ => inf,
+    }
+}
+
+fn refine_by_branch(
+    func: &Function,
+    base: Range,
+    input: Value,
+    from: abcd_ir::Block,
+    taken: bool,
+    get: &impl Fn(Value) -> Range,
+) -> Range {
+    let Some(Terminator::Branch { cond, .. }) = func.block(from).terminator_opt() else {
+        return base;
+    };
+    let ValueDef::Inst(cid) = func.value_def(*cond) else {
+        return base;
+    };
+    let InstKind::Compare { op, lhs, rhs } = func.inst(cid).kind else {
+        return base;
+    };
+    let op = if taken { op } else { op.negated() };
+    // Orient as `input op' other`.
+    let (op, other) = if input == lhs {
+        (op, rhs)
+    } else if input == rhs {
+        (op.swapped(), lhs)
+    } else {
+        return base;
+    };
+    let o = get(other);
+    match op {
+        abcd_ir::CmpOp::Lt => base.refine_hi(o.hi.add_const(-1)),
+        abcd_ir::CmpOp::Le => base.refine_hi(o.hi),
+        abcd_ir::CmpOp::Gt => base.refine_lo(o.lo.add_const(1)),
+        abcd_ir::CmpOp::Ge => base.refine_lo(o.lo),
+        abcd_ir::CmpOp::Eq => base.refine_hi(o.hi).refine_lo(o.lo),
+        abcd_ir::CmpOp::Ne => base,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abcd_frontend::compile;
+    use abcd_ssa::module_to_essa;
+
+    fn essa(src: &str) -> Function {
+        let mut m = compile(src).unwrap();
+        module_to_essa(&mut m).unwrap();
+        let id = m.functions().next().unwrap().0;
+        m.function(id).clone()
+    }
+
+    #[test]
+    fn removes_guarded_access() {
+        let mut f = essa(
+            "fn f(a: int[], i: int) -> int {
+                if (0 <= i) { if (i < a.length) { return a[i]; } }
+                return 0;
+            }",
+        );
+        let stats = eliminate_checks_by_range(&mut f);
+        assert_eq!(stats.removed_lower, 1, "{f}");
+        assert_eq!(stats.removed_upper, 1, "{f}");
+        assert_eq!(f.count_checks(), (0, 0, 0));
+    }
+
+    #[test]
+    fn removes_canonical_loop_checks() {
+        let mut f = essa(
+            "fn f(a: int[]) -> int {
+                let s: int = 0;
+                for (let i: int = 0; i < a.length; i = i + 1) { s = s + a[i]; }
+                return s;
+            }",
+        );
+        let stats = eliminate_checks_by_range(&mut f);
+        assert_eq!(
+            (stats.removed_lower, stats.removed_upper),
+            (1, 1),
+            "{f}"
+        );
+    }
+
+    #[test]
+    fn keeps_unbounded_access() {
+        let mut f = essa("fn f(a: int[], i: int) -> int { return a[i]; }");
+        let stats = eliminate_checks_by_range(&mut f);
+        assert_eq!((stats.removed_lower, stats.removed_upper), (0, 0));
+        assert_eq!(f.count_checks(), (2, 0, 0));
+    }
+
+    #[test]
+    fn constant_alloc_and_index_proved() {
+        let mut f = essa(
+            "fn f() -> int {
+                let a: int[] = new int[10];
+                return a[9];
+            }",
+        );
+        let stats = eliminate_checks_by_range(&mut f);
+        assert_eq!((stats.removed_lower, stats.removed_upper), (1, 1), "{f}");
+    }
+
+    #[test]
+    fn widening_terminates_on_growing_loop() {
+        let mut f = essa(
+            "fn f(a: int[], n: int) -> int {
+                let s: int = 0;
+                for (let i: int = 0; i < n; i = i + 1) { s = s + a[i]; }
+                return s;
+            }",
+        );
+        let stats = eliminate_checks_by_range(&mut f);
+        // lower bound still provable; upper is not (n unrelated to a).
+        assert_eq!((stats.removed_lower, stats.removed_upper), (1, 0), "{f}");
+        assert!(stats.steps < 100_000);
+    }
+
+    #[test]
+    fn bound_partial_order() {
+        assert_eq!(Bound::Finite(3).le(Bound::Finite(4)), Some(true));
+        assert_eq!(
+            Bound::Len(Value::new(0), -1).le(Bound::Len(Value::new(0), 0)),
+            Some(true)
+        );
+        assert_eq!(
+            Bound::Len(Value::new(0), 0).le(Bound::Len(Value::new(1), 0)),
+            None
+        );
+        assert_eq!(Bound::Finite(-3).le(Bound::Len(Value::new(0), -3)), Some(true));
+        assert_eq!(Bound::Finite(1).le(Bound::Len(Value::new(0), 0)), None);
+        assert_eq!(Bound::NegInf.le(Bound::Finite(i64::MIN)), Some(true));
+    }
+}

@@ -1,0 +1,58 @@
+//! Criterion benchmark: full-pipeline compile-time cost — what a JIT pays:
+//! SSA construction, e-SSA π insertion, and the complete ABCD pass, per
+//! benchmark program. The paper's pitch is that this must be cheap enough
+//! for dynamic compilation.
+
+use abcd::{Optimizer, OptimizerOptions};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_essa(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline/to_essa");
+    for bench in abcd_benchsuite::BENCHMARKS.iter().take(6) {
+        let module = bench.compile().unwrap();
+        group.bench_function(BenchmarkId::from_parameter(bench.name), |b| {
+            b.iter(|| {
+                let mut m = module.clone();
+                abcd_ssa::module_to_essa(&mut m).unwrap();
+                m.function_count()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_abcd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline/abcd_full");
+    for bench in abcd_benchsuite::BENCHMARKS {
+        let module = bench.compile().unwrap();
+        group.bench_function(BenchmarkId::from_parameter(bench.name), |b| {
+            b.iter(|| {
+                let mut m = module.clone();
+                let report = Optimizer::new().optimize_module(&mut m, None);
+                report.checks_removed_fully()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_abcd_without_pre(c: &mut Criterion) {
+    let bench = abcd_benchsuite::by_name("biDirBubbleSort").unwrap();
+    let module = bench.compile().unwrap();
+    let opts = OptimizerOptions {
+        pre: false,
+        classify_local: false,
+        ..OptimizerOptions::default()
+    };
+    c.bench_function("pipeline/abcd_minimal_bidir", |b| {
+        b.iter(|| {
+            let mut m = module.clone();
+            Optimizer::with_options(opts)
+                .optimize_module(&mut m, None)
+                .checks_removed_fully()
+        })
+    });
+}
+
+criterion_group!(benches, bench_essa, bench_full_abcd, bench_abcd_without_pre);
+criterion_main!(benches);

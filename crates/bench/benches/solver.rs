@@ -1,0 +1,175 @@
+//! Criterion benchmark: `demandProve` throughput (§5).
+//!
+//! Measures (a) single-check queries on the benchmark suite's inequality
+//! graphs and (b) scaling on synthetic deep-chain / wide-φ graphs, backing
+//! the paper's claim that a query touches a near-constant number of
+//! vertices rather than the whole program.
+
+use abcd::{DemandProver, InequalityGraph, Problem, Vertex};
+use abcd_ir::{CheckKind, Function, InstKind, Value};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn essa_function(src: &str) -> Function {
+    let mut m = abcd_frontend::compile(src).unwrap();
+    abcd_ssa::module_to_essa(&mut m).unwrap();
+    let id = m.functions().next().unwrap().0;
+    m.function(id).clone()
+}
+
+/// A deep chain of `i := i ± c` copies between the guard and the check.
+fn chain_source(depth: usize) -> String {
+    let mut body = String::from(
+        "fn f(a: int[]) -> int {
+            let s: int = 0;
+            for (let i: int = 0; i < a.length; i = i + 1) {
+                let j0: int = i;\n",
+    );
+    for d in 1..=depth {
+        let op = if d % 2 == 0 { "+" } else { "-" };
+        let prev = d - 1;
+        body.push_str(&format!("                let j{d}: int = j{prev} {op} 1;\n"));
+    }
+    // The net offset is 0 or −1 depending on parity; index with the last.
+    body.push_str(&format!(
+        "                if (j{depth} >= 0) {{ if (j{depth} < a.length) {{ s = s + a[j{depth}]; }} }}
+            }}
+            return s;
+        }}"
+    ));
+    body
+}
+
+fn first_upper_check(f: &Function) -> (Value, Value) {
+    for b in f.blocks() {
+        for &id in f.block(b).insts() {
+            if let InstKind::BoundsCheck {
+                array,
+                index,
+                kind: CheckKind::Upper,
+                ..
+            } = f.inst(id).kind
+            {
+                return (array, index);
+            }
+        }
+    }
+    panic!("no upper check");
+}
+
+fn bench_suite_queries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("demand_prove/suite");
+    for bench in abcd_benchsuite::BENCHMARKS.iter().take(5) {
+        let mut m = bench.compile().unwrap();
+        abcd_ssa::module_to_essa(&mut m).unwrap();
+        // Analyze every upper check of every function, fresh prover each
+        // iteration (worst case: no cross-check memoization).
+        let funcs: Vec<Function> = m.functions().map(|(_, f)| f.clone()).collect();
+        let prepared: Vec<(InequalityGraph, Vec<(Value, Value)>)> = funcs
+            .iter()
+            .map(|f| {
+                let g = InequalityGraph::build(f, Problem::Upper, None);
+                let mut checks = Vec::new();
+                for b in f.blocks() {
+                    for &id in f.block(b).insts() {
+                        if let InstKind::BoundsCheck {
+                            array,
+                            index,
+                            kind: CheckKind::Upper,
+                            ..
+                        } = f.inst(id).kind
+                        {
+                            checks.push((array, index));
+                        }
+                    }
+                }
+                (g, checks)
+            })
+            .collect();
+        group.bench_function(BenchmarkId::from_parameter(bench.name), |b| {
+            b.iter(|| {
+                let mut proved = 0usize;
+                for (g, checks) in &prepared {
+                    for (array, index) in checks {
+                        let mut p = DemandProver::new(g, Vertex::ArrayLen(*array));
+                        if p.demand_prove(Vertex::Value(*index), -1) {
+                            proved += 1;
+                        }
+                    }
+                }
+                proved
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_chain_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("demand_prove/chain_depth");
+    for depth in [4usize, 16, 64, 256] {
+        let f = essa_function(&chain_source(depth));
+        let g = InequalityGraph::build(&f, Problem::Upper, None);
+        let (array, index) = first_upper_check(&f);
+        group.bench_function(BenchmarkId::from_parameter(depth), |b| {
+            b.iter(|| {
+                let mut p = DemandProver::new(&g, Vertex::ArrayLen(array));
+                p.demand_prove(Vertex::Value(index), -1)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_graph_construction(c: &mut Criterion) {
+    let bench = abcd_benchsuite::by_name("db").unwrap();
+    let mut m = bench.compile().unwrap();
+    abcd_ssa::module_to_essa(&mut m).unwrap();
+    let funcs: Vec<Function> = m.functions().map(|(_, f)| f.clone()).collect();
+    c.bench_function("inequality_graph/build_db", |b| {
+        b.iter(|| {
+            funcs
+                .iter()
+                .map(|f| InequalityGraph::build(f, Problem::Upper, None).edge_count())
+                .sum::<usize>()
+        })
+    });
+}
+
+/// Demand-driven vs. exhaustive cost on the same graphs — the §5 trade-off
+/// the paper's design hinges on.
+fn bench_demand_vs_exhaustive(c: &mut Criterion) {
+    use abcd::ExhaustiveDistances;
+    let mut group = c.benchmark_group("demand_vs_exhaustive");
+    for name in ["db", "jess", "biDirBubbleSort"] {
+        let bench = abcd_benchsuite::by_name(name).unwrap();
+        let mut m = bench.compile().unwrap();
+        abcd_ssa::module_to_essa(&mut m).unwrap();
+        // Largest function by check count.
+        let func = m
+            .functions()
+            .map(|(_, f)| f.clone())
+            .max_by_key(|f| f.count_checks().0)
+            .unwrap();
+        let g = InequalityGraph::build(&func, Problem::Upper, None);
+        let (array, index) = first_upper_check(&func);
+
+        group.bench_function(BenchmarkId::new("demand_one_check", name), |b| {
+            b.iter(|| {
+                let mut p = DemandProver::new(&g, Vertex::ArrayLen(array));
+                p.demand_prove(Vertex::Value(index), -1)
+            })
+        });
+        group.bench_function(BenchmarkId::new("exhaustive_one_source", name), |b| {
+            b.iter(|| ExhaustiveDistances::compute(&g, Vertex::ArrayLen(array)).steps)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_suite_queries,
+    bench_chain_scaling,
+    bench_graph_construction,
+    bench_demand_vs_exhaustive
+);
+criterion_main!(benches);

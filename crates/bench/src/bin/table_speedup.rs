@@ -1,0 +1,52 @@
+//! Experiment E4 — the run-time improvement of §8: "We measured run-time
+//! speedup on the Symantec benchmarks. We observed about 10% improvement."
+//! We measure model cycles (the VM's cost model charges an upper check a
+//! length-load + compare, etc.), with and without the §7.2 unsigned-merge
+//! of surviving pairs.
+//!
+//! Run with: `cargo run --release -p abcd-bench --bin table_speedup`
+
+use abcd::OptimizerOptions;
+use abcd_bench::{evaluate, evaluate_all};
+use abcd_benchsuite::Group;
+
+fn main() {
+    let results = evaluate_all(OptimizerOptions::default());
+
+    println!("Model-cycle speedup (optimized vs. baseline)");
+    println!("{:-<74}", "");
+    println!(
+        "{:<18} {:>14} {:>14} {:>9} {:>12}",
+        "benchmark", "base cycles", "opt cycles", "speedup", "+merge §7.2"
+    );
+    println!("{:-<74}", "");
+    let mut symantec = Vec::new();
+    for r in &results {
+        // Re-evaluate with check merging for the last column.
+        let merged = evaluate(
+            abcd_benchsuite::by_name(r.name).unwrap(),
+            OptimizerOptions {
+                merge_checks: true,
+                ..OptimizerOptions::default()
+            },
+        );
+        let sp = r.speedup();
+        if r.group == Group::Symantec {
+            symantec.push(sp);
+        }
+        println!(
+            "{:<18} {:>14} {:>14} {:>8.1}% {:>11.1}%",
+            r.name,
+            r.baseline.cycles,
+            r.optimized.cycles,
+            (sp - 1.0) * 100.0,
+            (merged.speedup() - 1.0) * 100.0
+        );
+    }
+    println!("{:-<74}", "");
+    let avg = symantec.iter().sum::<f64>() / symantec.len() as f64;
+    println!(
+        "Symantec average: {:+.1}%   (paper: about 10% wall-clock)",
+        (avg - 1.0) * 100.0
+    );
+}

@@ -1,0 +1,48 @@
+//! Experiment E2 — the static-redundancy numbers of §8: "In static terms,
+//! the average number of checks that were found fully redundant was about
+//! 31%. Only bytemark had a significant number of static checks that were
+//! partially redundant (26%)."
+//!
+//! Run with: `cargo run --release -p abcd-bench --bin table_static`
+
+use abcd::OptimizerOptions;
+use abcd_bench::evaluate_all;
+
+fn main() {
+    let results = evaluate_all(OptimizerOptions::default());
+
+    println!("Static check classification (upper + lower checks)");
+    println!("{:-<72}", "");
+    println!(
+        "{:<18} {:>7} {:>10} {:>8} {:>10} {:>8}",
+        "benchmark", "static", "fully", "%", "partially", "%"
+    );
+    println!("{:-<72}", "");
+    let mut fully_frac = Vec::new();
+    for r in &results {
+        let total = r.static_total();
+        let fully = r.report.checks_removed_fully();
+        let partial = r.report.checks_hoisted();
+        fully_frac.push(r.static_fully_fraction());
+        println!(
+            "{:<18} {:>7} {:>10} {:>7.1}% {:>10} {:>7.1}%",
+            r.name,
+            total,
+            fully,
+            r.static_fully_fraction() * 100.0,
+            partial,
+            r.static_partial_fraction() * 100.0
+        );
+    }
+    println!("{:-<72}", "");
+    let avg = fully_frac.iter().sum::<f64>() / fully_frac.len() as f64;
+    println!(
+        "average fully redundant: {:.1}%   (paper: ~31%)",
+        avg * 100.0
+    );
+    let bytemark = results.iter().find(|r| r.name == "bytemark").unwrap();
+    println!(
+        "bytemark partially redundant: {:.1}%   (paper: 26%)",
+        bytemark.static_partial_fraction() * 100.0
+    );
+}

@@ -1,0 +1,214 @@
+//! Experiment harness reproducing every table and figure of the ABCD
+//! paper's §8 (see `EXPERIMENTS.md` at the repository root for the index).
+//!
+//! The measurement protocol mirrors the paper's dynamic-compilation story:
+//!
+//! 1. compile a benchmark and run it once unoptimized — this *training run*
+//!    yields the edge/site [`Profile`] a JIT would have collected;
+//! 2. optimize with that profile (demand-driven hot-check ordering, PRE
+//!    profitability);
+//! 3. run the optimized module on the identical (deterministic) input and
+//!    compare dynamic check counts and model cycles.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use abcd::{CheckOutcome, ModuleReport, Optimizer, OptimizerOptions};
+use abcd_benchsuite::{Benchmark, Group};
+use abcd_ir::FuncId;
+use abcd_vm::{ExecStats, Profile, Vm};
+
+/// Everything measured for one benchmark.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Benchmark group.
+    pub group: Group,
+    /// Dynamic stats of the unoptimized run.
+    pub baseline: ExecStats,
+    /// Dynamic stats of the optimized run.
+    pub optimized: ExecStats,
+    /// Static optimization report.
+    pub report: ModuleReport,
+    /// Dynamic upper-bound checks attributable to *locally* proven sites
+    /// (Figure 6's local slice), measured against the training profile.
+    pub dynamic_upper_removed_local: u64,
+    /// Dynamic upper-bound checks attributable to globally proven or
+    /// hoisted sites.
+    pub dynamic_upper_removed_global: u64,
+}
+
+impl BenchResult {
+    /// Fraction of dynamic upper-bound checks removed (Figure 6's y-axis).
+    pub fn upper_removed_fraction(&self) -> f64 {
+        let before = self.baseline.dynamic_upper_checks();
+        if before == 0 {
+            return 0.0;
+        }
+        let after = self.optimized.dynamic_upper_checks();
+        1.0 - after as f64 / before as f64
+    }
+
+    /// Fraction of dynamic lower-bound checks removed (§7.2 dual).
+    pub fn lower_removed_fraction(&self) -> f64 {
+        let before = self.baseline.dynamic_lower_checks();
+        if before == 0 {
+            return 0.0;
+        }
+        1.0 - self.optimized.dynamic_lower_checks() as f64 / before as f64
+    }
+
+    /// Model-cycle speedup of the optimized run (e.g. `1.10` = 10% faster).
+    pub fn speedup(&self) -> f64 {
+        self.baseline.cycles as f64 / self.optimized.cycles.max(1) as f64
+    }
+
+    /// Static checks before optimization.
+    pub fn static_total(&self) -> usize {
+        self.report.checks_total()
+    }
+
+    /// Static fully-redundant fraction (§8 reports ≈31% on average).
+    pub fn static_fully_fraction(&self) -> f64 {
+        let t = self.static_total();
+        if t == 0 {
+            return 0.0;
+        }
+        self.report.checks_removed_fully() as f64 / t as f64
+    }
+
+    /// Static partially-redundant fraction (§8: 26% for bytemark).
+    pub fn static_partial_fraction(&self) -> f64 {
+        let t = self.static_total();
+        if t == 0 {
+            return 0.0;
+        }
+        self.report.checks_hoisted() as f64 / t as f64
+    }
+}
+
+/// Runs the full protocol on one benchmark.
+///
+/// # Panics
+///
+/// Panics if the benchmark fails to compile or traps — the suite is
+/// deterministic and trap-free by construction, so a panic here indicates
+/// an optimizer bug.
+pub fn evaluate(bench: &Benchmark, options: OptimizerOptions) -> BenchResult {
+    evaluate_inner(bench, options, false)
+}
+
+/// Like [`evaluate`], but additionally applies function versioning (the
+/// guarded fast/slow clones) after the regular pass.
+pub fn evaluate_with_versioning(bench: &Benchmark, options: OptimizerOptions) -> BenchResult {
+    evaluate_inner(bench, options, true)
+}
+
+fn evaluate_inner(bench: &Benchmark, options: OptimizerOptions, versioning: bool) -> BenchResult {
+    // 1. Training run. The baseline has the host compiler's *basic*
+    //    optimizations applied but every check intact — the paper's
+    //    Jalapeño configuration ("copy propagation, … constant folding,
+    //    … local common subexpression elimination …" with ABCD off) — so
+    //    speedups measure check removal, not unrelated cleanup.
+    let mut baseline_module = bench.compile().expect("benchmark compiles");
+    let baseline_opts = OptimizerOptions {
+        upper: false,
+        lower: false,
+        pre: false,
+        merge_checks: false,
+        ..options
+    };
+    Optimizer::with_options(baseline_opts).optimize_module(&mut baseline_module, None);
+    let mut vm = Vm::new(&baseline_module);
+    vm.call_by_name("main", &[]).expect("baseline run");
+    let baseline = *vm.stats();
+    let profile: Profile = vm.into_profile();
+
+    // 2. Optimize with the profile.
+    let mut optimized_module = bench.compile().expect("benchmark compiles");
+    let report = Optimizer::with_options(options).optimize_module(&mut optimized_module, Some(&profile));
+    if versioning {
+        abcd::version_functions(&mut optimized_module, Some(&profile), 1);
+    }
+
+    // 3. Measured run.
+    let mut vm = Vm::new(&optimized_module);
+    vm.call_by_name("main", &[]).expect("optimized run");
+    let optimized = *vm.stats();
+
+    // Attribute removed dynamic upper checks to local/global proofs using
+    // the training profile's per-site counts.
+    let mut local = 0u64;
+    let mut global = 0u64;
+    for (i, freport) in report.functions.iter().enumerate() {
+        let fid = FuncId::new(i);
+        for (site, kind, outcome) in &freport.outcomes {
+            if *kind != abcd_ir::CheckKind::Upper {
+                continue;
+            }
+            let count = profile.site_count(fid, *site);
+            match outcome {
+                CheckOutcome::RemovedFully { local: true, .. } => local += count,
+                CheckOutcome::RemovedFully { local: false, .. }
+                | CheckOutcome::Hoisted { .. } => global += count,
+                _ => {}
+            }
+        }
+    }
+
+    BenchResult {
+        name: bench.name,
+        group: bench.group,
+        baseline,
+        optimized,
+        report,
+        dynamic_upper_removed_local: local,
+        dynamic_upper_removed_global: global,
+    }
+}
+
+/// Evaluates the whole suite with the given options.
+pub fn evaluate_all(options: OptimizerOptions) -> Vec<BenchResult> {
+    abcd_benchsuite::BENCHMARKS
+        .iter()
+        .map(|b| evaluate(b, options))
+        .collect()
+}
+
+/// Renders a simple ASCII bar of `frac` (0..=1) of width `width`.
+pub fn bar(frac: f64, width: usize) -> String {
+    let filled = (frac.clamp(0.0, 1.0) * width as f64).round() as usize;
+    let mut s = String::with_capacity(width);
+    for i in 0..width {
+        s.push(if i < filled { '#' } else { '.' });
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evaluate_produces_consistent_numbers() {
+        let b = abcd_benchsuite::by_name("array").unwrap();
+        let r = evaluate(b, OptimizerOptions::default());
+        assert!(r.baseline.dynamic_upper_checks() > 0);
+        assert!(r.upper_removed_fraction() > 0.5, "{r:?}");
+        assert!(r.speedup() >= 1.0);
+        // Local + global attribution never exceeds the baseline count.
+        assert!(
+            r.dynamic_upper_removed_local + r.dynamic_upper_removed_global
+                <= r.baseline.dynamic_upper_checks()
+        );
+    }
+
+    #[test]
+    fn bar_renders_proportionally() {
+        assert_eq!(bar(0.0, 4), "....");
+        assert_eq!(bar(0.5, 4), "##..");
+        assert_eq!(bar(1.0, 4), "####");
+        assert_eq!(bar(2.0, 4), "####");
+    }
+}

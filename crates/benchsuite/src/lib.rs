@@ -1,0 +1,168 @@
+//! The benchmark suite of the ABCD reproduction.
+//!
+//! Fifteen MJ programs mirroring the paper's §8 evaluation set:
+//!
+//! * five SPECjvm98-like kernels (`db`, `mpeg`, `jack`, `compress`,
+//!   `jess`) with the same array-access character as the originals,
+//! * the seven Symantec micro-benchmarks (`bubble_sort`,
+//!   `bidir_bubble_sort` — the paper's Figure 1 — `qsort`, `sieve`,
+//!   `hanoi`, `dhrystone`, `array`),
+//! * three "other" programs (`toba`, `bytemark`, `jolt`); `bytemark` is
+//!   shaped to exhibit a large partially-redundant fraction, matching the
+//!   paper's report of 26% static partial redundancy.
+//!
+//! Every program is deterministic and self-contained: inputs come from an
+//! in-program linear congruential generator, and `main` returns (and
+//! prints) a checksum used by the differential tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use abcd_frontend::FrontendError;
+use abcd_ir::Module;
+
+/// The benchmark group, matching the paper's presentation of Figure 6.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Group {
+    /// SPECjvm98-like kernels (shown with a local/global split).
+    Spec,
+    /// Symantec micro-benchmarks.
+    Symantec,
+    /// Other Java programs (toba, bytemark, jolt).
+    Other,
+}
+
+impl Group {
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Group::Spec => "SPECjvm98-like",
+            Group::Symantec => "Symantec",
+            Group::Other => "other",
+        }
+    }
+}
+
+/// One benchmark program.
+#[derive(Clone, Copy, Debug)]
+pub struct Benchmark {
+    /// Short name (matches the paper's Figure 6 labels).
+    pub name: &'static str,
+    /// Group for reporting.
+    pub group: Group,
+    /// MJ source text.
+    pub source: &'static str,
+}
+
+impl Benchmark {
+    /// Compiles the program to an unoptimized module (locals form, all
+    /// checks present).
+    ///
+    /// # Errors
+    ///
+    /// Propagates frontend errors (none occur for the bundled programs;
+    /// the test suite compiles each one).
+    pub fn compile(&self) -> Result<Module, FrontendError> {
+        abcd_frontend::compile(self.source)
+    }
+}
+
+macro_rules! bench {
+    ($name:literal, $group:expr, $file:literal) => {
+        Benchmark {
+            name: $name,
+            group: $group,
+            source: include_str!(concat!("../programs/", $file)),
+        }
+    };
+}
+
+/// All benchmarks, in the order Figure 6 lists them (SPEC first).
+pub const BENCHMARKS: &[Benchmark] = &[
+    bench!("db", Group::Spec, "db.mj"),
+    bench!("mpeg", Group::Spec, "mpeg.mj"),
+    bench!("jack", Group::Spec, "jack.mj"),
+    bench!("compress", Group::Spec, "compress.mj"),
+    bench!("jess", Group::Spec, "jess.mj"),
+    bench!("bubbleSort", Group::Symantec, "bubble_sort.mj"),
+    bench!("biDirBubbleSort", Group::Symantec, "bidir_bubble_sort.mj"),
+    bench!("qsort", Group::Symantec, "qsort.mj"),
+    bench!("sieve", Group::Symantec, "sieve.mj"),
+    bench!("hanoi", Group::Symantec, "hanoi.mj"),
+    bench!("dhrystone", Group::Symantec, "dhrystone.mj"),
+    bench!("array", Group::Symantec, "array.mj"),
+    bench!("toba", Group::Other, "toba.mj"),
+    bench!("bytemark", Group::Other, "bytemark.mj"),
+    bench!("jolt", Group::Other, "jolt.mj"),
+];
+
+/// Looks a benchmark up by name.
+pub fn by_name(name: &str) -> Option<&'static Benchmark> {
+    BENCHMARKS.iter().find(|b| b.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abcd::Optimizer;
+    use abcd_vm::Vm;
+
+    #[test]
+    fn all_benchmarks_compile_and_run() {
+        for b in BENCHMARKS {
+            let module = b.compile().unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            let mut vm = Vm::new(&module);
+            let r = vm
+                .call_by_name("main", &[])
+                .unwrap_or_else(|t| panic!("{} trapped: {t}", b.name));
+            assert!(r.is_some(), "{} returned nothing", b.name);
+            assert!(
+                vm.stats().dynamic_checks_total() > 0,
+                "{} executed no checks",
+                b.name
+            );
+        }
+    }
+
+    #[test]
+    fn optimization_preserves_every_benchmark() {
+        for b in BENCHMARKS {
+            let baseline = b.compile().unwrap();
+            let mut optimized = b.compile().unwrap();
+            Optimizer::new().optimize_module(&mut optimized, None);
+
+            let mut vm1 = Vm::new(&baseline);
+            let r1 = vm1.call_by_name("main", &[]).unwrap();
+            let mut vm2 = Vm::new(&optimized);
+            let r2 = vm2
+                .call_by_name("main", &[])
+                .unwrap_or_else(|t| panic!("{} trapped after opt: {t}", b.name));
+
+            assert_eq!(r1, r2, "{} result changed", b.name);
+            assert_eq!(vm1.output(), vm2.output(), "{} output changed", b.name);
+            assert!(
+                vm2.stats().dynamic_checks_total() <= vm1.stats().dynamic_checks_total(),
+                "{} got slower",
+                b.name
+            );
+        }
+    }
+
+    #[test]
+    fn by_name_finds_figure1_program() {
+        assert!(by_name("biDirBubbleSort").is_some());
+        assert!(by_name("nonexistent").is_none());
+        assert_eq!(BENCHMARKS.len(), 15);
+    }
+
+    #[test]
+    fn groups_match_paper_layout() {
+        let spec = BENCHMARKS.iter().filter(|b| b.group == Group::Spec).count();
+        let sym = BENCHMARKS
+            .iter()
+            .filter(|b| b.group == Group::Symantec)
+            .count();
+        let other = BENCHMARKS.iter().filter(|b| b.group == Group::Other).count();
+        assert_eq!((spec, sym, other), (5, 7, 3));
+    }
+}

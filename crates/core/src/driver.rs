@@ -1,0 +1,592 @@
+//! The ABCD optimization driver: the pipeline of Figure 2 plus the §6/§7
+//! extensions, with per-check reporting.
+//!
+//! For each function the driver (1) constructs SSA, (2) runs the host
+//! compiler's basic cleanup, (3) builds e-SSA by inserting π-assignments,
+//! (4) builds the upper and lower inequality graphs, and (5) runs
+//! `demandProve` per bounds check — hottest first when a profile is given,
+//! exactly the demand-driven discipline the paper designed for.
+
+use crate::graph::{InequalityGraph, Problem, Vertex};
+use crate::pre::{apply_insertions, merge_remaining_checks};
+use crate::report::{CheckOutcome, FunctionReport, ModuleReport};
+use crate::solver::{DemandProver, PreOutcome, PreProver};
+use abcd_ir::{
+    Block, CheckKind, CheckSite, FuncId, Function, InstId, InstKind, Module, Value,
+};
+use abcd_ssa::DomTree;
+use abcd_vm::Profile;
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Tuning knobs for the optimizer.
+#[derive(Clone, Copy, Debug)]
+pub struct OptimizerOptions {
+    /// Eliminate upper-bound checks.
+    pub upper: bool,
+    /// Eliminate lower-bound checks (the §7.2 dual).
+    pub lower: bool,
+    /// Run the basic cleanup set (const-fold, GVN/CSE, DCE) first, like the
+    /// paper's host compiler.
+    pub cleanup: bool,
+    /// Remove partially redundant checks by insertion (§6).
+    pub pre: bool,
+    /// Consult value-numbering congruence when a proof against one array
+    /// fails (§7.1).
+    pub gvn_hook: bool,
+    /// Merge surviving lower+upper pairs into unsigned checks (§7.2).
+    pub merge_checks: bool,
+    /// Classify each removal as local (provable within its basic block) or
+    /// global — the split shown for the SPEC benchmarks in Figure 6.
+    pub classify_local: bool,
+    /// With a profile: only analyze check sites executed at least this many
+    /// times (the "hot bounds checks" work-list). `None` analyzes all.
+    pub hot_threshold: Option<u64>,
+    /// Infer and use interprocedural parameter facts (closed-world; see
+    /// [`crate::interproc`]). Off by default — the paper is intraprocedural.
+    pub interprocedural: bool,
+}
+
+impl Default for OptimizerOptions {
+    fn default() -> Self {
+        OptimizerOptions {
+            upper: true,
+            lower: true,
+            cleanup: true,
+            pre: true,
+            gvn_hook: true,
+            merge_checks: false,
+            classify_local: true,
+            hot_threshold: None,
+            interprocedural: false,
+        }
+    }
+}
+
+/// The ABCD optimizer.
+///
+/// # Example
+///
+/// ```
+/// use abcd::Optimizer;
+/// use abcd_frontend::compile;
+///
+/// let mut module = compile(r#"
+///     fn sum(a: int[]) -> int {
+///         let s: int = 0;
+///         for (let i: int = 0; i < a.length; i = i + 1) { s = s + a[i]; }
+///         return s;
+///     }
+/// "#)?;
+/// let report = Optimizer::new().optimize_module(&mut module, None);
+/// assert_eq!(report.checks_removed_fully(), 2); // lower and upper
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Optimizer {
+    options: OptimizerOptions,
+}
+
+impl Optimizer {
+    /// An optimizer with default options (everything but check merging on).
+    pub fn new() -> Self {
+        Optimizer::default()
+    }
+
+    /// An optimizer with explicit options.
+    pub fn with_options(options: OptimizerOptions) -> Self {
+        Optimizer { options }
+    }
+
+    /// The active options.
+    pub fn options(&self) -> &OptimizerOptions {
+        &self.options
+    }
+
+    /// Optimizes every function of `module` (which must be in locals form or
+    /// plain SSA — the driver builds SSA/e-SSA itself). A [`Profile`] from a
+    /// prior training run drives hot-check selection and PRE profitability.
+    pub fn optimize_module(&self, module: &mut Module, profile: Option<&Profile>) -> ModuleReport {
+        let mut report = ModuleReport::default();
+        let ids: Vec<FuncId> = module.functions().map(|(id, _)| id).collect();
+        if !self.options.interprocedural {
+            for id in ids {
+                let func = module.function_mut(id);
+                report.functions.push(self.optimize_function(func, id, profile));
+            }
+            return report;
+        }
+        // Interprocedural mode: prepare every function first, infer the
+        // parameter-fact fixpoint over the whole module, then analyze each
+        // function under its verified assumptions.
+        let mut gvns = Vec::new();
+        for &id in &ids {
+            gvns.push(self.prepare_function(module.function_mut(id)));
+        }
+        let facts = crate::interproc::infer_param_facts(module);
+        for (id, gvn) in ids.into_iter().zip(gvns) {
+            let func = module.function_mut(id);
+            report
+                .functions
+                .push(self.analyze_function(func, id, profile, gvn, facts.of(id)));
+        }
+        report
+    }
+
+    /// Optimizes a single function. `func_id` keys profile lookups.
+    pub fn optimize_function(
+        &self,
+        func: &mut Function,
+        func_id: FuncId,
+        profile: Option<&Profile>,
+    ) -> FunctionReport {
+        let gvn = self.prepare_function(func);
+        self.analyze_function(func, func_id, profile, gvn, &[])
+    }
+
+    /// Stages 1–3 of Figure 2: SSA construction, basic cleanup, e-SSA.
+    fn prepare_function(&self, func: &mut Function) -> PreparedGvn {
+        let opts = &self.options;
+        let mut cleanup_stats = abcd_analysis::CleanupStats::default();
+        abcd_ssa::split_critical_edges(func);
+        abcd_ssa::promote_locals(func).expect("frontend guarantees definite assignment");
+        let mut gvn = if opts.cleanup {
+            let (stats, gvn) = abcd_analysis::cleanup(func);
+            cleanup_stats = stats;
+            gvn
+        } else if opts.gvn_hook {
+            // §7.1 needs congruence even when the rewriting cleanup is off:
+            // value-number a throwaway clone (value ids are stable) and keep
+            // only the congruence classes.
+            let mut scratch = func.clone();
+            abcd_analysis::value_number(&mut scratch)
+        } else {
+            abcd_analysis::GvnResult::default()
+        };
+        if opts.gvn_hook {
+            // Loads of the same array slot yield the same reference (and
+            // hence the same length) — congruence no rewriting CSE can see.
+            abcd_analysis::record_load_congruence(func, &mut gvn);
+        }
+        let already_essa = has_pi(func);
+        if !already_essa {
+            abcd_ssa::insert_pi_nodes(func);
+        }
+        debug_assert_eq!(abcd_ssa::verify_ssa(func), Ok(()));
+        PreparedGvn {
+            gvn,
+            cleanup: cleanup_stats,
+        }
+    }
+
+    /// Stages 4–5 of Figure 2: build the constraint systems (optionally
+    /// augmented with verified parameter facts) and run `demandProve` per
+    /// check, transforming as directed.
+    fn analyze_function(
+        &self,
+        func: &mut Function,
+        func_id: FuncId,
+        profile: Option<&Profile>,
+        prepared: PreparedGvn,
+        facts: &[crate::interproc::ParamFact],
+    ) -> FunctionReport {
+        let opts = &self.options;
+        let mut report = FunctionReport::new(func.name());
+        report.cleanup = prepared.cleanup;
+        report.param_facts_used = facts.len();
+        let gvn = prepared.gvn;
+
+        // 4: the two sparse constraint systems.
+        let mut upper_graph = InequalityGraph::build(func, Problem::Upper, None);
+        let mut lower_graph = InequalityGraph::build(func, Problem::Lower, None);
+        crate::interproc::apply_facts(facts, func, &mut upper_graph);
+        crate::interproc::apply_facts(facts, func, &mut lower_graph);
+        let upper_graph = upper_graph;
+        let lower_graph = lower_graph;
+        let dt = DomTree::compute(func);
+
+        // The checks, in program order, hottest-first when profiled.
+        let mut checks: Vec<(Block, InstId, CheckSite, Value, Value, CheckKind)> = Vec::new();
+        for b in func.blocks() {
+            for &id in func.block(b).insts() {
+                if let InstKind::BoundsCheck {
+                    site,
+                    array,
+                    index,
+                    kind,
+                } = func.inst(id).kind
+                {
+                    checks.push((b, id, site, array, index, kind));
+                }
+            }
+        }
+        report.checks_total = checks.len();
+        if let Some(p) = profile {
+            checks.sort_by_key(|(_, _, site, _, _, _)| {
+                std::cmp::Reverse(p.site_count(func_id, *site))
+            });
+        }
+
+        // Provers are cached per source vertex so memoization spans all
+        // checks against the same array (or the constant 0).
+        let mut upper_provers: HashMap<Value, DemandProver> = HashMap::new();
+        let mut lower_prover = DemandProver::new(&lower_graph, Vertex::Const(0));
+        // Block-restricted graphs for the local/global classification.
+        let mut local_graphs: HashMap<(Block, Problem), InequalityGraph> = HashMap::new();
+
+        let mut to_remove: Vec<(Block, InstId)> = Vec::new();
+        let mut pre_jobs: Vec<(Block, InstId, Vec<crate::solver::InsertionPoint>, Problem)> =
+            Vec::new();
+
+        for (block, inst, site, array, index, kind) in checks {
+            let enabled = match kind {
+                CheckKind::Upper => opts.upper,
+                CheckKind::Lower => opts.lower,
+                CheckKind::Both => opts.upper && opts.lower,
+            };
+            if !enabled {
+                report.record(site, kind, CheckOutcome::Skipped);
+                continue;
+            }
+            if let (Some(threshold), Some(p)) = (opts.hot_threshold, profile) {
+                if p.site_count(func_id, site) < threshold {
+                    report.record(site, kind, CheckOutcome::Skipped);
+                    continue;
+                }
+            }
+            let started = Instant::now();
+            let mut spent_steps = 0u64;
+
+            let (problem, source, c, graph): (Problem, Vertex, i64, &InequalityGraph) = match kind
+            {
+                CheckKind::Upper | CheckKind::Both => {
+                    (Problem::Upper, Vertex::ArrayLen(array), -1, &upper_graph)
+                }
+                CheckKind::Lower => (Problem::Lower, Vertex::Const(0), 0, &lower_graph),
+            };
+            // `Both` checks need both proofs; handle the common single-kind
+            // cases first and fall back for Both.
+            let mut proven = match kind {
+                CheckKind::Upper => {
+                    prove_upper(&upper_graph, &mut upper_provers, &mut spent_steps, array, index)
+                }
+                CheckKind::Lower => prove_lower(&mut lower_prover, &mut spent_steps, index),
+                CheckKind::Both => {
+                    prove_upper(&upper_graph, &mut upper_provers, &mut spent_steps, array, index)
+                        && prove_lower(&mut lower_prover, &mut spent_steps, index)
+                }
+            };
+            let mut via_congruence = false;
+
+            // §7.1: on upper-check failure, retry against congruent arrays.
+            if !proven && opts.gvn_hook && matches!(kind, CheckKind::Upper) {
+                for other in abcd_analysis::congruent_arrays(func, &gvn, &dt, array, block) {
+                    if prove_upper(&upper_graph, &mut upper_provers, &mut spent_steps, other, index)
+                    {
+                        proven = true;
+                        via_congruence = true;
+                        break;
+                    }
+                }
+            }
+
+            let outcome = if proven {
+                to_remove.push((block, inst));
+                let local = opts.classify_local
+                    && self.provable_locally(func, block, problem, source, index, c, &mut local_graphs);
+                CheckOutcome::RemovedFully {
+                    local,
+                    via_congruence,
+                }
+            } else if opts.pre && kind != CheckKind::Both {
+                let (result, pre_steps) =
+                    self.try_pre(func_id, profile, site, graph, source, index, c);
+                report.pre_steps += pre_steps;
+                match result {
+                    Some(points) => {
+                        let n = points.len();
+                        pre_jobs.push((block, inst, points, problem));
+                        CheckOutcome::Hoisted { insertions: n }
+                    }
+                    None => CheckOutcome::Kept,
+                }
+            } else {
+                CheckOutcome::Kept
+            };
+
+            report.steps += spent_steps;
+            report.analysis_time += started.elapsed();
+            report.record(site, kind, outcome);
+        }
+
+        drop(upper_provers);
+        drop(lower_prover);
+
+        // 5: transform.
+        for (b, id) in to_remove {
+            func.remove_inst(b, id);
+        }
+        for (b, id, points, problem) in pre_jobs {
+            report.spec_checks_inserted += apply_insertions(func, b, id, &points, problem);
+        }
+        if opts.merge_checks {
+            report.checks_merged = merge_remaining_checks(func);
+        }
+        debug_assert_eq!(abcd_ir::verify_function(func, None), Ok(()));
+        report
+    }
+
+    /// PRE: query with insertion collection and test profitability (§6.1).
+    #[allow(clippy::too_many_arguments)]
+    fn try_pre(
+        &self,
+        func_id: FuncId,
+        profile: Option<&Profile>,
+        site: CheckSite,
+        graph: &InequalityGraph,
+        source: Vertex,
+        index: Value,
+        c: i64,
+    ) -> (Option<Vec<crate::solver::InsertionPoint>>, u64) {
+        let freq_fn = profile.map(|p| {
+            move |b: Block| p.block_count(func_id, b)
+        });
+        let freq_dyn: Option<&dyn Fn(Block) -> u64> = match &freq_fn {
+            Some(f) => Some(f),
+            None => None,
+        };
+        let mut prover = PreProver::new(graph, source, freq_dyn);
+        let outcome = prover.demand_prove(Vertex::Value(index), c);
+        let steps = prover.steps;
+        let result = match outcome {
+            PreOutcome::ProvenWithInsertions(points) => {
+                let profitable = match profile {
+                    Some(p) => {
+                        let cost: u64 =
+                            points.iter().map(|pt| p.block_count(func_id, pt.pred)).sum();
+                        let benefit = p.site_count(func_id, site);
+                        cost < benefit
+                    }
+                    // Without a profile, insert speculatively (the paper's
+                    // speculation is safe thanks to the compare/trap split);
+                    // a single insertion point is the classic loop-invariant
+                    // shape and essentially always profitable.
+                    None => points.len() <= 1,
+                };
+                profitable.then_some(points)
+            }
+            _ => None,
+        };
+        (result, steps)
+    }
+
+    /// Is the check provable using only constraints of its own block?
+    /// (The Figure 6 "local" category.)
+    #[allow(clippy::too_many_arguments)]
+    fn provable_locally(
+        &self,
+        func: &Function,
+        block: Block,
+        problem: Problem,
+        source: Vertex,
+        index: Value,
+        c: i64,
+        cache: &mut HashMap<(Block, Problem), InequalityGraph>,
+    ) -> bool {
+        let g = cache
+            .entry((block, problem))
+            .or_insert_with(|| InequalityGraph::build(func, problem, Some(block)));
+        let mut prover = DemandProver::new(g, source);
+        prover.demand_prove(Vertex::Value(index), c)
+    }
+}
+
+/// Runs an upper-bound query against the (memoized) prover for `array`,
+/// accounting the solver steps it spends into `spent`.
+fn prove_upper<'g>(
+    graph: &'g InequalityGraph,
+    provers: &mut HashMap<Value, DemandProver<'g>>,
+    spent: &mut u64,
+    array: Value,
+    index: Value,
+) -> bool {
+    let p = provers
+        .entry(array)
+        .or_insert_with(|| DemandProver::new(graph, Vertex::ArrayLen(array)));
+    let before = p.steps;
+    let ok = p.demand_prove(Vertex::Value(index), -1);
+    *spent += p.steps - before;
+    ok
+}
+
+/// The lower-bound analogue of [`prove_upper`] (one shared constant-0
+/// prover).
+fn prove_lower(prover: &mut DemandProver, spent: &mut u64, index: Value) -> bool {
+    let before = prover.steps;
+    let ok = prover.demand_prove(Vertex::Value(index), 0);
+    *spent += prover.steps - before;
+    ok
+}
+
+/// GVN result plus cleanup statistics, carried from prepare to analyze.
+struct PreparedGvn {
+    gvn: abcd_analysis::GvnResult,
+    cleanup: abcd_analysis::CleanupStats,
+}
+
+fn has_pi(func: &Function) -> bool {
+    func.blocks().any(|b| {
+        func.block(b)
+            .insts()
+            .iter()
+            .any(|&id| matches!(func.inst(id).kind, InstKind::Pi { .. }))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::CheckOutcome;
+    use abcd_frontend::compile;
+    use abcd_vm::Vm;
+
+    const LOOP_SRC: &str = "fn f(a: int[]) -> int {
+        let s: int = 0;
+        for (let i: int = 0; i < a.length; i = i + 1) { s = s + a[i]; }
+        return s;
+    }";
+
+    #[test]
+    fn report_accounting_is_consistent() {
+        let mut m = compile(LOOP_SRC).unwrap();
+        let report = Optimizer::new().optimize_module(&mut m, None);
+        let f = &report.functions[0];
+        assert_eq!(f.checks_total, 2);
+        assert_eq!(f.checks_analyzed(), 2);
+        assert_eq!(f.removed_fully(), 2);
+        assert_eq!(f.hoisted(), 0);
+        assert!(f.steps > 0);
+        assert!(f.steps_per_check() > 0.0);
+        assert_eq!(report.checks_total(), 2);
+        assert_eq!(report.checks_removed_fully(), 2);
+        assert!(report.analysis_time() >= std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn optimizing_twice_is_stable() {
+        let mut m = compile(LOOP_SRC).unwrap();
+        let opt = Optimizer::new();
+        let r1 = opt.optimize_module(&mut m, None);
+        assert_eq!(r1.checks_removed_fully(), 2);
+        // Second run: nothing left to do, and the module stays valid.
+        let r2 = opt.optimize_module(&mut m, None);
+        assert_eq!(r2.checks_total(), 0);
+        abcd_ir::verify_module(&m).unwrap();
+        let mut vm = Vm::new(&m);
+        let a = vm.alloc_int_array(&[4, 5]);
+        assert_eq!(
+            vm.call_by_name("f", &[a]).unwrap(),
+            Some(abcd_vm::RtVal::Int(9))
+        );
+    }
+
+    #[test]
+    fn function_without_checks_reports_empty() {
+        let mut m = compile("fn g(x: int) -> int { return x * 2; }").unwrap();
+        let report = Optimizer::new().optimize_module(&mut m, None);
+        let f = &report.functions[0];
+        assert_eq!(f.checks_total, 0);
+        assert_eq!(f.steps, 0);
+        assert_eq!(f.steps_per_check(), 0.0);
+    }
+
+    #[test]
+    fn local_classification_flags_same_block_proofs() {
+        // a[i] then a[i] again: the second access' checks are provable from
+        // the first's π constraints, all within one block.
+        let mut m = compile(
+            "fn f(a: int[], i: int) -> int { return a[i] + a[i]; }",
+        )
+        .unwrap();
+        let report = Optimizer::new().optimize_module(&mut m, None);
+        let f = &report.functions[0];
+        let locals = f
+            .outcomes
+            .iter()
+            .filter(|(_, _, o)| matches!(o, CheckOutcome::RemovedFully { local: true, .. }))
+            .count();
+        assert!(locals >= 2, "{:#?}", f.outcomes);
+        // The first pair is not removable at all.
+        assert_eq!(f.removed_fully(), 2, "{:#?}", f.outcomes);
+    }
+
+    #[test]
+    fn hot_threshold_without_profile_analyzes_everything() {
+        let mut m = compile(LOOP_SRC).unwrap();
+        let opts = OptimizerOptions {
+            hot_threshold: Some(1_000_000),
+            ..OptimizerOptions::default()
+        };
+        // No profile given: the threshold cannot apply.
+        let report = Optimizer::with_options(opts).optimize_module(&mut m, None);
+        assert_eq!(report.checks_removed_fully(), 2);
+    }
+
+    #[test]
+    fn merge_checks_option_produces_both_checks() {
+        let mut m = compile("fn f(a: int[], i: int) -> int { return a[i]; }").unwrap();
+        let opts = OptimizerOptions {
+            merge_checks: true,
+            ..OptimizerOptions::default()
+        };
+        let report = Optimizer::with_options(opts).optimize_module(&mut m, None);
+        assert_eq!(report.functions[0].checks_merged, 1);
+        let id = m.function_by_name("f").unwrap();
+        let func = m.function(id);
+        let mut both = 0;
+        for b in func.blocks() {
+            for &iid in func.block(b).insts() {
+                if let InstKind::BoundsCheck {
+                    kind: abcd_ir::CheckKind::Both,
+                    ..
+                } = func.inst(iid).kind
+                {
+                    both += 1;
+                }
+            }
+        }
+        assert_eq!(both, 1);
+    }
+
+    #[test]
+    fn profile_orders_hot_checks_first() {
+        // Two functions; one runs 100x more. With a profile, the analysis
+        // still visits everything but the reports must agree regardless of
+        // ordering — this pins the sort from crashing on ties and the
+        // outcome being order-independent.
+        let src = "
+            fn hot(a: int[]) -> int {
+                let s: int = 0;
+                for (let i: int = 0; i < a.length; i = i + 1) { s = s + a[i]; }
+                return s;
+            }
+            fn main() -> int {
+                let a: int[] = new int[32];
+                let t: int = 0;
+                for (let r: int = 0; r < 100; r = r + 1) { t = t + hot(a); }
+                return t;
+            }
+        ";
+        let train = compile(src).unwrap();
+        let mut vm = Vm::new(&train);
+        vm.call_by_name("main", &[]).unwrap();
+        let profile = vm.into_profile();
+
+        let mut with_profile = compile(src).unwrap();
+        let r1 = Optimizer::new().optimize_module(&mut with_profile, Some(&profile));
+        let mut without = compile(src).unwrap();
+        let r2 = Optimizer::new().optimize_module(&mut without, None);
+        assert_eq!(r1.checks_removed_fully(), r2.checks_removed_fully());
+        assert_eq!(r1.checks_hoisted(), r2.checks_hoisted());
+    }
+}

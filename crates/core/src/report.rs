@@ -1,0 +1,176 @@
+//! Per-check and aggregate optimization reports.
+//!
+//! The reports carry everything §8 of the paper tabulates: how many checks
+//! were fully redundant (split local/global), partially redundant
+//! (hoisted), or kept; how many `prove` steps the solver spent per check;
+//! and the analysis wall-clock time.
+
+use abcd_ir::{CheckKind, CheckSite};
+use std::time::Duration;
+
+/// What happened to one static bounds check.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CheckOutcome {
+    /// Proven fully redundant and deleted.
+    RemovedFully {
+        /// Provable using only constraints of its own basic block
+        /// (Figure 6's "local" category).
+        local: bool,
+        /// Proven only via the §7.1 value-numbering congruence hook.
+        via_congruence: bool,
+    },
+    /// Partially redundant: compensating checks inserted, original demoted
+    /// to a residual trap (§6).
+    Hoisted {
+        /// Number of compensating checks inserted.
+        insertions: usize,
+    },
+    /// Not removable.
+    Kept,
+    /// Not analyzed (cold site, or its kind disabled).
+    Skipped,
+}
+
+/// Report for one function.
+#[derive(Clone, Debug, Default)]
+pub struct FunctionReport {
+    /// Function name.
+    pub name: String,
+    /// Static checks present before optimization.
+    pub checks_total: usize,
+    /// Outcome per analyzed check.
+    pub outcomes: Vec<(CheckSite, CheckKind, CheckOutcome)>,
+    /// `prove` invocations of the fully-redundant pass ("analysis steps",
+    /// §8 — the paper's metric).
+    pub steps: u64,
+    /// Additional `prove` invocations spent by the PRE-collecting pass
+    /// (§6). The paper integrates PRE into the same traversal; this
+    /// implementation runs it as a second pass over failed checks, so its
+    /// cost is reported separately to keep `steps` comparable.
+    pub pre_steps: u64,
+    /// Wall-clock time spent in analysis (not transformation).
+    pub analysis_time: Duration,
+    /// Compensating checks inserted by PRE.
+    pub spec_checks_inserted: usize,
+    /// Lower+upper pairs merged into unsigned checks (§7.2).
+    pub checks_merged: usize,
+    /// Cleanup (basic set) statistics.
+    pub cleanup: abcd_analysis::CleanupStats,
+    /// Verified interprocedural parameter facts applied to this function's
+    /// graphs (0 unless `interprocedural` was enabled).
+    pub param_facts_used: usize,
+}
+
+impl FunctionReport {
+    pub(crate) fn new(name: &str) -> Self {
+        FunctionReport {
+            name: name.to_string(),
+            ..FunctionReport::default()
+        }
+    }
+
+    pub(crate) fn record(&mut self, site: CheckSite, kind: CheckKind, outcome: CheckOutcome) {
+        self.outcomes.push((site, kind, outcome));
+    }
+
+    /// Checks analyzed (not skipped).
+    pub fn checks_analyzed(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|(_, _, o)| !matches!(o, CheckOutcome::Skipped))
+            .count()
+    }
+
+    /// Checks removed as fully redundant.
+    pub fn removed_fully(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|(_, _, o)| matches!(o, CheckOutcome::RemovedFully { .. }))
+            .count()
+    }
+
+    /// Fully redundant checks provable within their own block.
+    pub fn removed_locally(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|(_, _, o)| matches!(o, CheckOutcome::RemovedFully { local: true, .. }))
+            .count()
+    }
+
+    /// Checks hoisted by PRE.
+    pub fn hoisted(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|(_, _, o)| matches!(o, CheckOutcome::Hoisted { .. }))
+            .count()
+    }
+
+    /// Average `prove` steps per analyzed check.
+    pub fn steps_per_check(&self) -> f64 {
+        let n = self.checks_analyzed();
+        if n == 0 {
+            0.0
+        } else {
+            self.steps as f64 / n as f64
+        }
+    }
+}
+
+/// Report for a whole module.
+#[derive(Clone, Debug, Default)]
+pub struct ModuleReport {
+    /// One report per function, in module order.
+    pub functions: Vec<FunctionReport>,
+}
+
+impl ModuleReport {
+    /// Static checks present before optimization.
+    pub fn checks_total(&self) -> usize {
+        self.functions.iter().map(|f| f.checks_total).sum()
+    }
+
+    /// Checks analyzed across all functions.
+    pub fn checks_analyzed(&self) -> usize {
+        self.functions.iter().map(|f| f.checks_analyzed()).sum()
+    }
+
+    /// Checks removed as fully redundant.
+    pub fn checks_removed_fully(&self) -> usize {
+        self.functions.iter().map(|f| f.removed_fully()).sum()
+    }
+
+    /// Fully redundant checks provable within one block.
+    pub fn checks_removed_locally(&self) -> usize {
+        self.functions.iter().map(|f| f.removed_locally()).sum()
+    }
+
+    /// Checks hoisted by PRE.
+    pub fn checks_hoisted(&self) -> usize {
+        self.functions.iter().map(|f| f.hoisted()).sum()
+    }
+
+    /// Total `prove` steps (fully-redundant pass).
+    pub fn steps(&self) -> u64 {
+        self.functions.iter().map(|f| f.steps).sum()
+    }
+
+    /// Total PRE-pass `prove` steps.
+    pub fn pre_steps(&self) -> u64 {
+        self.functions.iter().map(|f| f.pre_steps).sum()
+    }
+
+    /// Average steps per analyzed check.
+    pub fn steps_per_check(&self) -> f64 {
+        let n = self.checks_analyzed();
+        if n == 0 {
+            0.0
+        } else {
+            self.steps() as f64 / n as f64
+        }
+    }
+
+    /// Total analysis time.
+    pub fn analysis_time(&self) -> Duration {
+        self.functions.iter().map(|f| f.analysis_time).sum()
+    }
+}

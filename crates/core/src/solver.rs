@@ -1,0 +1,713 @@
+//! The demand-driven constraint solver (Figure 5 of the paper), and its
+//! extension that collects PRE insertion points (§6.1).
+//!
+//! `demandProve(G, t)` asks whether the distance from a source vertex `a`
+//! (an array length, or the constant 0 for lower-bound checks) to a target
+//! `b` (the checked index) is at most `c`. The traversal walks **backwards**
+//! along in-edges from `b` towards `a`, adjusting the allowed slack `c` by
+//! each edge weight:
+//!
+//! * reaching `a` with `c ≥ 0` proves the traversed path (True);
+//! * a vertex with no constraints refutes it (False);
+//! * re-visiting an active vertex detects a cycle: if the current slack is
+//!   *smaller* than when the vertex was first entered, the cycle has
+//!   positive weight — an *amplifying* cycle (an induction variable
+//!   incremented in a loop) — and the path is refuted; otherwise the cycle
+//!   is harmless and reports `Reduced`;
+//! * results merge with **meet** at max (φ) vertices — all paths must prove
+//!   — and **join** at min vertices — any path suffices — over the lattice
+//!   `True > Reduced > False`.
+//!
+//! Memoization uses subsumption: a difference proven with a smaller bound
+//! proves every weaker query, and one refuted with a larger bound refutes
+//! every stronger query.
+
+use crate::graph::{InequalityGraph, Vertex, VertexId};
+use abcd_ir::{Block, Value};
+use std::collections::HashMap;
+
+/// The three-point result lattice (`True > Reduced > False`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Lattice {
+    /// The difference was refuted on some path.
+    False,
+    /// A harmless (non-amplifying) cycle was reduced.
+    Reduced,
+    /// The difference holds.
+    True,
+}
+
+impl Lattice {
+    /// Meet (greatest lower bound): used at max/φ vertices.
+    pub fn meet(self, other: Lattice) -> Lattice {
+        self.min(other)
+    }
+
+    /// Join (least upper bound): used at min vertices.
+    pub fn join(self, other: Lattice) -> Lattice {
+        self.max(other)
+    }
+}
+
+/// A single compensating-check insertion point discovered by the PRE
+/// extension: insert `check A[arg + δ]` at the end of `pred` (the φ
+/// in-edge), where δ is derived from `c_prime` by the driver.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct InsertionPoint {
+    /// The predecessor block owning the failing φ in-edge (critical edges
+    /// are split, so this block *is* the edge).
+    pub pred: Block,
+    /// The failing φ argument — the compensating check's base index.
+    pub arg: Value,
+    /// The remaining difference query at the insertion point:
+    /// the check must establish `arg − a ≤ c_prime` (solver domain).
+    pub c_prime: i64,
+}
+
+/// Result of a PRE-collecting query.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum PreOutcome {
+    /// Fully redundant — no insertions needed.
+    Proven,
+    /// Partially redundant — redundant once checks are inserted at all the
+    /// given points.
+    ProvenWithInsertions(Vec<InsertionPoint>),
+    /// Not provable even with insertions.
+    Failed,
+}
+
+/// A demand-driven prover for one `(graph, source)` pair.
+///
+/// The memo table persists across queries against the same source (e.g. all
+/// checks of the same array), which is how the paper's "fewer than 10
+/// analysis steps per check" arises in practice.
+#[derive(Debug)]
+pub struct DemandProver<'g> {
+    graph: &'g InequalityGraph,
+    source: Option<VertexId>,
+    source_vertex: Vertex,
+    /// memo[v] = (c, result) entries, consulted with subsumption.
+    memo: HashMap<VertexId, Vec<(i64, Lattice)>>,
+    active: HashMap<VertexId, i64>,
+    /// Invocations of `prove` — the paper's "analysis steps".
+    pub steps: u64,
+}
+
+impl<'g> DemandProver<'g> {
+    /// Creates a prover for queries from `source` (e.g. `ArrayLen(a)` for
+    /// upper-bound checks, `Const(0)` for lower-bound checks).
+    pub fn new(graph: &'g InequalityGraph, source: Vertex) -> Self {
+        DemandProver {
+            graph,
+            source: graph.lookup(source),
+            source_vertex: source,
+            memo: HashMap::new(),
+            active: HashMap::new(),
+            steps: 0,
+        }
+    }
+
+    /// `demandProve`: is `target − source ≤ c` implied by the constraint
+    /// system? (Figure 5: returns true iff the result is `True` or
+    /// `Reduced`.)
+    pub fn demand_prove(&mut self, target: Vertex, c: i64) -> bool {
+        let Some(t) = self.graph.lookup(target) else {
+            // A value with no constraints at all can still be the source
+            // itself, or a constant comparable by potentials.
+            return self.trivial(target, c).unwrap_or(false);
+        };
+        self.active.clear();
+        matches!(self.prove(t, c), Lattice::True | Lattice::Reduced)
+    }
+
+    /// Source/constant fast path for vertices missing from the graph.
+    fn trivial(&self, target: Vertex, c: i64) -> Option<bool> {
+        if target == self.source_vertex {
+            return Some(c >= 0);
+        }
+        let pot = |v: Vertex| match (v, self.graph.problem()) {
+            (Vertex::Const(k), crate::graph::Problem::Upper) => Some(k),
+            (Vertex::Const(k), crate::graph::Problem::Lower) => Some(-k),
+            _ => None,
+        };
+        match (pot(target), pot(self.source_vertex)) {
+            (Some(pv), Some(pa)) => Some(pv - pa <= c),
+            _ => None,
+        }
+    }
+
+    fn prove(&mut self, v: VertexId, c: i64) -> Lattice {
+        self.steps += 1;
+
+        // Lines 3–5: memoized subsumption.
+        if let Some(entries) = self.memo.get(&v) {
+            for &(c2, l) in entries {
+                match l {
+                    Lattice::True if c2 <= c => return Lattice::True,
+                    Lattice::False if c2 >= c => return Lattice::False,
+                    Lattice::Reduced if c2 <= c => return Lattice::Reduced,
+                    _ => {}
+                }
+            }
+        }
+        // Line 6: reached the source with enough slack.
+        if Some(v) == self.source
+            && c >= 0 {
+                return Lattice::True;
+            }
+            // Fall through: the source may itself be constrained (only
+            // possible for constant sources; array lengths have no
+            // in-edges).
+        // Constants compare numerically against constant sources.
+        if let (Some(pv), Some(pa)) = (
+            self.graph.potential(v),
+            self.source.and_then(|s| self.graph.potential(s)),
+        ) {
+            return if pv - pa <= c {
+                Lattice::True
+            } else {
+                Lattice::False
+            };
+        }
+        // Line 7: no constraint bounds v.
+        let edges = self.graph.in_edges(v).to_vec();
+        if edges.is_empty() {
+            return Lattice::False;
+        }
+        // Lines 8–11: cycle detection.
+        if let Some(&ac) = self.active.get(&v) {
+            return if c < ac {
+                Lattice::False // amplifying cycle
+            } else {
+                Lattice::Reduced // harmless cycle
+            };
+        }
+        // Lines 12–18: recurse over in-edges, merging per vertex kind.
+        self.active.insert(v, c);
+        let is_max = self.graph.is_max(v);
+        let mut result = if is_max { Lattice::True } else { Lattice::False };
+        for e in &edges {
+            let r = self.prove(e.src, c - e.weight);
+            result = if is_max {
+                result.meet(r)
+            } else {
+                result.join(r)
+            };
+            if (is_max && result == Lattice::False) || (!is_max && result == Lattice::True) {
+                break; // short-circuit
+            }
+        }
+        self.active.remove(&v);
+        self.memo.entry(v).or_default().push((c, result));
+        result
+    }
+}
+
+/// The PRE-collecting prover (§6.1).
+///
+/// Identical traversal, but `False` results carry — when possible — the set
+/// of φ in-edges where compensating checks would make the query provable.
+/// Per the paper, a direct insertion at a φ in-edge is considered "exactly
+/// when some of the φ-node's arguments were proven and some were not"; where
+/// a failing argument is itself salvageable deeper, the deeper set is used.
+pub struct PreProver<'g, 'f> {
+    graph: &'g InequalityGraph,
+    source: Option<VertexId>,
+    /// Exact-match memo (subsumption is unsound for insertion sets).
+    memo: HashMap<(VertexId, i64), Res>,
+    active: HashMap<VertexId, i64>,
+    /// Edge-frequency oracle for choosing the cheapest salvage at min
+    /// vertices (block execution counts from the profile; `None` = count
+    /// insertion points).
+    freq: Option<&'f dyn Fn(Block) -> u64>,
+    /// Invocations of `prove`.
+    pub steps: u64,
+}
+
+#[derive(Clone, PartialEq, Eq, Debug)]
+struct Res {
+    lat: Lattice,
+    /// Meaningful when `lat == False`: insertion points that would flip the
+    /// result to proven.
+    ins: Option<Vec<InsertionPoint>>,
+}
+
+impl Res {
+    fn proven(lat: Lattice) -> Res {
+        Res { lat, ins: None }
+    }
+}
+
+impl<'g, 'f> PreProver<'g, 'f> {
+    /// Creates a PRE-collecting prover.
+    pub fn new(
+        graph: &'g InequalityGraph,
+        source: Vertex,
+        freq: Option<&'f dyn Fn(Block) -> u64>,
+    ) -> Self {
+        PreProver {
+            graph,
+            source: graph.lookup(source),
+            memo: HashMap::new(),
+            active: HashMap::new(),
+            freq,
+            steps: 0,
+        }
+    }
+
+    fn cost(&self, points: &[InsertionPoint]) -> u64 {
+        match self.freq {
+            Some(f) => points.iter().map(|p| f(p.pred)).sum(),
+            None => points.len() as u64,
+        }
+    }
+
+    /// Runs the query; see [`PreOutcome`].
+    pub fn demand_prove(&mut self, target: Vertex, c: i64) -> PreOutcome {
+        let Some(t) = self.graph.lookup(target) else {
+            return PreOutcome::Failed;
+        };
+        self.active.clear();
+        let res = self.prove(t, c);
+        match (res.lat, res.ins) {
+            (Lattice::True | Lattice::Reduced, _) => PreOutcome::Proven,
+            (Lattice::False, Some(ins)) if !ins.is_empty() => {
+                PreOutcome::ProvenWithInsertions(ins)
+            }
+            _ => PreOutcome::Failed,
+        }
+    }
+
+    fn prove(&mut self, v: VertexId, c: i64) -> Res {
+        self.steps += 1;
+        if let Some(r) = self.memo.get(&(v, c)) {
+            return r.clone();
+        }
+        if Some(v) == self.source && c >= 0 {
+            return Res::proven(Lattice::True);
+        }
+        if let (Some(pv), Some(pa)) = (
+            self.graph.potential(v),
+            self.source.and_then(|s| self.graph.potential(s)),
+        ) {
+            return if pv - pa <= c {
+                Res::proven(Lattice::True)
+            } else {
+                Res {
+                    lat: Lattice::False,
+                    ins: None,
+                }
+            };
+        }
+        let edges = self.graph.in_edges(v).to_vec();
+        if edges.is_empty() {
+            return Res {
+                lat: Lattice::False,
+                ins: None,
+            };
+        }
+        if let Some(&ac) = self.active.get(&v) {
+            return if c < ac {
+                Res {
+                    lat: Lattice::False,
+                    ins: None, // cycles are never salvaged by insertion
+                }
+            } else {
+                Res::proven(Lattice::Reduced)
+            };
+        }
+
+        self.active.insert(v, c);
+        let result = if self.graph.is_max(v) {
+            self.prove_max(v, c, &edges)
+        } else {
+            self.prove_min(c, &edges)
+        };
+        self.active.remove(&v);
+        self.memo.insert((v, c), result.clone());
+        result
+    }
+
+    /// Max (φ) vertex: all arguments must prove; failing arguments may be
+    /// compensated on their in-edge.
+    fn prove_max(&mut self, v: VertexId, c: i64, edges: &[crate::graph::InEdge]) -> Res {
+        let mut lat = Lattice::True;
+        let mut proven_args = 0usize;
+        let mut salvages: Vec<Vec<InsertionPoint>> = Vec::new();
+        let mut direct_needed: Vec<(VertexId, i64)> = Vec::new();
+
+        for e in edges {
+            let r = self.prove(e.src, c - e.weight);
+            match r.lat {
+                Lattice::True | Lattice::Reduced => {
+                    proven_args += 1;
+                    lat = lat.meet(r.lat);
+                }
+                Lattice::False => {
+                    if let Some(ins) = r.ins.filter(|i| !i.is_empty()) {
+                        salvages.push(ins);
+                    } else {
+                        direct_needed.push((e.src, c - e.weight));
+                    }
+                }
+            }
+        }
+
+        if direct_needed.is_empty() && salvages.is_empty() {
+            return Res::proven(lat); // all arguments proven
+        }
+
+        // Direct insertion at this φ's in-edges is allowed only in the
+        // paper's mixed case: at least one argument proven outright.
+        if !direct_needed.is_empty() && proven_args == 0 {
+            return Res {
+                lat: Lattice::False,
+                ins: None,
+            };
+        }
+        let mut ins: Vec<InsertionPoint> = Vec::new();
+        for (arg, c_prime) in direct_needed {
+            let Vertex::Value(u) = self.graph.vertex(arg) else {
+                // Only value arguments can be compensated with an index
+                // expression.
+                return Res {
+                    lat: Lattice::False,
+                    ins: None,
+                };
+            };
+            let preds = self.phi_pred_of(v, arg);
+            if preds.is_empty() {
+                return Res {
+                    lat: Lattice::False,
+                    ins: None,
+                };
+            }
+            // The same argument value may arrive over several edges; all of
+            // them must be compensated for the φ to become proven.
+            for pred in preds {
+                ins.push(InsertionPoint {
+                    pred,
+                    arg: u,
+                    c_prime,
+                });
+            }
+        }
+        for s in salvages {
+            ins.extend(s);
+        }
+        ins.sort_by_key(|p| (p.pred, p.arg, p.c_prime));
+        ins.dedup();
+        Res {
+            lat: Lattice::False,
+            ins: Some(ins),
+        }
+    }
+
+    /// Min vertex: any in-edge suffices; choose the cheapest salvage among
+    /// failing alternatives.
+    fn prove_min(&mut self, c: i64, edges: &[crate::graph::InEdge]) -> Res {
+        let mut lat = Lattice::False;
+        let mut best: Option<Vec<InsertionPoint>> = None;
+        for e in edges {
+            let r = self.prove(e.src, c - e.weight);
+            lat = lat.join(r.lat);
+            if lat == Lattice::True {
+                return Res::proven(Lattice::True);
+            }
+            if r.lat == Lattice::False {
+                if let Some(ins) = r.ins.filter(|i| !i.is_empty()) {
+                    let better = match &best {
+                        None => true,
+                        Some(b) => self.cost(&ins) < self.cost(b),
+                    };
+                    if better {
+                        best = Some(ins);
+                    }
+                }
+            }
+        }
+        if lat == Lattice::False {
+            Res { lat, ins: best }
+        } else {
+            Res::proven(lat)
+        }
+    }
+
+    /// Which φ in-edges (predecessor blocks) contribute `arg` to max vertex
+    /// `v`? Recovered from the graph's φ-argument records.
+    fn phi_pred_of(&self, v: VertexId, arg: VertexId) -> Vec<Block> {
+        let Vertex::Value(phi_val) = self.graph.vertex(v) else {
+            return Vec::new();
+        };
+        let Vertex::Value(arg_val) = self.graph.vertex(arg) else {
+            return Vec::new();
+        };
+        self.graph.phi_pred(phi_val, arg_val).to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Problem;
+    use abcd_frontend::compile;
+    use abcd_ir::{CheckKind, Function, InstKind};
+    use abcd_ssa::module_to_essa;
+
+    fn essa(src: &str) -> Function {
+        let mut m = compile(src).unwrap();
+        module_to_essa(&mut m).unwrap();
+        let id = m.functions().next().unwrap().0;
+        m.function(id).clone()
+    }
+
+    /// All upper-bound checks of `f` with (array, index) values.
+    fn upper_checks(f: &Function) -> Vec<(abcd_ir::Value, abcd_ir::Value)> {
+        let mut out = Vec::new();
+        for b in f.blocks() {
+            for &id in f.block(b).insts() {
+                if let InstKind::BoundsCheck {
+                    array,
+                    index,
+                    kind: CheckKind::Upper,
+                    ..
+                } = f.inst(id).kind
+                {
+                    out.push((array, index));
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn loop_bounded_by_length_proves() {
+        // for (i = 0; i < a.length; i++) a[i] — the canonical case.
+        let f = essa(
+            "fn f(a: int[]) -> int {
+                let s: int = 0;
+                for (let i: int = 0; i < a.length; i = i + 1) { s = s + a[i]; }
+                return s;
+            }",
+        );
+        let g = InequalityGraph::build(&f, Problem::Upper, None);
+        let checks = upper_checks(&f);
+        assert_eq!(checks.len(), 1);
+        let (a, i) = checks[0];
+        let mut p = DemandProver::new(&g, Vertex::ArrayLen(a));
+        assert!(p.demand_prove(Vertex::Value(i), -1), "{f}");
+        assert!(p.steps > 0);
+
+        // Lower bound too: i starts at 0 and increments.
+        let gl = InequalityGraph::build(&f, Problem::Lower, None);
+        let mut pl = DemandProver::new(&gl, Vertex::Const(0));
+        assert!(pl.demand_prove(Vertex::Value(i), 0), "{f}");
+    }
+
+    #[test]
+    fn unbounded_index_does_not_prove() {
+        let f = essa("fn f(a: int[], i: int) -> int { return a[i]; }");
+        let g = InequalityGraph::build(&f, Problem::Upper, None);
+        let (a, i) = upper_checks(&f)[0];
+        let mut p = DemandProver::new(&g, Vertex::ArrayLen(a));
+        assert!(!p.demand_prove(Vertex::Value(i), -1));
+    }
+
+    #[test]
+    fn guarded_index_proves() {
+        let f = essa(
+            "fn f(a: int[], i: int) -> int {
+                if (i < a.length) { if (i >= 0) { return a[i]; } }
+                return 0;
+            }",
+        );
+        let g = InequalityGraph::build(&f, Problem::Upper, None);
+        let (a, i) = upper_checks(&f)[0];
+        let mut p = DemandProver::new(&g, Vertex::ArrayLen(a));
+        assert!(p.demand_prove(Vertex::Value(i), -1), "{f}");
+        let gl = InequalityGraph::build(&f, Problem::Lower, None);
+        let mut pl = DemandProver::new(&gl, Vertex::Const(0));
+        assert!(pl.demand_prove(Vertex::Value(i), 0), "{f}");
+    }
+
+    #[test]
+    fn reversed_guard_also_proves() {
+        // `a.length > i` is the swapped form.
+        let f = essa(
+            "fn f(a: int[], i: int) -> int {
+                if (a.length > i) { if (0 <= i) { return a[i]; } }
+                return 0;
+            }",
+        );
+        let g = InequalityGraph::build(&f, Problem::Upper, None);
+        let (a, i) = upper_checks(&f)[0];
+        let mut p = DemandProver::new(&g, Vertex::ArrayLen(a));
+        assert!(p.demand_prove(Vertex::Value(i), -1), "{f}");
+        let gl = InequalityGraph::build(&f, Problem::Lower, None);
+        let mut pl = DemandProver::new(&gl, Vertex::Const(0));
+        assert!(pl.demand_prove(Vertex::Value(i), 0), "{f}");
+    }
+
+    #[test]
+    fn amplifying_cycle_without_bound_fails() {
+        // i grows without a length test: cannot prove.
+        let f = essa(
+            "fn f(a: int[], n: int) -> int {
+                let s: int = 0;
+                for (let i: int = 0; i < n; i = i + 1) { s = s + a[i]; }
+                return s;
+            }",
+        );
+        let g = InequalityGraph::build(&f, Problem::Upper, None);
+        let (a, i) = upper_checks(&f)[0];
+        let mut p = DemandProver::new(&g, Vertex::ArrayLen(a));
+        assert!(!p.demand_prove(Vertex::Value(i), -1));
+        // ... but the lower bound still proves (starts at 0, increments).
+        let gl = InequalityGraph::build(&f, Problem::Lower, None);
+        let mut pl = DemandProver::new(&gl, Vertex::Const(0));
+        assert!(pl.demand_prove(Vertex::Value(i), 0));
+    }
+
+    #[test]
+    fn check_subsumption_within_block() {
+        // a[i] then a[i-1]: second upper check subsumed by the first;
+        // (and first lower check subsumes the second's dual — see §7.2).
+        let f = essa(
+            "fn f(a: int[], i: int) -> int {
+                let x: int = a[i];
+                let y: int = a[i - 1];
+                return x + y;
+            }",
+        );
+        let g = InequalityGraph::build(&f, Problem::Upper, None);
+        let checks = upper_checks(&f);
+        assert_eq!(checks.len(), 2);
+        let (a, second) = checks[1];
+        let mut p = DemandProver::new(&g, Vertex::ArrayLen(a));
+        assert!(
+            p.demand_prove(Vertex::Value(second), -1),
+            "a[i-1] after a[i] must prove:\n{f}"
+        );
+        // The first one is NOT redundant.
+        let (_, first) = checks[0];
+        assert!(!p.demand_prove(Vertex::Value(first), -1));
+    }
+
+    #[test]
+    fn constant_index_against_allocation_proves() {
+        let f = essa(
+            "fn f() -> int {
+                let a: int[] = new int[10];
+                return a[9] + a[0];
+            }",
+        );
+        let g = InequalityGraph::build(&f, Problem::Upper, None);
+        let checks = upper_checks(&f);
+        let (a, i9) = checks[0];
+        let mut p = DemandProver::new(&g, Vertex::ArrayLen(a));
+        assert!(p.demand_prove(Vertex::Value(i9), -1), "a[9] of new int[10]:\n{f}");
+    }
+
+    #[test]
+    fn constant_index_too_large_fails() {
+        let f = essa(
+            "fn f() -> int {
+                let a: int[] = new int[10];
+                return a[10];
+            }",
+        );
+        let g = InequalityGraph::build(&f, Problem::Upper, None);
+        let (a, i) = upper_checks(&f)[0];
+        let mut p = DemandProver::new(&g, Vertex::ArrayLen(a));
+        assert!(!p.demand_prove(Vertex::Value(i), -1));
+    }
+
+    #[test]
+    fn memo_reduces_steps_on_repeated_queries() {
+        let f = essa(
+            "fn f(a: int[]) -> int {
+                let s: int = 0;
+                for (let i: int = 0; i < a.length; i = i + 1) {
+                    s = s + a[i] + a[i] + a[i];
+                }
+                return s;
+            }",
+        );
+        let g = InequalityGraph::build(&f, Problem::Upper, None);
+        let checks = upper_checks(&f);
+        assert_eq!(checks.len(), 3);
+        let (a, _) = checks[0];
+        let mut p = DemandProver::new(&g, Vertex::ArrayLen(a));
+        for (_, i) in &checks {
+            assert!(p.demand_prove(Vertex::Value(*i), -1));
+        }
+        let total = p.steps;
+        // The paper reports < 10 steps per check on average; with memoization
+        // across a function's checks we stay well under that here.
+        assert!(total < 10 * checks.len() as u64, "steps = {total}");
+    }
+
+    #[test]
+    fn lattice_algebra() {
+        use Lattice::*;
+        assert_eq!(True.meet(Reduced), Reduced);
+        assert_eq!(True.meet(False), False);
+        assert_eq!(Reduced.meet(False), False);
+        assert_eq!(True.join(False), True);
+        assert_eq!(Reduced.join(False), Reduced);
+        assert!(False < Reduced && Reduced < True);
+    }
+
+    #[test]
+    fn pre_prover_finds_paper_section6_insertion() {
+        // §6 of the paper: the running example (Figure 3) with the
+        // `limit := a.length` assignment replaced by an unknown initial
+        // value. The check `a[j]` becomes partially redundant: the φ for
+        // `limit` at the while-head has a proven argument (the decremented
+        // loop-carried `limit3`, via a harmless negative cycle) and a
+        // failing one (`limit0` from the entry edge), so ABCD inserts a
+        // compensating check on the entry edge.
+        let f = essa(
+            "fn f(a: int[], n: int) -> int {
+                let limit: int = n;
+                let st: int = 0 - 1;
+                let s: int = 0;
+                while (st < limit) {
+                    st = st + 1;
+                    limit = limit - 1;
+                    for (let j: int = st; j < limit; j = j + 1) {
+                        s = s + a[j];
+                    }
+                }
+                return s;
+            }",
+        );
+        let g = InequalityGraph::build(&f, Problem::Upper, None);
+        let (a, j) = upper_checks(&f)[0];
+        // Fully redundant? No (limit's origin is unknown).
+        let mut p = DemandProver::new(&g, Vertex::ArrayLen(a));
+        assert!(!p.demand_prove(Vertex::Value(j), -1));
+        // Partially redundant: one insertion point, on the φ in-edge
+        // carrying the initial limit.
+        let mut pp = PreProver::new(&g, Vertex::ArrayLen(a), None);
+        match pp.demand_prove(Vertex::Value(j), -1) {
+            PreOutcome::ProvenWithInsertions(ins) => {
+                assert_eq!(ins.len(), 1, "{ins:?}\n{f}");
+                // The paper's compensating check is `check a[limit0 − 2]`
+                // (distance from limit0 to j2 is −2), i.e. the remaining
+                // query at limit0 is c′ = +1: limit0 − a.length ≤ 1.
+                assert_eq!(ins[0].c_prime, 1, "{ins:?}\n{f}");
+            }
+            other => panic!("expected insertions, got {other:?}\n{f}"),
+        }
+    }
+
+    #[test]
+    fn pre_prover_reports_failed_when_unsalvageable() {
+        let f = essa("fn f(a: int[], i: int) -> int { return a[i]; }");
+        let g = InequalityGraph::build(&f, Problem::Upper, None);
+        let (a, i) = upper_checks(&f)[0];
+        let mut pp = PreProver::new(&g, Vertex::ArrayLen(a), None);
+        assert_eq!(pp.demand_prove(Vertex::Value(i), -1), PreOutcome::Failed);
+    }
+}

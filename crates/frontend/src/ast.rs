@@ -1,0 +1,237 @@
+//! The MJ abstract syntax tree.
+
+use crate::error::Pos;
+
+/// A source type annotation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TypeAst {
+    /// `int`
+    Int,
+    /// `bool`
+    Bool,
+    /// `T[]`
+    Array(Box<TypeAst>),
+}
+
+/// A whole program: a list of functions.
+#[derive(Clone, Debug)]
+pub struct Program {
+    /// Functions in source order.
+    pub functions: Vec<FnDecl>,
+}
+
+/// A function declaration.
+#[derive(Clone, Debug)]
+pub struct FnDecl {
+    /// Name.
+    pub name: String,
+    /// Parameters (name, type).
+    pub params: Vec<(String, TypeAst)>,
+    /// Return type, if any.
+    pub ret: Option<TypeAst>,
+    /// Body.
+    pub body: Vec<Stmt>,
+    /// Position of the `fn` keyword.
+    pub pos: Pos,
+}
+
+/// A statement.
+#[derive(Clone, Debug)]
+pub enum Stmt {
+    /// `let name: ty = init;`
+    Let {
+        /// Variable name.
+        name: String,
+        /// Declared type.
+        ty: TypeAst,
+        /// Mandatory initializer (enforces definite assignment).
+        init: Expr,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `name = value;`
+    Assign {
+        /// Target variable.
+        name: String,
+        /// Assigned value.
+        value: Expr,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `array[index] = value;`
+    Store {
+        /// Array expression.
+        array: Expr,
+        /// Index expression.
+        index: Expr,
+        /// Stored value.
+        value: Expr,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `if (cond) { .. } else { .. }`
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then-branch.
+        then_body: Vec<Stmt>,
+        /// Else-branch (possibly empty).
+        else_body: Vec<Stmt>,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `while (cond) { .. }`
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `for (init; cond; step) { .. }` — sugar retained in the AST so the
+    /// lowering can mirror the paper's loop shapes exactly.
+    For {
+        /// Initializer (a `Let` or `Assign`), if any.
+        init: Option<Box<Stmt>>,
+        /// Condition (defaults to `true`).
+        cond: Option<Expr>,
+        /// Step statement, if any.
+        step: Option<Box<Stmt>>,
+        /// Loop body.
+        body: Vec<Stmt>,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `return e?;`
+    Return {
+        /// Returned value, if any.
+        value: Option<Expr>,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `break;`
+    Break {
+        /// Source position.
+        pos: Pos,
+    },
+    /// `continue;`
+    Continue {
+        /// Source position.
+        pos: Pos,
+    },
+    /// `print(e);`
+    Print {
+        /// Printed value (must be `int`).
+        value: Expr,
+        /// Source position.
+        pos: Pos,
+    },
+    /// An expression evaluated for its side effects (a call).
+    Expr {
+        /// The expression.
+        expr: Expr,
+        /// Source position.
+        pos: Pos,
+    },
+}
+
+/// A binary operator.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[allow(missing_docs)]
+pub enum BinOpAst {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+    LogicalAnd,
+    LogicalOr,
+}
+
+/// An expression.
+#[derive(Clone, Debug)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64, Pos),
+    /// Boolean literal.
+    Bool(bool, Pos),
+    /// Variable reference.
+    Var(String, Pos),
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOpAst,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+        /// Source position.
+        pos: Pos,
+    },
+    /// Unary negation `-e`.
+    Neg(Box<Expr>, Pos),
+    /// Logical not `!e`.
+    Not(Box<Expr>, Pos),
+    /// Array indexing `a[i]` (lowered with lower+upper bounds checks).
+    Index {
+        /// Array expression.
+        array: Box<Expr>,
+        /// Index expression.
+        index: Box<Expr>,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `a.length`
+    Length(Box<Expr>, Pos),
+    /// `new int[n]` / `new int[n][m]` (the 2-D form lowers to a loop that
+    /// allocates inner rows).
+    NewArray {
+        /// Element type of the outermost dimension.
+        elem: TypeAst,
+        /// Length of the outermost dimension.
+        len: Box<Expr>,
+        /// Optional second dimension.
+        len2: Option<Box<Expr>>,
+        /// Source position.
+        pos: Pos,
+    },
+    /// Function call `f(a, b)`.
+    Call {
+        /// Callee name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// Source position.
+        pos: Pos,
+    },
+}
+
+impl Expr {
+    /// The expression's source position.
+    pub fn pos(&self) -> Pos {
+        match self {
+            Expr::Int(_, p)
+            | Expr::Bool(_, p)
+            | Expr::Var(_, p)
+            | Expr::Neg(_, p)
+            | Expr::Not(_, p)
+            | Expr::Length(_, p) => *p,
+            Expr::Binary { pos, .. }
+            | Expr::Index { pos, .. }
+            | Expr::NewArray { pos, .. }
+            | Expr::Call { pos, .. } => *pos,
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Frontend diagnostics.
+
+use std::error::Error;
+use std::fmt;
+
+/// A source position (1-based line and column).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Pos {
+    /// Line number, starting at 1.
+    pub line: u32,
+    /// Column number, starting at 1.
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// A compilation error in MJ source.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum FrontendError {
+    /// Lexical error.
+    Lex {
+        /// Location of the error.
+        pos: Pos,
+        /// Explanation.
+        message: String,
+    },
+    /// Syntax error.
+    Parse {
+        /// Location of the error.
+        pos: Pos,
+        /// Explanation.
+        message: String,
+    },
+    /// Type or name-resolution error.
+    Type {
+        /// Location of the error.
+        pos: Pos,
+        /// Explanation.
+        message: String,
+    },
+}
+
+impl FrontendError {
+    /// The error's source position.
+    pub fn pos(&self) -> Pos {
+        match self {
+            FrontendError::Lex { pos, .. }
+            | FrontendError::Parse { pos, .. }
+            | FrontendError::Type { pos, .. } => *pos,
+        }
+    }
+}
+
+impl fmt::Display for FrontendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrontendError::Lex { pos, message } => write!(f, "lex error at {pos}: {message}"),
+            FrontendError::Parse { pos, message } => {
+                write!(f, "parse error at {pos}: {message}")
+            }
+            FrontendError::Type { pos, message } => write!(f, "type error at {pos}: {message}"),
+        }
+    }
+}
+
+impl Error for FrontendError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = FrontendError::Type {
+            pos: Pos { line: 4, col: 9 },
+            message: "mismatch".into(),
+        };
+        assert_eq!(e.to_string(), "type error at 4:9: mismatch");
+        assert_eq!(e.pos(), Pos { line: 4, col: 9 });
+    }
+}

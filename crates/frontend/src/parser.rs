@@ -1,0 +1,538 @@
+//! Recursive-descent parser for MJ.
+
+use crate::ast::*;
+use crate::error::{FrontendError, Pos};
+use crate::token::{lex, Keyword, Spanned, Sym, Token};
+
+/// Parses MJ source text into an AST.
+///
+/// # Errors
+///
+/// Returns the first lexical or syntax error.
+pub fn parse(src: &str) -> Result<Program, FrontendError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    p.program()
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos].token
+    }
+
+    fn peek_pos(&self) -> Pos {
+        self.tokens[self.pos].pos
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].token.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, FrontendError> {
+        Err(FrontendError::Parse {
+            pos: self.peek_pos(),
+            message: message.into(),
+        })
+    }
+
+    fn expect_sym(&mut self, s: Sym) -> Result<(), FrontendError> {
+        if self.peek() == &Token::Sym(s) {
+            self.bump();
+            Ok(())
+        } else {
+            self.err(format!("expected {s:?}, found `{}`", self.peek()))
+        }
+    }
+
+    fn expect_kw(&mut self, k: Keyword) -> Result<(), FrontendError> {
+        if self.peek() == &Token::Keyword(k) {
+            self.bump();
+            Ok(())
+        } else {
+            self.err(format!("expected {k:?}, found `{}`", self.peek()))
+        }
+    }
+
+    fn eat_sym(&mut self, s: Sym) -> bool {
+        if self.peek() == &Token::Sym(s) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, FrontendError> {
+        match self.peek().clone() {
+            Token::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            t => self.err(format!("expected identifier, found `{t}`")),
+        }
+    }
+
+    fn program(&mut self) -> Result<Program, FrontendError> {
+        let mut functions = Vec::new();
+        while self.peek() != &Token::Eof {
+            functions.push(self.function()?);
+        }
+        Ok(Program { functions })
+    }
+
+    fn function(&mut self) -> Result<FnDecl, FrontendError> {
+        let pos = self.peek_pos();
+        self.expect_kw(Keyword::Fn)?;
+        let name = self.ident()?;
+        self.expect_sym(Sym::LParen)?;
+        let mut params = Vec::new();
+        if self.peek() != &Token::Sym(Sym::RParen) {
+            loop {
+                let pname = self.ident()?;
+                self.expect_sym(Sym::Colon)?;
+                let ty = self.type_ast()?;
+                params.push((pname, ty));
+                if !self.eat_sym(Sym::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect_sym(Sym::RParen)?;
+        let ret = if self.eat_sym(Sym::Arrow) {
+            Some(self.type_ast()?)
+        } else {
+            None
+        };
+        let body = self.block()?;
+        Ok(FnDecl {
+            name,
+            params,
+            ret,
+            body,
+            pos,
+        })
+    }
+
+    fn type_ast(&mut self) -> Result<TypeAst, FrontendError> {
+        let mut ty = match self.bump() {
+            Token::Keyword(Keyword::Int) => TypeAst::Int,
+            Token::Keyword(Keyword::Bool) => TypeAst::Bool,
+            t => return self.err(format!("expected type, found `{t}`")),
+        };
+        while self.peek() == &Token::Sym(Sym::LBracket)
+            && self.tokens[self.pos + 1].token == Token::Sym(Sym::RBracket)
+        {
+            self.bump();
+            self.bump();
+            ty = TypeAst::Array(Box::new(ty));
+        }
+        Ok(ty)
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, FrontendError> {
+        self.expect_sym(Sym::LBrace)?;
+        let mut stmts = Vec::new();
+        while self.peek() != &Token::Sym(Sym::RBrace) {
+            stmts.push(self.stmt()?);
+        }
+        self.expect_sym(Sym::RBrace)?;
+        Ok(stmts)
+    }
+
+    /// A statement usable in `for` headers: `let` or assignment (no `;`).
+    fn simple_stmt(&mut self) -> Result<Stmt, FrontendError> {
+        let pos = self.peek_pos();
+        if self.peek() == &Token::Keyword(Keyword::Let) {
+            self.bump();
+            let name = self.ident()?;
+            self.expect_sym(Sym::Colon)?;
+            let ty = self.type_ast()?;
+            self.expect_sym(Sym::Assign)?;
+            let init = self.expr()?;
+            return Ok(Stmt::Let {
+                name,
+                ty,
+                init,
+                pos,
+            });
+        }
+        // assignment or store
+        let target = self.expr()?;
+        match (target, self.peek().clone()) {
+            (Expr::Var(name, _), Token::Sym(Sym::Assign)) => {
+                self.bump();
+                let value = self.expr()?;
+                Ok(Stmt::Assign { name, value, pos })
+            }
+            (Expr::Index { array, index, .. }, Token::Sym(Sym::Assign)) => {
+                self.bump();
+                let value = self.expr()?;
+                Ok(Stmt::Store {
+                    array: *array,
+                    index: *index,
+                    value,
+                    pos,
+                })
+            }
+            (expr, _) => Ok(Stmt::Expr { expr, pos }),
+        }
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, FrontendError> {
+        let pos = self.peek_pos();
+        match self.peek().clone() {
+            Token::Keyword(Keyword::If) => {
+                self.bump();
+                self.expect_sym(Sym::LParen)?;
+                let cond = self.expr()?;
+                self.expect_sym(Sym::RParen)?;
+                let then_body = self.block()?;
+                let else_body = if self.peek() == &Token::Keyword(Keyword::Else) {
+                    self.bump();
+                    if self.peek() == &Token::Keyword(Keyword::If) {
+                        vec![self.stmt()?]
+                    } else {
+                        self.block()?
+                    }
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                    pos,
+                })
+            }
+            Token::Keyword(Keyword::While) => {
+                self.bump();
+                self.expect_sym(Sym::LParen)?;
+                let cond = self.expr()?;
+                self.expect_sym(Sym::RParen)?;
+                let body = self.block()?;
+                Ok(Stmt::While { cond, body, pos })
+            }
+            Token::Keyword(Keyword::For) => {
+                self.bump();
+                self.expect_sym(Sym::LParen)?;
+                let init = if self.peek() == &Token::Sym(Sym::Semi) {
+                    None
+                } else {
+                    Some(Box::new(self.simple_stmt()?))
+                };
+                self.expect_sym(Sym::Semi)?;
+                let cond = if self.peek() == &Token::Sym(Sym::Semi) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect_sym(Sym::Semi)?;
+                let step = if self.peek() == &Token::Sym(Sym::RParen) {
+                    None
+                } else {
+                    Some(Box::new(self.simple_stmt()?))
+                };
+                self.expect_sym(Sym::RParen)?;
+                let body = self.block()?;
+                Ok(Stmt::For {
+                    init,
+                    cond,
+                    step,
+                    body,
+                    pos,
+                })
+            }
+            Token::Keyword(Keyword::Return) => {
+                self.bump();
+                let value = if self.peek() == &Token::Sym(Sym::Semi) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect_sym(Sym::Semi)?;
+                Ok(Stmt::Return { value, pos })
+            }
+            Token::Keyword(Keyword::Break) => {
+                self.bump();
+                self.expect_sym(Sym::Semi)?;
+                Ok(Stmt::Break { pos })
+            }
+            Token::Keyword(Keyword::Continue) => {
+                self.bump();
+                self.expect_sym(Sym::Semi)?;
+                Ok(Stmt::Continue { pos })
+            }
+            Token::Keyword(Keyword::Print) => {
+                self.bump();
+                self.expect_sym(Sym::LParen)?;
+                let value = self.expr()?;
+                self.expect_sym(Sym::RParen)?;
+                self.expect_sym(Sym::Semi)?;
+                Ok(Stmt::Print { value, pos })
+            }
+            _ => {
+                let s = self.simple_stmt()?;
+                self.expect_sym(Sym::Semi)?;
+                Ok(s)
+            }
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, FrontendError> {
+        self.binary_expr(0)
+    }
+
+    /// Precedence-climbing binary expression parser.
+    fn binary_expr(&mut self, min_level: u8) -> Result<Expr, FrontendError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let (op, level) = match self.peek() {
+                Token::Sym(Sym::OrOr) => (BinOpAst::LogicalOr, 1),
+                Token::Sym(Sym::AndAnd) => (BinOpAst::LogicalAnd, 2),
+                Token::Sym(Sym::Pipe) => (BinOpAst::Or, 3),
+                Token::Sym(Sym::Caret) => (BinOpAst::Xor, 4),
+                Token::Sym(Sym::Amp) => (BinOpAst::And, 5),
+                Token::Sym(Sym::EqEq) => (BinOpAst::Eq, 6),
+                Token::Sym(Sym::Ne) => (BinOpAst::Ne, 6),
+                Token::Sym(Sym::Lt) => (BinOpAst::Lt, 7),
+                Token::Sym(Sym::Le) => (BinOpAst::Le, 7),
+                Token::Sym(Sym::Gt) => (BinOpAst::Gt, 7),
+                Token::Sym(Sym::Ge) => (BinOpAst::Ge, 7),
+                Token::Sym(Sym::Shl) => (BinOpAst::Shl, 8),
+                Token::Sym(Sym::Shr) => (BinOpAst::Shr, 8),
+                Token::Sym(Sym::Plus) => (BinOpAst::Add, 9),
+                Token::Sym(Sym::Minus) => (BinOpAst::Sub, 9),
+                Token::Sym(Sym::Star) => (BinOpAst::Mul, 10),
+                Token::Sym(Sym::Slash) => (BinOpAst::Div, 10),
+                Token::Sym(Sym::Percent) => (BinOpAst::Rem, 10),
+                _ => break,
+            };
+            if level < min_level {
+                break;
+            }
+            let pos = self.peek_pos();
+            self.bump();
+            let rhs = self.binary_expr(level + 1)?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                pos,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, FrontendError> {
+        let pos = self.peek_pos();
+        match self.peek() {
+            Token::Sym(Sym::Minus) => {
+                self.bump();
+                Ok(Expr::Neg(Box::new(self.unary_expr()?), pos))
+            }
+            Token::Sym(Sym::Bang) => {
+                self.bump();
+                Ok(Expr::Not(Box::new(self.unary_expr()?), pos))
+            }
+            _ => self.postfix_expr(),
+        }
+    }
+
+    fn postfix_expr(&mut self) -> Result<Expr, FrontendError> {
+        let mut e = self.primary_expr()?;
+        loop {
+            let pos = self.peek_pos();
+            if self.eat_sym(Sym::LBracket) {
+                let index = self.expr()?;
+                self.expect_sym(Sym::RBracket)?;
+                e = Expr::Index {
+                    array: Box::new(e),
+                    index: Box::new(index),
+                    pos,
+                };
+            } else if self.peek() == &Token::Sym(Sym::Dot) {
+                self.bump();
+                self.expect_kw(Keyword::Length)?;
+                e = Expr::Length(Box::new(e), pos);
+            } else {
+                break;
+            }
+        }
+        Ok(e)
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr, FrontendError> {
+        let pos = self.peek_pos();
+        match self.bump() {
+            Token::Int(i) => Ok(Expr::Int(i, pos)),
+            Token::Keyword(Keyword::True) => Ok(Expr::Bool(true, pos)),
+            Token::Keyword(Keyword::False) => Ok(Expr::Bool(false, pos)),
+            Token::Keyword(Keyword::New) => {
+                // new <base-type> [len] ([len2])? ([])*
+                let base = match self.bump() {
+                    Token::Keyword(Keyword::Int) => TypeAst::Int,
+                    Token::Keyword(Keyword::Bool) => TypeAst::Bool,
+                    t => return self.err(format!("expected element type after `new`, found `{t}`")),
+                };
+                self.expect_sym(Sym::LBracket)?;
+                let len = self.expr()?;
+                self.expect_sym(Sym::RBracket)?;
+                let mut elem = base;
+                let mut len2 = None;
+                if self.peek() == &Token::Sym(Sym::LBracket)
+                    && self.tokens[self.pos + 1].token != Token::Sym(Sym::RBracket)
+                {
+                    self.bump();
+                    len2 = Some(Box::new(self.expr()?));
+                    self.expect_sym(Sym::RBracket)?;
+                }
+                // trailing `[]` pairs add array nesting to the element type
+                while self.peek() == &Token::Sym(Sym::LBracket)
+                    && self.tokens[self.pos + 1].token == Token::Sym(Sym::RBracket)
+                {
+                    self.bump();
+                    self.bump();
+                    elem = TypeAst::Array(Box::new(elem));
+                }
+                if len2.is_some() {
+                    // `new int[n][m]`: element type of the outer array is T[].
+                    elem = TypeAst::Array(Box::new(elem));
+                }
+                Ok(Expr::NewArray {
+                    elem,
+                    len: Box::new(len),
+                    len2,
+                    pos,
+                })
+            }
+            Token::Sym(Sym::LParen) => {
+                let e = self.expr()?;
+                self.expect_sym(Sym::RParen)?;
+                Ok(e)
+            }
+            Token::Ident(name) => {
+                if self.peek() == &Token::Sym(Sym::LParen) {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if self.peek() != &Token::Sym(Sym::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat_sym(Sym::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect_sym(Sym::RParen)?;
+                    Ok(Expr::Call { name, args, pos })
+                } else {
+                    Ok(Expr::Var(name, pos))
+                }
+            }
+            t => Err(FrontendError::Parse {
+                pos,
+                message: format!("expected expression, found `{t}`"),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_bubble_sort_skeleton() {
+        let src = r#"
+            fn sort(a: int[]) {
+                for (let i: int = 0; i < a.length - 1; i = i + 1) {
+                    for (let j: int = 0; j < a.length - 1 - i; j = j + 1) {
+                        if (a[j] > a[j + 1]) {
+                            let t: int = a[j];
+                            a[j] = a[j + 1];
+                            a[j + 1] = t;
+                        }
+                    }
+                }
+            }
+        "#;
+        let p = parse(src).unwrap();
+        assert_eq!(p.functions.len(), 1);
+        assert_eq!(p.functions[0].name, "sort");
+        assert_eq!(p.functions[0].params.len(), 1);
+        assert!(p.functions[0].ret.is_none());
+    }
+
+    #[test]
+    fn parses_types_and_new() {
+        let src = r#"
+            fn f() -> int[][] {
+                let m: int[][] = new int[3][4];
+                let v: int[] = new int[10];
+                let b: bool = true && !false || 1 < 2;
+                return m;
+            }
+        "#;
+        let p = parse(src).unwrap();
+        match &p.functions[0].ret {
+            Some(TypeAst::Array(inner)) => {
+                assert_eq!(**inner, TypeAst::Array(Box::new(TypeAst::Int)))
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let p = parse("fn f() -> int { return 1 + 2 * 3; }").unwrap();
+        let Stmt::Return { value: Some(e), .. } = &p.functions[0].body[0] else {
+            panic!()
+        };
+        let Expr::Binary { op, rhs, .. } = e else { panic!() };
+        assert_eq!(*op, BinOpAst::Add);
+        assert!(matches!(**rhs, Expr::Binary { op: BinOpAst::Mul, .. }));
+    }
+
+    #[test]
+    fn else_if_chains() {
+        let src = "fn f(x: int) -> int { if (x < 0) { return 0; } else if (x < 10) { return 1; } else { return 2; } }";
+        let p = parse(src).unwrap();
+        let Stmt::If { else_body, .. } = &p.functions[0].body[0] else {
+            panic!()
+        };
+        assert!(matches!(else_body[0], Stmt::If { .. }));
+    }
+
+    #[test]
+    fn store_statement_parses() {
+        let p = parse("fn f(a: int[][]) { a[0][1] = 5; }").unwrap();
+        let Stmt::Store { array, .. } = &p.functions[0].body[0] else {
+            panic!("expected store")
+        };
+        assert!(matches!(array, Expr::Index { .. }));
+    }
+
+    #[test]
+    fn missing_semi_is_reported() {
+        let err = parse("fn f() { let x: int = 1 }").unwrap_err();
+        assert!(matches!(err, FrontendError::Parse { .. }));
+    }
+
+    #[test]
+    fn break_continue_parse() {
+        let p = parse("fn f() { while (true) { break; continue; } }").unwrap();
+        let Stmt::While { body, .. } = &p.functions[0].body[0] else {
+            panic!()
+        };
+        assert!(matches!(body[0], Stmt::Break { .. }));
+        assert!(matches!(body[1], Stmt::Continue { .. }));
+    }
+}

@@ -1,0 +1,342 @@
+//! Lexical analysis for MJ.
+
+use crate::error::{FrontendError, Pos};
+use std::fmt;
+
+/// A lexical token.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Token {
+    /// Integer literal.
+    Int(i64),
+    /// Identifier.
+    Ident(String),
+    /// A keyword (`fn`, `let`, `if`, ...).
+    Keyword(Keyword),
+    /// A punctuation or operator symbol.
+    Sym(Sym),
+    /// End of input.
+    Eof,
+}
+
+/// MJ keywords.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[allow(missing_docs)]
+pub enum Keyword {
+    Fn,
+    Let,
+    If,
+    Else,
+    While,
+    For,
+    Return,
+    Break,
+    Continue,
+    Print,
+    New,
+    True,
+    False,
+    Int,
+    Bool,
+    Length,
+}
+
+/// Operator and punctuation symbols.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[allow(missing_docs)]
+pub enum Sym {
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Semi,
+    Colon,
+    Dot,
+    Arrow,
+    Assign,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Bang,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    EqEq,
+    Ne,
+    AndAnd,
+    OrOr,
+    Amp,
+    Pipe,
+    Caret,
+    Shl,
+    Shr,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Int(i) => write!(f, "{i}"),
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Keyword(k) => write!(f, "{k:?}"),
+            Token::Sym(s) => write!(f, "{s:?}"),
+            Token::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// A token together with its source position.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// Where it starts.
+    pub pos: Pos,
+}
+
+/// Tokenizes MJ source text.
+///
+/// # Errors
+///
+/// Returns [`FrontendError::Lex`] on unknown characters or malformed
+/// literals.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, FrontendError> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    macro_rules! bump {
+        () => {{
+            if bytes[i] == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let pos = Pos { line, col };
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                bump!();
+            }
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    bump!();
+                }
+            }
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                bump!();
+                bump!();
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(FrontendError::Lex {
+                            pos,
+                            message: "unterminated block comment".into(),
+                        });
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        bump!();
+                        bump!();
+                        break;
+                    }
+                    bump!();
+                }
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    bump!();
+                }
+                let text = &src[start..i];
+                let value = text.parse::<i64>().map_err(|_| FrontendError::Lex {
+                    pos,
+                    message: format!("integer literal `{text}` out of range"),
+                })?;
+                out.push(Spanned {
+                    token: Token::Int(value),
+                    pos,
+                });
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    bump!();
+                }
+                let text = &src[start..i];
+                let token = match text {
+                    "fn" => Token::Keyword(Keyword::Fn),
+                    "let" => Token::Keyword(Keyword::Let),
+                    "if" => Token::Keyword(Keyword::If),
+                    "else" => Token::Keyword(Keyword::Else),
+                    "while" => Token::Keyword(Keyword::While),
+                    "for" => Token::Keyword(Keyword::For),
+                    "return" => Token::Keyword(Keyword::Return),
+                    "break" => Token::Keyword(Keyword::Break),
+                    "continue" => Token::Keyword(Keyword::Continue),
+                    "print" => Token::Keyword(Keyword::Print),
+                    "new" => Token::Keyword(Keyword::New),
+                    "true" => Token::Keyword(Keyword::True),
+                    "false" => Token::Keyword(Keyword::False),
+                    "int" => Token::Keyword(Keyword::Int),
+                    "bool" => Token::Keyword(Keyword::Bool),
+                    "length" => Token::Keyword(Keyword::Length),
+                    _ => Token::Ident(text.to_string()),
+                };
+                out.push(Spanned { token, pos });
+            }
+            _ => {
+                let two = if i + 1 < bytes.len() {
+                    &src[i..i + 2]
+                } else {
+                    ""
+                };
+                let (sym, width) = match two {
+                    "->" => (Sym::Arrow, 2),
+                    "<=" => (Sym::Le, 2),
+                    ">=" => (Sym::Ge, 2),
+                    "==" => (Sym::EqEq, 2),
+                    "!=" => (Sym::Ne, 2),
+                    "&&" => (Sym::AndAnd, 2),
+                    "||" => (Sym::OrOr, 2),
+                    "<<" => (Sym::Shl, 2),
+                    ">>" => (Sym::Shr, 2),
+                    _ => {
+                        let sym = match c {
+                            '(' => Sym::LParen,
+                            ')' => Sym::RParen,
+                            '{' => Sym::LBrace,
+                            '}' => Sym::RBrace,
+                            '[' => Sym::LBracket,
+                            ']' => Sym::RBracket,
+                            ',' => Sym::Comma,
+                            ';' => Sym::Semi,
+                            ':' => Sym::Colon,
+                            '.' => Sym::Dot,
+                            '=' => Sym::Assign,
+                            '+' => Sym::Plus,
+                            '-' => Sym::Minus,
+                            '*' => Sym::Star,
+                            '/' => Sym::Slash,
+                            '%' => Sym::Percent,
+                            '!' => Sym::Bang,
+                            '<' => Sym::Lt,
+                            '>' => Sym::Gt,
+                            '&' => Sym::Amp,
+                            '|' => Sym::Pipe,
+                            '^' => Sym::Caret,
+                            other => {
+                                return Err(FrontendError::Lex {
+                                    pos,
+                                    message: format!("unexpected character `{other}`"),
+                                })
+                            }
+                        };
+                        (sym, 1)
+                    }
+                };
+                for _ in 0..width {
+                    bump!();
+                }
+                out.push(Spanned {
+                    token: Token::Sym(sym),
+                    pos,
+                });
+            }
+        }
+    }
+    out.push(Spanned {
+        token: Token::Eof,
+        pos: Pos { line, col },
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        lex(src).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn lexes_signature() {
+        assert_eq!(
+            toks("fn f(a: int[]) -> int {"),
+            vec![
+                Token::Keyword(Keyword::Fn),
+                Token::Ident("f".into()),
+                Token::Sym(Sym::LParen),
+                Token::Ident("a".into()),
+                Token::Sym(Sym::Colon),
+                Token::Keyword(Keyword::Int),
+                Token::Sym(Sym::LBracket),
+                Token::Sym(Sym::RBracket),
+                Token::Sym(Sym::RParen),
+                Token::Sym(Sym::Arrow),
+                Token::Keyword(Keyword::Int),
+                Token::Sym(Sym::LBrace),
+                Token::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn two_char_operators_win() {
+        assert_eq!(
+            toks("<= < == = != ! >> >"),
+            vec![
+                Token::Sym(Sym::Le),
+                Token::Sym(Sym::Lt),
+                Token::Sym(Sym::EqEq),
+                Token::Sym(Sym::Assign),
+                Token::Sym(Sym::Ne),
+                Token::Sym(Sym::Bang),
+                Token::Sym(Sym::Shr),
+                Token::Sym(Sym::Gt),
+                Token::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            toks("1 // line\n/* block\n */ 2"),
+            vec![Token::Int(1), Token::Int(2), Token::Eof]
+        );
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let s = lex("a\n  b").unwrap();
+        assert_eq!(s[0].pos, Pos { line: 1, col: 1 });
+        assert_eq!(s[1].pos, Pos { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn unknown_char_is_reported() {
+        assert!(matches!(lex("#"), Err(FrontendError::Lex { .. })));
+    }
+
+    #[test]
+    fn huge_literal_is_rejected() {
+        assert!(matches!(
+            lex("99999999999999999999999"),
+            Err(FrontendError::Lex { .. })
+        ));
+    }
+}

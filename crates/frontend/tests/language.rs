@@ -1,0 +1,200 @@
+//! End-to-end language semantics tests: each MJ construct compiled and
+//! executed, asserting observable behavior (not IR shape).
+
+use abcd_frontend::compile;
+use abcd_vm::{RtVal, Vm};
+
+fn eval(src: &str, args: &[RtVal]) -> Option<RtVal> {
+    let m = compile(src).unwrap_or_else(|e| panic!("{e}\n{src}"));
+    let mut vm = Vm::new(&m);
+    vm.call_by_name("f", args).unwrap_or_else(|t| panic!("{t}\n{src}"))
+}
+
+fn eval0(src: &str) -> i64 {
+    match eval(src, &[]) {
+        Some(RtVal::Int(i)) => i,
+        other => panic!("expected int, got {other:?}"),
+    }
+}
+
+#[test]
+fn operator_precedence_and_associativity() {
+    assert_eq!(eval0("fn f() -> int { return 2 + 3 * 4; }"), 14);
+    assert_eq!(eval0("fn f() -> int { return (2 + 3) * 4; }"), 20);
+    assert_eq!(eval0("fn f() -> int { return 10 - 4 - 3; }"), 3); // left assoc
+    assert_eq!(eval0("fn f() -> int { return 100 / 10 / 2; }"), 5);
+    assert_eq!(eval0("fn f() -> int { return 17 % 5; }"), 2);
+    assert_eq!(eval0("fn f() -> int { return 1 << 4; }"), 16);
+    assert_eq!(eval0("fn f() -> int { return 6 & 3; }"), 2);
+    assert_eq!(eval0("fn f() -> int { return 6 | 3; }"), 7);
+    assert_eq!(eval0("fn f() -> int { return 6 ^ 3; }"), 5);
+    // shifts bind tighter than comparisons, looser than + (C-like ladder)
+    assert_eq!(eval0("fn f() -> int { return 1 + 1 << 2; }"), 8);
+    assert_eq!(eval0("fn f() -> int { return -3 * -2; }"), 6);
+}
+
+#[test]
+fn logical_operators_short_circuit_with_precedence() {
+    // || binds looser than &&
+    assert_eq!(
+        eval0("fn f() -> int { if (true || false && false) { return 1; } return 0; }"),
+        1
+    );
+    assert_eq!(
+        eval0("fn f() -> int { if ((true || false) && false) { return 1; } return 0; }"),
+        0
+    );
+    // short circuit avoids the trap on the right
+    assert_eq!(
+        eval0(
+            "fn f() -> int {
+                let a: int[] = new int[1];
+                if (true || a[5] == 0) { return 7; }
+                return 0;
+            }"
+        ),
+        7
+    );
+}
+
+#[test]
+fn else_if_chains_select_correctly() {
+    let src = "fn f(x: int) -> int {
+        if (x < 0) { return -1; }
+        else if (x == 0) { return 0; }
+        else if (x < 10) { return 1; }
+        else { return 2; }
+    }";
+    let cases = [(-5, -1), (0, 0), (5, 1), (50, 2)];
+    for (input, expected) in cases {
+        assert_eq!(
+            eval(src, &[RtVal::Int(input)]),
+            Some(RtVal::Int(expected)),
+            "x={input}"
+        );
+    }
+}
+
+#[test]
+fn nested_loops_with_break_and_continue() {
+    let src = "fn f() -> int {
+        let count: int = 0;
+        for (let i: int = 0; i < 5; i = i + 1) {
+            for (let j: int = 0; j < 5; j = j + 1) {
+                if (j > i) { break; }
+                if (j == 1) { continue; }
+                count = count + 1;
+            }
+        }
+        return count;
+    }";
+    // pairs (i,j) with j <= i and j != 1: i=0:{0}, i=1:{0}, i>=2:{0,2..=i}
+    assert_eq!(eval0(src), 1 + 1 + 2 + 3 + 4);
+}
+
+#[test]
+fn while_loop_with_compound_condition() {
+    let src = "fn f() -> int {
+        let i: int = 0;
+        let s: int = 0;
+        while (i < 10 && s < 12) {
+            s = s + i;
+            i = i + 1;
+        }
+        return s * 100 + i;
+    }";
+    // s: 0,1,3,6,10,15 — stops when s=15 ≥ 12 at i=6
+    assert_eq!(eval0(src), 1506);
+}
+
+#[test]
+fn unary_minus_and_not_compose() {
+    assert_eq!(eval0("fn f() -> int { return - - 5; }"), 5);
+    assert_eq!(
+        eval0("fn f() -> int { if (!!true) { return 1; } return 0; }"),
+        1
+    );
+    assert_eq!(eval0("fn f() -> int { return -(3 + 4); }"), -7);
+}
+
+#[test]
+fn two_dimensional_arrays_roundtrip() {
+    let src = "fn f() -> int {
+        let m: int[][] = new int[3][4];
+        for (let r: int = 0; r < 3; r = r + 1) {
+            for (let c: int = 0; c < 4; c = c + 1) {
+                m[r][c] = r * 10 + c;
+            }
+        }
+        let s: int = 0;
+        for (let r: int = 0; r < 3; r = r + 1) {
+            s = s + m[r][3] + m[r].length;
+        }
+        return s;
+    }";
+    // rows: 3,13,23 → 39; + 3×4 lengths = 12
+    assert_eq!(eval0(src), 51);
+}
+
+#[test]
+fn comments_everywhere() {
+    let src = "// leading\nfn f(/* in params? no */) -> int {\n\
+               let x: int = 1; // trailing\n\
+               /* block\n spanning */ return x + 1;\n}";
+    assert_eq!(eval0(src), 2);
+}
+
+#[test]
+fn mutual_recursion() {
+    let src = "fn is_even(n: int) -> bool { if (n == 0) { return true; } return is_odd(n - 1); }
+               fn is_odd(n: int) -> bool { if (n == 0) { return false; } return is_even(n - 1); }
+               fn f() -> int { if (is_even(10)) { if (is_odd(7)) { return 1; } } return 0; }";
+    assert_eq!(eval0(src), 1);
+}
+
+#[test]
+fn fallthrough_returns_type_default() {
+    assert_eq!(eval0("fn f() -> int { let x: int = 5; }"), 0);
+    let src = "fn g() -> bool { }
+               fn f() -> int { if (g()) { return 1; } return 2; }";
+    assert_eq!(eval0(src), 2);
+}
+
+#[test]
+fn array_returning_fallthrough_is_rejected() {
+    assert!(compile("fn f() -> int[] { let x: int = 0; }").is_err());
+}
+
+#[test]
+fn for_loop_variable_scoped_to_loop() {
+    // Using the loop var after the loop is a name error.
+    assert!(compile(
+        "fn f() -> int { for (let i: int = 0; i < 3; i = i + 1) { } return i; }"
+    )
+    .is_err());
+}
+
+#[test]
+fn bool_locals_and_parameters_work() {
+    let src = "fn f(flag: bool) -> int {
+        let on: bool = flag;
+        if (on) { return 10; }
+        return 20;
+    }";
+    assert_eq!(eval(src, &[RtVal::Bool(true)]), Some(RtVal::Int(10)));
+    assert_eq!(eval(src, &[RtVal::Bool(false)]), Some(RtVal::Int(20)));
+}
+
+#[test]
+fn length_of_expression_result() {
+    let src = "fn pick(a: int[], b: int[], c: bool) -> int {
+        if (c) { return a.length; }
+        return b.length;
+    }
+    fn f() -> int {
+        let a: int[] = new int[3];
+        let b: int[] = new int[7];
+        return pick(a, b, true) * 10 + pick(a, b, false);
+    }";
+    assert_eq!(eval0(src), 37);
+}

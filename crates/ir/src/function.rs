@@ -1,0 +1,417 @@
+//! Function bodies: arenas of values, instructions, and basic blocks.
+
+use crate::entities::{Block, CheckSite, InstId, Local, Value};
+use crate::inst::{Inst, InstKind, Terminator};
+use crate::types::Type;
+
+/// Where a [`Value`] comes from.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ValueDef {
+    /// The `index`-th function parameter.
+    Param(u32),
+    /// The result of an instruction.
+    Inst(InstId),
+}
+
+/// A basic block: an ordered list of instructions plus a terminator.
+#[derive(Clone, Debug, Default)]
+pub struct BlockData {
+    insts: Vec<InstId>,
+    term: Option<Terminator>,
+}
+
+impl BlockData {
+    /// The instructions of the block, in order.
+    pub fn insts(&self) -> &[InstId] {
+        &self.insts
+    }
+
+    /// The block terminator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block has not been terminated yet (only possible during
+    /// construction; [`crate::verify_function`] rejects such functions).
+    pub fn terminator(&self) -> &Terminator {
+        self.term.as_ref().expect("block missing terminator")
+    }
+
+    /// The terminator if the block has one.
+    pub fn terminator_opt(&self) -> Option<&Terminator> {
+        self.term.as_ref()
+    }
+}
+
+/// A function: parameters, local slots, and a CFG of basic blocks.
+///
+/// The arenas are append-only; passes that delete instructions remove them
+/// from the owning block's instruction list (the arena slot simply becomes
+/// unreferenced). All iteration goes through block lists, so unreferenced
+/// slots are invisible.
+#[derive(Clone, Debug)]
+pub struct Function {
+    name: String,
+    param_types: Vec<Type>,
+    ret_type: Option<Type>,
+    local_types: Vec<Type>,
+    values: Vec<ValueDef>,
+    value_types: Vec<Type>,
+    insts: Vec<Inst>,
+    blocks: Vec<BlockData>,
+    entry: Block,
+    next_check_site: u32,
+}
+
+impl Function {
+    /// Creates an empty function with one (entry) block.
+    ///
+    /// Parameters become values `v0..vN` in order.
+    pub fn new(name: impl Into<String>, param_types: Vec<Type>, ret_type: Option<Type>) -> Self {
+        let mut f = Function {
+            name: name.into(),
+            values: Vec::new(),
+            value_types: Vec::new(),
+            param_types: param_types.clone(),
+            ret_type,
+            local_types: Vec::new(),
+            insts: Vec::new(),
+            blocks: vec![BlockData::default()],
+            entry: Block::new(0),
+            next_check_site: 0,
+        };
+        for (i, ty) in param_types.iter().enumerate() {
+            f.values.push(ValueDef::Param(i as u32));
+            f.value_types.push(ty.clone());
+        }
+        f
+    }
+
+    /// The function's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Renames the function (used when cloning specialized versions).
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// Parameter types, in order.
+    pub fn param_types(&self) -> &[Type] {
+        &self.param_types
+    }
+
+    /// The return type, or `None` for a void function.
+    pub fn ret_type(&self) -> Option<&Type> {
+        self.ret_type.as_ref()
+    }
+
+    /// The value naming the `index`-th parameter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn param(&self, index: usize) -> Value {
+        assert!(index < self.param_types.len(), "parameter out of range");
+        Value::new(index)
+    }
+
+    /// Number of parameters.
+    pub fn param_count(&self) -> usize {
+        self.param_types.len()
+    }
+
+    /// The entry block.
+    pub fn entry(&self) -> Block {
+        self.entry
+    }
+
+    /// Number of basic blocks ever created (dense index space).
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Iterates over all block ids in creation order.
+    pub fn blocks(&self) -> impl ExactSizeIterator<Item = Block> + DoubleEndedIterator + '_ {
+        (0..self.blocks.len()).map(Block::new)
+    }
+
+    /// The data of block `b`.
+    pub fn block(&self, b: Block) -> &BlockData {
+        &self.blocks[b.index()]
+    }
+
+    /// Number of values (dense index space).
+    pub fn value_count(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Iterates over all values.
+    pub fn values(&self) -> impl ExactSizeIterator<Item = Value> + DoubleEndedIterator + '_ {
+        (0..self.values.len()).map(Value::new)
+    }
+
+    /// The definition site of `v`.
+    pub fn value_def(&self, v: Value) -> ValueDef {
+        self.values[v.index()]
+    }
+
+    /// The type of `v`.
+    pub fn value_type(&self, v: Value) -> &Type {
+        &self.value_types[v.index()]
+    }
+
+    /// The instruction `id`.
+    pub fn inst(&self, id: InstId) -> &Inst {
+        &self.insts[id.index()]
+    }
+
+    /// Mutable access to instruction `id`.
+    pub fn inst_mut(&mut self, id: InstId) -> &mut Inst {
+        &mut self.insts[id.index()]
+    }
+
+    /// Declares a new local slot of type `ty` (pre-SSA form).
+    pub fn new_local(&mut self, ty: Type) -> Local {
+        let l = Local::new(self.local_types.len());
+        self.local_types.push(ty);
+        l
+    }
+
+    /// Number of local slots.
+    pub fn local_count(&self) -> usize {
+        self.local_types.len()
+    }
+
+    /// The type of local `l`.
+    pub fn local_type(&self, l: Local) -> &Type {
+        &self.local_types[l.index()]
+    }
+
+    /// Allocates a fresh bounds-check site id.
+    pub fn new_check_site(&mut self) -> CheckSite {
+        let s = CheckSite::new(self.next_check_site as usize);
+        self.next_check_site += 1;
+        s
+    }
+
+    /// Number of check sites ever allocated.
+    pub fn check_site_count(&self) -> usize {
+        self.next_check_site as usize
+    }
+
+    /// Creates a new, empty, unterminated block.
+    pub fn new_block(&mut self) -> Block {
+        let b = Block::new(self.blocks.len());
+        self.blocks.push(BlockData::default());
+        b
+    }
+
+    /// Creates an instruction (not yet placed in any block). If `result_ty`
+    /// is `Some`, a fresh result value of that type is allocated.
+    pub fn create_inst(&mut self, kind: InstKind, result_ty: Option<Type>) -> InstId {
+        let id = InstId::new(self.insts.len());
+        let result = result_ty.map(|ty| {
+            let v = Value::new(self.values.len());
+            self.values.push(ValueDef::Inst(id));
+            self.value_types.push(ty);
+            v
+        });
+        self.insts.push(Inst { kind, result });
+        id
+    }
+
+    /// Appends instruction `id` to block `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is already terminated.
+    pub fn append_inst(&mut self, b: Block, id: InstId) {
+        assert!(
+            self.blocks[b.index()].term.is_none(),
+            "appending to terminated block {b}"
+        );
+        self.blocks[b.index()].insts.push(id);
+    }
+
+    /// Inserts instruction `id` into block `b` at position `pos`.
+    pub fn insert_inst(&mut self, b: Block, pos: usize, id: InstId) {
+        self.blocks[b.index()].insts.insert(pos, id);
+    }
+
+    /// Removes (unlinks) instruction `id` from block `b`. The arena slot
+    /// remains but is no longer reachable. Returns `true` if it was present.
+    pub fn remove_inst(&mut self, b: Block, id: InstId) -> bool {
+        let insts = &mut self.blocks[b.index()].insts;
+        if let Some(pos) = insts.iter().position(|&i| i == id) {
+            insts.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Replaces the instruction list of block `b` wholesale.
+    pub fn set_block_insts(&mut self, b: Block, insts: Vec<InstId>) {
+        self.blocks[b.index()].insts = insts;
+    }
+
+    /// Empties block `b`: removes all instructions **and** the terminator,
+    /// detaching its out-edges from the CFG. Used to neutralize unreachable
+    /// blocks (the verifier permits unreachable, unterminated blocks).
+    pub fn clear_block(&mut self, b: Block) {
+        self.blocks[b.index()] = BlockData::default();
+    }
+
+    /// Sets (or replaces) the terminator of block `b`.
+    pub fn set_terminator(&mut self, b: Block, term: Terminator) {
+        self.blocks[b.index()].term = Some(term);
+    }
+
+    /// Returns `true` if block `b` has a terminator.
+    pub fn is_terminated(&self, b: Block) -> bool {
+        self.blocks[b.index()].term.is_some()
+    }
+
+    /// Rewrites every value use in the function through `f`
+    /// (instructions, π-guards, and terminators).
+    pub fn map_all_uses(&mut self, mut f: impl FnMut(Value) -> Value) {
+        // Iterate via block lists so unlinked instructions are skipped.
+        let block_ids: Vec<Block> = self.blocks().collect();
+        for b in block_ids {
+            let ids = self.blocks[b.index()].insts.clone();
+            for id in ids {
+                self.insts[id.index()].kind.map_uses(&mut f);
+            }
+            if let Some(term) = &mut self.blocks[b.index()].term {
+                term.map_uses(&mut f);
+            }
+        }
+    }
+
+    /// Convenience: the block and position of every instruction, computed
+    /// from block lists. Useful for passes that need def locations.
+    pub fn inst_locations(&self) -> Vec<Option<(Block, usize)>> {
+        let mut loc = vec![None; self.insts.len()];
+        for b in self.blocks() {
+            for (pos, &id) in self.block(b).insts().iter().enumerate() {
+                loc[id.index()] = Some((b, pos));
+            }
+        }
+        loc
+    }
+
+    /// The defining block of a value, if it is an instruction result that is
+    /// currently linked into a block (parameters define in the entry block).
+    pub fn def_block(&self, v: Value, locations: &[Option<(Block, usize)>]) -> Option<Block> {
+        match self.value_def(v) {
+            ValueDef::Param(_) => Some(self.entry),
+            ValueDef::Inst(id) => locations[id.index()].map(|(b, _)| b),
+        }
+    }
+
+    /// Counts the check instructions currently linked into blocks, by kind:
+    /// `(bounds_checks, spec_checks, traps)`.
+    pub fn count_checks(&self) -> (usize, usize, usize) {
+        let mut n = (0, 0, 0);
+        for b in self.blocks() {
+            for &id in self.block(b).insts() {
+                match &self.inst(id).kind {
+                    InstKind::BoundsCheck { .. } => n.0 += 1,
+                    InstKind::SpecCheck { .. } => n.1 += 1,
+                    InstKind::TrapIfFlagged { .. } => n.2 += 1,
+                    _ => {}
+                }
+            }
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::BinOp;
+
+    fn sample() -> Function {
+        Function::new("f", vec![Type::Int, Type::Int], Some(Type::Int))
+    }
+
+    #[test]
+    fn params_become_values() {
+        let f = sample();
+        assert_eq!(f.param_count(), 2);
+        assert_eq!(f.param(0), Value::new(0));
+        assert_eq!(f.value_def(Value::new(1)), ValueDef::Param(1));
+        assert_eq!(*f.value_type(Value::new(0)), Type::Int);
+    }
+
+    #[test]
+    fn create_and_append_inst() {
+        let mut f = sample();
+        let id = f.create_inst(
+            InstKind::Binary {
+                op: BinOp::Add,
+                lhs: f.param(0),
+                rhs: f.param(1),
+            },
+            Some(Type::Int),
+        );
+        let entry = f.entry();
+        f.append_inst(entry, id);
+        let result = f.inst(id).result.unwrap();
+        assert_eq!(f.value_def(result), ValueDef::Inst(id));
+        f.set_terminator(entry, Terminator::Return(Some(result)));
+        assert_eq!(f.block(entry).insts(), &[id]);
+        assert!(f.is_terminated(entry));
+    }
+
+    #[test]
+    #[should_panic(expected = "appending to terminated block")]
+    fn append_after_terminator_panics() {
+        let mut f = sample();
+        let entry = f.entry();
+        f.set_terminator(entry, Terminator::Return(None));
+        let id = f.create_inst(InstKind::Const(1), Some(Type::Int));
+        f.append_inst(entry, id);
+    }
+
+    #[test]
+    fn remove_inst_unlinks() {
+        let mut f = sample();
+        let entry = f.entry();
+        let id = f.create_inst(InstKind::Const(1), Some(Type::Int));
+        f.append_inst(entry, id);
+        assert!(f.remove_inst(entry, id));
+        assert!(!f.remove_inst(entry, id));
+        assert!(f.block(entry).insts().is_empty());
+    }
+
+    #[test]
+    fn map_all_uses_rewrites_terminator() {
+        let mut f = sample();
+        let entry = f.entry();
+        f.set_terminator(entry, Terminator::Return(Some(f.param(0))));
+        f.map_all_uses(|_| Value::new(1));
+        match f.block(entry).terminator() {
+            Terminator::Return(Some(v)) => assert_eq!(*v, Value::new(1)),
+            t => panic!("unexpected {t:?}"),
+        }
+    }
+
+    #[test]
+    fn check_sites_are_sequential() {
+        let mut f = sample();
+        assert_eq!(f.new_check_site(), CheckSite::new(0));
+        assert_eq!(f.new_check_site(), CheckSite::new(1));
+        assert_eq!(f.check_site_count(), 2);
+    }
+
+    #[test]
+    fn locals_are_typed() {
+        let mut f = sample();
+        let l = f.new_local(Type::array_of(Type::Int));
+        assert_eq!(f.local_count(), 1);
+        assert!(f.local_type(l).is_array());
+    }
+}

@@ -1,0 +1,183 @@
+//! Textual dumping of functions and modules (for docs, tests, debugging).
+
+use crate::function::Function;
+use crate::inst::{InstKind, PiGuard, Terminator};
+use crate::module::Module;
+use std::fmt;
+
+impl fmt::Display for Function {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "func @{}(", self.name())?;
+        for (i, ty) in self.param_types().iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "v{i}: {ty}")?;
+        }
+        write!(f, ")")?;
+        if let Some(rt) = self.ret_type() {
+            write!(f, " -> {rt}")?;
+        }
+        writeln!(f, " {{")?;
+        if self.local_count() > 0 {
+            write!(f, "  locals ")?;
+            for i in 0..self.local_count() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                let l = crate::Local::new(i);
+                write!(f, "{l}: {}", self.local_type(l))?;
+            }
+            writeln!(f)?;
+        }
+        for b in self.blocks() {
+            let data = self.block(b);
+            if data.insts().is_empty() && data.terminator_opt().is_none() {
+                continue; // skip never-filled blocks
+            }
+            writeln!(f, "{b}:")?;
+            for &id in data.insts() {
+                let inst = self.inst(id);
+                write!(f, "    ")?;
+                if let Some(r) = inst.result {
+                    write!(f, "{r}: {} = ", self.value_type(r))?;
+                }
+                write_kind(f, &inst.kind)?;
+                writeln!(f)?;
+            }
+            if let Some(t) = data.terminator_opt() {
+                write!(f, "    ")?;
+                match t {
+                    Terminator::Jump(d) => writeln!(f, "jump {d}")?,
+                    Terminator::Branch {
+                        cond,
+                        then_dst,
+                        else_dst,
+                    } => writeln!(f, "br {cond}, {then_dst}, {else_dst}")?,
+                    Terminator::Return(None) => writeln!(f, "ret")?,
+                    Terminator::Return(Some(v)) => writeln!(f, "ret {v}")?,
+                }
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+fn write_kind(f: &mut fmt::Formatter<'_>, kind: &InstKind) -> fmt::Result {
+    match kind {
+        InstKind::Const(c) => write!(f, "const {c}"),
+        InstKind::BoolConst(c) => write!(f, "bconst {c}"),
+        InstKind::Unary { op, arg } => write!(f, "{op:?} {arg}"),
+        InstKind::Binary { op, lhs, rhs } => write!(f, "{} {lhs}, {rhs}", op.mnemonic()),
+        InstKind::Compare { op, lhs, rhs } => write!(f, "cmp.{} {lhs}, {rhs}", op.mnemonic()),
+        InstKind::NewArray { elem, len } => write!(f, "newarray {elem}, {len}"),
+        InstKind::ArrayLen { array } => write!(f, "arraylen {array}"),
+        InstKind::Load { array, index } => write!(f, "load {array}[{index}]"),
+        InstKind::Store {
+            array,
+            index,
+            value,
+        } => write!(f, "store {array}[{index}] = {value}"),
+        InstKind::BoundsCheck {
+            site,
+            array,
+            index,
+            kind,
+        } => write!(f, "check.{} {array}[{index}] @{site}", kind.mnemonic()),
+        InstKind::SpecCheck {
+            site,
+            array,
+            index,
+            kind,
+        } => write!(f, "spec_check.{} {array}[{index}] @{site}", kind.mnemonic()),
+        InstKind::TrapIfFlagged {
+            site,
+            array,
+            index,
+            kind,
+        } => write!(
+            f,
+            "trap_if_flagged.{} {array}[{index}] @{site}",
+            kind.mnemonic()
+        ),
+        InstKind::Phi { args } => {
+            write!(f, "phi ")?;
+            for (i, (b, v)) in args.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "[{b}: {v}]")?;
+            }
+            Ok(())
+        }
+        InstKind::Pi { input, guard } => {
+            write!(f, "pi {input}, ")?;
+            match guard {
+                PiGuard::Branch { block, taken } => write!(
+                    f,
+                    "[branch {block} {}]",
+                    if *taken { "taken" } else { "fallthrough" }
+                ),
+                PiGuard::Check { site, array, kind } => {
+                    write!(f, "[checked.{} {array} @{site}]", kind.mnemonic())
+                }
+            }
+        }
+        InstKind::Copy { arg } => write!(f, "copy {arg}"),
+        InstKind::Call { func, args } => {
+            write!(f, "call {func}(")?;
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{a}")?;
+            }
+            write!(f, ")")
+        }
+        InstKind::Output { arg } => write!(f, "output {arg}"),
+        InstKind::GetLocal { local } => write!(f, "get {local}"),
+        InstKind::SetLocal { local, value } => write!(f, "set {local} = {value}"),
+    }
+}
+
+impl fmt::Display for Module {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, (_, func)) in self.functions().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+                writeln!(f)?;
+            }
+            write!(f, "{func}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::FunctionBuilder;
+    use crate::inst::{CheckKind, CmpOp};
+    use crate::types::Type;
+
+    #[test]
+    fn display_contains_checks_and_terminators() {
+        let mut b =
+            FunctionBuilder::new("show", vec![Type::array_of(Type::Int)], Some(Type::Int));
+        let a = b.param(0);
+        let i = b.iconst(3);
+        b.bounds_check(a, i, CheckKind::Upper);
+        let x = b.load(a, i);
+        let c = b.compare(CmpOp::Lt, x, i);
+        let (t, e) = (b.new_block(), b.new_block());
+        b.branch(c, t, e);
+        b.switch_to_block(t);
+        b.ret(Some(x));
+        b.switch_to_block(e);
+        b.ret(Some(i));
+        let f = b.finish().unwrap();
+        let text = f.to_string();
+        assert!(text.contains("check.upper v0[v1] @ck0"), "{text}");
+        assert!(text.contains("br v3, bb1, bb2"), "{text}");
+        assert!(text.contains("-> int"), "{text}");
+    }
+}

@@ -1,0 +1,344 @@
+//! Dominator trees and dominance frontiers.
+//!
+//! Uses the Cooper–Harvey–Kennedy "engineered" iterative algorithm
+//! (*A Simple, Fast Dominance Algorithm*, 2001), which the original Cytron
+//! et al. SSA construction the ABCD paper cites ([CFR+91]) predates but is
+//! equivalent to and simpler than Lengauer–Tarjan at compiler-IR sizes.
+
+use abcd_ir::{predecessors, reverse_postorder, Block, Function};
+use std::collections::HashSet;
+
+/// The dominator tree of a function's CFG.
+///
+/// Only reachable blocks participate; queries about unreachable blocks
+/// return `None`/`false`.
+#[derive(Clone, Debug)]
+pub struct DomTree {
+    /// Immediate dominator per block (entry's idom is itself).
+    idom: Vec<Option<Block>>,
+    /// Blocks in reverse postorder.
+    rpo: Vec<Block>,
+    /// Children in the dominator tree.
+    children: Vec<Vec<Block>>,
+    /// Depth in the dominator tree (entry = 0).
+    depth: Vec<usize>,
+}
+
+impl DomTree {
+    /// Computes the dominator tree of `func`.
+    pub fn compute(func: &Function) -> DomTree {
+        let n = func.block_count();
+        let rpo = reverse_postorder(func);
+        let mut rpo_index = vec![usize::MAX; n];
+        for (i, b) in rpo.iter().enumerate() {
+            rpo_index[b.index()] = i;
+        }
+        let preds = predecessors(func);
+        let entry = func.entry();
+
+        let mut idom: Vec<Option<Block>> = vec![None; n];
+        idom[entry.index()] = Some(entry);
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                // First processed predecessor.
+                let mut new_idom: Option<Block> = None;
+                for &p in &preds[b.index()] {
+                    if idom[p.index()].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, &rpo_index, p, cur),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom[b.index()] != Some(ni) {
+                        idom[b.index()] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+
+        let mut children = vec![Vec::new(); n];
+        for &b in &rpo {
+            if b != entry {
+                if let Some(p) = idom[b.index()] {
+                    children[p.index()].push(b);
+                }
+            }
+        }
+        let mut depth = vec![0usize; n];
+        for &b in &rpo {
+            if b != entry {
+                if let Some(p) = idom[b.index()] {
+                    depth[b.index()] = depth[p.index()] + 1;
+                }
+            }
+        }
+
+        DomTree {
+            idom,
+            rpo,
+            children,
+            depth,
+        }
+    }
+
+    /// The immediate dominator of `b` (`None` for the entry block or
+    /// unreachable blocks).
+    pub fn idom(&self, b: Block) -> Option<Block> {
+        match self.idom[b.index()] {
+            Some(p) if p != b => Some(p),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if `b` is reachable from the entry.
+    pub fn is_reachable(&self, b: Block) -> bool {
+        self.idom[b.index()].is_some()
+    }
+
+    /// Returns `true` if `a` dominates `b` (reflexively).
+    pub fn dominates(&self, a: Block, b: Block) -> bool {
+        if !self.is_reachable(a) || !self.is_reachable(b) {
+            return false;
+        }
+        let mut cur = b;
+        while self.depth[cur.index()] > self.depth[a.index()] {
+            cur = self.idom[cur.index()].unwrap();
+        }
+        cur == a
+    }
+
+    /// Returns `true` if `a` strictly dominates `b`.
+    pub fn strictly_dominates(&self, a: Block, b: Block) -> bool {
+        a != b && self.dominates(a, b)
+    }
+
+    /// Blocks in reverse postorder (reachable only).
+    pub fn rpo(&self) -> &[Block] {
+        &self.rpo
+    }
+
+    /// Children of `b` in the dominator tree.
+    pub fn children(&self, b: Block) -> &[Block] {
+        &self.children[b.index()]
+    }
+
+    /// A preorder walk of the dominator tree from the entry.
+    pub fn preorder(&self) -> Vec<Block> {
+        let entry = self.rpo[0];
+        let mut out = Vec::with_capacity(self.rpo.len());
+        let mut stack = vec![entry];
+        while let Some(b) = stack.pop() {
+            out.push(b);
+            for &c in self.children(b) {
+                stack.push(c);
+            }
+        }
+        out
+    }
+
+    /// The dominance frontier of every block.
+    ///
+    /// `DF(b)` is the set of blocks `y` such that `b` dominates a predecessor
+    /// of `y` but does not strictly dominate `y` — the classic φ-placement
+    /// set of Cytron et al.
+    pub fn dominance_frontiers(&self, func: &Function) -> Vec<Vec<Block>> {
+        let n = func.block_count();
+        let entry = func.entry();
+        let preds = predecessors(func);
+        let mut df: Vec<HashSet<Block>> = vec![HashSet::new(); n];
+        for &b in &self.rpo {
+            for &p in &preds[b.index()] {
+                if !self.is_reachable(p) {
+                    continue;
+                }
+                // Walk p's dominator chain, adding b until (exclusively)
+                // idom(b). The entry block has no strict dominators, so for
+                // b == entry the walk runs to the root — which makes a
+                // self-looping entry a member of its own frontier, a corner
+                // the classic `runner != idom[b]` loop misses because of
+                // the `idom(entry) = entry` sentinel.
+                let mut runner = p;
+                loop {
+                    if b != entry && runner == self.idom[b.index()].unwrap() {
+                        break;
+                    }
+                    df[runner.index()].insert(b);
+                    if runner == entry {
+                        break;
+                    }
+                    runner = self.idom[runner.index()].unwrap();
+                }
+            }
+        }
+        df.into_iter()
+            .map(|s| {
+                let mut v: Vec<Block> = s.into_iter().collect();
+                v.sort();
+                v
+            })
+            .collect()
+    }
+}
+
+fn intersect(idom: &[Option<Block>], rpo_index: &[usize], a: Block, b: Block) -> Block {
+    let mut x = a;
+    let mut y = b;
+    while x != y {
+        while rpo_index[x.index()] > rpo_index[y.index()] {
+            x = idom[x.index()].unwrap();
+        }
+        while rpo_index[y.index()] > rpo_index[x.index()] {
+            y = idom[y.index()].unwrap();
+        }
+    }
+    x
+}
+
+/// The iterated dominance frontier of a set of blocks — where φs must be
+/// placed for a variable defined in exactly those blocks.
+pub fn iterated_dominance_frontier(df: &[Vec<Block>], defs: &[Block]) -> Vec<Block> {
+    let mut result: HashSet<Block> = HashSet::new();
+    let mut work: Vec<Block> = defs.to_vec();
+    let mut enqueued: HashSet<Block> = defs.iter().copied().collect();
+    while let Some(b) = work.pop() {
+        for &y in &df[b.index()] {
+            if result.insert(y) && enqueued.insert(y) {
+                work.push(y);
+            }
+        }
+    }
+    let mut v: Vec<Block> = result.into_iter().collect();
+    v.sort();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abcd_ir::{FunctionBuilder, Type};
+
+    /// The classic CFG from the Cooper–Harvey–Kennedy paper (Fig. 4),
+    /// adapted: 0 → {1,2}; 1 → 3; 2 → {3,4}; 3 → 5; 4 → 5; 5 exits.
+    fn chk_cfg() -> Function {
+        let mut b = FunctionBuilder::new("chk", vec![Type::Bool], None);
+        let c = b.param(0);
+        let bb: Vec<_> = (0..5).map(|_| b.new_block()).collect();
+        // entry = bb0 of function; named blocks are bb[0]..bb[4] = 1..5
+        b.branch(c, bb[0], bb[1]);
+        b.switch_to_block(bb[0]); // 1
+        b.jump(bb[2]);
+        b.switch_to_block(bb[1]); // 2
+        b.branch(c, bb[2], bb[3]);
+        b.switch_to_block(bb[2]); // 3
+        b.jump(bb[4]);
+        b.switch_to_block(bb[3]); // 4
+        b.jump(bb[4]);
+        b.switch_to_block(bb[4]); // 5
+        b.ret(None);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn idoms_of_diamondish_cfg() {
+        let f = chk_cfg();
+        let dt = DomTree::compute(&f);
+        let e = f.entry();
+        // Blocks 1..=5 in creation order are Block 1..=5.
+        assert_eq!(dt.idom(Block::new(1)), Some(e));
+        assert_eq!(dt.idom(Block::new(2)), Some(e));
+        assert_eq!(dt.idom(Block::new(3)), Some(e)); // joined from 1 and 2
+        assert_eq!(dt.idom(Block::new(4)), Some(Block::new(2)));
+        assert_eq!(dt.idom(Block::new(5)), Some(e));
+        assert!(dt.dominates(e, Block::new(5)));
+        assert!(dt.dominates(Block::new(3), Block::new(3)));
+        assert!(!dt.strictly_dominates(Block::new(3), Block::new(3)));
+        assert!(!dt.dominates(Block::new(2), Block::new(3)));
+    }
+
+    #[test]
+    fn frontiers_of_diamondish_cfg() {
+        let f = chk_cfg();
+        let dt = DomTree::compute(&f);
+        let df = dt.dominance_frontiers(&f);
+        assert_eq!(df[Block::new(1).index()], vec![Block::new(3)]);
+        assert_eq!(
+            df[Block::new(2).index()],
+            vec![Block::new(3), Block::new(5)]
+        );
+        assert_eq!(df[Block::new(4).index()], vec![Block::new(5)]);
+        assert_eq!(df[f.entry().index()], Vec::<Block>::new());
+    }
+
+    #[test]
+    fn loop_dominators() {
+        // entry → head; head → {body, exit}; body → head.
+        let mut b = FunctionBuilder::new("l", vec![Type::Bool], None);
+        let c = b.param(0);
+        let head = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        b.jump(head);
+        b.switch_to_block(head);
+        b.branch(c, body, exit);
+        b.switch_to_block(body);
+        b.jump(head);
+        b.switch_to_block(exit);
+        b.ret(None);
+        let f = b.finish().unwrap();
+        let dt = DomTree::compute(&f);
+        assert_eq!(dt.idom(head), Some(f.entry()));
+        assert_eq!(dt.idom(body), Some(head));
+        assert_eq!(dt.idom(exit), Some(head));
+        // The loop head is in the frontier of the body (back edge) and of itself.
+        let df = dt.dominance_frontiers(&f);
+        assert_eq!(df[body.index()], vec![head]);
+        assert_eq!(df[head.index()], vec![head]);
+    }
+
+    #[test]
+    fn iterated_frontier_propagates() {
+        let f = chk_cfg();
+        let dt = DomTree::compute(&f);
+        let df = dt.dominance_frontiers(&f);
+        // A def in block 4 forces φ at 5 only.
+        assert_eq!(
+            iterated_dominance_frontier(&df, &[Block::new(4)]),
+            vec![Block::new(5)]
+        );
+        // A def in block 1 forces φ at 3, and then (since 3's DF is {5}) at 5.
+        assert_eq!(
+            iterated_dominance_frontier(&df, &[Block::new(1)]),
+            vec![Block::new(3), Block::new(5)]
+        );
+    }
+
+    #[test]
+    fn unreachable_blocks_are_not_dominated() {
+        let mut b = FunctionBuilder::new("u", vec![], None);
+        b.ret(None);
+        let dead = b.new_block();
+        b.switch_to_block(dead);
+        b.ret(None);
+        let f = b.finish().unwrap();
+        let dt = DomTree::compute(&f);
+        assert!(!dt.is_reachable(dead));
+        assert!(!dt.dominates(f.entry(), dead));
+        assert_eq!(dt.idom(dead), None);
+    }
+
+    #[test]
+    fn preorder_visits_all_reachable() {
+        let f = chk_cfg();
+        let dt = DomTree::compute(&f);
+        let pre = dt.preorder();
+        assert_eq!(pre.len(), 6);
+        assert_eq!(pre[0], f.entry());
+    }
+}

@@ -1,0 +1,126 @@
+//! Backward liveness of local slots, used to prune φ-placement.
+//!
+//! Semi-pruned SSA construction only places a φ for a local at a join where
+//! the local is live-in; this analysis provides the live-in sets.
+
+use abcd_ir::{Block, Function, InstKind, Local};
+
+/// Per-block live-in information for locals.
+#[derive(Clone, Debug)]
+pub struct LocalLiveness {
+    /// `live_in[b][l]` — is local `l` live at entry of block `b`?
+    live_in: Vec<Vec<bool>>,
+}
+
+impl LocalLiveness {
+    /// Computes liveness of all locals via iterative backward dataflow.
+    pub fn compute(func: &Function) -> LocalLiveness {
+        let nb = func.block_count();
+        let nl = func.local_count();
+        // Per-block gen (upward-exposed use) and kill (def) sets.
+        let mut gen = vec![vec![false; nl]; nb];
+        let mut kill = vec![vec![false; nl]; nb];
+        for b in func.blocks() {
+            for &id in func.block(b).insts() {
+                match &func.inst(id).kind {
+                    InstKind::GetLocal { local }
+                        if !kill[b.index()][local.index()] => {
+                            gen[b.index()][local.index()] = true;
+                        }
+                    InstKind::SetLocal { local, .. } => {
+                        kill[b.index()][local.index()] = true;
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        let mut live_in = gen.clone();
+        let mut live_out = vec![vec![false; nl]; nb];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            // Backward problem: iterate in reverse block order (any order
+            // converges; reverse tends to converge fast).
+            for b in func.blocks().rev() {
+                let bi = b.index();
+                // live_out[b] = union of live_in of successors.
+                for s in abcd_ir::successors(func, b) {
+                    for l in 0..nl {
+                        if live_in[s.index()][l] && !live_out[bi][l] {
+                            live_out[bi][l] = true;
+                            changed = true;
+                        }
+                    }
+                }
+                for l in 0..nl {
+                    let v = gen[bi][l] || (live_out[bi][l] && !kill[bi][l]);
+                    if v != live_in[bi][l] {
+                        live_in[bi][l] = v;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        LocalLiveness { live_in }
+    }
+
+    /// Is local `l` live at the entry of block `b`?
+    pub fn is_live_in(&self, b: Block, l: Local) -> bool {
+        self.live_in[b.index()][l.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abcd_ir::{CmpOp, FunctionBuilder, Type};
+
+    #[test]
+    fn loop_variable_is_live_at_head() {
+        // i = 0; while (i < n) { i = i + 1 }  — i live-in at head and body.
+        let mut b = FunctionBuilder::new("f", vec![Type::Int], None);
+        let n = b.param(0);
+        let i = b.new_local(Type::Int);
+        let zero = b.iconst(0);
+        b.set_local(i, zero);
+        let head = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        b.jump(head);
+        b.switch_to_block(head);
+        let iv = b.get_local(i);
+        let c = b.compare(CmpOp::Lt, iv, n);
+        b.branch(c, body, exit);
+        b.switch_to_block(body);
+        let iv2 = b.get_local(i);
+        let one = b.iconst(1);
+        let inc = b.binary(abcd_ir::BinOp::Add, iv2, one);
+        b.set_local(i, inc);
+        b.jump(head);
+        b.switch_to_block(exit);
+        b.ret(None);
+        let f = b.finish().unwrap();
+
+        let lv = LocalLiveness::compute(&f);
+        assert!(lv.is_live_in(head, i));
+        assert!(lv.is_live_in(body, i));
+        assert!(!lv.is_live_in(f.entry(), i)); // defined before use in entry
+        assert!(!lv.is_live_in(exit, i));
+    }
+
+    #[test]
+    fn dead_after_last_use() {
+        let mut b = FunctionBuilder::new("f", vec![], None);
+        let l = b.new_local(Type::Int);
+        let c = b.iconst(1);
+        b.set_local(l, c);
+        let next = b.new_block();
+        b.jump(next);
+        b.switch_to_block(next);
+        b.ret(None);
+        let f = b.finish().unwrap();
+        let lv = LocalLiveness::compute(&f);
+        assert!(!lv.is_live_in(next, l));
+    }
+}

@@ -1,0 +1,370 @@
+//! SSA construction: promotion of local slots to SSA values.
+//!
+//! This is the classic Cytron et al. algorithm the paper assumes has already
+//! run ([CFR+91]): φ-instructions are placed at the iterated dominance
+//! frontier of each local's definition blocks (pruned by liveness), then a
+//! dominator-tree walk renames `get_local`/`set_local` into pure value flow.
+
+use crate::dom::{iterated_dominance_frontier, DomTree};
+use crate::liveness::LocalLiveness;
+use abcd_ir::{
+    successors, Block, Function, InstId, InstKind, Local, Value, VerifyError,
+};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// An SSA-construction failure.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SsaError {
+    /// A local is read on a path where it was never written.
+    ///
+    /// The frontend enforces definite assignment, so this indicates a
+    /// malformed hand-built function.
+    UndefinedLocal {
+        /// The offending local.
+        local: Local,
+        /// The block containing the read (or needing the φ argument).
+        block: Block,
+    },
+    /// The input function failed structural verification.
+    Malformed(VerifyError),
+}
+
+impl fmt::Display for SsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SsaError::UndefinedLocal { local, block } => {
+                write!(f, "local {local} read before any write in {block}")
+            }
+            SsaError::Malformed(e) => write!(f, "malformed input function: {e}"),
+        }
+    }
+}
+
+impl Error for SsaError {}
+
+impl From<VerifyError> for SsaError {
+    fn from(e: VerifyError) -> Self {
+        SsaError::Malformed(e)
+    }
+}
+
+/// Promotes every local slot to SSA values, placing pruned φs and removing
+/// all `get_local`/`set_local` instructions.
+///
+/// Critical edges should be split first (see
+/// [`split_critical_edges`](crate::split_critical_edges)) so that later
+/// passes can attribute φ-arguments to unique edges.
+///
+/// # Errors
+///
+/// Returns [`SsaError::UndefinedLocal`] if any path reads an unwritten local,
+/// or [`SsaError::Malformed`] if the input fails structural verification.
+pub fn promote_locals(func: &mut Function) -> Result<(), SsaError> {
+    abcd_ir::verify_function(func, None)?;
+    if func.local_count() == 0 {
+        return Ok(());
+    }
+    // A φ can never live in the entry block (there is no incoming edge for
+    // the function-entry path); split a self-looping entry first.
+    crate::split::split_looping_entry(func);
+
+    let dt = DomTree::compute(func);
+    let df = dt.dominance_frontiers(func);
+    let live = LocalLiveness::compute(func);
+
+    // 1. Definition blocks per local.
+    let mut def_blocks: Vec<Vec<Block>> = vec![Vec::new(); func.local_count()];
+    for b in func.blocks() {
+        for &id in func.block(b).insts() {
+            if let InstKind::SetLocal { local, .. } = func.inst(id).kind {
+                if def_blocks[local.index()].last() != Some(&b) {
+                    def_blocks[local.index()].push(b);
+                }
+            }
+        }
+    }
+
+    // 2. φ placement at liveness-pruned iterated dominance frontiers.
+    let mut phi_of: HashMap<(Block, Local), InstId> = HashMap::new();
+    for (l, defs) in def_blocks.iter().enumerate() {
+        let local = Local::new(l);
+        let ty = func.local_type(local).clone();
+        for b in iterated_dominance_frontier(&df, defs) {
+            if !dt.is_reachable(b) || !live.is_live_in(b, local) {
+                continue;
+            }
+            let id = func.create_inst(InstKind::Phi { args: Vec::new() }, Some(ty.clone()));
+            func.insert_inst(b, 0, id);
+            phi_of.insert((b, local), id);
+        }
+    }
+
+    // 3. Renaming walk over the dominator tree.
+    let mut rename: Vec<Option<Value>> = vec![None; func.value_count() * 2];
+    let resolve = |rename: &Vec<Option<Value>>, v: Value| -> Value {
+        rename.get(v.index()).copied().flatten().unwrap_or(v)
+    };
+    let mut stacks: Vec<Vec<Value>> = vec![Vec::new(); func.local_count()];
+    // (block, pushes-per-local) frames for popping on dom-tree exit.
+    enum Step {
+        Enter(Block),
+        Exit(Vec<(Local, usize)>),
+    }
+    let mut work = vec![Step::Enter(func.entry())];
+    let mut removed: Vec<(Block, InstId)> = Vec::new();
+
+    while let Some(step) = work.pop() {
+        match step {
+            Step::Exit(pushes) => {
+                for (l, n) in pushes {
+                    let s = &mut stacks[l.index()];
+                    s.truncate(s.len() - n);
+                }
+            }
+            Step::Enter(b) => {
+                let mut pushes: Vec<(Local, usize)> = Vec::new();
+                let push = |stacks: &mut Vec<Vec<Value>>,
+                                pushes: &mut Vec<(Local, usize)>,
+                                l: Local,
+                                v: Value| {
+                    stacks[l.index()].push(v);
+                    if let Some(entry) = pushes.iter_mut().find(|(pl, _)| *pl == l) {
+                        entry.1 += 1;
+                    } else {
+                        pushes.push((l, 1));
+                    }
+                };
+
+                let ids: Vec<InstId> = func.block(b).insts().to_vec();
+                for id in ids {
+                    // φs placed by step 2 define their local.
+                    if let Some(((_, local), _)) =
+                        phi_of.iter().find(|(_, pid)| **pid == id).map(|(k, v)| (*k, *v))
+                    {
+                        let result = func.inst(id).result.expect("phi has result");
+                        push(&mut stacks, &mut pushes, local, result);
+                        continue;
+                    }
+                    // Rewrite uses first (operands refer to earlier defs).
+                    if rename.len() < func.value_count() {
+                        rename.resize(func.value_count(), None);
+                    }
+                    let r = &rename;
+                    func.inst_mut(id).kind.map_uses(|v| resolve(r, v));
+
+                    match func.inst(id).kind.clone() {
+                        InstKind::GetLocal { local } => {
+                            let cur = *stacks[local.index()].last().ok_or(
+                                SsaError::UndefinedLocal { local, block: b },
+                            )?;
+                            let result = func.inst(id).result.expect("get_local has result");
+                            if rename.len() <= result.index() {
+                                rename.resize(func.value_count(), None);
+                            }
+                            rename[result.index()] = Some(cur);
+                            removed.push((b, id));
+                        }
+                        InstKind::SetLocal { local, value } => {
+                            push(&mut stacks, &mut pushes, local, value);
+                            removed.push((b, id));
+                        }
+                        _ => {}
+                    }
+                }
+
+                // Rewrite terminator uses.
+                if rename.len() < func.value_count() {
+                    rename.resize(func.value_count(), None);
+                }
+                {
+                    let r = rename.clone();
+                    if let Some(term) = func.block(b).terminator_opt() {
+                        let mut t = term.clone();
+                        t.map_uses(|v| resolve(&r, v));
+                        func.set_terminator(b, t);
+                    }
+                }
+
+                // Fill φ arguments of successors for this edge.
+                for s in successors(func, b) {
+                    let phis: Vec<(Local, InstId)> = phi_of
+                        .iter()
+                        .filter(|((blk, _), _)| *blk == s)
+                        .map(|((_, l), id)| (*l, *id))
+                        .collect();
+                    for (local, id) in phis {
+                        let cur = *stacks[local.index()]
+                            .last()
+                            .ok_or(SsaError::UndefinedLocal { local, block: s })?;
+                        if let InstKind::Phi { args } = &mut func.inst_mut(id).kind {
+                            args.push((b, cur));
+                        }
+                    }
+                }
+
+                work.push(Step::Exit(pushes));
+                for &c in dt.children(b) {
+                    work.push(Step::Enter(c));
+                }
+            }
+        }
+    }
+
+    // 4. Unlink the promoted instructions.
+    for (b, id) in removed {
+        func.remove_inst(b, id);
+    }
+
+    // Unreachable blocks were never renamed (stale locals ops, and their
+    // out-edges would confuse φ/predecessor agreement): clear them.
+    for b in func.blocks().collect::<Vec<_>>() {
+        if !dt.is_reachable(b) {
+            func.clear_block(b);
+        }
+    }
+
+    abcd_ir::verify_function(func, None)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abcd_ir::{BinOp, CheckKind, CmpOp, FunctionBuilder, Terminator, Type};
+
+    /// i = 0; s = 0; while (i < n) { s = s + i; i = i + 1 } return s;
+    fn loop_func() -> Function {
+        let mut b = FunctionBuilder::new("f", vec![Type::Int], Some(Type::Int));
+        let n = b.param(0);
+        let i = b.new_local(Type::Int);
+        let s = b.new_local(Type::Int);
+        let zero = b.iconst(0);
+        b.set_local(i, zero);
+        b.set_local(s, zero);
+        let head = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        b.jump(head);
+        b.switch_to_block(head);
+        let iv = b.get_local(i);
+        let c = b.compare(CmpOp::Lt, iv, n);
+        b.branch(c, body, exit);
+        b.switch_to_block(body);
+        let sv = b.get_local(s);
+        let iv2 = b.get_local(i);
+        let sum = b.binary(BinOp::Add, sv, iv2);
+        b.set_local(s, sum);
+        let one = b.iconst(1);
+        let inc = b.binary(BinOp::Add, iv2, one);
+        b.set_local(i, inc);
+        b.jump(head);
+        b.switch_to_block(exit);
+        let out = b.get_local(s);
+        b.ret(Some(out));
+        b.finish().unwrap()
+    }
+
+    fn count_kind(f: &Function, pred: impl Fn(&InstKind) -> bool) -> usize {
+        f.blocks()
+            .flat_map(|b| f.block(b).insts().to_vec())
+            .filter(|&id| pred(&f.inst(id).kind))
+            .count()
+    }
+
+    #[test]
+    fn loop_gets_two_phis_at_head() {
+        let mut f = loop_func();
+        promote_locals(&mut f).unwrap();
+        assert_eq!(count_kind(&f, |k| matches!(k, InstKind::Phi { .. })), 2);
+        assert_eq!(count_kind(&f, |k| matches!(k, InstKind::GetLocal { .. })), 0);
+        assert_eq!(count_kind(&f, |k| matches!(k, InstKind::SetLocal { .. })), 0);
+        crate::verify_ssa(&f).unwrap();
+    }
+
+    #[test]
+    fn phi_args_name_correct_predecessors() {
+        let mut f = loop_func();
+        promote_locals(&mut f).unwrap();
+        let head = Block::new(1);
+        for &id in f.block(head).insts() {
+            if let InstKind::Phi { args } = &f.inst(id).kind {
+                let mut preds: Vec<Block> = args.iter().map(|(p, _)| *p).collect();
+                preds.sort();
+                assert_eq!(preds, vec![f.entry(), Block::new(2)]);
+            }
+        }
+    }
+
+    #[test]
+    fn straightline_needs_no_phi() {
+        let mut b = FunctionBuilder::new("f", vec![Type::Int], Some(Type::Int));
+        let x = b.param(0);
+        let l = b.new_local(Type::Int);
+        b.set_local(l, x);
+        let v = b.get_local(l);
+        let one = b.iconst(1);
+        let y = b.binary(BinOp::Add, v, one);
+        b.set_local(l, y);
+        let out = b.get_local(l);
+        b.ret(Some(out));
+        let mut f = b.finish().unwrap();
+        promote_locals(&mut f).unwrap();
+        assert_eq!(count_kind(&f, |k| matches!(k, InstKind::Phi { .. })), 0);
+        // return now uses the add directly
+        match f.block(f.entry()).terminator() {
+            Terminator::Return(Some(v)) => assert_eq!(*v, y),
+            t => panic!("unexpected terminator {t:?}"),
+        }
+    }
+
+    #[test]
+    fn dead_local_in_branch_gets_no_phi() {
+        // if (p) { t = 1 } return 0;  — t dead at join, pruning kills the φ.
+        let mut b = FunctionBuilder::new("f", vec![Type::Bool], Some(Type::Int));
+        let p = b.param(0);
+        let t = b.new_local(Type::Int);
+        let (then_b, join) = (b.new_block(), b.new_block());
+        b.branch(p, then_b, join);
+        b.switch_to_block(then_b);
+        let one = b.iconst(1);
+        b.set_local(t, one);
+        b.jump(join);
+        b.switch_to_block(join);
+        let zero = b.iconst(0);
+        b.ret(Some(zero));
+        let mut f = b.finish().unwrap();
+        promote_locals(&mut f).unwrap();
+        assert_eq!(count_kind(&f, |k| matches!(k, InstKind::Phi { .. })), 0);
+    }
+
+    #[test]
+    fn undefined_read_is_reported() {
+        let mut b = FunctionBuilder::new("f", vec![], Some(Type::Int));
+        let l = b.new_local(Type::Int);
+        let v = b.get_local(l);
+        b.ret(Some(v));
+        let mut f = b.finish().unwrap();
+        assert!(matches!(
+            promote_locals(&mut f),
+            Err(SsaError::UndefinedLocal { .. })
+        ));
+    }
+
+    #[test]
+    fn checks_survive_promotion() {
+        let mut b = FunctionBuilder::new("f", vec![Type::array_of(Type::Int)], Some(Type::Int));
+        let a = b.param(0);
+        let l = b.new_local(Type::Int);
+        let zero = b.iconst(0);
+        b.set_local(l, zero);
+        let iv = b.get_local(l);
+        b.bounds_check(a, iv, CheckKind::Upper);
+        let x = b.load(a, iv);
+        b.ret(Some(x));
+        let mut f = b.finish().unwrap();
+        promote_locals(&mut f).unwrap();
+        assert_eq!(f.count_checks(), (1, 0, 0));
+    }
+}

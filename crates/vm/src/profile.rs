@@ -1,0 +1,113 @@
+//! Execution profiles: edge frequencies and per-site check frequencies.
+//!
+//! ABCD is demand-driven: the paper applies it to *hot* checks known from
+//! profiling, and its PRE extension decides profitability by comparing "the
+//! cumulative execution frequency of the insertion points with the frequency
+//! of the partially redundant check" (§6.1). This module records exactly
+//! those frequencies.
+
+use abcd_ir::{Block, CheckSite, FuncId};
+use std::collections::HashMap;
+
+/// Dynamic execution counts gathered by the interpreter.
+#[derive(Clone, Debug, Default)]
+pub struct Profile {
+    edge_counts: HashMap<(FuncId, Block, Block), u64>,
+    block_counts: HashMap<(FuncId, Block), u64>,
+    site_counts: HashMap<(FuncId, CheckSite), u64>,
+}
+
+impl Profile {
+    /// Creates an empty profile.
+    pub fn new() -> Profile {
+        Profile::default()
+    }
+
+    pub(crate) fn record_edge(&mut self, func: FuncId, from: Block, to: Block) {
+        *self.edge_counts.entry((func, from, to)).or_insert(0) += 1;
+    }
+
+    pub(crate) fn record_block(&mut self, func: FuncId, block: Block) {
+        *self.block_counts.entry((func, block)).or_insert(0) += 1;
+    }
+
+    pub(crate) fn record_site(&mut self, func: FuncId, site: CheckSite) {
+        *self.site_counts.entry((func, site)).or_insert(0) += 1;
+    }
+
+    /// Executions of CFG edge `from → to` in `func`.
+    pub fn edge_count(&self, func: FuncId, from: Block, to: Block) -> u64 {
+        self.edge_counts.get(&(func, from, to)).copied().unwrap_or(0)
+    }
+
+    /// Executions of block `block` in `func`.
+    pub fn block_count(&self, func: FuncId, block: Block) -> u64 {
+        self.block_counts.get(&(func, block)).copied().unwrap_or(0)
+    }
+
+    /// Dynamic executions of the check at `site` in `func`
+    /// (sums `bounds_check` and `spec_check` executions attributed to it).
+    pub fn site_count(&self, func: FuncId, site: CheckSite) -> u64 {
+        self.site_counts.get(&(func, site)).copied().unwrap_or(0)
+    }
+
+    /// All `(func, site)` pairs with their counts, hottest first — the
+    /// "hot bounds checks" work-list a demand-driven dynamic optimizer
+    /// starts from.
+    pub fn hot_sites(&self) -> Vec<((FuncId, CheckSite), u64)> {
+        let mut v: Vec<_> = self.site_counts.iter().map(|(k, c)| (*k, *c)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// Total dynamic check executions recorded.
+    pub fn total_site_count(&self) -> u64 {
+        self.site_counts.values().sum()
+    }
+
+    /// Merges another profile into this one (e.g. across multiple runs).
+    pub fn merge(&mut self, other: &Profile) {
+        for (k, v) in &other.edge_counts {
+            *self.edge_counts.entry(*k).or_insert(0) += v;
+        }
+        for (k, v) in &other.block_counts {
+            *self.block_counts.entry(*k).or_insert(0) += v;
+        }
+        for (k, v) in &other.site_counts {
+            *self.site_counts.entry(*k).or_insert(0) += v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hot_sites_sorted_by_count() {
+        let mut p = Profile::new();
+        let f = FuncId::new(0);
+        for _ in 0..3 {
+            p.record_site(f, CheckSite::new(1));
+        }
+        p.record_site(f, CheckSite::new(0));
+        let hot = p.hot_sites();
+        assert_eq!(hot[0], ((f, CheckSite::new(1)), 3));
+        assert_eq!(hot[1], ((f, CheckSite::new(0)), 1));
+        assert_eq!(p.total_site_count(), 4);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let f = FuncId::new(0);
+        let (b0, b1) = (Block::new(0), Block::new(1));
+        let mut a = Profile::new();
+        a.record_edge(f, b0, b1);
+        let mut b = Profile::new();
+        b.record_edge(f, b0, b1);
+        b.record_block(f, b0);
+        a.merge(&b);
+        assert_eq!(a.edge_count(f, b0, b1), 2);
+        assert_eq!(a.block_count(f, b0), 1);
+    }
+}

@@ -1,0 +1,188 @@
+//! Integration-level semantics tests for the interpreter: cost accounting,
+//! profiles across calls, output ordering, and trap behaviors that the unit
+//! tests in `interp.rs` don't cover.
+
+use abcd_frontend::compile;
+use abcd_vm::{CostModel, RtVal, TrapKind, Vm, VmOptions};
+
+#[test]
+fn cycles_accumulate_per_cost_model() {
+    let m = compile("fn f(x: int) -> int { return x + 1; }").unwrap();
+    let mut vm = Vm::new(&m);
+    vm.call_by_name("f", &[RtVal::Int(1)]).unwrap();
+    let first = vm.stats().cycles;
+    assert!(first > 0);
+    vm.call_by_name("f", &[RtVal::Int(2)]).unwrap();
+    assert_eq!(vm.stats().cycles, first * 2, "stats accumulate across calls");
+}
+
+#[test]
+fn custom_cost_model_changes_cycles_not_results() {
+    let m = compile(
+        "fn f(a: int[]) -> int { return a[0] * a[1]; }",
+    )
+    .unwrap();
+    let expensive = VmOptions {
+        cost: CostModel {
+            mul: 100,
+            ..CostModel::default()
+        },
+        ..VmOptions::default()
+    };
+    let mut vm1 = Vm::new(&m);
+    let a1 = vm1.alloc_int_array(&[6, 7]);
+    let r1 = vm1.call_by_name("f", &[a1]).unwrap();
+    let mut vm2 = Vm::with_options(&m, expensive);
+    let a2 = vm2.alloc_int_array(&[6, 7]);
+    let r2 = vm2.call_by_name("f", &[a2]).unwrap();
+    assert_eq!(r1, r2);
+    assert_eq!(r1, Some(RtVal::Int(42)));
+    assert!(vm2.stats().cycles > vm1.stats().cycles + 90);
+}
+
+#[test]
+fn output_preserves_program_order_across_calls() {
+    let m = compile(
+        "fn emit(x: int) { print(x); print(x * 10); }
+         fn main() -> int { emit(1); emit(2); print(99); return 0; }",
+    )
+    .unwrap();
+    let mut vm = Vm::new(&m);
+    vm.call_by_name("main", &[]).unwrap();
+    assert_eq!(vm.output(), &[1, 10, 2, 20, 99]);
+}
+
+#[test]
+fn profile_aggregates_sites_across_function_calls() {
+    let m = compile(
+        "fn touch(a: int[], i: int) -> int { return a[i]; }
+         fn main() -> int {
+             let a: int[] = new int[4];
+             let s: int = 0;
+             for (let r: int = 0; r < 5; r = r + 1) { s = s + touch(a, r % 4); }
+             return s;
+         }",
+    )
+    .unwrap();
+    let mut vm = Vm::new(&m);
+    vm.call_by_name("main", &[]).unwrap();
+    let touch = m.function_by_name("touch").unwrap();
+    let hot = vm.profile().hot_sites();
+    // touch has 2 sites (lower+upper), each executed 5 times.
+    let touch_counts: Vec<u64> = hot
+        .iter()
+        .filter(|((f, _), _)| *f == touch)
+        .map(|(_, c)| *c)
+        .collect();
+    assert_eq!(touch_counts, vec![5, 5]);
+}
+
+#[test]
+fn call_depth_limit_traps_cleanly() {
+    let m = compile(
+        "fn spin(n: int) -> int { return spin(n + 1); }",
+    )
+    .unwrap();
+    let mut vm = Vm::with_options(
+        &m,
+        VmOptions {
+            call_depth_limit: 50,
+            ..VmOptions::default()
+        },
+    );
+    let err = vm.call_by_name("spin", &[RtVal::Int(0)]).unwrap_err();
+    assert_eq!(err.kind, TrapKind::CallDepthExceeded);
+}
+
+#[test]
+fn step_limit_trap_names_the_spinning_function() {
+    let m = compile(
+        "fn inner() -> int { let s: int = 0; while (true) { s = s + 1; } return s; }
+         fn main() -> int { return inner(); }",
+    )
+    .unwrap();
+    let mut vm = Vm::with_options(
+        &m,
+        VmOptions {
+            step_limit: 500,
+            ..VmOptions::default()
+        },
+    );
+    let err = vm.call_by_name("main", &[]).unwrap_err();
+    assert_eq!(err.kind, TrapKind::StepLimitExceeded);
+    assert_eq!(err.func, m.function_by_name("inner").unwrap());
+}
+
+#[test]
+fn wrapping_arithmetic_matches_rust_semantics() {
+    let m = compile(
+        "fn f(x: int) -> int { return x + 1; }
+         fn g(x: int) -> int { return x * 2; }
+         fn h(x: int, y: int) -> int { return x % y; }",
+    )
+    .unwrap();
+    let mut vm = Vm::new(&m);
+    assert_eq!(
+        vm.call_by_name("f", &[RtVal::Int(i64::MAX)]).unwrap(),
+        Some(RtVal::Int(i64::MIN))
+    );
+    assert_eq!(
+        vm.call_by_name("g", &[RtVal::Int(i64::MAX)]).unwrap(),
+        Some(RtVal::Int(-2))
+    );
+    // Rust-style remainder: sign follows the dividend.
+    assert_eq!(
+        vm.call_by_name("h", &[RtVal::Int(-7), RtVal::Int(3)]).unwrap(),
+        Some(RtVal::Int(-1))
+    );
+}
+
+#[test]
+fn shifts_mask_their_amount() {
+    let m = compile(
+        "fn shl(x: int, s: int) -> int { return x << s; }
+         fn shr(x: int, s: int) -> int { return x >> s; }",
+    )
+    .unwrap();
+    let mut vm = Vm::new(&m);
+    // Shift of 64 is masked to 0, like Rust's wrapping_shl.
+    assert_eq!(
+        vm.call_by_name("shl", &[RtVal::Int(5), RtVal::Int(64)]).unwrap(),
+        Some(RtVal::Int(5))
+    );
+    // Arithmetic right shift preserves sign.
+    assert_eq!(
+        vm.call_by_name("shr", &[RtVal::Int(-8), RtVal::Int(1)]).unwrap(),
+        Some(RtVal::Int(-4))
+    );
+}
+
+#[test]
+fn collect_profile_off_records_nothing() {
+    let m = compile("fn f(a: int[]) -> int { return a[0]; }").unwrap();
+    let mut vm = Vm::with_options(
+        &m,
+        VmOptions {
+            collect_profile: false,
+            ..VmOptions::default()
+        },
+    );
+    let a = vm.alloc_int_array(&[7]);
+    vm.call_by_name("f", &[a]).unwrap();
+    assert_eq!(vm.profile().total_site_count(), 0);
+    // …but stats still count.
+    assert_eq!(vm.stats().dynamic_checks_total(), 2);
+}
+
+#[test]
+fn read_int_array_reflects_stores() {
+    let m = compile(
+        "fn put(a: int[], i: int, v: int) { a[i] = v; }",
+    )
+    .unwrap();
+    let mut vm = Vm::new(&m);
+    let a = vm.alloc_int_array(&[0, 0, 0]);
+    vm.call_by_name("put", &[a, RtVal::Int(1), RtVal::Int(42)])
+        .unwrap();
+    assert_eq!(vm.read_int_array(a), vec![0, 42, 0]);
+}

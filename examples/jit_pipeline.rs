@@ -1,0 +1,107 @@
+//! The dynamic-compilation scenario the paper targets: profile a "warm-up"
+//! run, then apply ABCD *on demand* to the hot checks only, including the
+//! §6 partial-redundancy transformation whose profitability is decided by
+//! the profile.
+//!
+//!     cargo run --example jit_pipeline
+
+use abcd::{CheckOutcome, Optimizer, OptimizerOptions};
+use abcd_frontend::compile;
+use abcd_vm::Vm;
+
+const SRC: &str = r#"
+    // A hot kernel whose bound arrives as a parameter: the inner check is
+    // partially redundant (provable after one compensating check at the
+    // loop entry — the paper's §6 scenario).
+    fn smooth(signal: int[], taps: int) -> int {
+        let acc: int = 0;
+        let t: int = taps;
+        while (t > 0) {
+            for (let i: int = 0; i < t; i = i + 1) {
+                acc = acc + signal[i];
+            }
+            t = t - 1;
+        }
+        return acc;
+    }
+    // A cold helper: executed once, so a demand-driven JIT skips it.
+    fn cold_init(buf: int[]) {
+        for (let i: int = 0; i < buf.length; i = i + 1) {
+            buf[i] = i * 3 & 255;
+        }
+    }
+    fn main() -> int {
+        let signal: int[] = new int[64];
+        cold_init(signal);
+        let acc: int = 0;
+        for (let r: int = 0; r < 50; r = r + 1) {
+            acc = acc + smooth(signal, 48);
+        }
+        return acc;
+    }
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Warm-up run: the interpreter doubles as the profiling tier.
+    let warmup = compile(SRC)?;
+    let mut vm = Vm::new(&warmup);
+    let r1 = vm.call_by_name("main", &[])?;
+    let baseline = *vm.stats();
+    let profile = vm.into_profile();
+
+    println!("hot check sites (top 5):");
+    for ((func, site), count) in profile.hot_sites().into_iter().take(5) {
+        println!("  {func}/{site}: {count} executions");
+    }
+
+    // Optimizing tier: only recompile checks executed ≥ 1000 times.
+    let mut optimized = compile(SRC)?;
+    let options = OptimizerOptions {
+        hot_threshold: Some(1000),
+        ..OptimizerOptions::default()
+    };
+    let report = Optimizer::with_options(options).optimize_module(&mut optimized, Some(&profile));
+
+    for f in &report.functions {
+        let skipped = f
+            .outcomes
+            .iter()
+            .filter(|(_, _, o)| matches!(o, CheckOutcome::Skipped))
+            .count();
+        let hoisted: Vec<_> = f
+            .outcomes
+            .iter()
+            .filter(|(_, _, o)| matches!(o, CheckOutcome::Hoisted { .. }))
+            .collect();
+        println!(
+            "{}: {} checks — {} removed, {} hoisted, {} skipped (cold)",
+            f.name,
+            f.checks_total,
+            f.removed_fully(),
+            hoisted.len(),
+            skipped
+        );
+    }
+
+    // Steady-state run.
+    let mut vm = Vm::new(&optimized);
+    let r2 = vm.call_by_name("main", &[])?;
+    assert_eq!(r1, r2);
+    let optimized_stats = *vm.stats();
+    println!(
+        "dynamic checks: {} -> {} ({:.1}% removed)",
+        baseline.dynamic_checks_total(),
+        optimized_stats.dynamic_checks_total(),
+        100.0
+            * (1.0
+                - optimized_stats.dynamic_checks_total() as f64
+                    / baseline.dynamic_checks_total() as f64)
+    );
+    println!(
+        "model cycles:   {} -> {} ({:+.1}%)",
+        baseline.cycles,
+        optimized_stats.cycles,
+        100.0 * (optimized_stats.cycles as f64 / baseline.cycles as f64 - 1.0)
+    );
+    Ok(())
+}

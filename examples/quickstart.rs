@@ -1,0 +1,64 @@
+//! Quickstart: compile an MJ kernel, run it, optimize it with ABCD, run it
+//! again, and compare the dynamic bounds-check counts.
+//!
+//!     cargo run --example quickstart
+
+use abcd::Optimizer;
+use abcd_frontend::compile;
+use abcd_vm::Vm;
+
+const SRC: &str = r#"
+    // Dot product: every access is guarded by the loop bound, so ABCD
+    // removes all four checks (lower+upper for a[i] and b[i]).
+    fn dot(a: int[], b: int[]) -> int {
+        let n: int = a.length;
+        if (b.length < n) { n = b.length; }
+        let acc: int = 0;
+        for (let i: int = 0; i < n; i = i + 1) {
+            acc = acc + a[i] * b[i];
+        }
+        return acc;
+    }
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Compile. The frontend inserts an explicit lower and upper bounds
+    //    check before every array access, like a Java bytecode frontend.
+    let module = compile(SRC)?;
+
+    // 2. Run the unoptimized module.
+    let mut vm = Vm::new(&module);
+    let a = vm.alloc_int_array(&[1, 2, 3, 4]);
+    let b = vm.alloc_int_array(&[10, 20, 30, 40]);
+    let result = vm.call_by_name("dot", &[a, b])?;
+    println!("dot = {:?}", result);
+    println!(
+        "unoptimized: {} dynamic checks, {} model cycles",
+        vm.stats().dynamic_checks_total(),
+        vm.stats().cycles
+    );
+
+    // 3. Optimize with ABCD.
+    let mut optimized = compile(SRC)?;
+    let report = Optimizer::new().optimize_module(&mut optimized, None);
+    println!(
+        "ABCD: {}/{} checks fully redundant, {} hoisted, {:.1} prove-steps/check",
+        report.checks_removed_fully(),
+        report.checks_total(),
+        report.checks_hoisted(),
+        report.steps_per_check()
+    );
+
+    // 4. Run the optimized module on the same input.
+    let mut vm = Vm::new(&optimized);
+    let a = vm.alloc_int_array(&[1, 2, 3, 4]);
+    let b = vm.alloc_int_array(&[10, 20, 30, 40]);
+    let result2 = vm.call_by_name("dot", &[a, b])?;
+    assert_eq!(result, result2);
+    println!(
+        "optimized:   {} dynamic checks, {} model cycles",
+        vm.stats().dynamic_checks_total(),
+        vm.stats().cycles
+    );
+    Ok(())
+}

@@ -1,0 +1,264 @@
+//! `mjc` — the MJ compiler driver of the ABCD reproduction.
+//!
+//! ```text
+//! mjc run <file.mj> [--opt] [--stats] [--arg N]...   compile and execute main()
+//! mjc opt <file.mj> [passes…] [--dump]               optimize and report
+//! mjc dump <file.mj> [--stage ir|ssa|essa|opt]       print the IR of a stage
+//! mjc graph <file.mj> [--fn NAME] [--lower]          print the inequality graph
+//! ```
+//!
+//! Pass flags for `opt`/`run --opt`: `--no-pre`, `--no-lower`, `--no-upper`,
+//! `--no-cleanup`, `--no-gvn-hook`, `--merge`, `--ipa` (closed-world
+//! interprocedural facts), `--version-fns` (guarded fast/slow clones),
+//! `--hot N` (with `--profile`).
+
+use abcd::{InequalityGraph, Optimizer, OptimizerOptions, Problem, VertexId};
+use abcd_frontend::compile;
+use abcd_vm::{RtVal, Vm};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("mjc: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const HELP: &str = "\
+mjc — the MJ compiler driver of the ABCD reproduction
+
+USAGE:
+    mjc run   <file.mj> [--opt] [--profile] [--stats] [--arg N]...
+    mjc opt   <file.mj> [pass flags] [--version-fns] [--dump]
+    mjc dump  <file.mj> [--stage ir|ssa|essa|opt]
+    mjc graph <file.mj> [--fn NAME] [--lower]        (Graphviz output)
+
+PASS FLAGS (for `opt` and `run --opt`):
+    --no-pre --no-lower --no-upper --no-cleanup --no-gvn-hook
+    --merge            merge surviving lower+upper pairs (§7.2)
+    --ipa              closed-world interprocedural parameter facts
+    --version-fns      guarded fast/slow function clones
+    --hot N            with --profile: analyze only sites with ≥N hits
+";
+
+fn usage() -> String {
+    HELP.to_string()
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let cmd = args.first().ok_or_else(usage)?;
+    if cmd == "--help" || cmd == "help" || cmd == "-h" {
+        print!("{HELP}");
+        return Ok(());
+    }
+    let file = args.get(1).ok_or_else(usage)?;
+    let source = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
+    let rest = &args[2..];
+
+    match cmd.as_str() {
+        "run" => cmd_run(&source, rest),
+        "opt" => cmd_opt(&source, rest),
+        "dump" => cmd_dump(&source, rest),
+        "graph" => cmd_graph(&source, rest),
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    }
+}
+
+fn parse_options(rest: &[String]) -> Result<OptimizerOptions, String> {
+    let mut o = OptimizerOptions::default();
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--no-pre" => o.pre = false,
+            "--no-lower" => o.lower = false,
+            "--no-upper" => o.upper = false,
+            "--no-cleanup" => o.cleanup = false,
+            "--no-gvn-hook" => o.gvn_hook = false,
+            "--ipa" => o.interprocedural = true,
+            "--version-fns" => {}
+            "--merge" => o.merge_checks = true,
+            "--hot" => {
+                i += 1;
+                let n = rest
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("`--hot` needs a count")?;
+                o.hot_threshold = Some(n);
+            }
+            // run/dump flags handled by callers
+            "--opt" | "--stats" | "--profile" | "--dump" => {}
+            "--arg" | "--stage" | "--fn" => i += 1,
+            "--lower" if rest[i] == "--lower" => {}
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+        i += 1;
+    }
+    Ok(o)
+}
+
+fn has(rest: &[String], flag: &str) -> bool {
+    rest.iter().any(|a| a == flag)
+}
+
+fn value_of<'a>(rest: &'a [String], flag: &str) -> Option<&'a str> {
+    rest.iter()
+        .position(|a| a == flag)
+        .and_then(|i| rest.get(i + 1))
+        .map(String::as_str)
+}
+
+fn cmd_run(source: &str, rest: &[String]) -> Result<(), String> {
+    // Validate flags up front so typos are rejected even without --opt.
+    let options = parse_options(rest)?;
+    let mut module = compile(source).map_err(|e| e.to_string())?;
+    let mut profile = None;
+
+    if has(rest, "--opt") {
+        if has(rest, "--profile") {
+            // Training run first (the JIT scenario).
+            let mut vm = Vm::new(&module);
+            vm.call_by_name("main", &[]).map_err(|t| t.to_string())?;
+            profile = Some(vm.into_profile());
+        }
+        let report = Optimizer::with_options(options).optimize_module(&mut module, profile.as_ref());
+        eprintln!(
+            "abcd: {}/{} checks removed, {} hoisted, {:.1} steps/check",
+            report.checks_removed_fully(),
+            report.checks_total(),
+            report.checks_hoisted(),
+            report.steps_per_check()
+        );
+    }
+
+    let int_args: Vec<RtVal> = rest
+        .iter()
+        .zip(rest.iter().skip(1))
+        .filter(|(a, _)| a.as_str() == "--arg")
+        .map(|(_, v)| v.parse().map(RtVal::Int))
+        .collect::<Result<_, _>>()
+        .map_err(|e| format!("bad --arg: {e}"))?;
+
+    let mut vm = Vm::new(&module);
+    let result = vm
+        .call_by_name("main", &int_args)
+        .map_err(|t| t.to_string())?;
+    for v in vm.output() {
+        println!("{v}");
+    }
+    if let Some(r) = result {
+        eprintln!("=> {r}");
+    }
+    if has(rest, "--stats") {
+        let s = vm.stats();
+        eprintln!(
+            "instructions: {}, cycles: {}, checks: lower {} / upper {} / merged {}, speculative {}, residual traps {}",
+            s.insts,
+            s.cycles,
+            s.checks[0],
+            s.checks[1],
+            s.checks[2],
+            s.spec_checks.iter().sum::<u64>(),
+            s.trap_tests
+        );
+    }
+    Ok(())
+}
+
+fn cmd_opt(source: &str, rest: &[String]) -> Result<(), String> {
+    let mut module = compile(source).map_err(|e| e.to_string())?;
+    let options = parse_options(rest)?;
+    let report = Optimizer::with_options(options).optimize_module(&mut module, None);
+    if has(rest, "--version-fns") {
+        let v = abcd::version_functions(&mut module, None, 0);
+        for (name, facts, removed) in &v.versioned {
+            println!("versioned {name}: {removed} checks removed in fast path under {facts:?}");
+        }
+    }
+    for f in &report.functions {
+        println!(
+            "{}: {} checks — {} fully redundant ({} local), {} hoisted ({} compensating inserted), {} merged, {} steps",
+            f.name,
+            f.checks_total,
+            f.removed_fully(),
+            f.removed_locally(),
+            f.hoisted(),
+            f.spec_checks_inserted,
+            f.checks_merged,
+            f.steps,
+        );
+    }
+    if has(rest, "--dump") {
+        println!("\n{module}");
+    }
+    Ok(())
+}
+
+fn cmd_dump(source: &str, rest: &[String]) -> Result<(), String> {
+    let stage = value_of(rest, "--stage").unwrap_or("essa");
+    let mut module = compile(source).map_err(|e| e.to_string())?;
+    match stage {
+        "ir" => {}
+        "ssa" => {
+            let ids: Vec<_> = module.functions().map(|(i, _)| i).collect();
+            for id in ids {
+                let f = module.function_mut(id);
+                abcd_ssa::split_critical_edges(f);
+                abcd_ssa::promote_locals(f).map_err(|e| e.to_string())?;
+            }
+        }
+        "essa" => {
+            abcd_ssa::module_to_essa(&mut module).map_err(|(n, e)| format!("{n}: {e}"))?;
+        }
+        "opt" => {
+            Optimizer::new().optimize_module(&mut module, None);
+        }
+        other => return Err(format!("unknown stage `{other}` (ir|ssa|essa|opt)")),
+    }
+    emit(format!("{module}\n"));
+    Ok(())
+}
+
+/// Writes to stdout, tolerating a closed pipe (`mjc dump … | head`).
+fn emit(text: String) {
+    use std::io::Write;
+    let _ = std::io::stdout().write_all(text.as_bytes());
+}
+
+fn cmd_graph(source: &str, rest: &[String]) -> Result<(), String> {
+    let mut module = compile(source).map_err(|e| e.to_string())?;
+    abcd_ssa::module_to_essa(&mut module).map_err(|(n, e)| format!("{n}: {e}"))?;
+    let problem = if has(rest, "--lower") {
+        Problem::Lower
+    } else {
+        Problem::Upper
+    };
+    let wanted = value_of(rest, "--fn");
+
+    let mut out = String::new();
+    use std::fmt::Write as _;
+    for (_, func) in module.functions() {
+        if let Some(w) = wanted {
+            if func.name() != w {
+                continue;
+            }
+        }
+        let _ = writeln!(out, "; inequality graph ({problem:?}) of @{}", func.name());
+        let g = InequalityGraph::build(func, problem, None);
+        let _ = writeln!(out, "digraph \"{}\" {{", func.name());
+        for v in 0..g.vertex_count() {
+            let vid = VertexId::from_index(v);
+            let shape = if g.is_max(vid) { "doublecircle" } else { "circle" };
+            let _ = writeln!(out, "  n{v} [label=\"{}\", shape={shape}];", g.vertex(vid));
+            for e in g.in_edges(vid) {
+                let _ = writeln!(out, "  n{} -> n{v} [label=\"{}\"];", e.src.index(), e.weight);
+            }
+        }
+        let _ = writeln!(out, "}}");
+    }
+    emit(out);
+    Ok(())
+}

@@ -1,0 +1,13 @@
+//! Umbrella crate for the ABCD reproduction.
+//!
+//! Re-exports every sub-crate so examples and integration tests can depend on
+//! a single package. See `README.md` for an overview and `DESIGN.md` for the
+//! system inventory.
+
+pub use abcd as core;
+pub use abcd_analysis as analysis;
+pub use abcd_benchsuite as benchsuite;
+pub use abcd_frontend as frontend;
+pub use abcd_ir as ir;
+pub use abcd_ssa as ssa;
+pub use abcd_vm as vm;

@@ -1,0 +1,402 @@
+//! Property-based differential testing: random MJ programs must behave
+//! identically before and after the full ABCD pipeline — same result, same
+//! output stream, same trap (kind **and** site) — and never execute an
+//! unchecked out-of-bounds access (the VM reports that as a distinct trap,
+//! so any unsound removal becomes a visible divergence).
+//!
+//! Programs are generated from a proptest-provided byte string (structured
+//! fuzzing): bytes drive a tiny grammar walker, so shrinking minimizes the
+//! program. Loops are always of the form `for (i = c0; i < bound; i++)`
+//! with `bound` a small constant or `a.length ± c`, guaranteeing
+//! termination; index expressions are arbitrary, so traps genuinely occur
+//! and the trap-equivalence clause is exercised.
+//!
+//! Inputs are kept within ±1000 because ABCD — like the paper — reasons in
+//! unbounded integers and does not model wrap-around (see README).
+
+use abcd::{Optimizer, OptimizerOptions};
+use abcd_frontend::compile;
+use abcd_vm::{RtVal, TrapKind, Vm, VmOptions};
+use proptest::prelude::*;
+
+/// A byte-stream-driven program generator.
+struct Gen<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    next_loop_var: u32,
+    stmts_budget: u32,
+}
+
+impl<'a> Gen<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Gen {
+            bytes,
+            pos: 0,
+            next_loop_var: 0,
+            stmts_budget: 24,
+        }
+    }
+
+    fn byte(&mut self) -> u8 {
+        let b = self.bytes.get(self.pos).copied().unwrap_or(0);
+        self.pos += 1;
+        b
+    }
+
+    fn pick<T: Copy>(&mut self, options: &[T]) -> T {
+        options[self.byte() as usize % options.len()]
+    }
+
+    /// An integer expression over the in-scope variables.
+    fn expr(&mut self, vars: &[String], depth: u32) -> String {
+        if depth == 0 || self.byte().is_multiple_of(3) {
+            return match self.byte() % 4 {
+                0 => format!("{}", (self.byte() as i64 % 12) - 3),
+                1 => "a.length".to_string(),
+                2 if !vars.is_empty() => {
+                    let i = self.byte() as usize % vars.len();
+                    vars[i].clone()
+                }
+                _ => "x".to_string(),
+            };
+        }
+        let op = self.pick(&["+", "-", "*"]);
+        let lhs = self.expr(vars, depth - 1);
+        let rhs = if op == "*" {
+            // Keep products small so the no-wraparound model holds.
+            format!("{}", (self.byte() as i64 % 5) - 1)
+        } else {
+            self.expr(vars, depth - 1)
+        };
+        format!("({lhs} {op} {rhs})")
+    }
+
+    fn cond(&mut self, vars: &[String]) -> String {
+        let op = self.pick(&["<", "<=", ">", ">=", "==", "!="]);
+        let lhs = self.expr(vars, 1);
+        let rhs = self.expr(vars, 1);
+        format!("{lhs} {op} {rhs}")
+    }
+
+    fn block(&mut self, vars: &mut Vec<String>, depth: u32, out: &mut String, indent: usize) {
+        let n = 1 + self.byte() % 3;
+        for _ in 0..n {
+            if self.stmts_budget == 0 {
+                return;
+            }
+            self.stmts_budget -= 1;
+            self.stmt(vars, depth, out, indent);
+        }
+    }
+
+    fn stmt(&mut self, vars: &mut Vec<String>, depth: u32, out: &mut String, indent: usize) {
+        let pad = "    ".repeat(indent);
+        match self.byte() % 9 {
+            0 => {
+                let e = self.expr(vars, 2);
+                out.push_str(&format!("{pad}s = s + {e};\n"));
+            }
+            1 => {
+                let idx = self.expr(vars, 2);
+                out.push_str(&format!("{pad}s = s + a[{idx}];\n"));
+            }
+            2 => {
+                let idx = self.expr(vars, 2);
+                let val = self.expr(vars, 1);
+                out.push_str(&format!("{pad}a[{idx}] = {val};\n"));
+            }
+            3 if depth > 0 => {
+                let c = self.cond(vars);
+                out.push_str(&format!("{pad}if ({c}) {{\n"));
+                self.block(vars, depth - 1, out, indent + 1);
+                if self.byte().is_multiple_of(2) {
+                    out.push_str(&format!("{pad}}} else {{\n"));
+                    self.block(vars, depth - 1, out, indent + 1);
+                }
+                out.push_str(&format!("{pad}}}\n"));
+            }
+            4 if depth > 0 => {
+                let v = format!("i{}", self.next_loop_var);
+                self.next_loop_var += 1;
+                let start = (self.byte() as i64 % 4) - 1;
+                let bound = match self.byte() % 3 {
+                    0 => format!("{}", self.byte() % 9),
+                    1 => "a.length".to_string(),
+                    _ => format!("(a.length - {})", self.byte() % 3),
+                };
+                out.push_str(&format!(
+                    "{pad}for (let {v}: int = {start}; {v} < {bound}; {v} = {v} + 1) {{\n"
+                ));
+                vars.push(v.clone());
+                self.block(vars, depth - 1, out, indent + 1);
+                vars.pop();
+                out.push_str(&format!("{pad}}}\n"));
+            }
+            5 => {
+                let e = self.expr(vars, 1);
+                out.push_str(&format!("{pad}x = {e};\n"));
+            }
+            7 => {
+                // Call the guarded helper (checks inside are provable from
+                // the guard; with --ipa also from call-site facts).
+                let e = self.expr(vars, 2);
+                out.push_str(&format!("{pad}s = s + guarded(a, {e});\n"));
+            }
+            8 => {
+                // Call the unguarded helper: traps propagate through calls,
+                // and interprocedural facts decide its checks.
+                let e = self.expr(vars, 2);
+                out.push_str(&format!("{pad}s = s + raw(a, {e});\n"));
+            }
+            _ => {
+                let e = self.expr(vars, 2);
+                out.push_str(&format!("{pad}print({e});\n"));
+            }
+        }
+    }
+
+    fn program(mut self) -> String {
+        let mut body = String::new();
+        let mut vars = Vec::new();
+        self.block(&mut vars, 3, &mut body, 1);
+        format!(
+            "fn guarded(b: int[], k: int) -> int {{\n\
+                 if (k >= 0) {{ if (k < b.length) {{ return b[k] + 1; }} }}\n\
+                 return 0 - k;\n\
+             }}\n\
+             fn raw(b: int[], k: int) -> int {{ return b[k]; }}\n\
+             fn f(a: int[], x: int) -> int {{\n    let s: int = 0;\n{body}    return s;\n}}\n"
+        )
+    }
+}
+
+/// Runs `f` and normalizes the observable outcome. The returned check
+/// count excludes speculative (`spec_check`) executions: speculation may
+/// legitimately execute on paths where the original checks never ran
+/// (zero-trip loops, early traps) — the §6.1 profitability argument is
+/// about expected frequency, not per-input counts.
+fn run(module: &abcd_ir::Module, data: &[i64], x: i64) -> (Result<Option<RtVal>, String>, Vec<i64>, u64) {
+    let mut vm = Vm::with_options(
+        module,
+        VmOptions {
+            step_limit: 2_000_000,
+            ..VmOptions::default()
+        },
+    );
+    let arr = vm.alloc_int_array(data);
+    let r = vm
+        .call_by_name("f", &[arr, RtVal::Int(x)])
+        .map_err(|t| format!("{:?}", t.kind));
+    let out = vm.output().to_vec();
+    let checks = vm.stats().checks.iter().sum::<u64>();
+    (r, out, checks)
+}
+
+proptest! {
+    // Default 256 cases; override with PROPTEST_CASES for deeper sweeps.
+    #![proptest_config(ProptestConfig::default())]
+
+    #[test]
+    fn optimized_program_is_observationally_equivalent(
+        bytes in proptest::collection::vec(any::<u8>(), 0..160),
+        data in proptest::collection::vec(-50i64..50, 0..7),
+        x in -1000i64..1000,
+    ) {
+        let src = Gen::new(&bytes).program();
+        let baseline = compile(&src).expect("generated program compiles");
+        let mut optimized = compile(&src).unwrap();
+        Optimizer::new().optimize_module(&mut optimized, None);
+
+        let (r1, out1, checks1) = run(&baseline, &data, x);
+        let (r2, out2, checks2) = run(&optimized, &data, x);
+
+        // Any unchecked OOB access in the optimized run is an unsound
+        // removal — it can never match the baseline's outcome.
+        if let Err(k) = &r2 {
+            prop_assert!(
+                !k.contains("UncheckedAccess"),
+                "unsound removal!\n{src}\ntrap: {k}"
+            );
+        }
+        prop_assert_eq!(&r1, &r2, "result diverged\n{}", &src);
+        prop_assert_eq!(&out1, &out2, "output diverged\n{}", &src);
+        prop_assert!(
+            checks2 <= checks1,
+            "optimization added non-speculative dynamic checks ({} -> {})\n{}",
+            checks1, checks2, &src
+        );
+
+        // The interprocedural extension must also be observationally
+        // equivalent. (The generated entry `f` is a root — it has no call
+        // sites — so calling it directly is within the closed-world
+        // contract.)
+        let mut ipa = compile(&src).unwrap();
+        let opts = OptimizerOptions {
+            interprocedural: true,
+            ..OptimizerOptions::default()
+        };
+        Optimizer::with_options(opts).optimize_module(&mut ipa, None);
+        let (r3, out3, _) = run(&ipa, &data, x);
+        if let Err(k) = &r3 {
+            prop_assert!(
+                !k.contains("UncheckedAccess"),
+                "unsound interprocedural removal!\n{src}\ntrap: {k}"
+            );
+        }
+        prop_assert_eq!(&r1, &r3, "interprocedural diverged\n{}", &src);
+        prop_assert_eq!(&out1, &out3);
+
+        // Function versioning (dispatcher + fast/slow clones) is
+        // unconditionally sound — the guards are executed, not assumed —
+        // so it must hold for every input, including adversarial ones.
+        let mut versioned = compile(&src).unwrap();
+        Optimizer::new().optimize_module(&mut versioned, None);
+        abcd::version_functions(&mut versioned, None, 0);
+        let (r4, out4, _) = run(&versioned, &data, x);
+        if let Err(k) = &r4 {
+            prop_assert!(
+                !k.contains("UncheckedAccess"),
+                "unsound versioning!\n{src}\ntrap: {k}"
+            );
+        }
+        prop_assert_eq!(&r1, &r4, "versioning diverged\n{}", &src);
+        prop_assert_eq!(&out1, &out4);
+    }
+
+    #[test]
+    fn pipeline_stages_all_verify(
+        bytes in proptest::collection::vec(any::<u8>(), 0..120),
+    ) {
+        let src = Gen::new(&bytes).program();
+        let mut module = compile(&src).expect("generated program compiles");
+        abcd_ir::verify_module(&module).expect("locals form verifies");
+
+        let id = module.functions().next().unwrap().0;
+        let func = module.function_mut(id);
+        abcd_ssa::split_critical_edges(func);
+        abcd_ssa::promote_locals(func).expect("ssa construction");
+        abcd_ssa::verify_ssa(func).expect("ssa verifies");
+        abcd_analysis::cleanup(func);
+        abcd_ssa::verify_ssa(func).expect("cleanup keeps ssa");
+        abcd_ssa::insert_pi_nodes(func);
+        abcd_ssa::verify_ssa(func).expect("e-ssa verifies");
+        abcd_ir::verify_function(func, None).expect("e-ssa structurally ok");
+    }
+
+    #[test]
+    fn printed_ir_reparses_and_behaves_identically(
+        bytes in proptest::collection::vec(any::<u8>(), 0..120),
+        data in proptest::collection::vec(-50i64..50, 0..6),
+        x in -100i64..100,
+    ) {
+        let src = Gen::new(&bytes).program();
+        let mut module = compile(&src).unwrap();
+        abcd_ssa::module_to_essa(&mut module).unwrap();
+
+        // Textual round trip reaches a fixed point after one parse
+        // (block ids may renumber once if unreachable blocks were cleared).
+        let text1 = module.to_string();
+        let reparsed = abcd_ir::parse_module(&text1)
+            .unwrap_or_else(|e| panic!("{e}\n{text1}"));
+        abcd_ir::verify_module(&reparsed).expect("reparsed module verifies");
+        let text2 = reparsed.to_string();
+        let reparsed2 = abcd_ir::parse_module(&text2).unwrap();
+        prop_assert_eq!(&text2, &reparsed2.to_string(), "print/parse not stable");
+
+        // And the reparsed module is observationally identical.
+        let (r1, out1, _) = run(&module, &data, x);
+        let (r2, out2, _) = run(&reparsed, &data, x);
+        prop_assert_eq!(r1, r2, "reparse diverged\n{}", &src);
+        prop_assert_eq!(out1, out2);
+    }
+
+    #[test]
+    fn demand_prover_never_exceeds_exhaustive_distances(
+        bytes in proptest::collection::vec(any::<u8>(), 0..140),
+    ) {
+        use abcd::{DemandProver, ExhaustiveDistances, InequalityGraph, Problem, Vertex};
+        let src = Gen::new(&bytes).program();
+        let mut module = compile(&src).unwrap();
+        abcd_ssa::module_to_essa(&mut module).unwrap();
+        let id = module.functions().next().unwrap().0;
+        let func = module.function_mut(id);
+        abcd_analysis::cleanup(func);
+        abcd_ssa::insert_pi_nodes(func);
+        let func = module.function(id);
+
+        for problem in [Problem::Upper, Problem::Lower] {
+            let graph = InequalityGraph::build(func, problem, None);
+            for b in func.blocks() {
+                for &iid in func.block(b).insts() {
+                    let abcd_ir::InstKind::BoundsCheck { array, index, .. } =
+                        func.inst(iid).kind
+                    else {
+                        continue;
+                    };
+                    let (source, c) = match problem {
+                        Problem::Upper => (Vertex::ArrayLen(array), -1),
+                        Problem::Lower => (Vertex::Const(0), 0),
+                    };
+                    let mut demand = DemandProver::new(&graph, source);
+                    if demand.demand_prove(Vertex::Value(index), c) {
+                        let ex = ExhaustiveDistances::compute(&graph, source);
+                        prop_assert!(
+                            ex.proves(&graph, Vertex::Value(index), c),
+                            "demand prover overclaims ({problem:?}, {index}) in\n{src}\n{func}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn range_baseline_is_also_sound(
+        bytes in proptest::collection::vec(any::<u8>(), 0..120),
+        data in proptest::collection::vec(-50i64..50, 0..6),
+        x in -100i64..100,
+    ) {
+        let src = Gen::new(&bytes).program();
+        let baseline = compile(&src).unwrap();
+        let mut optimized = compile(&src).unwrap();
+        abcd_ssa::module_to_essa(&mut optimized).unwrap();
+        let ids: Vec<_> = optimized.functions().map(|(i, _)| i).collect();
+        for id in ids {
+            abcd_analysis::eliminate_checks_by_range(optimized.function_mut(id));
+        }
+        let (r1, out1, _) = run(&baseline, &data, x);
+        let (r2, out2, _) = run(&optimized, &data, x);
+        if let Err(k) = &r2 {
+            prop_assert!(!k.contains("UncheckedAccess"), "unsound range removal\n{src}");
+        }
+        prop_assert_eq!(r1, r2, "range baseline diverged\n{}", &src);
+        prop_assert_eq!(out1, out2);
+    }
+}
+
+#[test]
+fn generator_produces_interesting_programs() {
+    // Sanity: a fixed seed yields a program with checks and control flow.
+    let bytes: Vec<u8> = (0u8..160).map(|i| i.wrapping_mul(37).wrapping_add(11)).collect();
+    let src = Gen::new(&bytes).program();
+    let module = compile(&src).unwrap_or_else(|e| panic!("{e}\n{src}"));
+    let id = module.functions().next().unwrap().0;
+    let (checks, _, _) = module.function(id).count_checks();
+    assert!(checks > 0, "{src}");
+}
+
+#[test]
+fn trap_kinds_match_exactly_on_known_oob() {
+    let src = "fn f(a: int[], x: int) -> int { let s: int = 0; s = s + a[x]; return s; }";
+    let baseline = compile(src).unwrap();
+    let mut optimized = compile(src).unwrap();
+    Optimizer::with_options(OptimizerOptions::default()).optimize_module(&mut optimized, None);
+    let (r1, _, _) = run(&baseline, &[1, 2], 5);
+    let (r2, _, _) = run(&optimized, &[1, 2], 5);
+    assert!(r1.is_err());
+    assert_eq!(r1, r2);
+    assert!(matches!(
+        format!("{:?}", TrapKind::DivisionByZero).as_str(),
+        "DivisionByZero"
+    ));
+}

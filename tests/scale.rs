@@ -1,0 +1,148 @@
+//! Scale behavior: the demand-driven design's selling point is that cost
+//! grows with the number of *analyzed checks*, not with program size. This
+//! test compiles a synthetic module two orders of magnitude larger than the
+//! benchmark kernels and asserts the per-check effort stays in the paper's
+//! regime (<10 steps/check on loop kernels) and the whole pipeline stays
+//! interactive.
+
+use abcd::Optimizer;
+use abcd_frontend::compile;
+use abcd_vm::{RtVal, Vm};
+use std::fmt::Write;
+
+fn big_module(functions: usize) -> String {
+    let mut src = String::new();
+    for i in 0..functions {
+        // A mix of fully-removable, partially-redundant, and stubborn
+        // shapes, cycling by index.
+        match i % 3 {
+            0 => write!(
+                src,
+                "fn k{i}(a: int[]) -> int {{
+                    let s: int = 0;
+                    for (let x: int = 0; x < a.length; x = x + 1) {{ s = s + a[x]; }}
+                    return s;
+                }}\n"
+            )
+            .unwrap(),
+            1 => write!(
+                src,
+                "fn k{i}(a: int[], n: int) -> int {{
+                    let s: int = 0;
+                    let lim: int = n;
+                    while (lim > 0) {{
+                        for (let x: int = 0; x < lim; x = x + 1) {{ s = s + a[x]; }}
+                        lim = lim - 1;
+                    }}
+                    return s;
+                }}\n"
+            )
+            .unwrap(),
+            _ => write!(
+                src,
+                "fn k{i}(a: int[], idx: int[]) -> int {{
+                    let s: int = 0;
+                    for (let x: int = 0; x < idx.length; x = x + 1) {{
+                        s = s + a[idx[x]];
+                    }}
+                    return s;
+                }}\n"
+            )
+            .unwrap(),
+        }
+    }
+    src.push_str("fn main() -> int {\n    let a: int[] = new int[16];\n    let idx: int[] = new int[4];\n    let s: int = 0;\n");
+    for i in 0..functions {
+        match i % 3 {
+            0 => writeln!(src, "    s = s + k{i}(a);").unwrap(),
+            1 => writeln!(src, "    s = s + k{i}(a, 8);").unwrap(),
+            _ => writeln!(src, "    s = s + k{i}(a, idx);").unwrap(),
+        }
+    }
+    src.push_str("    return s;\n}\n");
+    src
+}
+
+#[test]
+fn two_hundred_functions_optimize_quickly_and_soundly() {
+    let src = big_module(200);
+    let baseline = compile(&src).expect("large module compiles");
+
+    let started = std::time::Instant::now();
+    let mut optimized = compile(&src).unwrap();
+    let report = Optimizer::new().optimize_module(&mut optimized, None);
+    let elapsed = started.elapsed();
+
+    // 200 functions ≈ 1000+ checks: the whole pass must stay interactive
+    // even in debug builds (the paper's budget was milliseconds per check
+    // on 1999 hardware; we allow a generous ceiling for CI machines).
+    assert!(
+        elapsed.as_secs() < 60,
+        "optimization took {elapsed:?} for {} checks",
+        report.checks_total()
+    );
+    assert!(report.checks_total() > 500, "{}", report.checks_total());
+    assert!(
+        report.steps_per_check() < 15.0,
+        "steps/check degraded at scale: {}",
+        report.steps_per_check()
+    );
+    // Two thirds of the kernels are fully or partially optimizable.
+    assert!(
+        report.checks_removed_fully() + report.checks_hoisted() > report.checks_total() / 3,
+        "removed {} + hoisted {} of {}",
+        report.checks_removed_fully(),
+        report.checks_hoisted(),
+        report.checks_total()
+    );
+
+    // And it still computes the same thing.
+    let mut vm1 = Vm::new(&baseline);
+    let r1 = vm1.call_by_name("main", &[]).unwrap();
+    let mut vm2 = Vm::new(&optimized);
+    let r2 = vm2.call_by_name("main", &[]).unwrap();
+    assert_eq!(r1, r2);
+    assert_eq!(r1, Some(RtVal::Int(0))); // arrays are zero-initialized
+    assert!(
+        vm2.stats().dynamic_checks_total() < vm1.stats().dynamic_checks_total() / 2,
+        "{} -> {}",
+        vm1.stats().dynamic_checks_total(),
+        vm2.stats().dynamic_checks_total()
+    );
+}
+
+#[test]
+fn deep_expression_nesting_compiles() {
+    // 200-deep parenthesized expression: recursive-descent parser and
+    // expression lowering must handle it without stack trouble.
+    let mut expr = String::from("1");
+    for _ in 0..200 {
+        expr = format!("({expr} + 1)");
+    }
+    let src = format!("fn f() -> int {{ return {expr}; }}");
+    let m = compile(&src).unwrap();
+    let mut vm = Vm::new(&m);
+    assert_eq!(vm.call_by_name("f", &[]).unwrap(), Some(RtVal::Int(201)));
+}
+
+#[test]
+fn long_straightline_check_chain_is_linear() {
+    // 300 sequential accesses to a[0]: the first pair of checks survives,
+    // every later one is subsumed via π-chains with memoized proofs.
+    let mut body = String::from("    let s: int = 0;\n");
+    for _ in 0..300 {
+        body.push_str("    s = s + a[0];\n");
+    }
+    let src = format!("fn f(a: int[]) -> int {{\n{body}    return s;\n}}");
+    let mut m = compile(&src).unwrap();
+    let report = Optimizer::new().optimize_module(&mut m, None);
+    assert_eq!(report.checks_total(), 600);
+    // Every lower check is provable (index 0 ≥ 0); of the uppers, only the
+    // very first survives — the rest are subsumed by its π-chain.
+    assert_eq!(report.checks_removed_fully(), 599, "all but the first upper");
+    assert!(
+        report.steps_per_check() < 10.0,
+        "chain proofs must be O(1) amortized: {}",
+        report.steps_per_check()
+    );
+}
