@@ -109,7 +109,9 @@ mod tests {
         let Terminator::Return(Some(rv)) = f.block(f.entry()).terminator() else {
             panic!()
         };
-        let abcd_ir::ValueDef::Inst(id) = f.value_def(*rv) else { panic!() };
+        let abcd_ir::ValueDef::Inst(id) = f.value_def(*rv) else {
+            panic!()
+        };
         assert_eq!(f.inst(id).kind, InstKind::Const(-2));
     }
 

@@ -16,7 +16,9 @@ pub fn eliminate_dead_code(func: &mut Function) -> usize {
         let mut use_counts = vec![0u32; func.value_count()];
         for b in func.blocks() {
             for &id in func.block(b).insts() {
-                func.inst(id).kind.for_each_use(|v| use_counts[v.index()] += 1);
+                func.inst(id)
+                    .kind
+                    .for_each_use(|v| use_counts[v.index()] += 1);
             }
             if let Some(t) = func.block(b).terminator_opt() {
                 t.for_each_use(|v| use_counts[v.index()] += 1);
@@ -67,11 +69,7 @@ mod tests {
 
     #[test]
     fn keeps_side_effects() {
-        let mut b = FunctionBuilder::new(
-            "f",
-            vec![Type::array_of(Type::Int)],
-            None,
-        );
+        let mut b = FunctionBuilder::new("f", vec![Type::array_of(Type::Int)], None);
         let a = b.param(0);
         let i = b.iconst(0);
         b.bounds_check(a, i, abcd_ir::CheckKind::Upper);

@@ -308,7 +308,9 @@ mod tests {
         let res = value_number(&mut f);
         assert_eq!(res.removed, 1);
         // y's lhs is now x directly
-        let abcd_ir::ValueDef::Inst(yid) = f.value_def(y) else { panic!() };
+        let abcd_ir::ValueDef::Inst(yid) = f.value_def(y) else {
+            panic!()
+        };
         match f.inst(yid).kind {
             InstKind::Binary { lhs, .. } => assert_eq!(lhs, x),
             _ => panic!(),

@@ -16,9 +16,7 @@
 //!   transitive chains through several variables can be lost where ABCD's
 //!   graph keeps every difference constraint.
 
-use abcd_ir::{
-    BinOp, CheckKind, Function, InstId, InstKind, PiGuard, Terminator, Value, ValueDef,
-};
+use abcd_ir::{BinOp, CheckKind, Function, InstId, InstKind, PiGuard, Terminator, Value, ValueDef};
 use std::collections::HashMap;
 
 /// A symbolic bound: −∞, +∞, a constant, or `array.length + d`.
@@ -134,10 +132,7 @@ pub fn eliminate_checks_by_range(func: &mut Function) -> RangeStats {
         let ids: Vec<InstId> = func.block(b).insts().to_vec();
         for id in ids {
             let InstKind::BoundsCheck {
-                array,
-                index,
-                kind,
-                ..
+                array, index, kind, ..
             } = func.inst(id).kind
             else {
                 continue;
@@ -146,9 +141,7 @@ pub fn eliminate_checks_by_range(func: &mut Function) -> RangeStats {
             let redundant = match kind {
                 CheckKind::Lower => lower_proved(r.lo),
                 CheckKind::Upper => upper_proved(func, r.hi, array),
-                CheckKind::Both => {
-                    lower_proved(r.lo) && upper_proved(func, r.hi, array)
-                }
+                CheckKind::Both => lower_proved(r.lo) && upper_proved(func, r.hi, array),
             };
             if redundant {
                 func.remove_inst(b, id);
@@ -279,11 +272,7 @@ fn widen(old: Range, new: Range) -> Range {
     Range { lo, hi }
 }
 
-fn transfer(
-    func: &Function,
-    kind: &InstKind,
-    get_opt: impl Fn(Value) -> Option<Range>,
-) -> Range {
+fn transfer(func: &Function, kind: &InstKind, get_opt: impl Fn(Value) -> Option<Range>) -> Range {
     let get = |v: Value| get_opt(v).unwrap_or(Range::TOP);
     match kind {
         InstKind::Const(c) => Range::exact(*c),
@@ -434,11 +423,7 @@ mod tests {
             }",
         );
         let stats = eliminate_checks_by_range(&mut f);
-        assert_eq!(
-            (stats.removed_lower, stats.removed_upper),
-            (1, 1),
-            "{f}"
-        );
+        assert_eq!((stats.removed_lower, stats.removed_upper), (1, 1), "{f}");
     }
 
     #[test]
@@ -487,7 +472,10 @@ mod tests {
             Bound::Len(Value::new(0), 0).le(Bound::Len(Value::new(1), 0)),
             None
         );
-        assert_eq!(Bound::Finite(-3).le(Bound::Len(Value::new(0), -3)), Some(true));
+        assert_eq!(
+            Bound::Finite(-3).le(Bound::Len(Value::new(0), -3)),
+            Some(true)
+        );
         assert_eq!(Bound::Finite(1).le(Bound::Len(Value::new(0), 0)), None);
         assert_eq!(Bound::NegInf.le(Bound::Finite(i64::MIN)), Some(true));
     }

@@ -1,58 +1,70 @@
-//! Criterion benchmark: full-pipeline compile-time cost — what a JIT pays:
+//! Micro-benchmark: full-pipeline compile-time cost — what a JIT pays:
 //! SSA construction, e-SSA π insertion, and the complete ABCD pass, per
 //! benchmark program. The paper's pitch is that this must be cheap enough
 //! for dynamic compilation.
+//!
+//! Run with: `cargo bench -p abcd-bench --bench pipeline`
 
 use abcd::{Optimizer, OptimizerOptions};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use abcd_bench::micro::bench;
 
-fn bench_essa(c: &mut Criterion) {
-    let mut group = c.benchmark_group("pipeline/to_essa");
-    for bench in abcd_benchsuite::BENCHMARKS.iter().take(6) {
-        let module = bench.compile().unwrap();
-        group.bench_function(BenchmarkId::from_parameter(bench.name), |b| {
-            b.iter(|| {
-                let mut m = module.clone();
-                abcd_ssa::module_to_essa(&mut m).unwrap();
-                m.function_count()
-            })
+fn bench_essa() {
+    for b in abcd_benchsuite::BENCHMARKS.iter().take(6) {
+        let module = b.compile().unwrap();
+        bench(&format!("pipeline/to_essa/{}", b.name), || {
+            let mut m = module.clone();
+            abcd_ssa::module_to_essa(&mut m).unwrap();
+            m.function_count()
         });
     }
-    group.finish();
 }
 
-fn bench_full_abcd(c: &mut Criterion) {
-    let mut group = c.benchmark_group("pipeline/abcd_full");
-    for bench in abcd_benchsuite::BENCHMARKS {
-        let module = bench.compile().unwrap();
-        group.bench_function(BenchmarkId::from_parameter(bench.name), |b| {
-            b.iter(|| {
-                let mut m = module.clone();
-                let report = Optimizer::new().optimize_module(&mut m, None);
-                report.checks_removed_fully()
-            })
+fn bench_full_abcd() {
+    for b in abcd_benchsuite::BENCHMARKS {
+        let module = b.compile().unwrap();
+        bench(&format!("pipeline/abcd_full/{}", b.name), || {
+            let mut m = module.clone();
+            let report = Optimizer::new().optimize_module(&mut m, None);
+            report.checks_removed_fully()
         });
     }
-    group.finish();
 }
 
-fn bench_abcd_without_pre(c: &mut Criterion) {
-    let bench = abcd_benchsuite::by_name("biDirBubbleSort").unwrap();
-    let module = bench.compile().unwrap();
+fn bench_abcd_without_pre() {
+    let b = abcd_benchsuite::by_name("biDirBubbleSort").unwrap();
+    let module = b.compile().unwrap();
     let opts = OptimizerOptions {
         pre: false,
         classify_local: false,
         ..OptimizerOptions::default()
     };
-    c.bench_function("pipeline/abcd_minimal_bidir", |b| {
-        b.iter(|| {
-            let mut m = module.clone();
-            Optimizer::with_options(opts)
-                .optimize_module(&mut m, None)
-                .checks_removed_fully()
-        })
+    bench("pipeline/abcd_minimal_bidir", || {
+        let mut m = module.clone();
+        Optimizer::with_options(opts)
+            .optimize_module(&mut m, None)
+            .checks_removed_fully()
     });
 }
 
-criterion_group!(benches, bench_essa, bench_full_abcd, bench_abcd_without_pre);
-criterion_main!(benches);
+/// Sequential vs. parallel driver on the whole suite — the speedup the
+/// scoped-thread work pool buys at module granularity.
+fn bench_parallel_driver() {
+    for threads in [1usize, 2, 4] {
+        bench(&format!("pipeline/abcd_suite_threads/{threads}"), || {
+            let mut removed = 0usize;
+            for b in abcd_benchsuite::BENCHMARKS {
+                let mut m = b.compile().unwrap();
+                let opt = Optimizer::new().with_threads(threads);
+                removed += opt.optimize_module(&mut m, None).checks_removed_fully();
+            }
+            removed
+        });
+    }
+}
+
+fn main() {
+    bench_essa();
+    bench_full_abcd();
+    bench_abcd_without_pre();
+    bench_parallel_driver();
+}

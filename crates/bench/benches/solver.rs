@@ -1,13 +1,15 @@
-//! Criterion benchmark: `demandProve` throughput (§5).
+//! Micro-benchmark: `demandProve` throughput (§5).
 //!
 //! Measures (a) single-check queries on the benchmark suite's inequality
-//! graphs and (b) scaling on synthetic deep-chain / wide-φ graphs, backing
-//! the paper's claim that a query touches a near-constant number of
-//! vertices rather than the whole program.
+//! graphs and (b) scaling on synthetic deep-chain graphs, backing the
+//! paper's claim that a query touches a near-constant number of vertices
+//! rather than the whole program.
+//!
+//! Run with: `cargo bench -p abcd-bench --bench solver`
 
 use abcd::{DemandProver, InequalityGraph, Problem, Vertex};
+use abcd_bench::micro::bench;
 use abcd_ir::{CheckKind, Function, InstKind, Value};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn essa_function(src: &str) -> Function {
     let mut m = abcd_frontend::compile(src).unwrap();
@@ -27,7 +29,9 @@ fn chain_source(depth: usize) -> String {
     for d in 1..=depth {
         let op = if d % 2 == 0 { "+" } else { "-" };
         let prev = d - 1;
-        body.push_str(&format!("                let j{d}: int = j{prev} {op} 1;\n"));
+        body.push_str(&format!(
+            "                let j{d}: int = j{prev} {op} 1;\n"
+        ));
     }
     // The net offset is 0 or −1 depending on parity; index with the last.
     body.push_str(&format!(
@@ -56,10 +60,27 @@ fn first_upper_check(f: &Function) -> (Value, Value) {
     panic!("no upper check");
 }
 
-fn bench_suite_queries(c: &mut Criterion) {
-    let mut group = c.benchmark_group("demand_prove/suite");
-    for bench in abcd_benchsuite::BENCHMARKS.iter().take(5) {
-        let mut m = bench.compile().unwrap();
+fn all_upper_checks(f: &Function) -> Vec<(Value, Value)> {
+    let mut checks = Vec::new();
+    for b in f.blocks() {
+        for &id in f.block(b).insts() {
+            if let InstKind::BoundsCheck {
+                array,
+                index,
+                kind: CheckKind::Upper,
+                ..
+            } = f.inst(id).kind
+            {
+                checks.push((array, index));
+            }
+        }
+    }
+    checks
+}
+
+fn bench_suite_queries() {
+    for bench_prog in abcd_benchsuite::BENCHMARKS.iter().take(5) {
+        let mut m = bench_prog.compile().unwrap();
         abcd_ssa::module_to_essa(&mut m).unwrap();
         // Analyze every upper check of every function, fresh prover each
         // iteration (worst case: no cross-check memoization).
@@ -67,81 +88,59 @@ fn bench_suite_queries(c: &mut Criterion) {
         let prepared: Vec<(InequalityGraph, Vec<(Value, Value)>)> = funcs
             .iter()
             .map(|f| {
-                let g = InequalityGraph::build(f, Problem::Upper, None);
-                let mut checks = Vec::new();
-                for b in f.blocks() {
-                    for &id in f.block(b).insts() {
-                        if let InstKind::BoundsCheck {
-                            array,
-                            index,
-                            kind: CheckKind::Upper,
-                            ..
-                        } = f.inst(id).kind
-                        {
-                            checks.push((array, index));
-                        }
-                    }
-                }
-                (g, checks)
+                (
+                    InequalityGraph::build(f, Problem::Upper, None),
+                    all_upper_checks(f),
+                )
             })
             .collect();
-        group.bench_function(BenchmarkId::from_parameter(bench.name), |b| {
-            b.iter(|| {
-                let mut proved = 0usize;
-                for (g, checks) in &prepared {
-                    for (array, index) in checks {
-                        let mut p = DemandProver::new(g, Vertex::ArrayLen(*array));
-                        if p.demand_prove(Vertex::Value(*index), -1) {
-                            proved += 1;
-                        }
+        bench(&format!("demand_prove/suite/{}", bench_prog.name), || {
+            let mut proved = 0usize;
+            for (g, checks) in &prepared {
+                for (array, index) in checks {
+                    let mut p = DemandProver::new(g, Vertex::ArrayLen(*array));
+                    if p.demand_prove(Vertex::Value(*index), -1) {
+                        proved += 1;
                     }
                 }
-                proved
-            })
+            }
+            proved
         });
     }
-    group.finish();
 }
 
-fn bench_chain_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("demand_prove/chain_depth");
+fn bench_chain_scaling() {
     for depth in [4usize, 16, 64, 256] {
         let f = essa_function(&chain_source(depth));
         let g = InequalityGraph::build(&f, Problem::Upper, None);
         let (array, index) = first_upper_check(&f);
-        group.bench_function(BenchmarkId::from_parameter(depth), |b| {
-            b.iter(|| {
-                let mut p = DemandProver::new(&g, Vertex::ArrayLen(array));
-                p.demand_prove(Vertex::Value(index), -1)
-            })
+        bench(&format!("demand_prove/chain_depth/{depth}"), || {
+            let mut p = DemandProver::new(&g, Vertex::ArrayLen(array));
+            p.demand_prove(Vertex::Value(index), -1)
         });
     }
-    group.finish();
 }
 
-fn bench_graph_construction(c: &mut Criterion) {
-    let bench = abcd_benchsuite::by_name("db").unwrap();
-    let mut m = bench.compile().unwrap();
+fn bench_graph_construction() {
+    let bench_prog = abcd_benchsuite::by_name("db").unwrap();
+    let mut m = bench_prog.compile().unwrap();
     abcd_ssa::module_to_essa(&mut m).unwrap();
     let funcs: Vec<Function> = m.functions().map(|(_, f)| f.clone()).collect();
-    c.bench_function("inequality_graph/build_db", |b| {
-        b.iter(|| {
-            funcs
-                .iter()
-                .map(|f| InequalityGraph::build(f, Problem::Upper, None).edge_count())
-                .sum::<usize>()
-        })
+    bench("inequality_graph/build_db", || {
+        funcs
+            .iter()
+            .map(|f| InequalityGraph::build(f, Problem::Upper, None).edge_count())
+            .sum::<usize>()
     });
 }
 
 /// Demand-driven vs. exhaustive cost on the same graphs — the §5 trade-off
 /// the paper's design hinges on.
-fn bench_demand_vs_exhaustive(c: &mut Criterion) {
+fn bench_demand_vs_exhaustive() {
     use abcd::ExhaustiveDistances;
-    let mut group = c.benchmark_group("demand_vs_exhaustive");
     for name in ["db", "jess", "biDirBubbleSort"] {
-        let bench = abcd_benchsuite::by_name(name).unwrap();
-        let mut m = bench.compile().unwrap();
+        let bench_prog = abcd_benchsuite::by_name(name).unwrap();
+        let mut m = bench_prog.compile().unwrap();
         abcd_ssa::module_to_essa(&mut m).unwrap();
         // Largest function by check count.
         let func = m
@@ -152,24 +151,23 @@ fn bench_demand_vs_exhaustive(c: &mut Criterion) {
         let g = InequalityGraph::build(&func, Problem::Upper, None);
         let (array, index) = first_upper_check(&func);
 
-        group.bench_function(BenchmarkId::new("demand_one_check", name), |b| {
-            b.iter(|| {
+        bench(
+            &format!("demand_vs_exhaustive/demand_one_check/{name}"),
+            || {
                 let mut p = DemandProver::new(&g, Vertex::ArrayLen(array));
                 p.demand_prove(Vertex::Value(index), -1)
-            })
-        });
-        group.bench_function(BenchmarkId::new("exhaustive_one_source", name), |b| {
-            b.iter(|| ExhaustiveDistances::compute(&g, Vertex::ArrayLen(array)).steps)
-        });
+            },
+        );
+        bench(
+            &format!("demand_vs_exhaustive/exhaustive_one_source/{name}"),
+            || ExhaustiveDistances::compute(&g, Vertex::ArrayLen(array)).steps,
+        );
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_suite_queries,
-    bench_chain_scaling,
-    bench_graph_construction,
-    bench_demand_vs_exhaustive
-);
-criterion_main!(benches);
+fn main() {
+    bench_suite_queries();
+    bench_chain_scaling();
+    bench_graph_construction();
+    bench_demand_vs_exhaustive();
+}

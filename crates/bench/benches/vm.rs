@@ -1,34 +1,27 @@
-//! Criterion benchmark: interpreter throughput with and without bounds
+//! Micro-benchmark: interpreter throughput with and without bounds
 //! checks — the execution-substrate side of the speedup experiment (E4):
 //! wall-clock interpreter time should improve when checks are removed,
 //! qualitatively matching the model-cycle speedup.
+//!
+//! Run with: `cargo bench -p abcd-bench --bench vm`
 
 use abcd::Optimizer;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use abcd_bench::micro::bench;
 
-fn bench_checked_vs_optimized(c: &mut Criterion) {
-    let mut group = c.benchmark_group("vm/run_main");
+fn main() {
     for name in ["bubbleSort", "array", "sieve"] {
-        let bench = abcd_benchsuite::by_name(name).unwrap();
-        let baseline = bench.compile().unwrap();
-        let mut optimized = bench.compile().unwrap();
+        let b = abcd_benchsuite::by_name(name).unwrap();
+        let baseline = b.compile().unwrap();
+        let mut optimized = b.compile().unwrap();
         Optimizer::new().optimize_module(&mut optimized, None);
 
-        group.bench_function(BenchmarkId::new("checked", name), |b| {
-            b.iter(|| {
-                let mut vm = abcd_vm::Vm::new(&baseline);
-                vm.call_by_name("main", &[]).unwrap()
-            })
+        bench(&format!("vm/run_main/checked/{name}"), || {
+            let mut vm = abcd_vm::Vm::new(&baseline);
+            vm.call_by_name("main", &[]).unwrap()
         });
-        group.bench_function(BenchmarkId::new("optimized", name), |b| {
-            b.iter(|| {
-                let mut vm = abcd_vm::Vm::new(&optimized);
-                vm.call_by_name("main", &[]).unwrap()
-            })
+        bench(&format!("vm/run_main/optimized/{name}"), || {
+            let mut vm = abcd_vm::Vm::new(&optimized);
+            vm.call_by_name("main", &[]).unwrap()
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_checked_vs_optimized);
-criterion_main!(benches);

@@ -4,6 +4,11 @@
 //! paper's headline "45% of dynamic bound check instructions").
 //!
 //! Run with: `cargo run --release -p abcd-bench --bin figure6`
+//!
+//! Pass `--metrics` (and/or `--metrics-out FILE`, `--jobs N`) to also emit
+//! the `abcd-bench-metrics/1` JSON: per-pass timings, solver step and memo
+//! counters per benchmark, and the measured sequential-vs-parallel
+//! wall-clock comparison of the optimize phase.
 
 use abcd::OptimizerOptions;
 use abcd_bench::{bar, evaluate_all};
@@ -49,6 +54,9 @@ fn main() {
     let avg = fractions.iter().sum::<f64>() / fractions.len() as f64;
     println!(
         "{:<18} {:>32.1}%  (paper: ~45% average)",
-        "AVERAGE", avg * 100.0
+        "AVERAGE",
+        avg * 100.0
     );
+
+    abcd_bench::emit_cli_metrics(OptimizerOptions::default());
 }

@@ -37,10 +37,7 @@ fn range_baseline(bench: &abcd_benchsuite::Benchmark) -> f64 {
 
 fn main() {
     let full = OptimizerOptions::default();
-    let no_pre = OptimizerOptions {
-        pre: false,
-        ..full
-    };
+    let no_pre = OptimizerOptions { pre: false, ..full };
     let no_gvn = OptimizerOptions {
         gvn_hook: false,
         ..full
@@ -104,4 +101,6 @@ fn main() {
     println!("address the paper's stated intraprocedural limitation; +VER adds");
     println!("guarded function versioning (the [MMS98]-style code duplication the");
     println!("paper also lists as missing), which is unconditionally sound.");
+
+    abcd_bench::emit_cli_metrics(full);
 }

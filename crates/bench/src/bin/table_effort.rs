@@ -82,11 +82,11 @@ fn main() {
     } else {
         0.0
     };
-    println!(
-        "suite average: {avg:.2} steps/check   (paper: fewer than 10)"
-    );
+    println!("suite average: {avg:.2} steps/check   (paper: fewer than 10)");
     println!(
         "(the exhaustive column is the per-source batch cost the paper's §5\n\
          rejects for dynamic compilation; demand-driven work is per hot check)"
     );
+
+    abcd_bench::emit_cli_metrics(OptimizerOptions::default());
 }

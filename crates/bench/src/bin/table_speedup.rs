@@ -49,4 +49,6 @@ fn main() {
         "Symantec average: {:+.1}%   (paper: about 10% wall-clock)",
         (avg - 1.0) * 100.0
     );
+
+    abcd_bench::emit_cli_metrics(OptimizerOptions::default());
 }

@@ -45,4 +45,6 @@ fn main() {
         "bytemark partially redundant: {:.1}%   (paper: 26%)",
         bytemark.static_partial_fraction() * 100.0
     );
+
+    abcd_bench::emit_cli_metrics(OptimizerOptions::default());
 }

@@ -13,6 +13,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod micro;
+
 use abcd::{CheckOutcome, ModuleReport, Optimizer, OptimizerOptions};
 use abcd_benchsuite::{Benchmark, Group};
 use abcd_ir::FuncId;
@@ -127,7 +129,8 @@ fn evaluate_inner(bench: &Benchmark, options: OptimizerOptions, versioning: bool
 
     // 2. Optimize with the profile.
     let mut optimized_module = bench.compile().expect("benchmark compiles");
-    let report = Optimizer::with_options(options).optimize_module(&mut optimized_module, Some(&profile));
+    let report =
+        Optimizer::with_options(options).optimize_module(&mut optimized_module, Some(&profile));
     if versioning {
         abcd::version_functions(&mut optimized_module, Some(&profile), 1);
     }
@@ -150,8 +153,9 @@ fn evaluate_inner(bench: &Benchmark, options: OptimizerOptions, versioning: bool
             let count = profile.site_count(fid, *site);
             match outcome {
                 CheckOutcome::RemovedFully { local: true, .. } => local += count,
-                CheckOutcome::RemovedFully { local: false, .. }
-                | CheckOutcome::Hoisted { .. } => global += count,
+                CheckOutcome::RemovedFully { local: false, .. } | CheckOutcome::Hoisted { .. } => {
+                    global += count
+                }
                 _ => {}
             }
         }
@@ -174,6 +178,182 @@ pub fn evaluate_all(options: OptimizerOptions) -> Vec<BenchResult> {
         .iter()
         .map(|b| evaluate(b, options))
         .collect()
+}
+
+/// Number of kernel functions in the [`stress_module`] used for the
+/// wall-clock speedup measurement.
+pub const STRESS_FUNCTIONS: usize = 24;
+
+/// A synthetic module of [`STRESS_FUNCTIONS`] analysis-heavy kernels.
+///
+/// The benchsuite modules are too small for a parallel-vs-sequential
+/// wall-clock comparison: optimizing a whole program takes well under a
+/// millisecond in release mode, so worker startup dominates. This module
+/// gives the pool enough per-function work to amortize it.
+pub fn stress_module() -> abcd_ir::Module {
+    use std::fmt::Write as _;
+    let mut src = String::new();
+    for i in 0..STRESS_FUNCTIONS {
+        let _ = write!(
+            src,
+            "fn k{i}(a: int[], b: int[]) -> int {{
+                let s: int = 0;
+                for (let i: int = 0; i < a.length; i = i + 1) {{
+                    for (let j: int = 0; j < b.length; j = j + 1) {{
+                        if (i + j < a.length) {{ s = s + a[i + j] - b[j]; }}
+                        if (j <= i) {{ s = s + b[i - j]; }}
+                    }}
+                    let k: int = a.length - 1;
+                    while (k >= i) {{
+                        s = s + a[k] - a[i];
+                        k = k - 1;
+                    }}
+                }}
+                return s;
+            }}
+            "
+        );
+    }
+    src.push_str("fn main() -> int { return 0; }\n");
+    abcd_frontend::compile(&src).expect("stress module compiles")
+}
+
+/// Measures the optimize phase of `benches` at one worker and at
+/// `threads` workers and renders the comparison — plus each benchmark's
+/// `abcd-metrics/1` object from the parallel run — as one JSON document
+/// (schema `abcd-bench-metrics/1`).
+///
+/// The headline `speedup` is measured on [`stress_module`] (best of three
+/// runs per configuration); the tiny real-suite walls are reported
+/// alongside as `suite_*`. Training runs are shared between the two
+/// configurations so the timed region is exactly
+/// `Optimizer::optimize_module`.
+pub fn metrics_json_for(
+    benches: &[Benchmark],
+    options: OptimizerOptions,
+    threads: usize,
+) -> String {
+    use std::fmt::Write as _;
+    use std::time::{Duration, Instant};
+
+    let threads = threads.max(2);
+
+    let stress_wall = |workers: usize| -> Duration {
+        (0..3)
+            .map(|_| {
+                let mut module = stress_module();
+                let started = Instant::now();
+                Optimizer::with_options(options)
+                    .with_threads(workers)
+                    .optimize_module(&mut module, None);
+                started.elapsed()
+            })
+            .min()
+            .unwrap()
+    };
+    let stress_seq = stress_wall(1);
+    let stress_par = stress_wall(threads);
+    let trained: Vec<(&Benchmark, Profile)> = benches
+        .iter()
+        .map(|b| {
+            let m = b.compile().expect("benchmark compiles");
+            let mut vm = Vm::new(&m);
+            vm.call_by_name("main", &[]).expect("training run");
+            (b, vm.into_profile())
+        })
+        .collect();
+
+    let optimize_suite = |workers: usize| -> (Duration, Vec<(Duration, ModuleReport)>) {
+        let mut total = Duration::ZERO;
+        let mut per_bench = Vec::with_capacity(trained.len());
+        for (bench, profile) in &trained {
+            let mut module = bench.compile().expect("benchmark compiles");
+            let started = Instant::now();
+            let report = Optimizer::with_options(options)
+                .with_threads(workers)
+                .optimize_module(&mut module, Some(profile));
+            let wall = started.elapsed();
+            total += wall;
+            per_bench.push((wall, report));
+        }
+        (total, per_bench)
+    };
+
+    let (suite_seq, _) = optimize_suite(1);
+    let (suite_par, par_reports) = optimize_suite(threads);
+
+    let seq_us = stress_seq.as_micros();
+    let par_us = stress_par.as_micros();
+    let speedup = seq_us as f64 / (par_us.max(1)) as f64;
+    let suite_seq_us = suite_seq.as_micros();
+    let suite_par_us = suite_par.as_micros();
+    let suite_speedup = suite_seq_us as f64 / (suite_par_us.max(1)) as f64;
+
+    // With fewer host CPUs than workers a speedup below 1.0 is expected
+    // (the pool can only tie on one core); record the host parallelism so
+    // the walls are interpretable.
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let mut out = String::from("{\"schema\":\"abcd-bench-metrics/1\"");
+    let _ = write!(
+        out,
+        ",\"parallel\":{{\"threads\":{threads},\"host_cpus\":{host_cpus},\
+         \"stress_functions\":{STRESS_FUNCTIONS},\
+         \"sequential_wall_us\":{seq_us},\"parallel_wall_us\":{par_us},\
+         \"speedup\":\"{speedup:.4}\",\
+         \"suite_sequential_wall_us\":{suite_seq_us},\
+         \"suite_parallel_wall_us\":{suite_par_us},\
+         \"suite_speedup\":\"{suite_speedup:.4}\"}}"
+    );
+    out.push_str(",\"benchmarks\":[");
+    for (i, ((bench, _), (wall, report))) in trained.iter().zip(&par_reports).enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let metrics = abcd::module_metrics_json(
+            report,
+            abcd::RunInfo {
+                threads,
+                wall_time: *wall,
+            },
+        );
+        let _ = write!(out, "{{\"name\":\"{}\",\"metrics\":{metrics}}}", bench.name);
+    }
+    out.push_str("]}");
+    out
+}
+
+/// [`metrics_json_for`] over the whole benchmark suite.
+pub fn suite_metrics_json(options: OptimizerOptions, threads: usize) -> String {
+    metrics_json_for(abcd_benchsuite::BENCHMARKS, options, threads)
+}
+
+/// Shared CLI tail of the experiment binaries: when `--metrics` or
+/// `--metrics-out FILE` was passed, re-optimizes the suite at one worker
+/// and at `--jobs N` workers (default and minimum 2) and emits the
+/// `abcd-bench-metrics/1` comparison JSON after the table.
+pub fn emit_cli_metrics(options: OptimizerOptions) {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let value_of = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+    };
+    let to_file = value_of("--metrics-out").cloned();
+    let print = args.iter().any(|a| a == "--metrics");
+    if !print && to_file.is_none() {
+        return;
+    }
+    let threads = value_of("--jobs").and_then(|v| v.parse().ok()).unwrap_or(2);
+    let json = suite_metrics_json(options, threads);
+    if let Some(path) = &to_file {
+        if let Err(e) = std::fs::write(path, format!("{json}\n")) {
+            eprintln!("metrics: {path}: {e}");
+        }
+    }
+    if print {
+        println!("{json}");
+    }
 }
 
 /// Renders a simple ASCII bar of `frac` (0..=1) of width `width`.
@@ -201,6 +381,30 @@ mod tests {
         assert!(
             r.dynamic_upper_removed_local + r.dynamic_upper_removed_global
                 <= r.baseline.dynamic_upper_checks()
+        );
+    }
+
+    #[test]
+    fn metrics_json_compares_sequential_and_parallel_walls() {
+        let json = metrics_json_for(
+            &abcd_benchsuite::BENCHMARKS[..2],
+            OptimizerOptions::default(),
+            2,
+        );
+        assert!(
+            json.starts_with("{\"schema\":\"abcd-bench-metrics/1\""),
+            "{json}"
+        );
+        assert!(json.contains("\"parallel\":{\"threads\":2"), "{json}");
+        assert!(json.contains("\"sequential_wall_us\":"), "{json}");
+        assert!(json.contains("\"parallel_wall_us\":"), "{json}");
+        assert!(json.contains("\"speedup\":\""), "{json}");
+        // Each of the two benchmarks embeds a full abcd-metrics/1 object.
+        assert_eq!(
+            json.matches("\"metrics\":{\"schema\":\"abcd-metrics/1\"")
+                .count(),
+            2,
+            "{json}"
         );
     }
 

@@ -1,0 +1,60 @@
+//! A tiny dependency-free micro-benchmark harness.
+//!
+//! The repository must build and test with no network access, so the
+//! `cargo bench` targets cannot depend on criterion. This module provides
+//! the small subset we need: warm-up, automatic iteration scaling to a
+//! target measurement window, and a median-of-samples report in ns/iter.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Samples collected per benchmark; the median is reported.
+const SAMPLES: usize = 5;
+/// Target wall-clock time for one sample.
+const TARGET: Duration = Duration::from_millis(40);
+
+/// Runs `f` repeatedly and prints a `name ... ns/iter` line.
+///
+/// The return value of `f` is passed through [`black_box`] so the work
+/// cannot be optimized away. Returns the median nanoseconds per iteration
+/// so callers can post-process (e.g. the metrics JSON emitters).
+pub fn bench<R>(name: &str, mut f: impl FnMut() -> R) -> f64 {
+    // Warm-up and calibration: find an iteration count that fills TARGET.
+    let mut iters: u64 = 1;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let elapsed = start.elapsed();
+        if elapsed >= TARGET || iters >= 1 << 24 {
+            break;
+        }
+        let grow = (TARGET.as_secs_f64() / elapsed.as_secs_f64().max(1e-9)).ceil();
+        iters = (iters.saturating_mul(grow as u64)).clamp(iters + 1, 1 << 24);
+    }
+
+    let mut samples = [0f64; SAMPLES];
+    for s in samples.iter_mut() {
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        *s = start.elapsed().as_secs_f64() * 1e9 / iters as f64;
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let median = samples[SAMPLES / 2];
+    println!("{name:<48} {median:>14.1} ns/iter  ({iters} iters/sample)");
+    median
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_reports_positive_time() {
+        let ns = bench("selftest/noop_sum", || (0..64u64).sum::<u64>());
+        assert!(ns > 0.0);
+    }
+}

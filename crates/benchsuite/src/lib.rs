@@ -162,7 +162,10 @@ mod tests {
             .iter()
             .filter(|b| b.group == Group::Symantec)
             .count();
-        let other = BENCHMARKS.iter().filter(|b| b.group == Group::Other).count();
+        let other = BENCHMARKS
+            .iter()
+            .filter(|b| b.group == Group::Other)
+            .count();
         assert_eq!((spec, sym, other), (5, 7, 3));
     }
 }

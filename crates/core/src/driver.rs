@@ -11,12 +11,12 @@ use crate::graph::{InequalityGraph, Problem, Vertex};
 use crate::pre::{apply_insertions, merge_remaining_checks};
 use crate::report::{CheckOutcome, FunctionReport, ModuleReport};
 use crate::solver::{DemandProver, PreOutcome, PreProver};
-use abcd_ir::{
-    Block, CheckKind, CheckSite, FuncId, Function, InstId, InstKind, Module, Value,
-};
+use abcd_ir::{Block, CheckKind, CheckSite, FuncId, Function, InstId, InstKind, Module, Value};
 use abcd_ssa::DomTree;
 use abcd_vm::Profile;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// Tuning knobs for the optimizer.
@@ -65,6 +65,12 @@ impl Default for OptimizerOptions {
 
 /// The ABCD optimizer.
 ///
+/// Functions are independent units of work, so [`Optimizer::with_threads`]
+/// runs the per-function pipeline (SSA → e-SSA → graphs → `demandProve` →
+/// PRE → rewrite) across a module's functions on a scoped-thread work pool.
+/// Reports merge in function order, and the optimized IR is identical to a
+/// sequential run — workers share nothing but the job queue.
+///
 /// # Example
 ///
 /// ```
@@ -85,6 +91,8 @@ impl Default for OptimizerOptions {
 #[derive(Clone, Debug, Default)]
 pub struct Optimizer {
     options: OptimizerOptions,
+    /// Worker threads for `optimize_module` (0 and 1 both mean sequential).
+    threads: usize,
 }
 
 impl Optimizer {
@@ -95,7 +103,16 @@ impl Optimizer {
 
     /// An optimizer with explicit options.
     pub fn with_options(options: OptimizerOptions) -> Self {
-        Optimizer { options }
+        Optimizer {
+            options,
+            threads: 0,
+        }
+    }
+
+    /// Sets the number of worker threads `optimize_module` may use.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 
     /// The active options.
@@ -103,34 +120,90 @@ impl Optimizer {
         &self.options
     }
 
+    /// The effective worker-thread count (at least 1).
+    pub fn threads(&self) -> usize {
+        self.threads.max(1)
+    }
+
     /// Optimizes every function of `module` (which must be in locals form or
     /// plain SSA — the driver builds SSA/e-SSA itself). A [`Profile`] from a
     /// prior training run drives hot-check selection and PRE profitability.
     pub fn optimize_module(&self, module: &mut Module, profile: Option<&Profile>) -> ModuleReport {
         let mut report = ModuleReport::default();
-        let ids: Vec<FuncId> = module.functions().map(|(id, _)| id).collect();
         if !self.options.interprocedural {
-            for id in ids {
-                let func = module.function_mut(id);
-                report.functions.push(self.optimize_function(func, id, profile));
-            }
+            report.functions =
+                self.map_functions(module, |id, func| self.optimize_function(func, id, profile));
             return report;
         }
         // Interprocedural mode: prepare every function first, infer the
-        // parameter-fact fixpoint over the whole module, then analyze each
-        // function under its verified assumptions.
-        let mut gvns = Vec::new();
-        for &id in &ids {
-            gvns.push(self.prepare_function(module.function_mut(id)));
-        }
+        // parameter-fact fixpoint over the whole module (inherently a
+        // sequential whole-module step), then analyze each function under
+        // its verified assumptions.
+        let prepared = self.map_functions(module, |_, func| self.prepare_function(func));
         let facts = crate::interproc::infer_param_facts(module);
-        for (id, gvn) in ids.into_iter().zip(gvns) {
-            let func = module.function_mut(id);
-            report
-                .functions
-                .push(self.analyze_function(func, id, profile, gvn, facts.of(id)));
-        }
+        let prepared: Vec<Mutex<Option<PreparedGvn>>> =
+            prepared.into_iter().map(|g| Mutex::new(Some(g))).collect();
+        report.functions = self.map_functions(module, |id, func| {
+            let gvn = prepared[id.index()]
+                .lock()
+                .expect("prepared state lock")
+                .take()
+                .expect("each function analyzed once");
+            self.analyze_function(func, id, profile, gvn, facts.of(id))
+        });
         report
+    }
+
+    /// Applies `f` to every function and collects the results in function
+    /// order — on this thread, or on a scoped work pool when
+    /// [`with_threads`](Optimizer::with_threads) asked for more than one
+    /// worker. Each function is claimed by exactly one worker off a shared
+    /// atomic cursor; results land in per-function slots, so the merged
+    /// output is deterministic regardless of scheduling.
+    fn map_functions<T, F>(&self, module: &mut Module, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(FuncId, &mut Function) -> T + Sync,
+    {
+        let n = module.function_count();
+        let threads = self.threads().min(n.max(1));
+        if threads <= 1 {
+            return module
+                .functions_mut()
+                .map(|(id, func)| f(id, func))
+                .collect();
+        }
+        let jobs: Vec<Mutex<Option<(FuncId, &mut Function)>>> = module
+            .functions_mut()
+            .map(|j| Mutex::new(Some(j)))
+            .collect();
+        let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let (id, func) = jobs[i]
+                        .lock()
+                        .expect("job lock")
+                        .take()
+                        .expect("each job claimed once");
+                    let out = f(id, func);
+                    *results[i].lock().expect("result lock") = Some(out);
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .expect("result lock")
+                    .expect("every job completed")
+            })
+            .collect()
     }
 
     /// Optimizes a single function. `func_id` keys profile lookups.
@@ -146,6 +219,7 @@ impl Optimizer {
 
     /// Stages 1–3 of Figure 2: SSA construction, basic cleanup, e-SSA.
     fn prepare_function(&self, func: &mut Function) -> PreparedGvn {
+        let prepare_started = Instant::now();
         let opts = &self.options;
         let mut cleanup_stats = abcd_analysis::CleanupStats::default();
         abcd_ssa::split_critical_edges(func);
@@ -176,6 +250,7 @@ impl Optimizer {
         PreparedGvn {
             gvn,
             cleanup: cleanup_stats,
+            prepare_time: prepare_started.elapsed(),
         }
     }
 
@@ -194,9 +269,11 @@ impl Optimizer {
         let mut report = FunctionReport::new(func.name());
         report.cleanup = prepared.cleanup;
         report.param_facts_used = facts.len();
+        report.metrics.prepare_time = prepared.prepare_time;
         let gvn = prepared.gvn;
 
         // 4: the two sparse constraint systems.
+        let graph_started = Instant::now();
         let mut upper_graph = InequalityGraph::build(func, Problem::Upper, None);
         let mut lower_graph = InequalityGraph::build(func, Problem::Lower, None);
         crate::interproc::apply_facts(facts, func, &mut upper_graph);
@@ -204,6 +281,11 @@ impl Optimizer {
         let upper_graph = upper_graph;
         let lower_graph = lower_graph;
         let dt = DomTree::compute(func);
+        report.metrics.graph_build_time = graph_started.elapsed();
+        report.metrics.upper_vertices = upper_graph.vertex_count();
+        report.metrics.upper_edges = upper_graph.edge_count();
+        report.metrics.lower_vertices = lower_graph.vertex_count();
+        report.metrics.lower_edges = lower_graph.edge_count();
 
         // The checks, in program order, hottest-first when profiled.
         let mut checks: Vec<(Block, InstId, CheckSite, Value, Value, CheckKind)> = Vec::new();
@@ -228,9 +310,16 @@ impl Optimizer {
         }
 
         // Provers are cached per source vertex so memoization spans all
-        // checks against the same array (or the constant 0).
+        // checks against the same array (or the constant 0) — including the
+        // PRE provers, whose exact-match memo is equally reusable.
         let mut upper_provers: HashMap<Value, DemandProver> = HashMap::new();
         let mut lower_prover = DemandProver::new(&lower_graph, Vertex::Const(0));
+        let freq_fn = profile.map(|p| move |b: Block| p.block_count(func_id, b));
+        let freq_dyn: Option<&dyn Fn(Block) -> u64> = match &freq_fn {
+            Some(f) => Some(f),
+            None => None,
+        };
+        let mut pre_provers: HashMap<(Problem, Vertex), PreProver> = HashMap::new();
         // Block-restricted graphs for the local/global classification.
         let mut local_graphs: HashMap<(Block, Problem), InequalityGraph> = HashMap::new();
 
@@ -257,8 +346,7 @@ impl Optimizer {
             let started = Instant::now();
             let mut spent_steps = 0u64;
 
-            let (problem, source, c, graph): (Problem, Vertex, i64, &InequalityGraph) = match kind
-            {
+            let (problem, source, c, graph): (Problem, Vertex, i64, &InequalityGraph) = match kind {
                 CheckKind::Upper | CheckKind::Both => {
                     (Problem::Upper, Vertex::ArrayLen(array), -1, &upper_graph)
                 }
@@ -267,13 +355,22 @@ impl Optimizer {
             // `Both` checks need both proofs; handle the common single-kind
             // cases first and fall back for Both.
             let mut proven = match kind {
-                CheckKind::Upper => {
-                    prove_upper(&upper_graph, &mut upper_provers, &mut spent_steps, array, index)
-                }
+                CheckKind::Upper => prove_upper(
+                    &upper_graph,
+                    &mut upper_provers,
+                    &mut spent_steps,
+                    array,
+                    index,
+                ),
                 CheckKind::Lower => prove_lower(&mut lower_prover, &mut spent_steps, index),
                 CheckKind::Both => {
-                    prove_upper(&upper_graph, &mut upper_provers, &mut spent_steps, array, index)
-                        && prove_lower(&mut lower_prover, &mut spent_steps, index)
+                    prove_upper(
+                        &upper_graph,
+                        &mut upper_provers,
+                        &mut spent_steps,
+                        array,
+                        index,
+                    ) && prove_lower(&mut lower_prover, &mut spent_steps, index)
                 }
             };
             let mut via_congruence = false;
@@ -281,8 +378,13 @@ impl Optimizer {
             // §7.1: on upper-check failure, retry against congruent arrays.
             if !proven && opts.gvn_hook && matches!(kind, CheckKind::Upper) {
                 for other in abcd_analysis::congruent_arrays(func, &gvn, &dt, array, block) {
-                    if prove_upper(&upper_graph, &mut upper_provers, &mut spent_steps, other, index)
-                    {
+                    if prove_upper(
+                        &upper_graph,
+                        &mut upper_provers,
+                        &mut spent_steps,
+                        other,
+                        index,
+                    ) {
                         proven = true;
                         via_congruence = true;
                         break;
@@ -293,15 +395,29 @@ impl Optimizer {
             let outcome = if proven {
                 to_remove.push((block, inst));
                 let local = opts.classify_local
-                    && self.provable_locally(func, block, problem, source, index, c, &mut local_graphs);
+                    && self.provable_locally(
+                        func,
+                        block,
+                        problem,
+                        source,
+                        index,
+                        c,
+                        &mut local_graphs,
+                    );
+                report.metrics.solve_time += started.elapsed();
                 CheckOutcome::RemovedFully {
                     local,
                     via_congruence,
                 }
             } else if opts.pre && kind != CheckKind::Both {
-                let (result, pre_steps) =
-                    self.try_pre(func_id, profile, site, graph, source, index, c);
+                report.metrics.solve_time += started.elapsed();
+                let pre_started = Instant::now();
+                let prover = pre_provers
+                    .entry((problem, source))
+                    .or_insert_with(|| PreProver::new(graph, source, freq_dyn));
+                let (result, pre_steps) = self.try_pre(func_id, profile, site, prover, index, c);
                 report.pre_steps += pre_steps;
+                report.metrics.pre_time += pre_started.elapsed();
                 match result {
                     Some(points) => {
                         let n = points.len();
@@ -311,6 +427,7 @@ impl Optimizer {
                     None => CheckOutcome::Kept,
                 }
             } else {
+                report.metrics.solve_time += started.elapsed();
                 CheckOutcome::Kept
             };
 
@@ -319,10 +436,22 @@ impl Optimizer {
             report.record(site, kind, outcome);
         }
 
+        for p in upper_provers.values() {
+            report.metrics.memo_hits += p.memo_hits;
+            report.metrics.memo_misses += p.memo_misses;
+        }
+        report.metrics.memo_hits += lower_prover.memo_hits;
+        report.metrics.memo_misses += lower_prover.memo_misses;
+        for p in pre_provers.values() {
+            report.metrics.pre_memo_hits += p.memo_hits;
+            report.metrics.pre_memo_misses += p.memo_misses;
+        }
         drop(upper_provers);
         drop(lower_prover);
+        drop(pre_provers);
 
         // 5: transform.
+        let transform_started = Instant::now();
         for (b, id) in to_remove {
             func.remove_inst(b, id);
         }
@@ -332,38 +461,34 @@ impl Optimizer {
         if opts.merge_checks {
             report.checks_merged = merge_remaining_checks(func);
         }
+        report.metrics.transform_time = transform_started.elapsed();
         debug_assert_eq!(abcd_ir::verify_function(func, None), Ok(()));
         report
     }
 
     /// PRE: query with insertion collection and test profitability (§6.1).
-    #[allow(clippy::too_many_arguments)]
+    /// The prover is cached per `(problem, source)` by the caller so its
+    /// memo spans every failed check against the same source.
     fn try_pre(
         &self,
         func_id: FuncId,
         profile: Option<&Profile>,
         site: CheckSite,
-        graph: &InequalityGraph,
-        source: Vertex,
+        prover: &mut PreProver,
         index: Value,
         c: i64,
     ) -> (Option<Vec<crate::solver::InsertionPoint>>, u64) {
-        let freq_fn = profile.map(|p| {
-            move |b: Block| p.block_count(func_id, b)
-        });
-        let freq_dyn: Option<&dyn Fn(Block) -> u64> = match &freq_fn {
-            Some(f) => Some(f),
-            None => None,
-        };
-        let mut prover = PreProver::new(graph, source, freq_dyn);
+        let steps_before = prover.steps;
         let outcome = prover.demand_prove(Vertex::Value(index), c);
-        let steps = prover.steps;
+        let steps = prover.steps - steps_before;
         let result = match outcome {
             PreOutcome::ProvenWithInsertions(points) => {
                 let profitable = match profile {
                     Some(p) => {
-                        let cost: u64 =
-                            points.iter().map(|pt| p.block_count(func_id, pt.pred)).sum();
+                        let cost: u64 = points
+                            .iter()
+                            .map(|pt| p.block_count(func_id, pt.pred))
+                            .sum();
                         let benefit = p.site_count(func_id, site);
                         cost < benefit
                     }
@@ -432,6 +557,7 @@ fn prove_lower(prover: &mut DemandProver, spent: &mut u64, index: Value) -> bool
 struct PreparedGvn {
     gvn: abcd_analysis::GvnResult,
     cleanup: abcd_analysis::CleanupStats,
+    prepare_time: std::time::Duration,
 }
 
 fn has_pi(func: &Function) -> bool {
@@ -504,10 +630,7 @@ mod tests {
     fn local_classification_flags_same_block_proofs() {
         // a[i] then a[i] again: the second access' checks are provable from
         // the first's π constraints, all within one block.
-        let mut m = compile(
-            "fn f(a: int[], i: int) -> int { return a[i] + a[i]; }",
-        )
-        .unwrap();
+        let mut m = compile("fn f(a: int[], i: int) -> int { return a[i] + a[i]; }").unwrap();
         let report = Optimizer::new().optimize_module(&mut m, None);
         let f = &report.functions[0];
         let locals = f

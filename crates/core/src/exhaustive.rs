@@ -239,10 +239,7 @@ mod tests {
         for b in f.blocks() {
             for &id in f.block(b).insts() {
                 if let InstKind::BoundsCheck {
-                    array,
-                    index,
-                    kind,
-                    ..
+                    array, index, kind, ..
                 } = f.inst(id).kind
                 {
                     out.push((array, index, kind));
@@ -308,10 +305,7 @@ mod tests {
                     let d = demand.demand_prove(Vertex::Value(index), c);
                     let ex = ExhaustiveDistances::compute(&g, source);
                     let e = ex.proves(&g, Vertex::Value(index), c);
-                    assert_eq!(
-                        d, e,
-                        "{problem:?} disagreement on {index} in\n{src}\n{f}"
-                    );
+                    assert_eq!(d, e, "{problem:?} disagreement on {index} in\n{src}\n{f}");
                 }
             }
         }

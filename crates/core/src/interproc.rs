@@ -285,9 +285,7 @@ mod tests {
         );
         let facts = infer_param_facts(&m);
         let get = m.function_by_name("get").unwrap();
-        assert!(facts
-            .of(get)
-            .contains(&ParamFact::NonNegative { param: 1 }));
+        assert!(facts.of(get).contains(&ParamFact::NonNegative { param: 1 }));
         assert!(facts
             .of(get)
             .contains(&ParamFact::WithinBounds { param: 1, array: 0 }));
@@ -332,7 +330,9 @@ mod tests {
             "{:?}",
             facts.of(walk)
         );
-        assert!(facts.of(walk).contains(&ParamFact::NonNegative { param: 1 }));
+        assert!(facts
+            .of(walk)
+            .contains(&ParamFact::NonNegative { param: 1 }));
     }
 
     #[test]

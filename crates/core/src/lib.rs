@@ -57,16 +57,18 @@ mod driver;
 mod exhaustive;
 mod graph;
 pub mod interproc;
-pub mod versioning;
+pub mod metrics;
 mod pre;
 mod report;
 mod solver;
+pub mod versioning;
 
 pub use driver::{Optimizer, OptimizerOptions};
 pub use exhaustive::ExhaustiveDistances;
-pub use interproc::{infer_param_facts, ModuleFacts, ParamFact};
-pub use versioning::{version_functions, VersioningReport};
 pub use graph::{InEdge, InequalityGraph, Problem, Vertex, VertexId};
+pub use interproc::{infer_param_facts, ModuleFacts, ParamFact};
+pub use metrics::{module_metrics_json, FunctionMetrics, RunInfo};
 pub use pre::{apply_insertions, merge_remaining_checks};
 pub use report::{CheckOutcome, FunctionReport, ModuleReport};
 pub use solver::{DemandProver, InsertionPoint, Lattice, PreOutcome, PreProver};
+pub use versioning::{version_functions, VersioningReport};

@@ -1,0 +1,277 @@
+//! Observability for the optimization pipeline: per-pass wall time, solver
+//! effort, memo effectiveness, and constraint-graph sizes, with a
+//! dependency-free JSON emitter.
+//!
+//! The driver fills a [`FunctionMetrics`] per function (stored on its
+//! [`FunctionReport`](crate::report::FunctionReport)); [`module_metrics_json`]
+//! renders the whole run — including the worker-thread count and measured
+//! wall-clock time — in the stable `abcd-metrics/1` schema consumed by the
+//! `mjc` CLI and the bench binaries.
+//!
+//! # Schema (`abcd-metrics/1`)
+//!
+//! ```json
+//! {
+//!   "schema": "abcd-metrics/1",
+//!   "threads": 2,
+//!   "wall_time_us": 1234,
+//!   "totals": {
+//!     "functions": 3, "checks_total": 10, "removed_fully": 6,
+//!     "hoisted": 1, "steps": 57, "pre_steps": 12,
+//!     "memo_hits": 20, "memo_misses": 37, "memo_hit_rate": 0.3508,
+//!     "prepare_us": 10, "graph_build_us": 5, "solve_us": 3,
+//!     "pre_us": 2, "transform_us": 1
+//!   },
+//!   "functions": [ { "name": "f", ... , "graph": {...}, "times_us": {...} } ]
+//! }
+//! ```
+//!
+//! All durations are integer microseconds; `memo_hit_rate` is
+//! `hits / (hits + misses)` (0 when no queries ran).
+
+use crate::report::ModuleReport;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// Pipeline observability for one function, recorded by the driver.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FunctionMetrics {
+    /// Stages 1–3: SSA construction, cleanup, e-SSA π insertion.
+    pub prepare_time: Duration,
+    /// Stage 4: building the upper and lower inequality graphs.
+    pub graph_build_time: Duration,
+    /// Stage 5a: `demandProve` queries (including §7.1 congruence retries
+    /// and the local/global classification probes).
+    pub solve_time: Duration,
+    /// Stage 5b: the PRE-collecting pass over failed checks (§6).
+    pub pre_time: Duration,
+    /// Stage 5c: applying removals, insertions, and check merging.
+    pub transform_time: Duration,
+    /// Upper-problem graph size.
+    pub upper_vertices: usize,
+    /// Upper-problem edge count.
+    pub upper_edges: usize,
+    /// Lower-problem graph size.
+    pub lower_vertices: usize,
+    /// Lower-problem edge count.
+    pub lower_edges: usize,
+    /// Memo-table hits across the function's demand provers.
+    pub memo_hits: u64,
+    /// Memo-table misses (traversals) across the function's demand provers.
+    pub memo_misses: u64,
+    /// Memo hits of the PRE provers.
+    pub pre_memo_hits: u64,
+    /// Memo misses of the PRE provers.
+    pub pre_memo_misses: u64,
+}
+
+impl FunctionMetrics {
+    /// Total pipeline time for this function.
+    pub fn total_time(&self) -> Duration {
+        self.prepare_time
+            + self.graph_build_time
+            + self.solve_time
+            + self.pre_time
+            + self.transform_time
+    }
+
+    /// Memo hit rate of the demand provers (0 when no queries ran).
+    pub fn memo_hit_rate(&self) -> f64 {
+        hit_rate(self.memo_hits, self.memo_misses)
+    }
+}
+
+fn hit_rate(hits: u64, misses: u64) -> f64 {
+    let total = hits + misses;
+    if total == 0 {
+        0.0
+    } else {
+        hits as f64 / total as f64
+    }
+}
+
+/// Run-level facts the report itself does not know: how the module was
+/// driven and how long the whole optimization took end to end.
+#[derive(Clone, Copy, Debug)]
+pub struct RunInfo {
+    /// Worker threads the driver used.
+    pub threads: usize,
+    /// End-to-end wall-clock time of `optimize_module` as measured by the
+    /// caller (covers scheduling overhead the per-pass times do not).
+    pub wall_time: Duration,
+}
+
+// ---- JSON emission (no dependencies) -----------------------------------
+
+/// Escapes `s` as a JSON string literal body.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn us(d: Duration) -> u128 {
+    d.as_micros()
+}
+
+/// Renders a finite float with enough precision for a rate; JSON has no
+/// NaN/Inf, so non-finite values degrade to 0.
+fn rate(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.4}")
+    } else {
+        "0".to_string()
+    }
+}
+
+/// Renders one function's metrics object.
+fn function_json(report: &crate::report::FunctionReport, out: &mut String) {
+    let m = &report.metrics;
+    let _ = write!(
+        out,
+        "{{\"name\":\"{}\",\"checks_total\":{},\"removed_fully\":{},\"hoisted\":{},\
+         \"steps\":{},\"pre_steps\":{},\
+         \"memo_hits\":{},\"memo_misses\":{},\"memo_hit_rate\":{},\
+         \"pre_memo_hits\":{},\"pre_memo_misses\":{},\
+         \"graph\":{{\"upper_vertices\":{},\"upper_edges\":{},\
+         \"lower_vertices\":{},\"lower_edges\":{}}},\
+         \"times_us\":{{\"prepare\":{},\"graph_build\":{},\"solve\":{},\
+         \"pre\":{},\"transform\":{},\"total\":{}}}}}",
+        escape(&report.name),
+        report.checks_total,
+        report.removed_fully(),
+        report.hoisted(),
+        report.steps,
+        report.pre_steps,
+        m.memo_hits,
+        m.memo_misses,
+        rate(m.memo_hit_rate()),
+        m.pre_memo_hits,
+        m.pre_memo_misses,
+        m.upper_vertices,
+        m.upper_edges,
+        m.lower_vertices,
+        m.lower_edges,
+        us(m.prepare_time),
+        us(m.graph_build_time),
+        us(m.solve_time),
+        us(m.pre_time),
+        us(m.transform_time),
+        us(m.total_time()),
+    );
+}
+
+/// Renders the `abcd-metrics/1` JSON document for one optimized module.
+pub fn module_metrics_json(report: &ModuleReport, run: RunInfo) -> String {
+    let mut hits = 0u64;
+    let mut misses = 0u64;
+    let mut prepare = Duration::ZERO;
+    let mut graph_build = Duration::ZERO;
+    let mut solve = Duration::ZERO;
+    let mut pre = Duration::ZERO;
+    let mut transform = Duration::ZERO;
+    for f in &report.functions {
+        hits += f.metrics.memo_hits + f.metrics.pre_memo_hits;
+        misses += f.metrics.memo_misses + f.metrics.pre_memo_misses;
+        prepare += f.metrics.prepare_time;
+        graph_build += f.metrics.graph_build_time;
+        solve += f.metrics.solve_time;
+        pre += f.metrics.pre_time;
+        transform += f.metrics.transform_time;
+    }
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"schema\":\"abcd-metrics/1\",\"threads\":{},\"wall_time_us\":{},\
+         \"totals\":{{\"functions\":{},\"checks_total\":{},\"removed_fully\":{},\
+         \"hoisted\":{},\"steps\":{},\"pre_steps\":{},\
+         \"memo_hits\":{},\"memo_misses\":{},\"memo_hit_rate\":{},\
+         \"prepare_us\":{},\"graph_build_us\":{},\"solve_us\":{},\
+         \"pre_us\":{},\"transform_us\":{}}},\"functions\":[",
+        run.threads,
+        us(run.wall_time),
+        report.functions.len(),
+        report.checks_total(),
+        report.checks_removed_fully(),
+        report.checks_hoisted(),
+        report.steps(),
+        report.pre_steps(),
+        hits,
+        misses,
+        rate(hit_rate(hits, misses)),
+        us(prepare),
+        us(graph_build),
+        us(solve),
+        us(pre),
+        us(transform),
+    );
+    for (i, f) in report.functions.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        function_json(f, &mut out);
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape("x\ny"), "x\\ny");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn hit_rate_is_safe_on_zero() {
+        assert_eq!(hit_rate(0, 0), 0.0);
+        assert_eq!(hit_rate(1, 1), 0.5);
+        assert_eq!(rate(f64::NAN), "0");
+    }
+
+    #[test]
+    fn module_json_has_schema_and_balances() {
+        let mut report = ModuleReport::default();
+        let mut f = crate::report::FunctionReport::new("f\"1");
+        f.checks_total = 2;
+        f.metrics.memo_hits = 3;
+        f.metrics.memo_misses = 1;
+        report.functions.push(f);
+        let json = module_metrics_json(
+            &report,
+            RunInfo {
+                threads: 2,
+                wall_time: Duration::from_micros(7),
+            },
+        );
+        assert!(json.starts_with("{\"schema\":\"abcd-metrics/1\""));
+        assert!(json.contains("\"threads\":2"));
+        assert!(json.contains("\"wall_time_us\":7"));
+        assert!(json.contains("\"name\":\"f\\\"1\""));
+        assert!(json.contains("\"memo_hit_rate\":0.7500"));
+        // Balanced braces/brackets and no raw control characters.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(json.chars().all(|c| (c as u32) >= 0x20));
+    }
+}

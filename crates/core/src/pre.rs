@@ -226,10 +226,8 @@ mod tests {
 
     #[test]
     fn merge_skips_mismatched_arrays() {
-        let mut m = compile(
-            "fn f(a: int[], b: int[], i: int) -> int { return a[i] + b[i]; }",
-        )
-        .unwrap();
+        let mut m =
+            compile("fn f(a: int[], b: int[], i: int) -> int { return a[i] + b[i]; }").unwrap();
         module_to_essa(&mut m).unwrap();
         let id = m.functions().next().unwrap().0;
         let f = m.function_mut(id);

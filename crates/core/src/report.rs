@@ -59,6 +59,9 @@ pub struct FunctionReport {
     /// Verified interprocedural parameter facts applied to this function's
     /// graphs (0 unless `interprocedural` was enabled).
     pub param_facts_used: usize,
+    /// Pipeline observability: per-pass wall time, memo effectiveness, and
+    /// graph sizes (see [`crate::metrics`]).
+    pub metrics: crate::metrics::FunctionMetrics,
 }
 
 impl FunctionReport {

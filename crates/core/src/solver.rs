@@ -76,11 +76,28 @@ pub enum PreOutcome {
     Failed,
 }
 
+/// Sentinel for "this verdict depends on no active ancestor" — it is a
+/// context-free fact about the constraint system and safe to memoize.
+const NO_DEP: u32 = u32::MAX;
+
 /// A demand-driven prover for one `(graph, source)` pair.
 ///
 /// The memo table persists across queries against the same source (e.g. all
 /// checks of the same array), which is how the paper's "fewer than 10
 /// analysis steps per check" arises in practice.
+///
+/// # Memo soundness across queries
+///
+/// A verdict computed while an ancestor vertex is still on the active
+/// DFS stack (a cycle was closed below it) is valid only *relative to that
+/// ancestor's pending resolution*: a `Reduced` obtained by hitting an
+/// active vertex may collapse to `False` once the ancestor's other in-edges
+/// refute it. Since the memo table outlives the traversal (and the whole
+/// prover is shared across every check with the same source), caching such
+/// context-dependent verdicts is unsound. `prove` therefore tracks, for
+/// every sub-result, the shallowest active ancestor it depended on, and
+/// only memoizes verdicts that are self-contained (depend on no ancestor
+/// above the vertex itself).
 #[derive(Debug)]
 pub struct DemandProver<'g> {
     graph: &'g InequalityGraph,
@@ -88,9 +105,14 @@ pub struct DemandProver<'g> {
     source_vertex: Vertex,
     /// memo[v] = (c, result) entries, consulted with subsumption.
     memo: HashMap<VertexId, Vec<(i64, Lattice)>>,
-    active: HashMap<VertexId, i64>,
+    /// Active DFS vertices: entry slack and stack depth.
+    active: HashMap<VertexId, (i64, u32)>,
     /// Invocations of `prove` — the paper's "analysis steps".
     pub steps: u64,
+    /// Queries answered from the memo table (subsumption hits).
+    pub memo_hits: u64,
+    /// Queries that had to traverse (memo misses at interned vertices).
+    pub memo_misses: u64,
 }
 
 impl<'g> DemandProver<'g> {
@@ -104,6 +126,8 @@ impl<'g> DemandProver<'g> {
             memo: HashMap::new(),
             active: HashMap::new(),
             steps: 0,
+            memo_hits: 0,
+            memo_misses: 0,
         }
     }
 
@@ -117,7 +141,8 @@ impl<'g> DemandProver<'g> {
             return self.trivial(target, c).unwrap_or(false);
         };
         self.active.clear();
-        matches!(self.prove(t, c), Lattice::True | Lattice::Reduced)
+        let (result, _) = self.prove(t, c, 0);
+        matches!(result, Lattice::True | Lattice::Reduced)
     }
 
     /// Source/constant fast path for vertices missing from the graph.
@@ -136,58 +161,84 @@ impl<'g> DemandProver<'g> {
         }
     }
 
-    fn prove(&mut self, v: VertexId, c: i64) -> Lattice {
+    /// One traversal step. Returns the verdict together with the depth of
+    /// the shallowest *active ancestor* the verdict depends on ([`NO_DEP`]
+    /// when it depends on none). Only verdicts whose dependency is not
+    /// shallower than the vertex's own stack position are memoized; the
+    /// rest are valid only within the enclosing traversal.
+    fn prove(&mut self, v: VertexId, c: i64, depth: u32) -> (Lattice, u32) {
         self.steps += 1;
 
         // Lines 3–5: memoized subsumption.
         if let Some(entries) = self.memo.get(&v) {
             for &(c2, l) in entries {
                 match l {
-                    Lattice::True if c2 <= c => return Lattice::True,
-                    Lattice::False if c2 >= c => return Lattice::False,
-                    Lattice::Reduced if c2 <= c => return Lattice::Reduced,
+                    Lattice::True if c2 <= c => {
+                        self.memo_hits += 1;
+                        return (Lattice::True, NO_DEP);
+                    }
+                    Lattice::False if c2 >= c => {
+                        self.memo_hits += 1;
+                        return (Lattice::False, NO_DEP);
+                    }
+                    Lattice::Reduced if c2 <= c => {
+                        self.memo_hits += 1;
+                        return (Lattice::Reduced, NO_DEP);
+                    }
                     _ => {}
                 }
             }
         }
         // Line 6: reached the source with enough slack.
-        if Some(v) == self.source
-            && c >= 0 {
-                return Lattice::True;
-            }
-            // Fall through: the source may itself be constrained (only
-            // possible for constant sources; array lengths have no
-            // in-edges).
+        if Some(v) == self.source && c >= 0 {
+            return (Lattice::True, NO_DEP);
+        }
+        // Fall through: the source may itself be constrained (only
+        // possible for constant sources; array lengths have no
+        // in-edges).
         // Constants compare numerically against constant sources.
         if let (Some(pv), Some(pa)) = (
             self.graph.potential(v),
             self.source.and_then(|s| self.graph.potential(s)),
         ) {
-            return if pv - pa <= c {
+            let l = if pv - pa <= c {
                 Lattice::True
             } else {
                 Lattice::False
             };
+            return (l, NO_DEP);
         }
-        // Line 7: no constraint bounds v.
-        let edges = self.graph.in_edges(v).to_vec();
+        // Line 7: no constraint bounds v. (`self.graph` is a shared
+        // reference copied out of `self`, so `edges` borrows the graph for
+        // `'g` — not `self` — and the recursive calls below stay legal
+        // without cloning the edge list.)
+        let edges: &'g [crate::graph::InEdge] = self.graph.in_edges(v);
         if edges.is_empty() {
-            return Lattice::False;
+            return (Lattice::False, NO_DEP);
         }
-        // Lines 8–11: cycle detection.
-        if let Some(&ac) = self.active.get(&v) {
-            return if c < ac {
+        // Lines 8–11: cycle detection. The verdict is relative to the
+        // ancestor's entry slack, so it depends on that ancestor's depth.
+        if let Some(&(ac, ad)) = self.active.get(&v) {
+            let l = if c < ac {
                 Lattice::False // amplifying cycle
             } else {
                 Lattice::Reduced // harmless cycle
             };
+            return (l, ad);
         }
+        self.memo_misses += 1;
         // Lines 12–18: recurse over in-edges, merging per vertex kind.
-        self.active.insert(v, c);
+        self.active.insert(v, (c, depth));
         let is_max = self.graph.is_max(v);
-        let mut result = if is_max { Lattice::True } else { Lattice::False };
-        for e in &edges {
-            let r = self.prove(e.src, c - e.weight);
+        let mut result = if is_max {
+            Lattice::True
+        } else {
+            Lattice::False
+        };
+        let mut dep = NO_DEP;
+        for e in edges {
+            let (r, d) = self.prove(e.src, c - e.weight, depth + 1);
+            dep = dep.min(d);
             result = if is_max {
                 result.meet(r)
             } else {
@@ -198,8 +249,16 @@ impl<'g> DemandProver<'g> {
             }
         }
         self.active.remove(&v);
-        self.memo.entry(v).or_default().push((c, result));
-        result
+        if dep >= depth {
+            // Self-contained: any cycle the sub-traversal closed bottoms
+            // out at this vertex, which is now fully resolved.
+            self.memo.entry(v).or_default().push((c, result));
+            (result, NO_DEP)
+        } else {
+            // Depends on an ancestor still on the stack — valid only in
+            // this traversal context; do not memoize.
+            (result, dep)
+        }
     }
 }
 
@@ -215,13 +274,19 @@ pub struct PreProver<'g, 'f> {
     source: Option<VertexId>,
     /// Exact-match memo (subsumption is unsound for insertion sets).
     memo: HashMap<(VertexId, i64), Res>,
-    active: HashMap<VertexId, i64>,
+    /// Active DFS vertices: entry slack and stack depth (see
+    /// [`DemandProver`] on memo soundness).
+    active: HashMap<VertexId, (i64, u32)>,
     /// Edge-frequency oracle for choosing the cheapest salvage at min
     /// vertices (block execution counts from the profile; `None` = count
     /// insertion points).
     freq: Option<&'f dyn Fn(Block) -> u64>,
     /// Invocations of `prove`.
     pub steps: u64,
+    /// Queries answered from the memo table.
+    pub memo_hits: u64,
+    /// Queries that had to traverse.
+    pub memo_misses: u64,
 }
 
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -252,6 +317,8 @@ impl<'g, 'f> PreProver<'g, 'f> {
             active: HashMap::new(),
             freq,
             steps: 0,
+            memo_hits: 0,
+            memo_misses: 0,
         }
     }
 
@@ -268,29 +335,28 @@ impl<'g, 'f> PreProver<'g, 'f> {
             return PreOutcome::Failed;
         };
         self.active.clear();
-        let res = self.prove(t, c);
+        let (res, _) = self.prove(t, c, 0);
         match (res.lat, res.ins) {
             (Lattice::True | Lattice::Reduced, _) => PreOutcome::Proven,
-            (Lattice::False, Some(ins)) if !ins.is_empty() => {
-                PreOutcome::ProvenWithInsertions(ins)
-            }
+            (Lattice::False, Some(ins)) if !ins.is_empty() => PreOutcome::ProvenWithInsertions(ins),
             _ => PreOutcome::Failed,
         }
     }
 
-    fn prove(&mut self, v: VertexId, c: i64) -> Res {
+    fn prove(&mut self, v: VertexId, c: i64, depth: u32) -> (Res, u32) {
         self.steps += 1;
         if let Some(r) = self.memo.get(&(v, c)) {
-            return r.clone();
+            self.memo_hits += 1;
+            return (r.clone(), NO_DEP);
         }
         if Some(v) == self.source && c >= 0 {
-            return Res::proven(Lattice::True);
+            return (Res::proven(Lattice::True), NO_DEP);
         }
         if let (Some(pv), Some(pa)) = (
             self.graph.potential(v),
             self.source.and_then(|s| self.graph.potential(s)),
         ) {
-            return if pv - pa <= c {
+            let r = if pv - pa <= c {
                 Res::proven(Lattice::True)
             } else {
                 Res {
@@ -298,16 +364,20 @@ impl<'g, 'f> PreProver<'g, 'f> {
                     ins: None,
                 }
             };
+            return (r, NO_DEP);
         }
-        let edges = self.graph.in_edges(v).to_vec();
+        let edges: &'g [crate::graph::InEdge] = self.graph.in_edges(v);
         if edges.is_empty() {
-            return Res {
-                lat: Lattice::False,
-                ins: None,
-            };
+            return (
+                Res {
+                    lat: Lattice::False,
+                    ins: None,
+                },
+                NO_DEP,
+            );
         }
-        if let Some(&ac) = self.active.get(&v) {
-            return if c < ac {
+        if let Some(&(ac, ad)) = self.active.get(&v) {
+            let r = if c < ac {
                 Res {
                     lat: Lattice::False,
                     ins: None, // cycles are never salvaged by insertion
@@ -315,29 +385,44 @@ impl<'g, 'f> PreProver<'g, 'f> {
             } else {
                 Res::proven(Lattice::Reduced)
             };
+            return (r, ad);
         }
+        self.memo_misses += 1;
 
-        self.active.insert(v, c);
-        let result = if self.graph.is_max(v) {
-            self.prove_max(v, c, &edges)
+        self.active.insert(v, (c, depth));
+        let (result, dep) = if self.graph.is_max(v) {
+            self.prove_max(v, c, edges, depth)
         } else {
-            self.prove_min(c, &edges)
+            self.prove_min(c, edges, depth)
         };
         self.active.remove(&v);
-        self.memo.insert((v, c), result.clone());
-        result
+        if dep >= depth {
+            // Self-contained (see DemandProver::prove): safe to memoize.
+            self.memo.insert((v, c), result.clone());
+            (result, NO_DEP)
+        } else {
+            (result, dep)
+        }
     }
 
     /// Max (φ) vertex: all arguments must prove; failing arguments may be
     /// compensated on their in-edge.
-    fn prove_max(&mut self, v: VertexId, c: i64, edges: &[crate::graph::InEdge]) -> Res {
+    fn prove_max(
+        &mut self,
+        v: VertexId,
+        c: i64,
+        edges: &[crate::graph::InEdge],
+        depth: u32,
+    ) -> (Res, u32) {
         let mut lat = Lattice::True;
         let mut proven_args = 0usize;
         let mut salvages: Vec<Vec<InsertionPoint>> = Vec::new();
         let mut direct_needed: Vec<(VertexId, i64)> = Vec::new();
+        let mut dep = NO_DEP;
 
         for e in edges {
-            let r = self.prove(e.src, c - e.weight);
+            let (r, d) = self.prove(e.src, c - e.weight, depth + 1);
+            dep = dep.min(d);
             match r.lat {
                 Lattice::True | Lattice::Reduced => {
                     proven_args += 1;
@@ -354,33 +439,42 @@ impl<'g, 'f> PreProver<'g, 'f> {
         }
 
         if direct_needed.is_empty() && salvages.is_empty() {
-            return Res::proven(lat); // all arguments proven
+            return (Res::proven(lat), dep); // all arguments proven
         }
 
         // Direct insertion at this φ's in-edges is allowed only in the
         // paper's mixed case: at least one argument proven outright.
         if !direct_needed.is_empty() && proven_args == 0 {
-            return Res {
-                lat: Lattice::False,
-                ins: None,
-            };
+            return (
+                Res {
+                    lat: Lattice::False,
+                    ins: None,
+                },
+                dep,
+            );
         }
         let mut ins: Vec<InsertionPoint> = Vec::new();
         for (arg, c_prime) in direct_needed {
             let Vertex::Value(u) = self.graph.vertex(arg) else {
                 // Only value arguments can be compensated with an index
                 // expression.
-                return Res {
-                    lat: Lattice::False,
-                    ins: None,
-                };
+                return (
+                    Res {
+                        lat: Lattice::False,
+                        ins: None,
+                    },
+                    dep,
+                );
             };
             let preds = self.phi_pred_of(v, arg);
             if preds.is_empty() {
-                return Res {
-                    lat: Lattice::False,
-                    ins: None,
-                };
+                return (
+                    Res {
+                        lat: Lattice::False,
+                        ins: None,
+                    },
+                    dep,
+                );
             }
             // The same argument value may arrive over several edges; all of
             // them must be compensated for the φ to become proven.
@@ -397,22 +491,27 @@ impl<'g, 'f> PreProver<'g, 'f> {
         }
         ins.sort_by_key(|p| (p.pred, p.arg, p.c_prime));
         ins.dedup();
-        Res {
-            lat: Lattice::False,
-            ins: Some(ins),
-        }
+        (
+            Res {
+                lat: Lattice::False,
+                ins: Some(ins),
+            },
+            dep,
+        )
     }
 
     /// Min vertex: any in-edge suffices; choose the cheapest salvage among
     /// failing alternatives.
-    fn prove_min(&mut self, c: i64, edges: &[crate::graph::InEdge]) -> Res {
+    fn prove_min(&mut self, c: i64, edges: &[crate::graph::InEdge], depth: u32) -> (Res, u32) {
         let mut lat = Lattice::False;
         let mut best: Option<Vec<InsertionPoint>> = None;
+        let mut dep = NO_DEP;
         for e in edges {
-            let r = self.prove(e.src, c - e.weight);
+            let (r, d) = self.prove(e.src, c - e.weight, depth + 1);
+            dep = dep.min(d);
             lat = lat.join(r.lat);
             if lat == Lattice::True {
-                return Res::proven(Lattice::True);
+                return (Res::proven(Lattice::True), dep);
             }
             if r.lat == Lattice::False {
                 if let Some(ins) = r.ins.filter(|i| !i.is_empty()) {
@@ -426,11 +525,12 @@ impl<'g, 'f> PreProver<'g, 'f> {
                 }
             }
         }
-        if lat == Lattice::False {
+        let res = if lat == Lattice::False {
             Res { lat, ins: best }
         } else {
             Res::proven(lat)
-        }
+        };
+        (res, dep)
     }
 
     /// Which φ in-edges (predecessor blocks) contribute `arg` to max vertex
@@ -605,7 +705,10 @@ mod tests {
         let checks = upper_checks(&f);
         let (a, i9) = checks[0];
         let mut p = DemandProver::new(&g, Vertex::ArrayLen(a));
-        assert!(p.demand_prove(Vertex::Value(i9), -1), "a[9] of new int[10]:\n{f}");
+        assert!(
+            p.demand_prove(Vertex::Value(i9), -1),
+            "a[9] of new int[10]:\n{f}"
+        );
     }
 
     #[test]
@@ -656,6 +759,220 @@ mod tests {
         assert_eq!(True.join(False), True);
         assert_eq!(Reduced.join(False), Reduced);
         assert!(False < Reduced && Reduced < True);
+    }
+
+    #[test]
+    fn lattice_meet_join_laws() {
+        use Lattice::*;
+        let all = [False, Reduced, True];
+        for a in all {
+            // Idempotence and identity/absorbing elements.
+            assert_eq!(a.meet(a), a);
+            assert_eq!(a.join(a), a);
+            assert_eq!(a.meet(True), a);
+            assert_eq!(a.join(False), a);
+            assert_eq!(a.meet(False), False);
+            assert_eq!(a.join(True), True);
+            for b in all {
+                // Commutativity and absorption.
+                assert_eq!(a.meet(b), b.meet(a));
+                assert_eq!(a.join(b), b.join(a));
+                assert_eq!(a.meet(a.join(b)), a);
+                assert_eq!(a.join(a.meet(b)), a);
+                for c in all {
+                    // Associativity.
+                    assert_eq!(a.meet(b).meet(c), a.meet(b.meet(c)));
+                    assert_eq!(a.join(b).join(c), a.join(b.join(c)));
+                }
+            }
+        }
+    }
+
+    /// Regression: verdicts derived while an ancestor vertex is still on
+    /// the active stack must not be memoized.
+    ///
+    /// System (all edge weights 0, upper problem):
+    ///
+    /// ```text
+    ///   u (max/φ)  in-edges: [m, i]     (cycle arg first)
+    ///   m (min)    in-edges: [u, x]     (cycle edge first)
+    ///   i, x       no in-edges (unbounded)
+    /// ```
+    ///
+    /// Query 1, `prove(u)`: exploring `m` hits active `u` → harmless cycle
+    /// → `Reduced`; joined with `x`'s `False` that makes `m = Reduced`.
+    /// Back at `u`, the `i` argument refutes, so `u = False` — correct.
+    /// But the old solver also memoized `m = Reduced`, a verdict valid
+    /// only under the hypothesis that `u` proves (it does not). Query 2,
+    /// `prove(m)`, then answered `Reduced` from the memo and the driver
+    /// would have removed a check on `m` even though nothing bounds it.
+    #[test]
+    fn stale_cycle_verdicts_are_not_memoized() {
+        use abcd_ir::Value;
+        // Start from a trivial function's (essentially empty) graph and
+        // hand-craft the cyclic system with synthetic values.
+        let f = essa("fn f() -> int { return 0; }");
+        let mut g = InequalityGraph::build(&f, Problem::Upper, None);
+        let (src, u, m, i, x) = (
+            Vertex::Value(Value::new(100)),
+            Vertex::Value(Value::new(101)),
+            Vertex::Value(Value::new(102)),
+            Vertex::Value(Value::new(103)),
+            Vertex::Value(Value::new(104)),
+        );
+        // In-edge insertion order is query exploration order.
+        g.assume_fact(m, u, 0); // u ≤ m (cycle arg, explored first)
+        g.assume_fact(i, u, 0); // u ≤ i (refuting arg, explored second)
+        g.assume_fact(u, m, 0); // m ≤ u (closes the cycle)
+        g.assume_fact(x, m, 0); // m ≤ x (unbounded alternative)
+        g.mark_max(u);
+
+        let mut p = DemandProver::new(&g, src);
+        // Query 1: u is unprovable (the i argument is unbounded).
+        assert!(!p.demand_prove(u, 0));
+        // Query 2: m is just as unprovable — no path reaches the source.
+        // With unconditional memoization this returned true via the stale
+        // `Reduced` cached for m during query 1.
+        assert!(
+            !p.demand_prove(m, 0),
+            "stale cycle verdict reused from memo"
+        );
+
+        // Same shape through the PRE prover (exact-match memo, same bug).
+        let mut pp = PreProver::new(&g, src, None);
+        assert_eq!(pp.demand_prove(u, 0), PreOutcome::Failed);
+        assert_eq!(
+            pp.demand_prove(m, 0),
+            PreOutcome::Failed,
+            "stale cycle verdict reused from PRE memo"
+        );
+    }
+
+    /// Self-contained cycle verdicts (the cycle bottoms out at the queried
+    /// vertex itself) are still memoized — query 2 must be answered from
+    /// the memo without re-traversal.
+    #[test]
+    fn self_contained_verdicts_still_memoized() {
+        let f = essa(
+            "fn f(a: int[]) -> int {
+                let s: int = 0;
+                for (let i: int = 0; i < a.length; i = i + 1) { s = s + a[i]; }
+                return s;
+            }",
+        );
+        let g = InequalityGraph::build(&f, Problem::Upper, None);
+        let (a, i) = upper_checks(&f)[0];
+        let mut p = DemandProver::new(&g, Vertex::ArrayLen(a));
+        assert!(p.demand_prove(Vertex::Value(i), -1));
+        let steps_first = p.steps;
+        assert!(p.demand_prove(Vertex::Value(i), -1));
+        assert_eq!(
+            p.steps,
+            steps_first + 1,
+            "second identical query must be a single memo hit"
+        );
+        assert!(p.memo_hits >= 1);
+    }
+
+    /// The subsumption memo must give the same answers regardless of query
+    /// order: probing a vertex with decreasing then increasing bounds (and
+    /// the reverse) agrees pointwise with a fresh prover per query.
+    #[test]
+    fn memo_subsumption_is_order_insensitive() {
+        let f = essa(
+            "fn f(a: int[], i: int) -> int {
+                if (i < a.length) { if (i >= 0) { return a[i]; } }
+                return 0;
+            }",
+        );
+        for problem in [Problem::Upper, Problem::Lower] {
+            let g = InequalityGraph::build(&f, problem, None);
+            let (a, idx) = upper_checks(&f)[0];
+            let source = match problem {
+                Problem::Upper => Vertex::ArrayLen(a),
+                Problem::Lower => Vertex::Const(0),
+            };
+            let range: Vec<i64> = (-4..=4).collect();
+            let fresh: Vec<bool> = range
+                .iter()
+                .map(|&c| DemandProver::new(&g, source).demand_prove(Vertex::Value(idx), c))
+                .collect();
+            // Monotonicity: a weaker bound can only become easier to prove.
+            for w in fresh.windows(2) {
+                assert!(
+                    w[1] || !w[0],
+                    "provability must be monotone in c: {fresh:?}"
+                );
+            }
+            let mut decreasing = DemandProver::new(&g, source);
+            // Evaluate eagerly from the largest c down, then restore order.
+            let mut dec: Vec<bool> = range
+                .iter()
+                .rev()
+                .map(|&c| decreasing.demand_prove(Vertex::Value(idx), c))
+                .collect();
+            dec.reverse();
+            let mut increasing = DemandProver::new(&g, source);
+            let inc: Vec<bool> = range
+                .iter()
+                .map(|&c| increasing.demand_prove(Vertex::Value(idx), c))
+                .collect();
+            assert_eq!(
+                fresh, dec,
+                "{problem:?}: decreasing-c order changed answers"
+            );
+            assert_eq!(
+                fresh, inc,
+                "{problem:?}: increasing-c order changed answers"
+            );
+        }
+    }
+
+    /// Constant-vs-constant queries in both problems: the Lower encoding
+    /// negates potentials (`x ↦ −x`), so `demand_prove(t, c)` asks
+    /// `t ≥ source − c`. Exercises both the graph-interned potential fast
+    /// path and the `trivial` fallback for un-interned vertices.
+    #[test]
+    fn constant_vs_constant_sign_mapping() {
+        // x := 3 and y := 5 intern Const(3) and Const(5) in the graph.
+        let f = essa(
+            "fn f() -> int {
+                let x: int = 3;
+                let y: int = 5;
+                return x + y;
+            }",
+        );
+        for (interned, label) in [(true, "interned"), (false, "trivial")] {
+            let (t3, s5) = if interned {
+                (Vertex::Const(3), Vertex::Const(5))
+            } else {
+                // Constants absent from the graph take the `trivial` path.
+                (Vertex::Const(30), Vertex::Const(50))
+            };
+            let (tv, sv) = if interned { (3i64, 5i64) } else { (30, 50) };
+
+            // Upper: t − s ≤ c.
+            let gu = InequalityGraph::build(&f, Problem::Upper, None);
+            if interned {
+                assert!(gu.lookup(t3).is_some(), "Const({tv}) should be interned");
+            }
+            let mut pu = DemandProver::new(&gu, s5);
+            assert!(pu.demand_prove(t3, tv - sv), "{label}: t − s ≤ t−s");
+            assert!(pu.demand_prove(t3, tv - sv + 1));
+            assert!(!pu.demand_prove(t3, tv - sv - 1), "{label}: bound is tight");
+
+            // Lower: t ≥ s − c, i.e. (−t) − (−s) ≤ c.
+            let gl = InequalityGraph::build(&f, Problem::Lower, None);
+            let mut pl = DemandProver::new(&gl, s5);
+            assert!(pl.demand_prove(t3, sv - tv), "{label}: t ≥ s − (s−t)");
+            assert!(pl.demand_prove(t3, sv - tv + 1));
+            assert!(!pl.demand_prove(t3, sv - tv - 1), "{label}: bound is tight");
+            // And with the roles swapped the signs flip: s ≥ t − c holds
+            // already at c = t − s (negative slack needed is none).
+            let mut pl2 = DemandProver::new(&gl, t3);
+            assert!(pl2.demand_prove(s5, 0), "{label}: 5 ≥ 3 needs no slack");
+            assert!(!pl2.demand_prove(s5, tv - sv - 1));
+        }
     }
 
     #[test]

@@ -98,9 +98,7 @@ pub fn version_functions(
         module.add_function(fast);
         module.add_function(slow);
 
-        report
-            .versioned
-            .push((base, facts, removable.len()));
+        report.versioned.push((base, facts, removable.len()));
     }
     debug_assert_eq!(abcd_ir::verify_module(module).map_err(|e| e.0), Ok(()));
     report
@@ -117,10 +115,7 @@ fn plan_for(func: &Function) -> Option<Plan> {
     for b in func.blocks() {
         for &id in func.block(b).insts() {
             if let InstKind::BoundsCheck {
-                array,
-                index,
-                kind,
-                ..
+                array, index, kind, ..
             } = func.inst(id).kind
             {
                 checks.push((b, id, array, index, kind));
@@ -326,9 +321,8 @@ mod tests {
     #[test]
     fn functions_without_helpful_facts_are_left_alone() {
         // The index comes from a load: no parameter fact can bound it.
-        let (m, report) = optimize_and_version(
-            "fn f(a: int[], idx: int[]) -> int { return a[idx[0]]; }",
-        );
+        let (m, report) =
+            optimize_and_version("fn f(a: int[], idx: int[]) -> int { return a[idx[0]]; }");
         // idx[0]'s own checks may be param-boundable (0 vs idx.length), so
         // only assert that an unversionable function stays single.
         let _ = report;

@@ -2,7 +2,9 @@
 //! memoization/subsumption economics, π-chain reasoning depth, and the
 //! PRE prover's recursive salvage.
 
-use abcd::{DemandProver, ExhaustiveDistances, InequalityGraph, PreOutcome, PreProver, Problem, Vertex};
+use abcd::{
+    DemandProver, ExhaustiveDistances, InequalityGraph, PreOutcome, PreProver, Problem, Vertex,
+};
 use abcd_ir::{CheckKind, Function, InstKind, Value};
 
 fn essa(src: &str) -> Function {

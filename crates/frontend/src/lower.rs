@@ -195,7 +195,12 @@ impl<'a> Lowerer<'a> {
 
     fn stmt(&mut self, s: &Stmt) -> Result<(), FrontendError> {
         match s {
-            Stmt::Let { name, ty, init, pos } => {
+            Stmt::Let {
+                name,
+                ty,
+                init,
+                pos,
+            } => {
                 let want = lower_type(ty);
                 let v = self.expr(init)?;
                 self.expect(v, &want, *pos, "initializer")?;
@@ -455,8 +460,7 @@ impl<'a> Lowerer<'a> {
                         _ => {
                             return Err(FrontendError::Type {
                                 pos: *pos,
-                                message: "two-dimensional `new` needs an array element type"
-                                    .into(),
+                                message: "two-dimensional `new` needs an array element type".into(),
                             })
                         }
                     };
@@ -492,11 +496,7 @@ impl<'a> Lowerer<'a> {
         }
     }
 
-    fn call_expr(
-        &mut self,
-        e: &Expr,
-        allow_void: bool,
-    ) -> Result<Option<Value>, FrontendError> {
+    fn call_expr(&mut self, e: &Expr, allow_void: bool) -> Result<Option<Value>, FrontendError> {
         let Expr::Call { name, args, pos } = e else {
             unreachable!("call_expr on non-call")
         };
@@ -647,10 +647,7 @@ mod tests {
         let m = compile(src);
         let mut vm = Vm::new(&m);
         let arr = vm.alloc_int_array(&[1]);
-        assert_eq!(
-            vm.call_by_name("f", &[arr]).unwrap(),
-            Some(RtVal::Int(2))
-        );
+        assert_eq!(vm.call_by_name("f", &[arr]).unwrap(), Some(RtVal::Int(2)));
     }
 
     #[test]

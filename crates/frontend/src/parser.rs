@@ -381,7 +381,9 @@ impl Parser {
                 let base = match self.bump() {
                     Token::Keyword(Keyword::Int) => TypeAst::Int,
                     Token::Keyword(Keyword::Bool) => TypeAst::Bool,
-                    t => return self.err(format!("expected element type after `new`, found `{t}`")),
+                    t => {
+                        return self.err(format!("expected element type after `new`, found `{t}`"))
+                    }
                 };
                 self.expect_sym(Sym::LBracket)?;
                 let len = self.expr()?;
@@ -496,9 +498,17 @@ mod tests {
         let Stmt::Return { value: Some(e), .. } = &p.functions[0].body[0] else {
             panic!()
         };
-        let Expr::Binary { op, rhs, .. } = e else { panic!() };
+        let Expr::Binary { op, rhs, .. } = e else {
+            panic!()
+        };
         assert_eq!(*op, BinOpAst::Add);
-        assert!(matches!(**rhs, Expr::Binary { op: BinOpAst::Mul, .. }));
+        assert!(matches!(
+            **rhs,
+            Expr::Binary {
+                op: BinOpAst::Mul,
+                ..
+            }
+        ));
     }
 
     #[test]

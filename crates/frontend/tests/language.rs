@@ -7,7 +7,8 @@ use abcd_vm::{RtVal, Vm};
 fn eval(src: &str, args: &[RtVal]) -> Option<RtVal> {
     let m = compile(src).unwrap_or_else(|e| panic!("{e}\n{src}"));
     let mut vm = Vm::new(&m);
-    vm.call_by_name("f", args).unwrap_or_else(|t| panic!("{t}\n{src}"))
+    vm.call_by_name("f", args)
+        .unwrap_or_else(|t| panic!("{t}\n{src}"))
 }
 
 fn eval0(src: &str) -> i64 {
@@ -168,10 +169,9 @@ fn array_returning_fallthrough_is_rejected() {
 #[test]
 fn for_loop_variable_scoped_to_loop() {
     // Using the loop var after the loop is a name error.
-    assert!(compile(
-        "fn f() -> int { for (let i: int = 0; i < 3; i = i + 1) { } return i; }"
-    )
-    .is_err());
+    assert!(
+        compile("fn f() -> int { for (let i: int = 0; i < 3; i = i + 1) { } return i; }").is_err()
+    );
 }
 
 #[test]

@@ -227,7 +227,8 @@ impl FunctionBuilder {
     /// Appends a read of local `l`.
     pub fn get_local(&mut self, l: Local) -> Value {
         let ty = self.func.local_type(l).clone();
-        self.push(InstKind::GetLocal { local: l }, Some(ty)).unwrap()
+        self.push(InstKind::GetLocal { local: l }, Some(ty))
+            .unwrap()
     }
 
     /// Appends a write of `value` to local `l`.
@@ -242,7 +243,8 @@ impl FunctionBuilder {
 
     /// Terminates the current block with an unconditional jump.
     pub fn jump(&mut self, dst: Block) {
-        self.func.set_terminator(self.current, Terminator::Jump(dst));
+        self.func
+            .set_terminator(self.current, Terminator::Jump(dst));
     }
 
     /// Terminates the current block with a conditional branch.

@@ -562,7 +562,14 @@ mod tests {
 
     #[test]
     fn cmp_negation_is_involutive() {
-        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
             assert_eq!(op.negated().negated(), op);
             assert_eq!(op.swapped().swapped(), op);
         }
@@ -571,7 +578,14 @@ mod tests {
     #[test]
     fn cmp_eval_agrees_with_negation() {
         let cases = [(3, 5), (5, 3), (4, 4), (-1, 0), (i64::MIN, i64::MAX)];
-        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
             for (a, b) in cases {
                 assert_eq!(op.eval(a, b), !op.negated().eval(a, b), "{op:?} {a} {b}");
                 assert_eq!(op.eval(a, b), op.swapped().eval(b, a), "{op:?} {a} {b}");
@@ -594,7 +608,10 @@ mod tests {
     #[test]
     fn map_uses_rewrites_phi_and_pi_guard() {
         let mut phi = InstKind::Phi {
-            args: vec![(Block::new(0), Value::new(4)), (Block::new(1), Value::new(5))],
+            args: vec![
+                (Block::new(0), Value::new(4)),
+                (Block::new(1), Value::new(5)),
+            ],
         };
         phi.map_uses(|v| Value::new(v.index() + 10));
         let mut seen = Vec::new();

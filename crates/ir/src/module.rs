@@ -57,6 +57,16 @@ impl Module {
             .map(FuncId::new)
     }
 
+    /// Iterates over `(id, function)` pairs with mutable access, in
+    /// insertion order. The borrows are disjoint, so callers may hand the
+    /// functions to worker threads (e.g. the parallel optimizer driver).
+    pub fn functions_mut(&mut self) -> impl ExactSizeIterator<Item = (FuncId, &mut Function)> {
+        self.functions
+            .iter_mut()
+            .enumerate()
+            .map(|(i, f)| (FuncId::new(i), f))
+    }
+
     /// Applies `f` to every function in place.
     pub fn for_each_function_mut(&mut self, mut f: impl FnMut(FuncId, &mut Function)) {
         for (i, func) in self.functions.iter_mut().enumerate() {

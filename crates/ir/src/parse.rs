@@ -165,7 +165,10 @@ impl<'a> P<'a> {
     fn index_of(&mut self, prefix: &str) -> Result<usize, ParseIrError> {
         self.skip_ws();
         let id = self.ident()?;
-        match id.strip_prefix(prefix).and_then(|n| n.parse::<usize>().ok()) {
+        match id
+            .strip_prefix(prefix)
+            .and_then(|n| n.parse::<usize>().ok())
+        {
             Some(n) => Ok(n),
             None => self.err(format!("expected `{prefix}N`, found `{id}`")),
         }
@@ -265,7 +268,11 @@ fn parse_function(lines: &[(usize, &str)]) -> Result<(Function, usize), ParseIrE
     let mut block_map: HashMap<usize, Block> = HashMap::new();
     let mut func = Function::new(name, params, ret);
     for (i, n) in block_names.iter().enumerate() {
-        let b = if i == 0 { func.entry() } else { func.new_block() };
+        let b = if i == 0 {
+            func.entry()
+        } else {
+            func.new_block()
+        };
         if block_map.insert(*n, b).is_some() {
             return Err(ParseIrError {
                 line: ln,
@@ -311,7 +318,14 @@ fn parse_function(lines: &[(usize, &str)]) -> Result<(Function, usize), ParseIrE
         let Some(block) = current else {
             return p.err("instruction outside a block");
         };
-        parse_line(&mut p, &mut func, block, &value_map, &block_map, &mut max_site)?;
+        parse_line(
+            &mut p,
+            &mut func,
+            block,
+            &value_map,
+            &block_map,
+            &mut max_site,
+        )?;
     }
     if let Some(m) = max_site {
         while func.check_site_count() <= m {
@@ -659,11 +673,7 @@ mod tests {
 
     #[test]
     fn round_trips_a_checked_loop() {
-        let mut b = FunctionBuilder::new(
-            "sum",
-            vec![Type::array_of(Type::Int)],
-            Some(Type::Int),
-        );
+        let mut b = FunctionBuilder::new("sum", vec![Type::array_of(Type::Int)], Some(Type::Int));
         let a = b.param(0);
         let acc = b.new_local(Type::Int);
         let zero = b.iconst(0);

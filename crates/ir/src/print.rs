@@ -161,8 +161,7 @@ mod tests {
 
     #[test]
     fn display_contains_checks_and_terminators() {
-        let mut b =
-            FunctionBuilder::new("show", vec![Type::array_of(Type::Int)], Some(Type::Int));
+        let mut b = FunctionBuilder::new("show", vec![Type::array_of(Type::Int)], Some(Type::Int));
         let a = b.param(0);
         let i = b.iconst(3);
         b.bounds_check(a, i, CheckKind::Upper);

@@ -89,10 +89,7 @@ fn expect_ty(
     if func.value_type(v) != want {
         return Err(VerifyError::TypeMismatch {
             inst,
-            detail: format!(
-                "{what} is {}, expected {want}",
-                func.value_type(v)
-            ),
+            detail: format!("{what} is {}, expected {want}", func.value_type(v)),
         });
     }
     Ok(())
@@ -182,28 +179,26 @@ pub fn verify_function(func: &Function, module: Option<&Module>) -> Result<(), V
                         });
                     }
                 }
-                Terminator::Return(v) => {
-                    match (v, func.ret_type()) {
-                        (None, None) => {}
-                        (Some(v), Some(rt)) => {
-                            if func.value_type(*v) != rt {
-                                return Err(VerifyError::TypeMismatch {
-                                    inst: InstId::new(0),
-                                    detail: format!(
-                                        "return value in {b} is {}, expected {rt}",
-                                        func.value_type(*v)
-                                    ),
-                                });
-                            }
-                        }
-                        _ => {
+                Terminator::Return(v) => match (v, func.ret_type()) {
+                    (None, None) => {}
+                    (Some(v), Some(rt)) => {
+                        if func.value_type(*v) != rt {
                             return Err(VerifyError::TypeMismatch {
                                 inst: InstId::new(0),
-                                detail: format!("return arity mismatch in {b}"),
-                            })
+                                detail: format!(
+                                    "return value in {b} is {}, expected {rt}",
+                                    func.value_type(*v)
+                                ),
+                            });
                         }
                     }
-                }
+                    _ => {
+                        return Err(VerifyError::TypeMismatch {
+                            inst: InstId::new(0),
+                            detail: format!("return arity mismatch in {b}"),
+                        })
+                    }
+                },
             }
         }
     }

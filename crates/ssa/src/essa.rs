@@ -152,9 +152,7 @@ fn rename_pi_versions(func: &mut Function) {
 
     // Family roots: π results belong to the family of their (root) input.
     let mut root: HashMap<Value, Value> = HashMap::new();
-    let root_of = |root: &HashMap<Value, Value>, v: Value| -> Value {
-        *root.get(&v).unwrap_or(&v)
-    };
+    let root_of = |root: &HashMap<Value, Value>, v: Value| -> Value { *root.get(&v).unwrap_or(&v) };
 
     // Stacks of active versions per family root.
     let mut stacks: HashMap<Value, Vec<Value>> = HashMap::new();
@@ -232,9 +230,7 @@ fn rename_pi_versions(func: &mut Function) {
                             for (p, v) in args.iter_mut() {
                                 if *p == b {
                                     let r = root_of(&root, *v);
-                                    if let Some(top) =
-                                        stacks.get(&r).and_then(|s| s.last())
-                                    {
+                                    if let Some(top) = stacks.get(&r).and_then(|s| s.last()) {
                                         *v = *top;
                                     }
                                 }

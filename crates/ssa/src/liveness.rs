@@ -23,10 +23,9 @@ impl LocalLiveness {
         for b in func.blocks() {
             for &id in func.block(b).insts() {
                 match &func.inst(id).kind {
-                    InstKind::GetLocal { local }
-                        if !kill[b.index()][local.index()] => {
-                            gen[b.index()][local.index()] = true;
-                        }
+                    InstKind::GetLocal { local } if !kill[b.index()][local.index()] => {
+                        gen[b.index()][local.index()] = true;
+                    }
                     InstKind::SetLocal { local, .. } => {
                         kill[b.index()][local.index()] = true;
                     }

@@ -7,9 +7,7 @@
 
 use crate::dom::{iterated_dominance_frontier, DomTree};
 use crate::liveness::LocalLiveness;
-use abcd_ir::{
-    successors, Block, Function, InstId, InstKind, Local, Value, VerifyError,
-};
+use abcd_ir::{successors, Block, Function, InstId, InstKind, Local, Value, VerifyError};
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
@@ -126,9 +124,9 @@ pub fn promote_locals(func: &mut Function) -> Result<(), SsaError> {
             Step::Enter(b) => {
                 let mut pushes: Vec<(Local, usize)> = Vec::new();
                 let push = |stacks: &mut Vec<Vec<Value>>,
-                                pushes: &mut Vec<(Local, usize)>,
-                                l: Local,
-                                v: Value| {
+                            pushes: &mut Vec<(Local, usize)>,
+                            l: Local,
+                            v: Value| {
                     stacks[l.index()].push(v);
                     if let Some(entry) = pushes.iter_mut().find(|(pl, _)| *pl == l) {
                         entry.1 += 1;
@@ -140,8 +138,10 @@ pub fn promote_locals(func: &mut Function) -> Result<(), SsaError> {
                 let ids: Vec<InstId> = func.block(b).insts().to_vec();
                 for id in ids {
                     // φs placed by step 2 define their local.
-                    if let Some(((_, local), _)) =
-                        phi_of.iter().find(|(_, pid)| **pid == id).map(|(k, v)| (*k, *v))
+                    if let Some(((_, local), _)) = phi_of
+                        .iter()
+                        .find(|(_, pid)| **pid == id)
+                        .map(|(k, v)| (*k, *v))
                     {
                         let result = func.inst(id).result.expect("phi has result");
                         push(&mut stacks, &mut pushes, local, result);
@@ -156,9 +156,9 @@ pub fn promote_locals(func: &mut Function) -> Result<(), SsaError> {
 
                     match func.inst(id).kind.clone() {
                         InstKind::GetLocal { local } => {
-                            let cur = *stacks[local.index()].last().ok_or(
-                                SsaError::UndefinedLocal { local, block: b },
-                            )?;
+                            let cur = *stacks[local.index()]
+                                .last()
+                                .ok_or(SsaError::UndefinedLocal { local, block: b })?;
                             let result = func.inst(id).result.expect("get_local has result");
                             if rename.len() <= result.index() {
                                 rename.resize(func.value_count(), None);
@@ -278,8 +278,14 @@ mod tests {
         let mut f = loop_func();
         promote_locals(&mut f).unwrap();
         assert_eq!(count_kind(&f, |k| matches!(k, InstKind::Phi { .. })), 2);
-        assert_eq!(count_kind(&f, |k| matches!(k, InstKind::GetLocal { .. })), 0);
-        assert_eq!(count_kind(&f, |k| matches!(k, InstKind::SetLocal { .. })), 0);
+        assert_eq!(
+            count_kind(&f, |k| matches!(k, InstKind::GetLocal { .. })),
+            0
+        );
+        assert_eq!(
+            count_kind(&f, |k| matches!(k, InstKind::SetLocal { .. })),
+            0
+        );
         crate::verify_ssa(&f).unwrap();
     }
 

@@ -26,7 +26,10 @@ impl fmt::Display for SsaViolation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SsaViolation::UseNotDominated { value, use_block } => {
-                write!(f, "use of {value} in {use_block} not dominated by its definition")
+                write!(
+                    f,
+                    "use of {value} in {use_block} not dominated by its definition"
+                )
             }
             SsaViolation::LocalOpRemains(id) => write!(f, "locals op {id} remains in SSA form"),
             SsaViolation::UnlinkedDef(v) => write!(f, "{v} is used but its definition is unlinked"),

@@ -2,11 +2,41 @@
 //! tree must agree with a naive fixed-point dominator-set computation on
 //! random CFGs, and dominance frontiers must satisfy their defining
 //! property.
+//!
+//! Random CFGs come from a fixed-seed SplitMix64 stream, so the corpus is
+//! deterministic and the suite needs no external crates.
 
 use abcd_ir::{Block, Function, FunctionBuilder, Type};
 use abcd_ssa::DomTree;
-use proptest::prelude::*;
 use std::collections::HashSet;
+
+/// SplitMix64 — deterministic PRNG for corpus generation.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    /// A random CFG shape: block count in `[1, max_n)` and up to
+    /// `max_edges` random (source, target) byte pairs.
+    fn cfg_shape(&mut self, max_n: u64, max_edges: u64) -> (usize, Vec<(u8, u8)>) {
+        let n = 1 + self.below(max_n - 1) as usize;
+        let e = self.below(max_edges + 1) as usize;
+        let edges = (0..e)
+            .map(|_| (self.next() as u8, self.next() as u8))
+            .collect();
+        (n, edges)
+    }
+}
 
 /// Builds a random CFG with `n` blocks; each block ends in a return, jump,
 /// or branch to targets drawn from `edges`.
@@ -42,7 +72,6 @@ fn build_cfg(n: usize, edges: &[(u8, u8)]) -> Function {
 fn naive_dominators(func: &Function) -> Vec<Option<HashSet<Block>>> {
     let n = func.block_count();
     let preds = abcd_ir::predecessors(func);
-    let all: HashSet<Block> = func.blocks().collect();
     let entry = func.entry();
     let mut dom: Vec<Option<HashSet<Block>>> = vec![None; n];
     dom[entry.index()] = Some([entry].into_iter().collect());
@@ -71,16 +100,14 @@ fn naive_dominators(func: &Function) -> Vec<Option<HashSet<Block>>> {
             }
         }
     }
-    let _ = all;
     dom
 }
 
-proptest! {
-    #[test]
-    fn chk_agrees_with_naive_dominators(
-        n in 1usize..12,
-        edges in proptest::collection::vec((any::<u8>(), any::<u8>()), 0..20),
-    ) {
+#[test]
+fn chk_agrees_with_naive_dominators() {
+    let mut rng = Rng(0xd0b1_0001);
+    for _ in 0..192 {
+        let (n, edges) = rng.cfg_shape(12, 20);
         let func = build_cfg(n, &edges);
         let dt = DomTree::compute(&func);
         let naive = naive_dominators(&func);
@@ -92,28 +119,29 @@ proptest! {
                     .as_ref()
                     .map(|s| s.contains(&a))
                     .unwrap_or(false);
-                prop_assert_eq!(fast, slow, "dominates({:?},{:?}) fast={} slow={}", a, b, fast, slow);
+                assert_eq!(fast, slow, "dominates({a:?},{b:?}) fast={fast} slow={slow}");
             }
         }
         // idom is the unique closest strict dominator.
         for b in func.blocks() {
             if let Some(idom) = dt.idom(b) {
-                prop_assert!(dt.strictly_dominates(idom, b));
+                assert!(dt.strictly_dominates(idom, b));
                 // every other strict dominator of b dominates idom
                 for d in func.blocks() {
                     if d != b && dt.strictly_dominates(d, b) {
-                        prop_assert!(dt.dominates(d, idom));
+                        assert!(dt.dominates(d, idom));
                     }
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn dominance_frontier_matches_definition(
-        n in 1usize..10,
-        edges in proptest::collection::vec((any::<u8>(), any::<u8>()), 0..16),
-    ) {
+#[test]
+fn dominance_frontier_matches_definition() {
+    let mut rng = Rng(0xd0b1_0002);
+    for _ in 0..192 {
+        let (n, edges) = rng.cfg_shape(10, 16);
         let func = build_cfg(n, &edges);
         let dt = DomTree::compute(&func);
         let df = dt.dominance_frontiers(&func);
@@ -134,16 +162,17 @@ proptest! {
                     .iter()
                     .any(|p| dt.is_reachable(*p) && dt.dominates(b, *p))
                     && !dt.strictly_dominates(b, y);
-                prop_assert_eq!(in_df, expected, "DF({:?}) vs {:?}", b, y);
+                assert_eq!(in_df, expected, "DF({b:?}) vs {y:?}");
             }
         }
     }
+}
 
-    #[test]
-    fn critical_edge_split_leaves_no_critical_edges(
-        n in 1usize..10,
-        edges in proptest::collection::vec((any::<u8>(), any::<u8>()), 0..16),
-    ) {
+#[test]
+fn critical_edge_split_leaves_no_critical_edges() {
+    let mut rng = Rng(0xd0b1_0003);
+    for _ in 0..192 {
+        let (n, edges) = rng.cfg_shape(10, 16);
         let mut func = build_cfg(n, &edges);
         abcd_ssa::split_critical_edges(&mut func);
         abcd_ir::verify_function(&func, None).expect("still verifies");
@@ -152,11 +181,9 @@ proptest! {
             let succs = abcd_ir::successors(&func, b);
             if succs.len() > 1 {
                 for s in succs {
-                    prop_assert!(
+                    assert!(
                         preds[s.index()].len() <= 1,
-                        "critical edge {:?} -> {:?} survived",
-                        b,
-                        s
+                        "critical edge {b:?} -> {s:?} survived"
                     );
                 }
             }

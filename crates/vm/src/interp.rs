@@ -8,9 +8,7 @@ use crate::cost::CostModel;
 use crate::profile::Profile;
 use crate::trap::{Trap, TrapKind};
 use crate::value::{Heap, RtVal};
-use abcd_ir::{
-    Block, CheckKind, FuncId, Function, InstKind, Module, Terminator, UnOp, Value,
-};
+use abcd_ir::{Block, CheckKind, FuncId, Function, InstKind, Module, Terminator, UnOp, Value};
 
 /// Interpreter configuration.
 #[derive(Clone, Copy, Debug)]
@@ -223,7 +221,10 @@ impl<'m> Vm<'m> {
         args: Vec<RtVal>,
         depth: usize,
     ) -> Result<Option<RtVal>, Trap> {
-        let trap = |kind: TrapKind| Trap { kind, func: func_id };
+        let trap = |kind: TrapKind| Trap {
+            kind,
+            func: func_id,
+        };
         if depth > self.options.call_depth_limit {
             return Err(trap(TrapKind::CallDepthExceeded));
         }
@@ -473,7 +474,10 @@ impl<'m> Vm<'m> {
     /// is exhausted.
     fn bump(&mut self, kind: &InstKind, func: FuncId) -> Result<(), Trap> {
         self.stats.insts += 1;
-        self.stats.cycles = self.stats.cycles.saturating_add(self.options.cost.cost_of(kind));
+        self.stats.cycles = self
+            .stats
+            .cycles
+            .saturating_add(self.options.cost.cost_of(kind));
         if self.steps_left == 0 {
             return Err(Trap {
                 kind: TrapKind::StepLimitExceeded,
@@ -579,7 +583,11 @@ mod tests {
         let err = vm.call_by_name("f", &[arr]).unwrap_err();
         assert!(matches!(
             err.kind,
-            TrapKind::BoundsCheckFailed { index: 9, len: 2, .. }
+            TrapKind::BoundsCheckFailed {
+                index: 9,
+                len: 2,
+                ..
+            }
         ));
     }
 
@@ -624,7 +632,13 @@ mod tests {
             raw.append_inst(entry, s);
             let t = raw.create_inst(residual, None);
             raw.append_inst(entry, t);
-            let l = raw.create_inst(InstKind::Load { array: a, index: orig_index }, Some(Type::Int));
+            let l = raw.create_inst(
+                InstKind::Load {
+                    array: a,
+                    index: orig_index,
+                },
+                Some(Type::Int),
+            );
             raw.append_inst(entry, l);
             let lv = raw.inst(l).result.unwrap();
             raw.set_terminator(entry, Terminator::Return(Some(lv)));
@@ -644,7 +658,10 @@ mod tests {
         let mut vm = Vm::new(&m);
         let arr = vm.alloc_int_array(&[7, 8]);
         let err = vm.call_by_name("f", &[arr, RtVal::Int(5)]).unwrap_err();
-        assert!(matches!(err.kind, TrapKind::BoundsCheckFailed { index: 5, .. }));
+        assert!(matches!(
+            err.kind,
+            TrapKind::BoundsCheckFailed { index: 5, .. }
+        ));
     }
 
     #[test]
@@ -687,7 +704,7 @@ mod tests {
         let hot = vm.profile().hot_sites();
         assert_eq!(hot.len(), 2); // lower + upper sites
         assert_eq!(hot[0].1, 3); // each executed once per element
-        // Loop head executed 4 times (3 iterations + exit test).
+                                 // Loop head executed 4 times (3 iterations + exit test).
         assert_eq!(vm.profile().block_count(f, Block::new(1)), 4);
     }
 

@@ -37,7 +37,10 @@ impl Profile {
 
     /// Executions of CFG edge `from → to` in `func`.
     pub fn edge_count(&self, func: FuncId, from: Block, to: Block) -> u64 {
-        self.edge_counts.get(&(func, from, to)).copied().unwrap_or(0)
+        self.edge_counts
+            .get(&(func, from, to))
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Executions of block `block` in `func`.

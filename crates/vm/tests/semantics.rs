@@ -13,15 +13,16 @@ fn cycles_accumulate_per_cost_model() {
     let first = vm.stats().cycles;
     assert!(first > 0);
     vm.call_by_name("f", &[RtVal::Int(2)]).unwrap();
-    assert_eq!(vm.stats().cycles, first * 2, "stats accumulate across calls");
+    assert_eq!(
+        vm.stats().cycles,
+        first * 2,
+        "stats accumulate across calls"
+    );
 }
 
 #[test]
 fn custom_cost_model_changes_cycles_not_results() {
-    let m = compile(
-        "fn f(a: int[]) -> int { return a[0] * a[1]; }",
-    )
-    .unwrap();
+    let m = compile("fn f(a: int[]) -> int { return a[0] * a[1]; }").unwrap();
     let expensive = VmOptions {
         cost: CostModel {
             mul: 100,
@@ -79,10 +80,7 @@ fn profile_aggregates_sites_across_function_calls() {
 
 #[test]
 fn call_depth_limit_traps_cleanly() {
-    let m = compile(
-        "fn spin(n: int) -> int { return spin(n + 1); }",
-    )
-    .unwrap();
+    let m = compile("fn spin(n: int) -> int { return spin(n + 1); }").unwrap();
     let mut vm = Vm::with_options(
         &m,
         VmOptions {
@@ -132,7 +130,8 @@ fn wrapping_arithmetic_matches_rust_semantics() {
     );
     // Rust-style remainder: sign follows the dividend.
     assert_eq!(
-        vm.call_by_name("h", &[RtVal::Int(-7), RtVal::Int(3)]).unwrap(),
+        vm.call_by_name("h", &[RtVal::Int(-7), RtVal::Int(3)])
+            .unwrap(),
         Some(RtVal::Int(-1))
     );
 }
@@ -147,12 +146,14 @@ fn shifts_mask_their_amount() {
     let mut vm = Vm::new(&m);
     // Shift of 64 is masked to 0, like Rust's wrapping_shl.
     assert_eq!(
-        vm.call_by_name("shl", &[RtVal::Int(5), RtVal::Int(64)]).unwrap(),
+        vm.call_by_name("shl", &[RtVal::Int(5), RtVal::Int(64)])
+            .unwrap(),
         Some(RtVal::Int(5))
     );
     // Arithmetic right shift preserves sign.
     assert_eq!(
-        vm.call_by_name("shr", &[RtVal::Int(-8), RtVal::Int(1)]).unwrap(),
+        vm.call_by_name("shr", &[RtVal::Int(-8), RtVal::Int(1)])
+            .unwrap(),
         Some(RtVal::Int(-4))
     );
 }
@@ -176,10 +177,7 @@ fn collect_profile_off_records_nothing() {
 
 #[test]
 fn read_int_array_reflects_stores() {
-    let m = compile(
-        "fn put(a: int[], i: int, v: int) { a[i] = v; }",
-    )
-    .unwrap();
+    let m = compile("fn put(a: int[], i: int, v: int) { a[i] = v; }").unwrap();
     let mut vm = Vm::new(&m);
     let a = vm.alloc_int_array(&[0, 0, 0]);
     vm.call_by_name("put", &[a, RtVal::Int(1), RtVal::Int(42)])

@@ -30,7 +30,9 @@ const SRC: &str = r#"
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut module = compile(SRC)?;
     abcd_ssa::module_to_essa(&mut module).map_err(|(name, e)| format!("{name}: {e}"))?;
-    let id = module.function_by_name("fragment").expect("function exists");
+    let id = module
+        .function_by_name("fragment")
+        .expect("function exists");
     // Clean the function up like the optimizer would, so the dump matches
     // what ABCD analyzes.
     let func = {

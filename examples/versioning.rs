@@ -41,13 +41,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut vm = Vm::new(&module);
     let a = vm.alloc_int_array(&[10, 20, 30, 40]);
     let r = vm.call_by_name("window_sum", &[a, RtVal::Int(4)])?;
-    println!("\nwindow_sum(a, 4) = {r:?}  (dynamic checks: {:?})", vm.stats().checks);
+    println!(
+        "\nwindow_sum(a, 4) = {r:?}  (dynamic checks: {:?})",
+        vm.stats().checks
+    );
 
     // Guard fails (n too large): the slow clone runs and traps exactly
     // where the original program would.
     let mut vm = Vm::new(&module);
     let a = vm.alloc_int_array(&[10, 20]);
-    let err = vm.call_by_name("window_sum", &[a, RtVal::Int(9)]).unwrap_err();
+    let err = vm
+        .call_by_name("window_sum", &[a, RtVal::Int(9)])
+        .unwrap_err();
     println!("window_sum(a, 9) -> {err}");
     Ok(())
 }

@@ -10,12 +10,14 @@
 //! Pass flags for `opt`/`run --opt`: `--no-pre`, `--no-lower`, `--no-upper`,
 //! `--no-cleanup`, `--no-gvn-hook`, `--merge`, `--ipa` (closed-world
 //! interprocedural facts), `--version-fns` (guarded fast/slow clones),
-//! `--hot N` (with `--profile`).
+//! `--hot N` (with `--profile`), `--jobs N` (parallel driver), and
+//! `--metrics`/`--metrics-out FILE` (`abcd-metrics/1` JSON).
 
 use abcd::{InequalityGraph, Optimizer, OptimizerOptions, Problem, VertexId};
 use abcd_frontend::compile;
 use abcd_vm::{RtVal, Vm};
 use std::process::ExitCode;
+use std::time::Instant;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -43,6 +45,9 @@ PASS FLAGS (for `opt` and `run --opt`):
     --ipa              closed-world interprocedural parameter facts
     --version-fns      guarded fast/slow function clones
     --hot N            with --profile: analyze only sites with ≥N hits
+    --jobs N           optimize functions on N worker threads
+    --metrics          emit abcd-metrics/1 JSON (stdout for opt, stderr for run)
+    --metrics-out F    write the metrics JSON to file F
 ";
 
 fn usage() -> String {
@@ -90,8 +95,8 @@ fn parse_options(rest: &[String]) -> Result<OptimizerOptions, String> {
                 o.hot_threshold = Some(n);
             }
             // run/dump flags handled by callers
-            "--opt" | "--stats" | "--profile" | "--dump" => {}
-            "--arg" | "--stage" | "--fn" => i += 1,
+            "--opt" | "--stats" | "--profile" | "--dump" | "--metrics" => {}
+            "--arg" | "--stage" | "--fn" | "--jobs" | "--metrics-out" => i += 1,
             "--lower" if rest[i] == "--lower" => {}
             other => return Err(format!("unknown flag `{other}`")),
         }
@@ -111,6 +116,46 @@ fn value_of<'a>(rest: &'a [String], flag: &str) -> Option<&'a str> {
         .map(String::as_str)
 }
 
+fn jobs_of(rest: &[String]) -> Result<usize, String> {
+    match value_of(rest, "--jobs") {
+        None => Ok(0),
+        Some(v) => v.parse().map_err(|_| "`--jobs` needs a count".to_string()),
+    }
+}
+
+/// Emits the `abcd-metrics/1` JSON if `--metrics` or `--metrics-out` was
+/// given. `to_stderr` keeps `run`'s program output clean on stdout.
+fn emit_metrics(
+    report: &abcd::ModuleReport,
+    threads: usize,
+    wall: std::time::Duration,
+    rest: &[String],
+    to_stderr: bool,
+) -> Result<(), String> {
+    let to_file = value_of(rest, "--metrics-out");
+    if !has(rest, "--metrics") && to_file.is_none() {
+        return Ok(());
+    }
+    let json = abcd::module_metrics_json(
+        report,
+        abcd::RunInfo {
+            threads,
+            wall_time: wall,
+        },
+    );
+    if let Some(path) = to_file {
+        std::fs::write(path, format!("{json}\n")).map_err(|e| format!("{path}: {e}"))?;
+    }
+    if has(rest, "--metrics") {
+        if to_stderr {
+            eprintln!("{json}");
+        } else {
+            emit(format!("{json}\n"));
+        }
+    }
+    Ok(())
+}
+
 fn cmd_run(source: &str, rest: &[String]) -> Result<(), String> {
     // Validate flags up front so typos are rejected even without --opt.
     let options = parse_options(rest)?;
@@ -124,7 +169,12 @@ fn cmd_run(source: &str, rest: &[String]) -> Result<(), String> {
             vm.call_by_name("main", &[]).map_err(|t| t.to_string())?;
             profile = Some(vm.into_profile());
         }
-        let report = Optimizer::with_options(options).optimize_module(&mut module, profile.as_ref());
+        let jobs = jobs_of(rest)?;
+        let optimizer = Optimizer::with_options(options).with_threads(jobs);
+        let threads = optimizer.threads();
+        let started = Instant::now();
+        let report = optimizer.optimize_module(&mut module, profile.as_ref());
+        let wall = started.elapsed();
         eprintln!(
             "abcd: {}/{} checks removed, {} hoisted, {:.1} steps/check",
             report.checks_removed_fully(),
@@ -132,6 +182,7 @@ fn cmd_run(source: &str, rest: &[String]) -> Result<(), String> {
             report.checks_hoisted(),
             report.steps_per_check()
         );
+        emit_metrics(&report, threads, wall, rest, true)?;
     }
 
     let int_args: Vec<RtVal> = rest
@@ -171,7 +222,12 @@ fn cmd_run(source: &str, rest: &[String]) -> Result<(), String> {
 fn cmd_opt(source: &str, rest: &[String]) -> Result<(), String> {
     let mut module = compile(source).map_err(|e| e.to_string())?;
     let options = parse_options(rest)?;
-    let report = Optimizer::with_options(options).optimize_module(&mut module, None);
+    let optimizer = Optimizer::with_options(options).with_threads(jobs_of(rest)?);
+    let threads = optimizer.threads();
+    let started = Instant::now();
+    let report = optimizer.optimize_module(&mut module, None);
+    let wall = started.elapsed();
+    emit_metrics(&report, threads, wall, rest, false)?;
     if has(rest, "--version-fns") {
         let v = abcd::version_functions(&mut module, None, 0);
         for (name, facts, removed) in &v.versioned {
@@ -251,10 +307,19 @@ fn cmd_graph(source: &str, rest: &[String]) -> Result<(), String> {
         let _ = writeln!(out, "digraph \"{}\" {{", func.name());
         for v in 0..g.vertex_count() {
             let vid = VertexId::from_index(v);
-            let shape = if g.is_max(vid) { "doublecircle" } else { "circle" };
+            let shape = if g.is_max(vid) {
+                "doublecircle"
+            } else {
+                "circle"
+            };
             let _ = writeln!(out, "  n{v} [label=\"{}\", shape={shape}];", g.vertex(vid));
             for e in g.in_edges(vid) {
-                let _ = writeln!(out, "  n{} -> n{v} [label=\"{}\"];", e.src.index(), e.weight);
+                let _ = writeln!(
+                    out,
+                    "  n{} -> n{v} [label=\"{}\"];",
+                    e.src.index(),
+                    e.weight
+                );
             }
         }
         let _ = writeln!(out, "}}");

@@ -68,7 +68,14 @@ fn heap_slot_aliasing_is_respected() {
         };
         let err = vm.call_by_name("f", &[outer]).unwrap_err();
         assert!(
-            matches!(err.kind, TrapKind::BoundsCheckFailed { index: 2, len: 1, .. }),
+            matches!(
+                err.kind,
+                TrapKind::BoundsCheckFailed {
+                    index: 2,
+                    len: 1,
+                    ..
+                }
+            ),
             "must trap on the aliased short row, got {err:?}"
         );
     }
@@ -106,7 +113,14 @@ fn load_congruence_is_killed_by_stores() {
             .call_by_name("f", &[outer, RtVal::Int(0), RtVal::Int(2), short])
             .unwrap_err();
         assert!(
-            matches!(err.kind, TrapKind::BoundsCheckFailed { index: 2, len: 1, .. }),
+            matches!(
+                err.kind,
+                TrapKind::BoundsCheckFailed {
+                    index: 2,
+                    len: 1,
+                    ..
+                }
+            ),
             "{err:?}"
         );
     }

@@ -125,7 +125,10 @@ fn merged_unsigned_checks_preserve_semantics_and_save_cycles() {
     for bad in [-1i64, 3] {
         let mut vm = Vm::new(&merged);
         let a = vm.alloc_int_array(&[9, 8, 7]);
-        assert!(vm.call_by_name("get", &[a, RtVal::Int(bad)]).is_err(), "{bad}");
+        assert!(
+            vm.call_by_name("get", &[a, RtVal::Int(bad)]).is_err(),
+            "{bad}"
+        );
     }
 }
 
@@ -158,11 +161,7 @@ fn hot_threshold_skips_cold_checks() {
         ..OptimizerOptions::default()
     };
     let report = Optimizer::with_options(opts).optimize_module(&mut module, Some(&profile));
-    let f_report = report
-        .functions
-        .iter()
-        .find(|fr| fr.name == "f")
-        .unwrap();
+    let f_report = report.functions.iter().find(|fr| fr.name == "f").unwrap();
     let skipped = f_report
         .outcomes
         .iter()

@@ -161,11 +161,7 @@ fn section6_transformation_preserves_semantics() {
             (Ok(a), Ok(b)) => assert_eq!(a, b, "n={n}"),
             (Err(e1), Err(e2)) => {
                 // Same kind of failure at the same site.
-                assert_eq!(
-                    format!("{:?}", e1.kind),
-                    format!("{:?}", e2.kind),
-                    "n={n}"
-                );
+                assert_eq!(format!("{:?}", e1.kind), format!("{:?}", e2.kind), "n={n}");
             }
             other => panic!("divergence at n={n}: {other:?}"),
         }

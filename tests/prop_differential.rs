@@ -1,23 +1,64 @@
-//! Property-based differential testing: random MJ programs must behave
+//! Deterministic differential testing: generated MJ programs must behave
 //! identically before and after the full ABCD pipeline — same result, same
 //! output stream, same trap (kind **and** site) — and never execute an
 //! unchecked out-of-bounds access (the VM reports that as a distinct trap,
 //! so any unsound removal becomes a visible divergence).
 //!
-//! Programs are generated from a proptest-provided byte string (structured
-//! fuzzing): bytes drive a tiny grammar walker, so shrinking minimizes the
-//! program. Loops are always of the form `for (i = c0; i < bound; i++)`
-//! with `bound` a small constant or `a.length ± c`, guaranteeing
-//! termination; index expressions are arbitrary, so traps genuinely occur
-//! and the trap-equivalence clause is exercised.
+//! Programs are generated from a byte string (structured fuzzing): bytes
+//! drive a tiny grammar walker. The byte strings themselves come from a
+//! fixed-seed SplitMix64 stream, so every run of the suite explores exactly
+//! the same corpus — hermetic, reproducible, and debuggable by seed index.
+//! Loops are always of the form `for (i = c0; i < bound; i++)` with `bound`
+//! a small constant or `a.length ± c`, guaranteeing termination; index
+//! expressions are arbitrary, so traps genuinely occur and the
+//! trap-equivalence clause is exercised.
 //!
 //! Inputs are kept within ±1000 because ABCD — like the paper — reasons in
 //! unbounded integers and does not model wrap-around (see README).
+//!
+//! Historical proptest-shrunk failure seeds are preserved as named
+//! deterministic regression tests at the bottom of this file.
 
 use abcd::{Optimizer, OptimizerOptions};
 use abcd_frontend::compile;
 use abcd_vm::{RtVal, TrapKind, Vm, VmOptions};
-use proptest::prelude::*;
+
+/// SplitMix64 — a tiny deterministic PRNG so the corpus needs no crates.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, n)` (n > 0).
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    /// Uniform in `[lo, hi)`.
+    fn range(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + self.below((hi - lo) as u64) as i64
+    }
+
+    fn bytes(&mut self, max_len: usize) -> Vec<u8> {
+        let len = self.below(max_len as u64 + 1) as usize;
+        (0..len).map(|_| self.next() as u8).collect()
+    }
+
+    fn data(&mut self, max_len: usize) -> Vec<i64> {
+        let len = self.below(max_len as u64 + 1) as usize;
+        (0..len).map(|_| self.range(-50, 50)).collect()
+    }
+}
 
 /// A byte-stream-driven program generator.
 struct Gen<'a> {
@@ -175,7 +216,11 @@ impl<'a> Gen<'a> {
 /// legitimately execute on paths where the original checks never ran
 /// (zero-trip loops, early traps) — the §6.1 profitability argument is
 /// about expected frequency, not per-input counts.
-fn run(module: &abcd_ir::Module, data: &[i64], x: i64) -> (Result<Option<RtVal>, String>, Vec<i64>, u64) {
+fn run(
+    module: &abcd_ir::Module,
+    data: &[i64],
+    x: i64,
+) -> (Result<Option<RtVal>, String>, Vec<i64>, u64) {
     let mut vm = Vm::with_options(
         module,
         VmOptions {
@@ -192,192 +237,240 @@ fn run(module: &abcd_ir::Module, data: &[i64], x: i64) -> (Result<Option<RtVal>,
     (r, out, checks)
 }
 
-proptest! {
-    // Default 256 cases; override with PROPTEST_CASES for deeper sweeps.
-    #![proptest_config(ProptestConfig::default())]
+/// The core differential property for one `(bytes, data, x)` case: the
+/// default pipeline, the interprocedural extension, and function versioning
+/// must all be observationally equivalent to the unoptimized program.
+fn check_observational_equivalence(bytes: &[u8], data: &[i64], x: i64) {
+    let src = Gen::new(bytes).program();
+    let baseline = compile(&src).expect("generated program compiles");
+    let mut optimized = compile(&src).unwrap();
+    Optimizer::new().optimize_module(&mut optimized, None);
 
-    #[test]
-    fn optimized_program_is_observationally_equivalent(
-        bytes in proptest::collection::vec(any::<u8>(), 0..160),
-        data in proptest::collection::vec(-50i64..50, 0..7),
-        x in -1000i64..1000,
-    ) {
-        let src = Gen::new(&bytes).program();
-        let baseline = compile(&src).expect("generated program compiles");
-        let mut optimized = compile(&src).unwrap();
-        Optimizer::new().optimize_module(&mut optimized, None);
+    let (r1, out1, checks1) = run(&baseline, data, x);
+    let (r2, out2, checks2) = run(&optimized, data, x);
 
-        let (r1, out1, checks1) = run(&baseline, &data, x);
-        let (r2, out2, checks2) = run(&optimized, &data, x);
-
-        // Any unchecked OOB access in the optimized run is an unsound
-        // removal — it can never match the baseline's outcome.
-        if let Err(k) = &r2 {
-            prop_assert!(
-                !k.contains("UncheckedAccess"),
-                "unsound removal!\n{src}\ntrap: {k}"
-            );
-        }
-        prop_assert_eq!(&r1, &r2, "result diverged\n{}", &src);
-        prop_assert_eq!(&out1, &out2, "output diverged\n{}", &src);
-        prop_assert!(
-            checks2 <= checks1,
-            "optimization added non-speculative dynamic checks ({} -> {})\n{}",
-            checks1, checks2, &src
+    // Any unchecked OOB access in the optimized run is an unsound
+    // removal — it can never match the baseline's outcome.
+    if let Err(k) = &r2 {
+        assert!(
+            !k.contains("UncheckedAccess"),
+            "unsound removal!\n{src}\ntrap: {k}"
         );
+    }
+    assert_eq!(&r1, &r2, "result diverged\n{src}");
+    assert_eq!(&out1, &out2, "output diverged\n{src}");
+    assert!(
+        checks2 <= checks1,
+        "optimization added non-speculative dynamic checks ({checks1} -> {checks2})\n{src}"
+    );
 
-        // The interprocedural extension must also be observationally
-        // equivalent. (The generated entry `f` is a root — it has no call
-        // sites — so calling it directly is within the closed-world
-        // contract.)
-        let mut ipa = compile(&src).unwrap();
-        let opts = OptimizerOptions {
-            interprocedural: true,
-            ..OptimizerOptions::default()
-        };
-        Optimizer::with_options(opts).optimize_module(&mut ipa, None);
-        let (r3, out3, _) = run(&ipa, &data, x);
-        if let Err(k) = &r3 {
-            prop_assert!(
-                !k.contains("UncheckedAccess"),
-                "unsound interprocedural removal!\n{src}\ntrap: {k}"
-            );
+    // The interprocedural extension must also be observationally
+    // equivalent. (The generated entry `f` is a root — it has no call
+    // sites — so calling it directly is within the closed-world contract.)
+    let mut ipa = compile(&src).unwrap();
+    let opts = OptimizerOptions {
+        interprocedural: true,
+        ..OptimizerOptions::default()
+    };
+    Optimizer::with_options(opts).optimize_module(&mut ipa, None);
+    let (r3, out3, _) = run(&ipa, data, x);
+    if let Err(k) = &r3 {
+        assert!(
+            !k.contains("UncheckedAccess"),
+            "unsound interprocedural removal!\n{src}\ntrap: {k}"
+        );
+    }
+    assert_eq!(&r1, &r3, "interprocedural diverged\n{src}");
+    assert_eq!(&out1, &out3);
+
+    // Function versioning (dispatcher + fast/slow clones) is
+    // unconditionally sound — the guards are executed, not assumed —
+    // so it must hold for every input, including adversarial ones.
+    let mut versioned = compile(&src).unwrap();
+    Optimizer::new().optimize_module(&mut versioned, None);
+    abcd::version_functions(&mut versioned, None, 0);
+    let (r4, out4, _) = run(&versioned, data, x);
+    if let Err(k) = &r4 {
+        assert!(
+            !k.contains("UncheckedAccess"),
+            "unsound versioning!\n{src}\ntrap: {k}"
+        );
+    }
+    assert_eq!(&r1, &r4, "versioning diverged\n{src}");
+    assert_eq!(&out1, &out4);
+}
+
+#[test]
+fn optimized_program_is_observationally_equivalent() {
+    // Override the corpus size with ABCD_FUZZ_CASES for deeper sweeps.
+    let cases = fuzz_cases(96);
+    let mut rng = Rng::new(0xabcd_0001);
+    for case in 0..cases {
+        let bytes = rng.bytes(160);
+        let data = rng.data(7);
+        let x = rng.range(-1000, 1000);
+        let result = std::panic::catch_unwind(|| {
+            check_observational_equivalence(&bytes, &data, x);
+        });
+        if let Err(e) = result {
+            panic!("case {case} failed (bytes={bytes:?}, data={data:?}, x={x}): {e:?}");
         }
-        prop_assert_eq!(&r1, &r3, "interprocedural diverged\n{}", &src);
-        prop_assert_eq!(&out1, &out3);
-
-        // Function versioning (dispatcher + fast/slow clones) is
-        // unconditionally sound — the guards are executed, not assumed —
-        // so it must hold for every input, including adversarial ones.
-        let mut versioned = compile(&src).unwrap();
-        Optimizer::new().optimize_module(&mut versioned, None);
-        abcd::version_functions(&mut versioned, None, 0);
-        let (r4, out4, _) = run(&versioned, &data, x);
-        if let Err(k) = &r4 {
-            prop_assert!(
-                !k.contains("UncheckedAccess"),
-                "unsound versioning!\n{src}\ntrap: {k}"
-            );
-        }
-        prop_assert_eq!(&r1, &r4, "versioning diverged\n{}", &src);
-        prop_assert_eq!(&out1, &out4);
     }
+}
 
-    #[test]
-    fn pipeline_stages_all_verify(
-        bytes in proptest::collection::vec(any::<u8>(), 0..120),
-    ) {
-        let src = Gen::new(&bytes).program();
-        let mut module = compile(&src).expect("generated program compiles");
-        abcd_ir::verify_module(&module).expect("locals form verifies");
-
-        let id = module.functions().next().unwrap().0;
-        let func = module.function_mut(id);
-        abcd_ssa::split_critical_edges(func);
-        abcd_ssa::promote_locals(func).expect("ssa construction");
-        abcd_ssa::verify_ssa(func).expect("ssa verifies");
-        abcd_analysis::cleanup(func);
-        abcd_ssa::verify_ssa(func).expect("cleanup keeps ssa");
-        abcd_ssa::insert_pi_nodes(func);
-        abcd_ssa::verify_ssa(func).expect("e-ssa verifies");
-        abcd_ir::verify_function(func, None).expect("e-ssa structurally ok");
+#[test]
+fn pipeline_stages_all_verify() {
+    let cases = fuzz_cases(64);
+    let mut rng = Rng::new(0xabcd_0002);
+    for _ in 0..cases {
+        let bytes = rng.bytes(120);
+        check_pipeline_stages(&bytes);
     }
+}
 
-    #[test]
-    fn printed_ir_reparses_and_behaves_identically(
-        bytes in proptest::collection::vec(any::<u8>(), 0..120),
-        data in proptest::collection::vec(-50i64..50, 0..6),
-        x in -100i64..100,
-    ) {
-        let src = Gen::new(&bytes).program();
-        let mut module = compile(&src).unwrap();
-        abcd_ssa::module_to_essa(&mut module).unwrap();
+fn check_pipeline_stages(bytes: &[u8]) {
+    let src = Gen::new(bytes).program();
+    let mut module = compile(&src).expect("generated program compiles");
+    abcd_ir::verify_module(&module).expect("locals form verifies");
 
-        // Textual round trip reaches a fixed point after one parse
-        // (block ids may renumber once if unreachable blocks were cleared).
-        let text1 = module.to_string();
-        let reparsed = abcd_ir::parse_module(&text1)
-            .unwrap_or_else(|e| panic!("{e}\n{text1}"));
-        abcd_ir::verify_module(&reparsed).expect("reparsed module verifies");
-        let text2 = reparsed.to_string();
-        let reparsed2 = abcd_ir::parse_module(&text2).unwrap();
-        prop_assert_eq!(&text2, &reparsed2.to_string(), "print/parse not stable");
+    let id = module.functions().next().unwrap().0;
+    let func = module.function_mut(id);
+    abcd_ssa::split_critical_edges(func);
+    abcd_ssa::promote_locals(func).expect("ssa construction");
+    abcd_ssa::verify_ssa(func).expect("ssa verifies");
+    abcd_analysis::cleanup(func);
+    abcd_ssa::verify_ssa(func).expect("cleanup keeps ssa");
+    abcd_ssa::insert_pi_nodes(func);
+    abcd_ssa::verify_ssa(func).expect("e-ssa verifies");
+    abcd_ir::verify_function(func, None).expect("e-ssa structurally ok");
+}
 
-        // And the reparsed module is observationally identical.
-        let (r1, out1, _) = run(&module, &data, x);
-        let (r2, out2, _) = run(&reparsed, &data, x);
-        prop_assert_eq!(r1, r2, "reparse diverged\n{}", &src);
-        prop_assert_eq!(out1, out2);
+#[test]
+fn printed_ir_reparses_and_behaves_identically() {
+    let cases = fuzz_cases(48);
+    let mut rng = Rng::new(0xabcd_0003);
+    for _ in 0..cases {
+        let bytes = rng.bytes(120);
+        let data = rng.data(6);
+        let x = rng.range(-100, 100);
+        check_reparse(&bytes, &data, x);
     }
+}
 
-    #[test]
-    fn demand_prover_never_exceeds_exhaustive_distances(
-        bytes in proptest::collection::vec(any::<u8>(), 0..140),
-    ) {
-        use abcd::{DemandProver, ExhaustiveDistances, InequalityGraph, Problem, Vertex};
-        let src = Gen::new(&bytes).program();
-        let mut module = compile(&src).unwrap();
-        abcd_ssa::module_to_essa(&mut module).unwrap();
-        let id = module.functions().next().unwrap().0;
-        let func = module.function_mut(id);
-        abcd_analysis::cleanup(func);
-        abcd_ssa::insert_pi_nodes(func);
-        let func = module.function(id);
+fn check_reparse(bytes: &[u8], data: &[i64], x: i64) {
+    let src = Gen::new(bytes).program();
+    let mut module = compile(&src).unwrap();
+    abcd_ssa::module_to_essa(&mut module).unwrap();
 
-        for problem in [Problem::Upper, Problem::Lower] {
-            let graph = InequalityGraph::build(func, problem, None);
-            for b in func.blocks() {
-                for &iid in func.block(b).insts() {
-                    let abcd_ir::InstKind::BoundsCheck { array, index, .. } =
-                        func.inst(iid).kind
-                    else {
-                        continue;
-                    };
-                    let (source, c) = match problem {
-                        Problem::Upper => (Vertex::ArrayLen(array), -1),
-                        Problem::Lower => (Vertex::Const(0), 0),
-                    };
-                    let mut demand = DemandProver::new(&graph, source);
-                    if demand.demand_prove(Vertex::Value(index), c) {
-                        let ex = ExhaustiveDistances::compute(&graph, source);
-                        prop_assert!(
-                            ex.proves(&graph, Vertex::Value(index), c),
-                            "demand prover overclaims ({problem:?}, {index}) in\n{src}\n{func}"
-                        );
-                    }
+    // Textual round trip reaches a fixed point after one parse
+    // (block ids may renumber once if unreachable blocks were cleared).
+    let text1 = module.to_string();
+    let reparsed = abcd_ir::parse_module(&text1).unwrap_or_else(|e| panic!("{e}\n{text1}"));
+    abcd_ir::verify_module(&reparsed).expect("reparsed module verifies");
+    let text2 = reparsed.to_string();
+    let reparsed2 = abcd_ir::parse_module(&text2).unwrap();
+    assert_eq!(&text2, &reparsed2.to_string(), "print/parse not stable");
+
+    // And the reparsed module is observationally identical.
+    let (r1, out1, _) = run(&module, data, x);
+    let (r2, out2, _) = run(&reparsed, data, x);
+    assert_eq!(r1, r2, "reparse diverged\n{src}");
+    assert_eq!(out1, out2);
+}
+
+#[test]
+fn demand_prover_never_exceeds_exhaustive_distances() {
+    let cases = fuzz_cases(48);
+    let mut rng = Rng::new(0xabcd_0004);
+    for _ in 0..cases {
+        let bytes = rng.bytes(140);
+        check_demand_vs_exhaustive(&bytes);
+    }
+}
+
+fn check_demand_vs_exhaustive(bytes: &[u8]) {
+    use abcd::{DemandProver, ExhaustiveDistances, InequalityGraph, Problem, Vertex};
+    let src = Gen::new(bytes).program();
+    let mut module = compile(&src).unwrap();
+    abcd_ssa::module_to_essa(&mut module).unwrap();
+    let id = module.functions().next().unwrap().0;
+    let func = module.function_mut(id);
+    abcd_analysis::cleanup(func);
+    abcd_ssa::insert_pi_nodes(func);
+    let func = module.function(id);
+
+    for problem in [Problem::Upper, Problem::Lower] {
+        let graph = InequalityGraph::build(func, problem, None);
+        for b in func.blocks() {
+            for &iid in func.block(b).insts() {
+                let abcd_ir::InstKind::BoundsCheck { array, index, .. } = func.inst(iid).kind
+                else {
+                    continue;
+                };
+                let (source, c) = match problem {
+                    Problem::Upper => (Vertex::ArrayLen(array), -1),
+                    Problem::Lower => (Vertex::Const(0), 0),
+                };
+                let mut demand = DemandProver::new(&graph, source);
+                if demand.demand_prove(Vertex::Value(index), c) {
+                    let ex = ExhaustiveDistances::compute(&graph, source);
+                    assert!(
+                        ex.proves(&graph, Vertex::Value(index), c),
+                        "demand prover overclaims ({problem:?}, {index}) in\n{src}\n{func}"
+                    );
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn range_baseline_is_also_sound(
-        bytes in proptest::collection::vec(any::<u8>(), 0..120),
-        data in proptest::collection::vec(-50i64..50, 0..6),
-        x in -100i64..100,
-    ) {
-        let src = Gen::new(&bytes).program();
-        let baseline = compile(&src).unwrap();
-        let mut optimized = compile(&src).unwrap();
-        abcd_ssa::module_to_essa(&mut optimized).unwrap();
-        let ids: Vec<_> = optimized.functions().map(|(i, _)| i).collect();
-        for id in ids {
-            abcd_analysis::eliminate_checks_by_range(optimized.function_mut(id));
-        }
-        let (r1, out1, _) = run(&baseline, &data, x);
-        let (r2, out2, _) = run(&optimized, &data, x);
-        if let Err(k) = &r2 {
-            prop_assert!(!k.contains("UncheckedAccess"), "unsound range removal\n{src}");
-        }
-        prop_assert_eq!(r1, r2, "range baseline diverged\n{}", &src);
-        prop_assert_eq!(out1, out2);
+#[test]
+fn range_baseline_is_also_sound() {
+    let cases = fuzz_cases(48);
+    let mut rng = Rng::new(0xabcd_0005);
+    for _ in 0..cases {
+        let bytes = rng.bytes(120);
+        let data = rng.data(6);
+        let x = rng.range(-100, 100);
+        check_range_baseline(&bytes, &data, x);
     }
+}
+
+fn check_range_baseline(bytes: &[u8], data: &[i64], x: i64) {
+    let src = Gen::new(bytes).program();
+    let baseline = compile(&src).unwrap();
+    let mut optimized = compile(&src).unwrap();
+    abcd_ssa::module_to_essa(&mut optimized).unwrap();
+    let ids: Vec<_> = optimized.functions().map(|(i, _)| i).collect();
+    for id in ids {
+        abcd_analysis::eliminate_checks_by_range(optimized.function_mut(id));
+    }
+    let (r1, out1, _) = run(&baseline, data, x);
+    let (r2, out2, _) = run(&optimized, data, x);
+    if let Err(k) = &r2 {
+        assert!(
+            !k.contains("UncheckedAccess"),
+            "unsound range removal\n{src}"
+        );
+    }
+    assert_eq!(r1, r2, "range baseline diverged\n{src}");
+    assert_eq!(out1, out2);
+}
+
+/// Corpus size per fuzz test, overridable via `ABCD_FUZZ_CASES`.
+fn fuzz_cases(default: usize) -> usize {
+    std::env::var("ABCD_FUZZ_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
 }
 
 #[test]
 fn generator_produces_interesting_programs() {
     // Sanity: a fixed seed yields a program with checks and control flow.
-    let bytes: Vec<u8> = (0u8..160).map(|i| i.wrapping_mul(37).wrapping_add(11)).collect();
+    let bytes: Vec<u8> = (0u8..160)
+        .map(|i| i.wrapping_mul(37).wrapping_add(11))
+        .collect();
     let src = Gen::new(&bytes).program();
     let module = compile(&src).unwrap_or_else(|e| panic!("{e}\n{src}"));
     let id = module.functions().next().unwrap().0;
@@ -399,4 +492,58 @@ fn trap_kinds_match_exactly_on_known_oob() {
         format!("{:?}", TrapKind::DivisionByZero).as_str(),
         "DivisionByZero"
     ));
+}
+
+// ---------------------------------------------------------------------------
+// Regression seeds. These byte strings are proptest-shrunk counterexamples
+// from earlier development (previously stored in
+// `prop_differential.proptest-regressions`), promoted to named deterministic
+// tests so they survive the removal of the proptest dependency and run on
+// every `cargo test`.
+// ---------------------------------------------------------------------------
+
+/// Shrunk seed: empty array, zero scalar input.
+#[test]
+fn seed_regression_empty_data() {
+    let bytes = [
+        0, 179, 72, 5, 0, 1, 219, 4, 21, 21, 0, 0, 7, 0, 47, 151, 52, 0, 0, 0, 43, 127, 3, 182,
+    ];
+    check_observational_equivalence(&bytes, &[], 0);
+}
+
+/// Shrunk seed: single-element array.
+#[test]
+fn seed_regression_single_element() {
+    let bytes = [
+        73, 23, 150, 104, 111, 1, 0, 37, 1, 206, 79, 204, 125, 21, 121, 0, 178, 32, 81, 1, 1, 44,
+        56, 198, 163, 22, 97, 1, 0, 93, 1, 135, 1, 159, 1, 0, 69, 1, 30, 4, 19, 28, 0, 5, 101, 178,
+        80, 87, 17, 13, 97, 9, 21, 1, 24, 73, 53, 87, 89, 0, 8, 54, 109,
+    ];
+    check_observational_equivalence(&bytes, &[0], 0);
+}
+
+/// Shrunk seed: structural property without VM inputs (pipeline stages
+/// and prover-vs-exhaustive agreement).
+#[test]
+fn seed_regression_structural_1() {
+    let bytes = [
+        0, 164, 0, 55, 0, 1, 101, 54, 1, 8, 37, 165, 134, 112, 0, 0, 0, 41, 158, 0, 14, 0, 76, 115,
+        0, 1, 0, 0, 0, 151, 4, 0, 187, 104, 0, 46, 110, 45, 152, 16, 76, 1, 0, 1, 0, 47, 0, 0, 1,
+        0, 61, 0, 0, 157, 239, 180, 187,
+    ];
+    check_pipeline_stages(&bytes);
+    check_demand_vs_exhaustive(&bytes);
+    check_observational_equivalence(&bytes, &[], 0);
+}
+
+/// Shrunk seed: structural property without VM inputs.
+#[test]
+fn seed_regression_structural_2() {
+    let bytes = [
+        22, 108, 0, 0, 106, 16, 178, 53, 60, 3, 47, 0, 1, 0, 0, 1, 9, 0, 0, 114, 39, 17, 13, 221,
+        32, 0, 0, 134, 9, 154, 0, 0, 0, 0, 0, 0, 0,
+    ];
+    check_pipeline_stages(&bytes);
+    check_demand_vs_exhaustive(&bytes);
+    check_observational_equivalence(&bytes, &[], 0);
 }

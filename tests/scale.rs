@@ -139,7 +139,11 @@ fn long_straightline_check_chain_is_linear() {
     assert_eq!(report.checks_total(), 600);
     // Every lower check is provable (index 0 ≥ 0); of the uppers, only the
     // very first survives — the rest are subsumed by its π-chain.
-    assert_eq!(report.checks_removed_fully(), 599, "all but the first upper");
+    assert_eq!(
+        report.checks_removed_fully(),
+        599,
+        "all but the first upper"
+    );
     assert!(
         report.steps_per_check() < 10.0,
         "chain proofs must be O(1) amortized: {}",
