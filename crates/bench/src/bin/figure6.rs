@@ -6,16 +6,23 @@
 //! Run with: `cargo run --release -p abcd-bench --bin figure6`
 //!
 //! Pass `--metrics` (and/or `--metrics-out FILE`, `--jobs N`) to also emit
-//! the `abcd-bench-metrics/1` JSON: per-pass timings, solver step and memo
-//! counters per benchmark, and the measured sequential-vs-parallel
-//! wall-clock comparison of the optimize phase.
+//! the `abcd-bench-metrics/2` JSON: per-pass timings, solver step and memo
+//! counters per benchmark, fail-open incident counters, and the measured
+//! sequential-vs-parallel wall-clock comparison of the optimize phase.
 
 use abcd::OptimizerOptions;
-use abcd_bench::{bar, evaluate_all};
+use abcd_bench::{bar, evaluate_all, print_incident_summary};
 use abcd_benchsuite::Group;
 
 fn main() {
-    let results = evaluate_all(OptimizerOptions::default());
+    // Translation validation on: every elimination in the figure is
+    // independently re-proven, and the incident summary below records the
+    // (expected-zero) reinstatement count in the run's trajectory.
+    let options = OptimizerOptions {
+        validate: true,
+        ..OptimizerOptions::default()
+    };
+    let results = evaluate_all(options);
 
     println!("Figure 6: dynamic upper-bound checks removed (this reproduction)");
     println!("{:-<78}", "");
@@ -57,6 +64,7 @@ fn main() {
         "AVERAGE",
         avg * 100.0
     );
+    print_incident_summary(&results);
 
-    abcd_bench::emit_cli_metrics(OptimizerOptions::default());
+    abcd_bench::emit_cli_metrics(options);
 }

@@ -6,7 +6,7 @@
 //! Run with: `cargo run --release -p abcd-bench --bin table_ablation`
 
 use abcd::OptimizerOptions;
-use abcd_bench::{evaluate, evaluate_with_versioning};
+use abcd_bench::{evaluate, evaluate_with_versioning, print_incident_summary};
 use abcd_benchsuite::BENCHMARKS;
 use abcd_vm::Vm;
 
@@ -36,7 +36,10 @@ fn range_baseline(bench: &abcd_benchsuite::Benchmark) -> f64 {
 }
 
 fn main() {
-    let full = OptimizerOptions::default();
+    let full = OptimizerOptions {
+        validate: true,
+        ..OptimizerOptions::default()
+    };
     let no_pre = OptimizerOptions { pre: false, ..full };
     let no_gvn = OptimizerOptions {
         gvn_hook: false,
@@ -60,8 +63,11 @@ fn main() {
     );
     println!("{:-<98}", "");
     let mut sums = [0.0f64; 7];
+    let mut full_results = Vec::with_capacity(BENCHMARKS.len());
     for b in BENCHMARKS {
-        let f = evaluate(b, full).upper_removed_fraction() * 100.0;
+        let rf = evaluate(b, full);
+        let f = rf.upper_removed_fraction() * 100.0;
+        full_results.push(rf);
         let p = evaluate(b, no_pre).upper_removed_fraction() * 100.0;
         let g = evaluate(b, no_gvn).upper_removed_fraction() * 100.0;
         let c = evaluate(b, no_cleanup).upper_removed_fraction() * 100.0;
@@ -101,6 +107,7 @@ fn main() {
     println!("address the paper's stated intraprocedural limitation; +VER adds");
     println!("guarded function versioning (the [MMS98]-style code duplication the");
     println!("paper also lists as missing), which is unconditionally sound.");
+    print_incident_summary(&full_results);
 
     abcd_bench::emit_cli_metrics(full);
 }

@@ -8,7 +8,7 @@
 //! Run with: `cargo run --release -p abcd-bench --bin table_effort`
 
 use abcd::{ExhaustiveDistances, InequalityGraph, OptimizerOptions, Problem, Vertex};
-use abcd_bench::evaluate_all;
+use abcd_bench::{evaluate_all, print_incident_summary};
 use abcd_ir::InstKind;
 
 /// Relaxation steps an exhaustive single-source pass would spend: one pass
@@ -43,7 +43,11 @@ fn exhaustive_steps(bench: &abcd_benchsuite::Benchmark) -> u64 {
 }
 
 fn main() {
-    let results = evaluate_all(OptimizerOptions::default());
+    let options = OptimizerOptions {
+        validate: true,
+        ..OptimizerOptions::default()
+    };
+    let results = evaluate_all(options);
 
     println!("Analysis effort per bounds check (demand-driven vs. exhaustive)");
     println!("{:-<92}", "");
@@ -87,6 +91,7 @@ fn main() {
         "(the exhaustive column is the per-source batch cost the paper's §5\n\
          rejects for dynamic compilation; demand-driven work is per hot check)"
     );
+    print_incident_summary(&results);
 
-    abcd_bench::emit_cli_metrics(OptimizerOptions::default());
+    abcd_bench::emit_cli_metrics(options);
 }

@@ -7,11 +7,15 @@
 //! Run with: `cargo run --release -p abcd-bench --bin table_speedup`
 
 use abcd::OptimizerOptions;
-use abcd_bench::{evaluate, evaluate_all};
+use abcd_bench::{evaluate, evaluate_all, print_incident_summary};
 use abcd_benchsuite::Group;
 
 fn main() {
-    let results = evaluate_all(OptimizerOptions::default());
+    let options = OptimizerOptions {
+        validate: true,
+        ..OptimizerOptions::default()
+    };
+    let results = evaluate_all(options);
 
     println!("Model-cycle speedup (optimized vs. baseline)");
     println!("{:-<74}", "");
@@ -27,7 +31,7 @@ fn main() {
             abcd_benchsuite::by_name(r.name).unwrap(),
             OptimizerOptions {
                 merge_checks: true,
-                ..OptimizerOptions::default()
+                ..options
             },
         );
         let sp = r.speedup();
@@ -49,6 +53,7 @@ fn main() {
         "Symantec average: {:+.1}%   (paper: about 10% wall-clock)",
         (avg - 1.0) * 100.0
     );
+    print_incident_summary(&results);
 
-    abcd_bench::emit_cli_metrics(OptimizerOptions::default());
+    abcd_bench::emit_cli_metrics(options);
 }

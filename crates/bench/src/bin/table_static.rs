@@ -6,10 +6,14 @@
 //! Run with: `cargo run --release -p abcd-bench --bin table_static`
 
 use abcd::OptimizerOptions;
-use abcd_bench::evaluate_all;
+use abcd_bench::{evaluate_all, print_incident_summary};
 
 fn main() {
-    let results = evaluate_all(OptimizerOptions::default());
+    let options = OptimizerOptions {
+        validate: true,
+        ..OptimizerOptions::default()
+    };
+    let results = evaluate_all(options);
 
     println!("Static check classification (upper + lower checks)");
     println!("{:-<72}", "");
@@ -45,6 +49,7 @@ fn main() {
         "bytemark partially redundant: {:.1}%   (paper: 26%)",
         bytemark.static_partial_fraction() * 100.0
     );
+    print_incident_summary(&results);
 
-    abcd_bench::emit_cli_metrics(OptimizerOptions::default());
+    abcd_bench::emit_cli_metrics(options);
 }

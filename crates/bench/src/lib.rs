@@ -220,8 +220,13 @@ pub fn stress_module() -> abcd_ir::Module {
 
 /// Measures the optimize phase of `benches` at one worker and at
 /// `threads` workers and renders the comparison — plus each benchmark's
-/// `abcd-metrics/1` object from the parallel run — as one JSON document
-/// (schema `abcd-bench-metrics/1`).
+/// `abcd-metrics/2` object from the parallel run — as one JSON document
+/// (schema `abcd-bench-metrics/2`).
+///
+/// The document leads with the suite-wide fail-open counters (`incidents`,
+/// `degraded_incidents`, `checks_validated`, `checks_reinstated`) so a
+/// metrics trajectory records healthy zero-incident runs explicitly rather
+/// than by omission.
 ///
 /// The headline `speedup` is measured on [`stress_module`] (best of three
 /// runs per configuration); the tiny real-suite walls are reported
@@ -294,7 +299,20 @@ pub fn metrics_json_for(
     // the walls are interpretable.
     let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
 
-    let mut out = String::from("{\"schema\":\"abcd-bench-metrics/1\"");
+    let incidents: usize = par_reports.iter().map(|(_, r)| r.incident_count()).sum();
+    let degraded: usize = par_reports
+        .iter()
+        .map(|(_, r)| r.degraded_incident_count())
+        .sum();
+    let validated: usize = par_reports.iter().map(|(_, r)| r.checks_validated()).sum();
+    let reinstated: usize = par_reports.iter().map(|(_, r)| r.checks_reinstated()).sum();
+
+    let mut out = String::from("{\"schema\":\"abcd-bench-metrics/2\"");
+    let _ = write!(
+        out,
+        ",\"incidents\":{incidents},\"degraded_incidents\":{degraded},\
+         \"checks_validated\":{validated},\"checks_reinstated\":{reinstated}"
+    );
     let _ = write!(
         out,
         ",\"parallel\":{{\"threads\":{threads},\"host_cpus\":{host_cpus},\
@@ -328,10 +346,33 @@ pub fn suite_metrics_json(options: OptimizerOptions, threads: usize) -> String {
     metrics_json_for(abcd_benchsuite::BENCHMARKS, options, threads)
 }
 
+/// Prints the fail-open summary line the experiment binaries append to
+/// their tables: total incidents (zero on a healthy run — printed anyway so
+/// logged trajectories record the clean run explicitly) and the
+/// translation-validation counters.
+pub fn print_incident_summary(results: &[BenchResult]) {
+    let incidents: usize = results.iter().map(|r| r.report.incident_count()).sum();
+    let degraded: usize = results
+        .iter()
+        .map(|r| r.report.degraded_incident_count())
+        .sum();
+    let validated: usize = results.iter().map(|r| r.report.checks_validated()).sum();
+    let reinstated: usize = results.iter().map(|r| r.report.checks_reinstated()).sum();
+    println!(
+        "incidents: {incidents} ({degraded} degraded); validation: {validated} re-proven, \
+         {reinstated} reinstated"
+    );
+    for r in results {
+        for incident in r.report.incidents() {
+            println!("  {}: {incident}", r.name);
+        }
+    }
+}
+
 /// Shared CLI tail of the experiment binaries: when `--metrics` or
 /// `--metrics-out FILE` was passed, re-optimizes the suite at one worker
 /// and at `--jobs N` workers (default and minimum 2) and emits the
-/// `abcd-bench-metrics/1` comparison JSON after the table.
+/// `abcd-bench-metrics/2` comparison JSON after the table.
 pub fn emit_cli_metrics(options: OptimizerOptions) {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let value_of = |flag: &str| {
@@ -392,16 +433,23 @@ mod tests {
             2,
         );
         assert!(
-            json.starts_with("{\"schema\":\"abcd-bench-metrics/1\""),
+            json.starts_with("{\"schema\":\"abcd-bench-metrics/2\""),
             "{json}"
         );
+        // Zero-incident runs are recorded explicitly, not by omission.
+        assert!(
+            json.contains("\"incidents\":0,\"degraded_incidents\":0"),
+            "{json}"
+        );
+        assert!(json.contains("\"checks_validated\":"), "{json}");
+        assert!(json.contains("\"checks_reinstated\":0"), "{json}");
         assert!(json.contains("\"parallel\":{\"threads\":2"), "{json}");
         assert!(json.contains("\"sequential_wall_us\":"), "{json}");
         assert!(json.contains("\"parallel_wall_us\":"), "{json}");
         assert!(json.contains("\"speedup\":\""), "{json}");
-        // Each of the two benchmarks embeds a full abcd-metrics/1 object.
+        // Each of the two benchmarks embeds a full abcd-metrics/2 object.
         assert_eq!(
-            json.matches("\"metrics\":{\"schema\":\"abcd-metrics/1\"")
+            json.matches("\"metrics\":{\"schema\":\"abcd-metrics/2\"")
                 .count(),
             2,
             "{json}"

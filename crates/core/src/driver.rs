@@ -7,9 +7,12 @@
 //! `demandProve` per bounds check — hottest first when a profile is given,
 //! exactly the demand-driven discipline the paper designed for.
 
+use crate::faults::{current_pass, set_current_pass, FaultPlan};
 use crate::graph::{InequalityGraph, Problem, Vertex};
 use crate::pre::{apply_insertions, merge_remaining_checks};
-use crate::report::{CheckOutcome, FunctionReport, ModuleReport};
+use crate::report::{
+    CheckOutcome, EliminatedCheck, FunctionReport, HoistedCheck, Incident, ModuleReport,
+};
 use crate::solver::{DemandProver, PreOutcome, PreProver};
 use abcd_ir::{Block, CheckKind, CheckSite, FuncId, Function, InstId, InstKind, Module, Value};
 use abcd_ssa::DomTree;
@@ -45,6 +48,27 @@ pub struct OptimizerOptions {
     /// Infer and use interprocedural parameter facts (closed-world; see
     /// [`crate::interproc`]). Off by default — the paper is intraprocedural.
     pub interprocedural: bool,
+    /// Solver-step budget per `demandProve` query. On exhaustion the verdict
+    /// is a conservative "keep the check" and a
+    /// [`Incident::BudgetExhausted`] is recorded. `None` = unbudgeted.
+    pub fuel_per_query: Option<u64>,
+    /// Total solver-step budget per function (fully-redundant + PRE passes
+    /// combined). Checks reached after the budget is gone are kept without
+    /// being queried. `None` = unbudgeted.
+    pub fuel_per_function: Option<u64>,
+    /// Run the IR verifier after every IR-mutating pipeline pass; on
+    /// failure, ship the pre-pass function and record
+    /// [`Incident::VerifyFailed`]. Defaults on in debug builds (tests/CI),
+    /// off in release unless requested.
+    pub verify_ir: bool,
+    /// Translation validation: independently re-prove every eliminated
+    /// check against graphs rebuilt from the final e-SSA form; reinstate
+    /// (and record [`Incident::ValidationReinstated`]) on any miss.
+    pub validate: bool,
+    /// Run each function's pipeline under `catch_unwind`; a panicking
+    /// function ships unoptimized ([`Incident::PassPanic`]) while the rest
+    /// of the module proceeds.
+    pub isolate_panics: bool,
 }
 
 impl Default for OptimizerOptions {
@@ -59,6 +83,11 @@ impl Default for OptimizerOptions {
             classify_local: true,
             hot_threshold: None,
             interprocedural: false,
+            fuel_per_query: None,
+            fuel_per_function: None,
+            verify_ir: cfg!(debug_assertions),
+            validate: false,
+            isolate_panics: true,
         }
     }
 }
@@ -93,6 +122,8 @@ pub struct Optimizer {
     options: OptimizerOptions,
     /// Worker threads for `optimize_module` (0 and 1 both mean sequential).
     threads: usize,
+    /// Deterministic fault-injection plan (tests and `mjc --fault-plan`).
+    fault_plan: Option<FaultPlan>,
 }
 
 impl Optimizer {
@@ -106,12 +137,21 @@ impl Optimizer {
         Optimizer {
             options,
             threads: 0,
+            fault_plan: None,
         }
     }
 
     /// Sets the number of worker threads `optimize_module` may use.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Arms a deterministic fault-injection plan. Faults are keyed by
+    /// function name (never thread identity), so an armed plan fires
+    /// identically in sequential and parallel runs.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
         self
     }
 
@@ -131,27 +171,79 @@ impl Optimizer {
     pub fn optimize_module(&self, module: &mut Module, profile: Option<&Profile>) -> ModuleReport {
         let mut report = ModuleReport::default();
         if !self.options.interprocedural {
-            report.functions =
-                self.map_functions(module, |id, func| self.optimize_function(func, id, profile));
+            report.functions = self.map_functions(module, |id, func| {
+                self.isolated(func, |f| self.optimize_function_inner(f, id, profile))
+                    .merge()
+            });
             return report;
         }
         // Interprocedural mode: prepare every function first, infer the
         // parameter-fact fixpoint over the whole module (inherently a
         // sequential whole-module step), then analyze each function under
-        // its verified assumptions.
-        let prepared = self.map_functions(module, |_, func| self.prepare_function(func));
+        // its verified assumptions. Each phase is panic-isolated per
+        // function; a function whose prepare failed ships as-is and is
+        // skipped by analyze.
+        let prepared = self.map_functions(module, |_, func| {
+            self.isolated(func, |f| self.prepare_function(f))
+        });
         let facts = crate::interproc::infer_param_facts(module);
-        let prepared: Vec<Mutex<Option<PreparedGvn>>> =
+        let facts = &facts;
+        let prepared: Vec<PreparedSlot> =
             prepared.into_iter().map(|g| Mutex::new(Some(g))).collect();
         report.functions = self.map_functions(module, |id, func| {
-            let gvn = prepared[id.index()]
+            let prep = prepared[id.index()]
                 .lock()
                 .expect("prepared state lock")
                 .take()
                 .expect("each function analyzed once");
-            self.analyze_function(func, id, profile, gvn, facts.of(id))
+            match prep {
+                FailOpen::Done(Ok(gvn)) => self
+                    .isolated(func, move |f| {
+                        self.analyze_function(f, id, profile, gvn, facts.of(id))
+                    })
+                    .merge(),
+                FailOpen::Done(Err(incident)) => fail_open_report(func, incident),
+                FailOpen::Panicked(r) => *r,
+            }
         });
         report
+    }
+
+    /// Runs `work` on a scratch clone of `func` under `catch_unwind` (when
+    /// isolation is enabled), copying the result back only on success. A
+    /// panic leaves `func` exactly as it was — the function ships
+    /// unoptimized — and is reported as a [`Incident::PassPanic`] carrying
+    /// the pass that was running.
+    ///
+    /// The clone/copy-back discipline is identical in sequential and
+    /// parallel runs, so isolation never perturbs byte-identity.
+    fn isolated<T, F>(&self, func: &mut Function, work: F) -> FailOpen<T>
+    where
+        F: FnOnce(&mut Function) -> T,
+    {
+        if !self.options.isolate_panics {
+            return FailOpen::Done(work(func));
+        }
+        let scratch = func.clone();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            let mut scratch = scratch;
+            let out = work(&mut scratch);
+            (scratch, out)
+        }));
+        match result {
+            Ok((scratch, out)) => {
+                *func = scratch;
+                FailOpen::Done(out)
+            }
+            Err(payload) => {
+                let incident = Incident::PassPanic {
+                    function: func.name().to_string(),
+                    pass: current_pass().to_string(),
+                    payload: payload_message(payload.as_ref()),
+                };
+                FailOpen::Panicked(Box::new(fail_open_report(func, incident)))
+            }
+        }
     }
 
     /// Applies `f` to every function and collects the results in function
@@ -213,30 +305,97 @@ impl Optimizer {
         func_id: FuncId,
         profile: Option<&Profile>,
     ) -> FunctionReport {
-        let gvn = self.prepare_function(func);
-        self.analyze_function(func, func_id, profile, gvn, &[])
+        self.isolated(func, |f| self.optimize_function_inner(f, func_id, profile))
+            .merge()
+    }
+
+    fn optimize_function_inner(
+        &self,
+        func: &mut Function,
+        func_id: FuncId,
+        profile: Option<&Profile>,
+    ) -> FunctionReport {
+        match self.prepare_function(func) {
+            Ok(gvn) => self.analyze_function(func, func_id, profile, gvn, &[]),
+            Err(incident) => fail_open_report(func, incident),
+        }
+    }
+
+    /// Runs one IR-mutating pipeline stage with the robustness hooks: the
+    /// fault plan may panic at its boundary, and `verify_ir` re-verifies
+    /// the output — on rejection the pre-pass snapshot is restored and the
+    /// offending pass is named in the returned incident.
+    ///
+    /// `ssa_form` stages (everything after local promotion) are also held
+    /// to the dominance discipline: a transform that leaves a use above its
+    /// definition — e.g. PRE insertion points computed from a corrupted
+    /// constraint graph — is rolled back, not shipped.
+    fn run_stage(
+        &self,
+        func: &mut Function,
+        pass: &'static str,
+        ssa_form: bool,
+        stage: impl FnOnce(&mut Function),
+    ) -> Result<(), Incident> {
+        set_current_pass(pass);
+        if let Some(plan) = &self.fault_plan {
+            plan.maybe_panic(func.name(), pass);
+        }
+        if !self.options.verify_ir {
+            stage(func);
+            return Ok(());
+        }
+        let snapshot = func.clone();
+        stage(func);
+        let verdict = abcd_ir::verify_function(func, None)
+            .map_err(|e| e.to_string())
+            .and_then(|()| {
+                if ssa_form {
+                    abcd_ssa::verify_ssa(func).map_err(|e| e.to_string())
+                } else {
+                    Ok(())
+                }
+            });
+        match verdict {
+            Ok(()) => Ok(()),
+            Err(error) => {
+                let incident = Incident::VerifyFailed {
+                    function: func.name().to_string(),
+                    pass: pass.to_string(),
+                    error,
+                };
+                *func = snapshot;
+                Err(incident)
+            }
+        }
     }
 
     /// Stages 1–3 of Figure 2: SSA construction, basic cleanup, e-SSA.
-    fn prepare_function(&self, func: &mut Function) -> PreparedGvn {
+    /// Fails open: a verifier rejection ships the pre-pass function.
+    fn prepare_function(&self, func: &mut Function) -> Result<PreparedGvn, Incident> {
         let prepare_started = Instant::now();
         let opts = &self.options;
         let mut cleanup_stats = abcd_analysis::CleanupStats::default();
-        abcd_ssa::split_critical_edges(func);
-        abcd_ssa::promote_locals(func).expect("frontend guarantees definite assignment");
-        let mut gvn = if opts.cleanup {
-            let (stats, gvn) = abcd_analysis::cleanup(func);
-            cleanup_stats = stats;
-            gvn
+        self.run_stage(func, "split_critical_edges", false, |f| {
+            abcd_ssa::split_critical_edges(f);
+        })?;
+        self.run_stage(func, "promote_locals", true, |f| {
+            abcd_ssa::promote_locals(f).expect("frontend guarantees definite assignment");
+        })?;
+        let mut gvn = abcd_analysis::GvnResult::default();
+        if opts.cleanup {
+            self.run_stage(func, "cleanup", true, |f| {
+                let (stats, g) = abcd_analysis::cleanup(f);
+                cleanup_stats = stats;
+                gvn = g;
+            })?;
         } else if opts.gvn_hook {
             // §7.1 needs congruence even when the rewriting cleanup is off:
             // value-number a throwaway clone (value ids are stable) and keep
             // only the congruence classes.
             let mut scratch = func.clone();
-            abcd_analysis::value_number(&mut scratch)
-        } else {
-            abcd_analysis::GvnResult::default()
-        };
+            gvn = abcd_analysis::value_number(&mut scratch);
+        }
         if opts.gvn_hook {
             // Loads of the same array slot yield the same reference (and
             // hence the same length) — congruence no rewriting CSE can see.
@@ -244,14 +403,16 @@ impl Optimizer {
         }
         let already_essa = has_pi(func);
         if !already_essa {
-            abcd_ssa::insert_pi_nodes(func);
+            self.run_stage(func, "insert_pi", true, |f| {
+                abcd_ssa::insert_pi_nodes(f);
+            })?;
         }
         debug_assert_eq!(abcd_ssa::verify_ssa(func), Ok(()));
-        PreparedGvn {
+        Ok(PreparedGvn {
             gvn,
             cleanup: cleanup_stats,
             prepare_time: prepare_started.elapsed(),
-        }
+        })
     }
 
     /// Stages 4–5 of Figure 2: build the constraint systems (optionally
@@ -270,17 +431,33 @@ impl Optimizer {
         report.cleanup = prepared.cleanup;
         report.param_facts_used = facts.len();
         report.metrics.prepare_time = prepared.prepare_time;
+        report.fuel_limit = opts.fuel_per_function.or(opts.fuel_per_query);
         let gvn = prepared.gvn;
 
         // 4: the two sparse constraint systems.
+        set_current_pass("graph_build");
+        if let Some(plan) = &self.fault_plan {
+            plan.maybe_panic(func.name(), "graph_build");
+        }
         let graph_started = Instant::now();
         let mut upper_graph = InequalityGraph::build(func, Problem::Upper, None);
         let mut lower_graph = InequalityGraph::build(func, Problem::Lower, None);
         crate::interproc::apply_facts(facts, func, &mut upper_graph);
         crate::interproc::apply_facts(facts, func, &mut lower_graph);
+        if let Some(plan) = &self.fault_plan {
+            // Deterministic sabotage of the constraint system; translation
+            // validation rebuilds clean graphs and must catch any wrong
+            // elimination this causes.
+            plan.perturb_graphs(func.name(), &mut upper_graph, &mut lower_graph);
+        }
         let upper_graph = upper_graph;
         let lower_graph = lower_graph;
         let dt = DomTree::compute(func);
+        // A fuel fault starves every query of this function outright.
+        let fuel_fault = self
+            .fault_plan
+            .as_ref()
+            .is_some_and(|p| p.exhausts_fuel(func.name()));
         report.metrics.graph_build_time = graph_started.elapsed();
         report.metrics.upper_vertices = upper_graph.vertex_count();
         report.metrics.upper_edges = upper_graph.edge_count();
@@ -327,6 +504,10 @@ impl Optimizer {
         let mut pre_jobs: Vec<(Block, InstId, Vec<crate::solver::InsertionPoint>, Problem)> =
             Vec::new();
 
+        set_current_pass("solve");
+        if let Some(plan) = &self.fault_plan {
+            plan.maybe_panic(func.name(), "solve");
+        }
         for (block, inst, site, array, index, kind) in checks {
             let enabled = match kind {
                 CheckKind::Upper => opts.upper,
@@ -343,8 +524,32 @@ impl Optimizer {
                     continue;
                 }
             }
+            // Fuel gate. The per-function budget counts every solver step
+            // already spent; once it (or an injected fuel fault) starves a
+            // check, the check is kept without querying — exhaustion can
+            // never eliminate a check, not even through the provers'
+            // O(1) trivial fast paths.
+            let already_spent = report.steps + report.pre_steps;
+            let function_fuel_left = opts
+                .fuel_per_function
+                .map(|budget| budget.saturating_sub(already_spent));
+            if fuel_fault || function_fuel_left == Some(0) {
+                report.incidents.push(Incident::BudgetExhausted {
+                    function: func.name().to_string(),
+                    site,
+                    kind,
+                    fuel: if fuel_fault { 0 } else { already_spent },
+                });
+                report.record(site, kind, CheckOutcome::Kept);
+                continue;
+            }
+            let query_fuel = match (opts.fuel_per_query, function_fuel_left) {
+                (Some(q), Some(f)) => Some(q.min(f)),
+                (q, f) => q.or(f),
+            };
             let started = Instant::now();
             let mut spent_steps = 0u64;
+            let mut exhausted = false;
 
             let (problem, source, c, graph): (Problem, Vertex, i64, &InequalityGraph) = match kind {
                 CheckKind::Upper | CheckKind::Both => {
@@ -359,29 +564,49 @@ impl Optimizer {
                     &upper_graph,
                     &mut upper_provers,
                     &mut spent_steps,
+                    &mut exhausted,
+                    query_fuel,
                     array,
                     index,
                 ),
-                CheckKind::Lower => prove_lower(&mut lower_prover, &mut spent_steps, index),
+                CheckKind::Lower => prove_lower(
+                    &mut lower_prover,
+                    &mut spent_steps,
+                    &mut exhausted,
+                    query_fuel,
+                    index,
+                ),
                 CheckKind::Both => {
                     prove_upper(
                         &upper_graph,
                         &mut upper_provers,
                         &mut spent_steps,
+                        &mut exhausted,
+                        query_fuel,
                         array,
                         index,
-                    ) && prove_lower(&mut lower_prover, &mut spent_steps, index)
+                    ) && prove_lower(
+                        &mut lower_prover,
+                        &mut spent_steps,
+                        &mut exhausted,
+                        query_fuel,
+                        index,
+                    )
                 }
             };
             let mut via_congruence = false;
 
             // §7.1: on upper-check failure, retry against congruent arrays.
-            if !proven && opts.gvn_hook && matches!(kind, CheckKind::Upper) {
+            // A starved query skips the retries: its False is a budget
+            // artifact, and the check is being kept anyway.
+            if !proven && !exhausted && opts.gvn_hook && matches!(kind, CheckKind::Upper) {
                 for other in abcd_analysis::congruent_arrays(func, &gvn, &dt, array, block) {
                     if prove_upper(
                         &upper_graph,
                         &mut upper_provers,
                         &mut spent_steps,
+                        &mut exhausted,
+                        query_fuel,
                         other,
                         index,
                     ) {
@@ -389,11 +614,21 @@ impl Optimizer {
                         via_congruence = true;
                         break;
                     }
+                    if exhausted {
+                        break;
+                    }
                 }
             }
 
             let outcome = if proven {
                 to_remove.push((block, inst));
+                report.eliminated.push(EliminatedCheck {
+                    block,
+                    site,
+                    kind,
+                    array,
+                    index,
+                });
                 let local = opts.classify_local
                     && self.provable_locally(
                         func,
@@ -409,18 +644,51 @@ impl Optimizer {
                     local,
                     via_congruence,
                 }
+            } else if exhausted {
+                // Conservative: keep the check, surface the budget stop.
+                report.metrics.solve_time += started.elapsed();
+                report.incidents.push(Incident::BudgetExhausted {
+                    function: func.name().to_string(),
+                    site,
+                    kind,
+                    fuel: spent_steps,
+                });
+                CheckOutcome::Kept
             } else if opts.pre && kind != CheckKind::Both {
                 report.metrics.solve_time += started.elapsed();
+                set_current_pass("pre");
+                if let Some(plan) = &self.fault_plan {
+                    plan.maybe_panic(func.name(), "pre");
+                }
                 let pre_started = Instant::now();
                 let prover = pre_provers
                     .entry((problem, source))
                     .or_insert_with(|| PreProver::new(graph, source, freq_dyn));
-                let (result, pre_steps) = self.try_pre(func_id, profile, site, prover, index, c);
+                let (result, pre_steps) =
+                    self.try_pre(func_id, profile, site, prover, index, c, query_fuel);
                 report.pre_steps += pre_steps;
                 report.metrics.pre_time += pre_started.elapsed();
+                set_current_pass("solve");
+                if prover.last_query_exhausted() {
+                    report.incidents.push(Incident::BudgetExhausted {
+                        function: func.name().to_string(),
+                        site,
+                        kind,
+                        fuel: spent_steps + pre_steps,
+                    });
+                }
                 match result {
                     Some(points) => {
                         let n = points.len();
+                        report.hoisted_checks.push(HoistedCheck {
+                            block,
+                            inst,
+                            site,
+                            kind,
+                            array,
+                            index,
+                            points: points.clone(),
+                        });
                         pre_jobs.push((block, inst, points, problem));
                         CheckOutcome::Hoisted { insertions: n }
                     }
@@ -450,18 +718,57 @@ impl Optimizer {
         drop(lower_prover);
         drop(pre_provers);
 
-        // 5: transform.
+        // 5: transform. The rewrite runs as a verified stage: if the
+        // verifier rejects the transformed function, the pre-transform
+        // snapshot ships and every claimed removal is rolled back to Kept.
         let transform_started = Instant::now();
-        for (b, id) in to_remove {
-            func.remove_inst(b, id);
-        }
-        for (b, id, points, problem) in pre_jobs {
-            report.spec_checks_inserted += apply_insertions(func, b, id, &points, problem);
-        }
-        if opts.merge_checks {
-            report.checks_merged = merge_remaining_checks(func);
+        let merge_checks = opts.merge_checks;
+        let mut spec_inserted = 0usize;
+        let mut merged = 0usize;
+        let transform = self.run_stage(func, "transform", true, |f| {
+            for (b, id) in to_remove {
+                f.remove_inst(b, id);
+            }
+            for (b, id, points, problem) in pre_jobs {
+                spec_inserted += apply_insertions(f, b, id, &points, problem);
+            }
+            if merge_checks {
+                merged = merge_remaining_checks(f);
+            }
+        });
+        match transform {
+            Ok(()) => {
+                report.spec_checks_inserted = spec_inserted;
+                report.checks_merged = merged;
+            }
+            Err(incident) => {
+                // Pre-transform snapshot restored: nothing was removed.
+                report.incidents.push(incident);
+                for (_, _, o) in &mut report.outcomes {
+                    if matches!(
+                        o,
+                        CheckOutcome::RemovedFully { .. } | CheckOutcome::Hoisted { .. }
+                    ) {
+                        *o = CheckOutcome::Kept;
+                    }
+                }
+                report.eliminated.clear();
+                report.hoisted_checks.clear();
+            }
         }
         report.metrics.transform_time = transform_started.elapsed();
+
+        // Translation validation (fail-open layer): independently
+        // re-justify every elimination from the final e-SSA form.
+        if opts.validate {
+            set_current_pass("validate");
+            if let Some(plan) = &self.fault_plan {
+                plan.maybe_panic(func.name(), "validate");
+            }
+            crate::validate::validate_function(func, &mut report, facts, &gvn, &dt, opts.gvn_hook);
+        }
+
+        report.fuel_spent = report.steps + report.pre_steps;
         debug_assert_eq!(abcd_ir::verify_function(func, None), Ok(()));
         report
     }
@@ -469,6 +776,7 @@ impl Optimizer {
     /// PRE: query with insertion collection and test profitability (§6.1).
     /// The prover is cached per `(problem, source)` by the caller so its
     /// memo spans every failed check against the same source.
+    #[allow(clippy::too_many_arguments)]
     fn try_pre(
         &self,
         func_id: FuncId,
@@ -477,8 +785,12 @@ impl Optimizer {
         prover: &mut PreProver,
         index: Value,
         c: i64,
+        fuel: Option<u64>,
     ) -> (Option<Vec<crate::solver::InsertionPoint>>, u64) {
         let steps_before = prover.steps;
+        if let Some(f) = fuel {
+            prover.set_query_fuel(f);
+        }
         let outcome = prover.demand_prove(Vertex::Value(index), c);
         let steps = prover.steps - steps_before;
         let result = match outcome {
@@ -527,11 +839,15 @@ impl Optimizer {
 }
 
 /// Runs an upper-bound query against the (memoized) prover for `array`,
-/// accounting the solver steps it spends into `spent`.
+/// accounting the solver steps it spends into `spent` and budget trips into
+/// `exhausted`.
+#[allow(clippy::too_many_arguments)]
 fn prove_upper<'g>(
     graph: &'g InequalityGraph,
     provers: &mut HashMap<Value, DemandProver<'g>>,
     spent: &mut u64,
+    exhausted: &mut bool,
+    fuel: Option<u64>,
     array: Value,
     index: Value,
 ) -> bool {
@@ -539,17 +855,31 @@ fn prove_upper<'g>(
         .entry(array)
         .or_insert_with(|| DemandProver::new(graph, Vertex::ArrayLen(array)));
     let before = p.steps;
+    if let Some(f) = fuel {
+        p.set_query_fuel(f);
+    }
     let ok = p.demand_prove(Vertex::Value(index), -1);
     *spent += p.steps - before;
+    *exhausted |= p.last_query_exhausted();
     ok
 }
 
 /// The lower-bound analogue of [`prove_upper`] (one shared constant-0
 /// prover).
-fn prove_lower(prover: &mut DemandProver, spent: &mut u64, index: Value) -> bool {
+fn prove_lower(
+    prover: &mut DemandProver,
+    spent: &mut u64,
+    exhausted: &mut bool,
+    fuel: Option<u64>,
+    index: Value,
+) -> bool {
     let before = prover.steps;
+    if let Some(f) = fuel {
+        prover.set_query_fuel(f);
+    }
     let ok = prover.demand_prove(Vertex::Value(index), 0);
     *spent += prover.steps - before;
+    *exhausted |= prover.last_query_exhausted();
     ok
 }
 
@@ -558,6 +888,53 @@ struct PreparedGvn {
     gvn: abcd_analysis::GvnResult,
     cleanup: abcd_analysis::CleanupStats,
     prepare_time: std::time::Duration,
+}
+
+/// A prepared function's analysis state, handed from the parallel prepare
+/// phase to the parallel analyze phase of interprocedural mode.
+type PreparedSlot = Mutex<Option<FailOpen<Result<PreparedGvn, Incident>>>>;
+
+/// Result of an isolated pipeline run: the work's own output, or the
+/// fail-open report of a function whose pipeline panicked.
+enum FailOpen<T> {
+    Done(T),
+    Panicked(Box<FunctionReport>),
+}
+
+impl FailOpen<FunctionReport> {
+    fn merge(self) -> FunctionReport {
+        match self {
+            FailOpen::Done(r) => r,
+            FailOpen::Panicked(r) => *r,
+        }
+    }
+}
+
+/// The report of a function that ships un-transformed after a pipeline
+/// failure: every check is recorded as kept, plus the triggering incident.
+fn fail_open_report(func: &Function, incident: Incident) -> FunctionReport {
+    let mut report = FunctionReport::new(func.name());
+    for b in func.blocks() {
+        for &id in func.block(b).insts() {
+            if let InstKind::BoundsCheck { site, kind, .. } = func.inst(id).kind {
+                report.checks_total += 1;
+                report.record(site, kind, CheckOutcome::Kept);
+            }
+        }
+    }
+    report.incidents.push(incident);
+    report
+}
+
+/// Human-readable panic payload (message when it was a string).
+fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
 }
 
 fn has_pi(func: &Function) -> bool {

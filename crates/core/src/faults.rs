@@ -1,0 +1,296 @@
+//! Deterministic, seeded fault injection for the fail-open pipeline.
+//!
+//! A [`FaultPlan`] names failures to force on demand — a pass panic, solver
+//! budget exhaustion, or an inequality-graph edge perturbation — so the test
+//! suite (and `mjc --fault-plan`) can prove that every single-fault scenario
+//! degrades to "keep the bounds check" instead of crashing or miscompiling.
+//!
+//! Everything is keyed by *function name*, never by thread or wall clock, so
+//! an injected fault fires identically under `--jobs N` and sequentially:
+//! the parallel driver stays byte-identical to the sequential one even while
+//! being sabotaged.
+//!
+//! # Plan syntax
+//!
+//! A plan is a comma- or semicolon-separated list of faults:
+//!
+//! ```text
+//! panic:FUNC:PASS    panic at the start of pipeline pass PASS in FUNC
+//! fuel:FUNC          force solver budget exhaustion for every check in FUNC
+//! edge:FUNC:SEED     deterministically perturb one inequality-graph edge
+//! ```
+//!
+//! `FUNC` may be `*` to match every function. Pass names are the stage
+//! labels the driver publishes (`split_critical_edges`, `promote_locals`,
+//! `cleanup`, `insert_pi`, `graph_build`, `solve`, `pre`, `transform`).
+
+use crate::graph::InequalityGraph;
+use std::cell::Cell;
+use std::fmt;
+
+/// One injected fault.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Fault {
+    /// Panic when the named pipeline pass starts on a matching function.
+    PassPanic {
+        /// Function name, or `*` for all functions.
+        function: String,
+        /// Pipeline pass label.
+        pass: String,
+    },
+    /// Treat every solver query of a matching function as budget-exhausted:
+    /// the driver keeps all of its checks and records incidents.
+    ExhaustFuel {
+        /// Function name, or `*` for all functions.
+        function: String,
+    },
+    /// Deterministically perturb one edge weight of the matching function's
+    /// inequality graphs — simulating a constraint-system corruption the
+    /// translation-validation pass must catch.
+    PerturbEdge {
+        /// Function name, or `*` for all functions.
+        function: String,
+        /// Seed for the deterministic edge choice.
+        seed: u64,
+    },
+}
+
+impl Fault {
+    fn matches(target: &str, function: &str) -> bool {
+        target == "*" || target == function
+    }
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fault::PassPanic { function, pass } => write!(f, "panic:{function}:{pass}"),
+            Fault::ExhaustFuel { function } => write!(f, "fuel:{function}"),
+            Fault::PerturbEdge { function, seed } => write!(f, "edge:{function}:{seed}"),
+        }
+    }
+}
+
+/// A deterministic fault-injection plan, threaded into the driver via
+/// [`Optimizer::with_fault_plan`](crate::Optimizer::with_fault_plan).
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct FaultPlan {
+    /// The faults to inject.
+    pub faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// Parses the CLI plan syntax (see the module docs).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for malformed specs.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut faults = Vec::new();
+        for part in spec
+            .split([',', ';'])
+            .map(str::trim)
+            .filter(|p| !p.is_empty())
+        {
+            let mut fields = part.split(':');
+            let kind = fields.next().unwrap_or("");
+            let function = fields
+                .next()
+                .ok_or_else(|| format!("`{part}`: missing function (use `*` for all)"))?
+                .to_string();
+            match kind {
+                "panic" => {
+                    let pass = fields
+                        .next()
+                        .ok_or_else(|| format!("`{part}`: panic fault needs a pass name"))?
+                        .to_string();
+                    faults.push(Fault::PassPanic { function, pass });
+                }
+                "fuel" => faults.push(Fault::ExhaustFuel { function }),
+                "edge" => {
+                    let seed = fields
+                        .next()
+                        .ok_or_else(|| format!("`{part}`: edge fault needs a seed"))?
+                        .parse()
+                        .map_err(|_| format!("`{part}`: edge seed must be an integer"))?;
+                    faults.push(Fault::PerturbEdge { function, seed });
+                }
+                other => {
+                    return Err(format!(
+                        "unknown fault kind `{other}` (expected panic|fuel|edge)"
+                    ))
+                }
+            }
+            if fields.next().is_some() {
+                return Err(format!("`{part}`: trailing fields"));
+            }
+        }
+        Ok(FaultPlan { faults })
+    }
+
+    /// Panics if the plan demands a pass panic for `(function, pass)`.
+    /// Called by the driver at every stage boundary; the panic is caught by
+    /// the per-function isolation layer.
+    pub(crate) fn maybe_panic(&self, function: &str, pass: &str) {
+        for f in &self.faults {
+            if let Fault::PassPanic {
+                function: target,
+                pass: p,
+            } = f
+            {
+                if Fault::matches(target, function) && p == pass {
+                    panic!("injected fault: pass `{pass}` in `{function}`");
+                }
+            }
+        }
+    }
+
+    /// Does the plan force budget exhaustion for `function`?
+    pub(crate) fn exhausts_fuel(&self, function: &str) -> bool {
+        self.faults.iter().any(|f| {
+            matches!(f, Fault::ExhaustFuel { function: target } if Fault::matches(target, function))
+        })
+    }
+
+    /// Applies any matching edge perturbation to `function`'s graphs.
+    /// Deterministic: the perturbed edge depends only on the seed, the
+    /// function name, and the graph shape.
+    pub(crate) fn perturb_graphs(
+        &self,
+        function: &str,
+        upper: &mut InequalityGraph,
+        lower: &mut InequalityGraph,
+    ) {
+        for f in &self.faults {
+            if let Fault::PerturbEdge {
+                function: target,
+                seed,
+            } = f
+            {
+                if Fault::matches(target, function) {
+                    let mut rng = Lcg::new(*seed ^ fnv1a(function));
+                    // Perturb whichever graph the draw lands on; the edge is
+                    // strengthened (see `perturb_random_edge`), which is the
+                    // dangerous direction — proofs get easier, so a wrong
+                    // elimination becomes possible and the validation layer
+                    // must catch it.
+                    let g = if rng.next().is_multiple_of(2) {
+                        &mut *upper
+                    } else {
+                        &mut *lower
+                    };
+                    g.perturb_random_edge(&mut rng, 8);
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, fault) in self.faults.iter().enumerate() {
+            if i > 0 {
+                f.write_str(",")?;
+            }
+            write!(f, "{fault}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A tiny deterministic generator (SplitMix64) for fault-site selection.
+/// Not for cryptography — for reproducible sabotage.
+#[derive(Clone, Debug)]
+pub(crate) struct Lcg(u64);
+
+impl Lcg {
+    pub(crate) fn new(seed: u64) -> Lcg {
+        Lcg(seed)
+    }
+
+    pub(crate) fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// FNV-1a over the function name, so `edge:*:S` picks a different edge per
+/// function but always the same one for a given name.
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+thread_local! {
+    /// The pipeline pass currently running on this worker thread, read by
+    /// the isolation layer when a pass panics. Thread-local because each
+    /// scoped worker owns exactly one function at a time.
+    static CURRENT_PASS: Cell<&'static str> = const { Cell::new("") };
+}
+
+/// Publishes the pass now running (driver stage boundaries).
+pub(crate) fn set_current_pass(name: &'static str) {
+    CURRENT_PASS.with(|c| c.set(name));
+}
+
+/// The pass that was running when a panic unwound (same thread).
+pub(crate) fn current_pass() -> &'static str {
+    CURRENT_PASS.with(|c| c.get())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrips() {
+        let plan = FaultPlan::parse("panic:f:cleanup, fuel:* ; edge:g:42").unwrap();
+        assert_eq!(plan.faults.len(), 3);
+        assert_eq!(plan.to_string(), "panic:f:cleanup,fuel:*,edge:g:42");
+        assert_eq!(FaultPlan::parse(&plan.to_string()).unwrap(), plan);
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!(FaultPlan::parse("panic:f").is_err());
+        assert!(FaultPlan::parse("edge:f:notanumber").is_err());
+        assert!(FaultPlan::parse("meteor:f").is_err());
+        assert!(FaultPlan::parse("fuel:f:extra").is_err());
+        assert!(FaultPlan::parse("").unwrap().faults.is_empty());
+    }
+
+    #[test]
+    fn matching_honors_wildcard() {
+        let plan = FaultPlan::parse("fuel:*").unwrap();
+        assert!(plan.exhausts_fuel("anything"));
+        let plan = FaultPlan::parse("fuel:f").unwrap();
+        assert!(plan.exhausts_fuel("f"));
+        assert!(!plan.exhausts_fuel("g"));
+    }
+
+    #[test]
+    fn injected_panic_fires_only_on_match() {
+        let plan = FaultPlan::parse("panic:f:cleanup").unwrap();
+        plan.maybe_panic("f", "transform"); // no panic
+        plan.maybe_panic("g", "cleanup"); // no panic
+        let err = std::panic::catch_unwind(|| plan.maybe_panic("f", "cleanup"));
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn lcg_is_deterministic() {
+        let mut a = Lcg::new(7);
+        let mut b = Lcg::new(7);
+        for _ in 0..8 {
+            assert_eq!(a.next(), b.next());
+        }
+        assert_ne!(Lcg::new(1).next(), Lcg::new(2).next());
+    }
+}

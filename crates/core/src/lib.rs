@@ -55,20 +55,26 @@
 
 mod driver;
 mod exhaustive;
+pub mod faults;
 mod graph;
 pub mod interproc;
 pub mod metrics;
+pub mod oracle;
 mod pre;
 mod report;
 mod solver;
+mod validate;
 pub mod versioning;
 
 pub use driver::{Optimizer, OptimizerOptions};
 pub use exhaustive::ExhaustiveDistances;
+pub use faults::{Fault, FaultPlan};
 pub use graph::{InEdge, InequalityGraph, Problem, Vertex, VertexId};
 pub use interproc::{infer_param_facts, ModuleFacts, ParamFact};
 pub use metrics::{module_metrics_json, FunctionMetrics, RunInfo};
 pub use pre::{apply_insertions, merge_remaining_checks};
-pub use report::{CheckOutcome, FunctionReport, ModuleReport};
+pub use report::{
+    CheckOutcome, EliminatedCheck, FunctionReport, HoistedCheck, Incident, ModuleReport,
+};
 pub use solver::{DemandProver, InsertionPoint, Lattice, PreOutcome, PreProver};
 pub use versioning::{version_functions, VersioningReport};

@@ -5,31 +5,48 @@
 //! The driver fills a [`FunctionMetrics`] per function (stored on its
 //! [`FunctionReport`](crate::report::FunctionReport)); [`module_metrics_json`]
 //! renders the whole run — including the worker-thread count and measured
-//! wall-clock time — in the stable `abcd-metrics/1` schema consumed by the
+//! wall-clock time — in the stable `abcd-metrics/2` schema consumed by the
 //! `mjc` CLI and the bench binaries.
 //!
-//! # Schema (`abcd-metrics/1`)
+//! # Schema (`abcd-metrics/2`)
 //!
 //! ```json
 //! {
-//!   "schema": "abcd-metrics/1",
+//!   "schema": "abcd-metrics/2",
 //!   "threads": 2,
 //!   "wall_time_us": 1234,
 //!   "totals": {
 //!     "functions": 3, "checks_total": 10, "removed_fully": 6,
-//!     "hoisted": 1, "steps": 57, "pre_steps": 12,
+//!     "hoisted": 1, "reinstated": 0, "steps": 57, "pre_steps": 12,
+//!     "fuel_spent": 69, "checks_validated": 7, "checks_reinstated": 0,
+//!     "incidents": 0, "degraded_incidents": 0,
 //!     "memo_hits": 20, "memo_misses": 37, "memo_hit_rate": 0.3508,
 //!     "prepare_us": 10, "graph_build_us": 5, "solve_us": 3,
 //!     "pre_us": 2, "transform_us": 1
 //!   },
-//!   "functions": [ { "name": "f", ... , "graph": {...}, "times_us": {...} } ]
+//!   "incidents": [
+//!     { "kind": "budget_exhausted", "function": "f", "site": "ck3",
+//!       "check": "upper", "fuel": 64 }
+//!   ],
+//!   "functions": [ { "name": "f", ..., "fuel_spent": 57, "fuel_limit": 64,
+//!                    "incidents": [...], "graph": {...}, "times_us": {...} } ]
 //! }
 //! ```
+//!
+//! Relative to `abcd-metrics/1`, version 2 adds the fail-open
+//! observability: the flat `incidents` array (one typed object per
+//! [`Incident`], in function order), per-function and total `fuel_spent`
+//! (solver steps consumed), the per-function `fuel_limit` (`null` when
+//! unbudgeted), and the translation-validation counters
+//! `checks_validated` / `checks_reinstated`. A healthy run has
+//! `"incidents": []` — the empty array is emitted explicitly so metric
+//! trajectories record zero-incident runs as a positive observation.
 //!
 //! All durations are integer microseconds; `memo_hit_rate` is
 //! `hits / (hits + misses)` (0 when no queries ran).
 
-use crate::report::ModuleReport;
+use crate::report::{Incident, ModuleReport};
+use abcd_ir::CheckKind;
 use std::fmt::Write as _;
 use std::time::Duration;
 
@@ -136,30 +153,121 @@ fn rate(x: f64) -> String {
     }
 }
 
+fn kind_str(kind: CheckKind) -> &'static str {
+    match kind {
+        CheckKind::Upper => "upper",
+        CheckKind::Lower => "lower",
+        CheckKind::Both => "both",
+    }
+}
+
+/// Renders one incident as a typed JSON object.
+fn incident_json(incident: &Incident, out: &mut String) {
+    let _ = write!(out, "{{\"kind\":\"{}\"", incident.kind_name());
+    match incident {
+        Incident::BudgetExhausted {
+            function,
+            site,
+            kind,
+            fuel,
+        } => {
+            let _ = write!(
+                out,
+                ",\"function\":\"{}\",\"site\":\"{site}\",\"check\":\"{}\",\"fuel\":{fuel}",
+                escape(function),
+                kind_str(*kind),
+            );
+        }
+        Incident::PassPanic {
+            function,
+            pass,
+            payload,
+        } => {
+            let _ = write!(
+                out,
+                ",\"function\":\"{}\",\"pass\":\"{}\",\"payload\":\"{}\"",
+                escape(function),
+                escape(pass),
+                escape(payload),
+            );
+        }
+        Incident::VerifyFailed {
+            function,
+            pass,
+            error,
+        } => {
+            let _ = write!(
+                out,
+                ",\"function\":\"{}\",\"pass\":\"{}\",\"error\":\"{}\"",
+                escape(function),
+                escape(pass),
+                escape(error),
+            );
+        }
+        Incident::ValidationReinstated {
+            function,
+            site,
+            kind,
+        } => {
+            let _ = write!(
+                out,
+                ",\"function\":\"{}\",\"site\":\"{site}\",\"check\":\"{}\"",
+                escape(function),
+                kind_str(*kind),
+            );
+        }
+    }
+    out.push('}');
+}
+
+fn incidents_json<'a>(incidents: impl Iterator<Item = &'a Incident>, out: &mut String) {
+    out.push('[');
+    for (i, incident) in incidents.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        incident_json(incident, out);
+    }
+    out.push(']');
+}
+
 /// Renders one function's metrics object.
 fn function_json(report: &crate::report::FunctionReport, out: &mut String) {
     let m = &report.metrics;
     let _ = write!(
         out,
         "{{\"name\":\"{}\",\"checks_total\":{},\"removed_fully\":{},\"hoisted\":{},\
-         \"steps\":{},\"pre_steps\":{},\
+         \"reinstated\":{},\"steps\":{},\"pre_steps\":{},\
+         \"fuel_spent\":{},\"fuel_limit\":{},\
+         \"checks_validated\":{},\"checks_reinstated\":{},\
          \"memo_hits\":{},\"memo_misses\":{},\"memo_hit_rate\":{},\
-         \"pre_memo_hits\":{},\"pre_memo_misses\":{},\
-         \"graph\":{{\"upper_vertices\":{},\"upper_edges\":{},\
-         \"lower_vertices\":{},\"lower_edges\":{}}},\
-         \"times_us\":{{\"prepare\":{},\"graph_build\":{},\"solve\":{},\
-         \"pre\":{},\"transform\":{},\"total\":{}}}}}",
+         \"pre_memo_hits\":{},\"pre_memo_misses\":{},\"incidents\":",
         escape(&report.name),
         report.checks_total,
         report.removed_fully(),
         report.hoisted(),
+        report.reinstated(),
         report.steps,
         report.pre_steps,
+        report.fuel_spent,
+        report
+            .fuel_limit
+            .map_or_else(|| "null".to_string(), |f| f.to_string()),
+        report.checks_validated,
+        report.checks_reinstated,
         m.memo_hits,
         m.memo_misses,
         rate(m.memo_hit_rate()),
         m.pre_memo_hits,
         m.pre_memo_misses,
+    );
+    incidents_json(report.incidents.iter(), out);
+    let _ = write!(
+        out,
+        ",\"graph\":{{\"upper_vertices\":{},\"upper_edges\":{},\
+         \"lower_vertices\":{},\"lower_edges\":{}}},\
+         \"times_us\":{{\"prepare\":{},\"graph_build\":{},\"solve\":{},\
+         \"pre\":{},\"transform\":{},\"total\":{}}}}}",
         m.upper_vertices,
         m.upper_edges,
         m.lower_vertices,
@@ -173,7 +281,7 @@ fn function_json(report: &crate::report::FunctionReport, out: &mut String) {
     );
 }
 
-/// Renders the `abcd-metrics/1` JSON document for one optimized module.
+/// Renders the `abcd-metrics/2` JSON document for one optimized module.
 pub fn module_metrics_json(report: &ModuleReport, run: RunInfo) -> String {
     let mut hits = 0u64;
     let mut misses = 0u64;
@@ -194,20 +302,32 @@ pub fn module_metrics_json(report: &ModuleReport, run: RunInfo) -> String {
     let mut out = String::new();
     let _ = write!(
         out,
-        "{{\"schema\":\"abcd-metrics/1\",\"threads\":{},\"wall_time_us\":{},\
+        "{{\"schema\":\"abcd-metrics/2\",\"threads\":{},\"wall_time_us\":{},\
          \"totals\":{{\"functions\":{},\"checks_total\":{},\"removed_fully\":{},\
-         \"hoisted\":{},\"steps\":{},\"pre_steps\":{},\
+         \"hoisted\":{},\"reinstated\":{},\"steps\":{},\"pre_steps\":{},\
+         \"fuel_spent\":{},\"checks_validated\":{},\"checks_reinstated\":{},\
+         \"incidents\":{},\"degraded_incidents\":{},\
          \"memo_hits\":{},\"memo_misses\":{},\"memo_hit_rate\":{},\
          \"prepare_us\":{},\"graph_build_us\":{},\"solve_us\":{},\
-         \"pre_us\":{},\"transform_us\":{}}},\"functions\":[",
+         \"pre_us\":{},\"transform_us\":{}}},\"incidents\":",
         run.threads,
         us(run.wall_time),
         report.functions.len(),
         report.checks_total(),
         report.checks_removed_fully(),
         report.checks_hoisted(),
+        report
+            .functions
+            .iter()
+            .map(|f| f.reinstated())
+            .sum::<usize>(),
         report.steps(),
         report.pre_steps(),
+        report.fuel_spent(),
+        report.checks_validated(),
+        report.checks_reinstated(),
+        report.incident_count(),
+        report.degraded_incident_count(),
         hits,
         misses,
         rate(hit_rate(hits, misses)),
@@ -217,6 +337,8 @@ pub fn module_metrics_json(report: &ModuleReport, run: RunInfo) -> String {
         us(pre),
         us(transform),
     );
+    incidents_json(report.incidents(), &mut out);
+    out.push_str(",\"functions\":[");
     for (i, f) in report.functions.iter().enumerate() {
         if i > 0 {
             out.push(',');
@@ -260,11 +382,15 @@ mod tests {
                 wall_time: Duration::from_micros(7),
             },
         );
-        assert!(json.starts_with("{\"schema\":\"abcd-metrics/1\""));
+        assert!(json.starts_with("{\"schema\":\"abcd-metrics/2\""));
         assert!(json.contains("\"threads\":2"));
         assert!(json.contains("\"wall_time_us\":7"));
         assert!(json.contains("\"name\":\"f\\\"1\""));
         assert!(json.contains("\"memo_hit_rate\":0.7500"));
+        // Zero-incident runs record the empty array explicitly.
+        assert!(json.contains("\"incidents\":0,\"degraded_incidents\":0"));
+        assert!(json.contains("\"incidents\":[]"));
+        assert!(json.contains("\"fuel_limit\":null"));
         // Balanced braces/brackets and no raw control characters.
         assert_eq!(
             json.matches('{').count(),
@@ -273,5 +399,41 @@ mod tests {
         );
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         assert!(json.chars().all(|c| (c as u32) >= 0x20));
+    }
+
+    #[test]
+    fn incidents_render_as_typed_objects() {
+        use abcd_ir::CheckSite;
+        let mut report = ModuleReport::default();
+        let mut f = crate::report::FunctionReport::new("f");
+        f.fuel_limit = Some(64);
+        f.incidents.push(Incident::BudgetExhausted {
+            function: "f".to_string(),
+            site: CheckSite::new(3),
+            kind: CheckKind::Upper,
+            fuel: 64,
+        });
+        f.incidents.push(Incident::PassPanic {
+            function: "f".to_string(),
+            pass: "cleanup".to_string(),
+            payload: "injected \"quote\"".to_string(),
+        });
+        report.functions.push(f);
+        let json = module_metrics_json(
+            &report,
+            RunInfo {
+                threads: 1,
+                wall_time: Duration::ZERO,
+            },
+        );
+        assert!(json.contains(
+            "{\"kind\":\"budget_exhausted\",\"function\":\"f\",\"site\":\"ck3\",\
+             \"check\":\"upper\",\"fuel\":64}"
+        ));
+        assert!(json.contains("\"kind\":\"pass_panic\""));
+        assert!(json.contains("\"payload\":\"injected \\\"quote\\\"\""));
+        assert!(json.contains("\"incidents\":2,\"degraded_incidents\":1"));
+        assert!(json.contains("\"fuel_limit\":64"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 }

@@ -5,7 +5,8 @@
 //! (hoisted), or kept; how many `prove` steps the solver spent per check;
 //! and the analysis wall-clock time.
 
-use abcd_ir::{CheckKind, CheckSite};
+use abcd_ir::{Block, CheckKind, CheckSite, InstId, Value};
+use std::fmt;
 use std::time::Duration;
 
 /// What happened to one static bounds check.
@@ -29,6 +30,152 @@ pub enum CheckOutcome {
     Kept,
     /// Not analyzed (cold site, or its kind disabled).
     Skipped,
+    /// Removed by the optimizer but reinstated because translation
+    /// validation could not independently re-justify the elimination.
+    Reinstated,
+}
+
+/// One robustness event recorded while the fail-open pipeline degraded a
+/// failure into a conservative outcome instead of crashing or miscompiling.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Incident {
+    /// A prover hit its fuel budget; the check was kept conservatively.
+    BudgetExhausted {
+        /// Function the query ran in.
+        function: String,
+        /// Site of the check that stayed in place.
+        site: CheckSite,
+        /// Which bound was being proven.
+        kind: CheckKind,
+        /// Solver steps spent when the budget tripped (0 when the
+        /// per-function budget was already gone before the query started).
+        fuel: u64,
+    },
+    /// A pipeline pass panicked; the function shipped unoptimized.
+    PassPanic {
+        /// Function whose pipeline unwound.
+        function: String,
+        /// The pass that was running when the panic unwound.
+        pass: String,
+        /// Panic payload (message), when it was a string.
+        payload: String,
+    },
+    /// The IR verifier rejected a pass's output; the pre-pass function was
+    /// shipped instead.
+    VerifyFailed {
+        /// Function the verifier rejected.
+        function: String,
+        /// The pass whose output failed verification.
+        pass: String,
+        /// The verifier's error message.
+        error: String,
+    },
+    /// Translation validation could not re-justify an eliminated check;
+    /// the check was reinstated.
+    ValidationReinstated {
+        /// Function the check belongs to.
+        function: String,
+        /// Site of the reinstated check.
+        site: CheckSite,
+        /// Which bound had been eliminated.
+        kind: CheckKind,
+    },
+}
+
+impl Incident {
+    /// Machine-readable incident kind, used by the metrics schema.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Incident::BudgetExhausted { .. } => "budget_exhausted",
+            Incident::PassPanic { .. } => "pass_panic",
+            Incident::VerifyFailed { .. } => "verify_failed",
+            Incident::ValidationReinstated { .. } => "validation_reinstated",
+        }
+    }
+
+    /// Does this incident indicate the optimizer itself misbehaved (as
+    /// opposed to merely running out of budget)? `mjc` maps these to a
+    /// distinct exit status.
+    pub fn is_degraded(&self) -> bool {
+        !matches!(self, Incident::BudgetExhausted { .. })
+    }
+}
+
+impl fmt::Display for Incident {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Incident::BudgetExhausted {
+                function,
+                site,
+                kind,
+                fuel,
+            } => write!(
+                f,
+                "budget exhausted in `{function}` at {site:?} ({kind:?}) after {fuel} steps; check kept"
+            ),
+            Incident::PassPanic {
+                function,
+                pass,
+                payload,
+            } => write!(
+                f,
+                "pass `{pass}` panicked in `{function}` ({payload}); function shipped unoptimized"
+            ),
+            Incident::VerifyFailed {
+                function,
+                pass,
+                error,
+            } => write!(
+                f,
+                "IR verification failed after pass `{pass}` in `{function}` ({error}); pre-pass function shipped"
+            ),
+            Incident::ValidationReinstated {
+                function,
+                site,
+                kind,
+            } => write!(
+                f,
+                "translation validation reinstated check {site:?} ({kind:?}) in `{function}`"
+            ),
+        }
+    }
+}
+
+/// Everything validation needs to independently re-justify (or reinstate)
+/// one eliminated check.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct EliminatedCheck {
+    /// Block the check lived in.
+    pub block: Block,
+    /// Check site (still present on the surviving π node).
+    pub site: CheckSite,
+    /// Which bound was eliminated.
+    pub kind: CheckKind,
+    /// Array operand of the original check.
+    pub array: Value,
+    /// Index operand of the original check.
+    pub index: Value,
+}
+
+/// A PRE-hoisted check: the original was demoted to a residual trap and
+/// compensating checks were inserted at `points`. Validation re-derives the
+/// insertion points on a clean graph and un-demotes on mismatch.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct HoistedCheck {
+    /// Block holding the demoted residual trap.
+    pub block: Block,
+    /// The demoted `TrapIfFlagged` instruction.
+    pub inst: InstId,
+    /// Check site.
+    pub site: CheckSite,
+    /// Which bound was hoisted.
+    pub kind: CheckKind,
+    /// Array operand of the original check.
+    pub array: Value,
+    /// Index operand of the original check.
+    pub index: Value,
+    /// The compensating-check insertion points PRE applied.
+    pub points: Vec<crate::solver::InsertionPoint>,
 }
 
 /// Report for one function.
@@ -62,6 +209,21 @@ pub struct FunctionReport {
     /// Pipeline observability: per-pass wall time, memo effectiveness, and
     /// graph sizes (see [`crate::metrics`]).
     pub metrics: crate::metrics::FunctionMetrics,
+    /// Robustness events recorded for this function (fail-open layer).
+    pub incidents: Vec<Incident>,
+    /// Checks fully eliminated, with enough context for validation to
+    /// re-justify or reinstate them.
+    pub eliminated: Vec<EliminatedCheck>,
+    /// Checks hoisted by PRE, for validation of the insertion points.
+    pub hoisted_checks: Vec<HoistedCheck>,
+    /// Eliminations independently re-proven by translation validation.
+    pub checks_validated: usize,
+    /// Eliminations validation failed to re-prove (and reinstated).
+    pub checks_reinstated: usize,
+    /// Solver fuel actually spent (fully-redundant + PRE passes).
+    pub fuel_spent: u64,
+    /// Per-function fuel budget in force, if any.
+    pub fuel_limit: Option<u64>,
 }
 
 impl FunctionReport {
@@ -115,6 +277,24 @@ impl FunctionReport {
             0.0
         } else {
             self.steps as f64 / n as f64
+        }
+    }
+
+    /// Checks reinstated by translation validation.
+    pub fn reinstated(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|(_, _, o)| matches!(o, CheckOutcome::Reinstated))
+            .count()
+    }
+
+    /// Flips the recorded outcome of `(site, kind)` to `Reinstated`.
+    /// Used by validation after putting the check back.
+    pub(crate) fn mark_reinstated(&mut self, site: CheckSite, kind: CheckKind) {
+        for (s, k, o) in &mut self.outcomes {
+            if *s == site && *k == kind {
+                *o = CheckOutcome::Reinstated;
+            }
         }
     }
 }
@@ -175,5 +355,37 @@ impl ModuleReport {
     /// Total analysis time.
     pub fn analysis_time(&self) -> Duration {
         self.functions.iter().map(|f| f.analysis_time).sum()
+    }
+
+    /// All incidents across the module, tagged with nothing extra — each
+    /// incident already names its function.
+    pub fn incidents(&self) -> impl Iterator<Item = &Incident> {
+        self.functions.iter().flat_map(|f| f.incidents.iter())
+    }
+
+    /// Total incident count.
+    pub fn incident_count(&self) -> usize {
+        self.functions.iter().map(|f| f.incidents.len()).sum()
+    }
+
+    /// Incidents that indicate degraded output (panic, verifier rejection,
+    /// validation reinstatement) rather than a budget stop.
+    pub fn degraded_incident_count(&self) -> usize {
+        self.incidents().filter(|i| i.is_degraded()).count()
+    }
+
+    /// Eliminations re-proven by translation validation.
+    pub fn checks_validated(&self) -> usize {
+        self.functions.iter().map(|f| f.checks_validated).sum()
+    }
+
+    /// Eliminations reinstated by translation validation.
+    pub fn checks_reinstated(&self) -> usize {
+        self.functions.iter().map(|f| f.checks_reinstated).sum()
+    }
+
+    /// Solver fuel spent module-wide.
+    pub fn fuel_spent(&self) -> u64 {
+        self.functions.iter().map(|f| f.fuel_spent).sum()
     }
 }

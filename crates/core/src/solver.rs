@@ -107,12 +107,21 @@ pub struct DemandProver<'g> {
     memo: HashMap<VertexId, Vec<(i64, Lattice)>>,
     /// Active DFS vertices: entry slack and stack depth.
     active: HashMap<VertexId, (i64, u32)>,
+    /// Step count at which the current query's fuel runs out
+    /// (`u64::MAX` = unbudgeted).
+    fuel_stop: u64,
+    /// Did the current query trip its budget? Post-exhaustion verdicts are
+    /// conservative placeholders, not genuine refutations, so while this is
+    /// set nothing may enter the memo table.
+    exhausted_in_query: bool,
     /// Invocations of `prove` — the paper's "analysis steps".
     pub steps: u64,
     /// Queries answered from the memo table (subsumption hits).
     pub memo_hits: u64,
     /// Queries that had to traverse (memo misses at interned vertices).
     pub memo_misses: u64,
+    /// Queries that tripped their fuel budget (fail-open: the check stays).
+    pub exhausted_queries: u64,
 }
 
 impl<'g> DemandProver<'g> {
@@ -125,16 +134,32 @@ impl<'g> DemandProver<'g> {
             source_vertex: source,
             memo: HashMap::new(),
             active: HashMap::new(),
+            fuel_stop: u64::MAX,
+            exhausted_in_query: false,
             steps: 0,
             memo_hits: 0,
             memo_misses: 0,
+            exhausted_queries: 0,
         }
+    }
+
+    /// Budgets the *next* queries: each may spend at most `fuel` solver
+    /// steps beyond the current total before it is cut off with a
+    /// conservative `False` (the check stays in place — fail-open).
+    pub fn set_query_fuel(&mut self, fuel: u64) {
+        self.fuel_stop = self.steps.saturating_add(fuel);
+    }
+
+    /// Did the most recent `demand_prove` trip its fuel budget?
+    pub fn last_query_exhausted(&self) -> bool {
+        self.exhausted_in_query
     }
 
     /// `demandProve`: is `target − source ≤ c` implied by the constraint
     /// system? (Figure 5: returns true iff the result is `True` or
     /// `Reduced`.)
     pub fn demand_prove(&mut self, target: Vertex, c: i64) -> bool {
+        self.exhausted_in_query = false;
         let Some(t) = self.graph.lookup(target) else {
             // A value with no constraints at all can still be the source
             // itself, or a constant comparable by potentials.
@@ -142,6 +167,10 @@ impl<'g> DemandProver<'g> {
         };
         self.active.clear();
         let (result, _) = self.prove(t, c, 0);
+        if self.exhausted_in_query {
+            self.exhausted_queries += 1;
+            return false; // conservative: keep the check
+        }
         matches!(result, Lattice::True | Lattice::Reduced)
     }
 
@@ -167,6 +196,13 @@ impl<'g> DemandProver<'g> {
     /// shallower than the vertex's own stack position are memoized; the
     /// rest are valid only within the enclosing traversal.
     fn prove(&mut self, v: VertexId, c: i64, depth: u32) -> (Lattice, u32) {
+        // Fuel gate: past the budget every verdict is a conservative False
+        // ("cannot prove"), which keeps the check — never unsound, never an
+        // unbounded walk.
+        if self.steps >= self.fuel_stop {
+            self.exhausted_in_query = true;
+            return (Lattice::False, NO_DEP);
+        }
         self.steps += 1;
 
         // Lines 3–5: memoized subsumption.
@@ -249,9 +285,11 @@ impl<'g> DemandProver<'g> {
             }
         }
         self.active.remove(&v);
-        if dep >= depth {
+        if dep >= depth && !self.exhausted_in_query {
             // Self-contained: any cycle the sub-traversal closed bottoms
-            // out at this vertex, which is now fully resolved.
+            // out at this vertex, which is now fully resolved. (Verdicts
+            // tainted by fuel exhaustion are placeholders, not facts, and
+            // must not outlive the query.)
             self.memo.entry(v).or_default().push((c, result));
             (result, NO_DEP)
         } else {
@@ -281,12 +319,18 @@ pub struct PreProver<'g, 'f> {
     /// vertices (block execution counts from the profile; `None` = count
     /// insertion points).
     freq: Option<&'f dyn Fn(Block) -> u64>,
+    /// Step count at which the current query's fuel runs out.
+    fuel_stop: u64,
+    /// Budget tripped in the current query (see [`DemandProver`]).
+    exhausted_in_query: bool,
     /// Invocations of `prove`.
     pub steps: u64,
     /// Queries answered from the memo table.
     pub memo_hits: u64,
     /// Queries that had to traverse.
     pub memo_misses: u64,
+    /// Queries that tripped their fuel budget.
+    pub exhausted_queries: u64,
 }
 
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -316,10 +360,23 @@ impl<'g, 'f> PreProver<'g, 'f> {
             memo: HashMap::new(),
             active: HashMap::new(),
             freq,
+            fuel_stop: u64::MAX,
+            exhausted_in_query: false,
             steps: 0,
             memo_hits: 0,
             memo_misses: 0,
+            exhausted_queries: 0,
         }
+    }
+
+    /// Budgets the next queries (see [`DemandProver::set_query_fuel`]).
+    pub fn set_query_fuel(&mut self, fuel: u64) {
+        self.fuel_stop = self.steps.saturating_add(fuel);
+    }
+
+    /// Did the most recent `demand_prove` trip its fuel budget?
+    pub fn last_query_exhausted(&self) -> bool {
+        self.exhausted_in_query
     }
 
     fn cost(&self, points: &[InsertionPoint]) -> u64 {
@@ -331,11 +388,16 @@ impl<'g, 'f> PreProver<'g, 'f> {
 
     /// Runs the query; see [`PreOutcome`].
     pub fn demand_prove(&mut self, target: Vertex, c: i64) -> PreOutcome {
+        self.exhausted_in_query = false;
         let Some(t) = self.graph.lookup(target) else {
             return PreOutcome::Failed;
         };
         self.active.clear();
         let (res, _) = self.prove(t, c, 0);
+        if self.exhausted_in_query {
+            self.exhausted_queries += 1;
+            return PreOutcome::Failed; // conservative: keep the check
+        }
         match (res.lat, res.ins) {
             (Lattice::True | Lattice::Reduced, _) => PreOutcome::Proven,
             (Lattice::False, Some(ins)) if !ins.is_empty() => PreOutcome::ProvenWithInsertions(ins),
@@ -344,6 +406,16 @@ impl<'g, 'f> PreProver<'g, 'f> {
     }
 
     fn prove(&mut self, v: VertexId, c: i64, depth: u32) -> (Res, u32) {
+        if self.steps >= self.fuel_stop {
+            self.exhausted_in_query = true;
+            return (
+                Res {
+                    lat: Lattice::False,
+                    ins: None,
+                },
+                NO_DEP,
+            );
+        }
         self.steps += 1;
         if let Some(r) = self.memo.get(&(v, c)) {
             self.memo_hits += 1;
@@ -396,8 +468,9 @@ impl<'g, 'f> PreProver<'g, 'f> {
             self.prove_min(c, edges, depth)
         };
         self.active.remove(&v);
-        if dep >= depth {
+        if dep >= depth && !self.exhausted_in_query {
             // Self-contained (see DemandProver::prove): safe to memoize.
+            // Exhaustion-tainted verdicts never enter the memo.
             self.memo.insert((v, c), result.clone());
             (result, NO_DEP)
         } else {
@@ -1026,5 +1099,84 @@ mod tests {
         let (a, i) = upper_checks(&f)[0];
         let mut pp = PreProver::new(&g, Vertex::ArrayLen(a), None);
         assert_eq!(pp.demand_prove(Vertex::Value(i), -1), PreOutcome::Failed);
+    }
+
+    /// A zero-fuel query must fail conservatively (check stays) and flag
+    /// exhaustion — and a refueled retry of the *same* query must succeed,
+    /// proving the memo was not poisoned by the cut-off traversal.
+    #[test]
+    fn fuel_exhaustion_is_conservative_and_memo_clean() {
+        let f = essa(
+            "fn f(a: int[]) -> int {
+                let s: int = 0;
+                for (let i: int = 0; i < a.length; i = i + 1) { s = s + a[i]; }
+                return s;
+            }",
+        );
+        let g = InequalityGraph::build(&f, Problem::Upper, None);
+        let (a, i) = upper_checks(&f)[0];
+        let mut p = DemandProver::new(&g, Vertex::ArrayLen(a));
+        p.set_query_fuel(0);
+        assert!(
+            !p.demand_prove(Vertex::Value(i), -1),
+            "no fuel → not proven"
+        );
+        assert!(p.last_query_exhausted());
+        assert_eq!(p.exhausted_queries, 1);
+        // Refuel: the genuine verdict must come back (nothing False was
+        // memoized during the starved attempt).
+        p.set_query_fuel(u64::MAX - p.steps);
+        assert!(
+            p.demand_prove(Vertex::Value(i), -1),
+            "refueled query proves"
+        );
+        assert!(!p.last_query_exhausted());
+
+        // Same contract for the PRE prover.
+        let mut pp = PreProver::new(&g, Vertex::ArrayLen(a), None);
+        pp.set_query_fuel(0);
+        assert_eq!(pp.demand_prove(Vertex::Value(i), -1), PreOutcome::Failed);
+        assert!(pp.last_query_exhausted());
+        pp.set_query_fuel(u64::MAX - pp.steps);
+        assert_eq!(pp.demand_prove(Vertex::Value(i), -1), PreOutcome::Proven);
+    }
+
+    /// A partially-starved traversal (fuel > 0 but below the query's need)
+    /// must also stay conservative and leave later queries untainted.
+    #[test]
+    fn partial_fuel_starvation_does_not_taint_memo() {
+        let f = essa(
+            "fn f(a: int[]) -> int {
+                let s: int = 0;
+                for (let i: int = 0; i < a.length; i = i + 1) {
+                    s = s + a[i] + a[i + 0];
+                }
+                return s;
+            }",
+        );
+        let g = InequalityGraph::build(&f, Problem::Upper, None);
+        let checks = upper_checks(&f);
+        let (a, i) = checks[0];
+        // How much does an unbudgeted proof cost?
+        let full_steps = {
+            let mut p = DemandProver::new(&g, Vertex::ArrayLen(a));
+            assert!(p.demand_prove(Vertex::Value(i), -1));
+            p.steps
+        };
+        // Starve every strictly-smaller budget, then refuel and re-prove.
+        for fuel in 0..full_steps {
+            let mut p = DemandProver::new(&g, Vertex::ArrayLen(a));
+            p.set_query_fuel(fuel);
+            assert!(
+                !p.demand_prove(Vertex::Value(i), -1),
+                "budget {fuel} < {full_steps} must not prove"
+            );
+            assert!(p.last_query_exhausted());
+            p.set_query_fuel(u64::MAX - p.steps);
+            assert!(
+                p.demand_prove(Vertex::Value(i), -1),
+                "refuel after budget {fuel} must prove (memo poisoned?)"
+            );
+        }
     }
 }

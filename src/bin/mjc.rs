@@ -7,25 +7,46 @@
 //! mjc graph <file.mj> [--fn NAME] [--lower]          print the inequality graph
 //! ```
 //!
+//! Inputs ending in `.ir` are parsed as textual IR instead of MJ source.
+//!
 //! Pass flags for `opt`/`run --opt`: `--no-pre`, `--no-lower`, `--no-upper`,
 //! `--no-cleanup`, `--no-gvn-hook`, `--merge`, `--ipa` (closed-world
 //! interprocedural facts), `--version-fns` (guarded fast/slow clones),
-//! `--hot N` (with `--profile`), `--jobs N` (parallel driver), and
-//! `--metrics`/`--metrics-out FILE` (`abcd-metrics/1` JSON).
+//! `--hot N` (with `--profile`), `--jobs N` (parallel driver),
+//! `--metrics`/`--metrics-out FILE` (`abcd-metrics/2` JSON), and the
+//! fail-open controls `--fuel N`, `--fuel-fn N`, `--validate`,
+//! `--verify-ir`, `--fault-plan SPEC`, `--no-isolate`.
+//!
+//! Exit codes: `0` success, `1` error (bad input, trap, usage), `2` the
+//! pipeline degraded fail-open (a pass panicked, IR verification failed, or
+//! validation reinstated a check — the output is still correct, just less
+//! optimized), `3` internal panic (a bug in `mjc` itself).
 
-use abcd::{InequalityGraph, Optimizer, OptimizerOptions, Problem, VertexId};
+use abcd::{FaultPlan, InequalityGraph, Optimizer, OptimizerOptions, Problem, VertexId};
 use abcd_frontend::compile;
+use abcd_ir::Module;
 use abcd_vm::{RtVal, Vm};
 use std::process::ExitCode;
 use std::time::Instant;
 
+/// The pipeline finished but only by degrading fail-open somewhere.
+const EXIT_DEGRADED: u8 = 2;
+/// `mjc` itself panicked — never expected; distinct so scripts can tell an
+/// internal bug from a bad input.
+const EXIT_INTERNAL: u8 = 3;
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match run(&args) {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
+    match std::panic::catch_unwind(|| run(&args)) {
+        Ok(Ok(code)) => code,
+        Ok(Err(msg)) => {
             eprintln!("mjc: {msg}");
             ExitCode::FAILURE
+        }
+        Err(_) => {
+            // The panic hook already printed the payload and location.
+            eprintln!("mjc: internal error (panic) — please report this");
+            ExitCode::from(EXIT_INTERNAL)
         }
     }
 }
@@ -34,10 +55,10 @@ const HELP: &str = "\
 mjc — the MJ compiler driver of the ABCD reproduction
 
 USAGE:
-    mjc run   <file.mj> [--opt] [--profile] [--stats] [--arg N]...
-    mjc opt   <file.mj> [pass flags] [--version-fns] [--dump]
-    mjc dump  <file.mj> [--stage ir|ssa|essa|opt]
-    mjc graph <file.mj> [--fn NAME] [--lower]        (Graphviz output)
+    mjc run   <file.mj|file.ir> [--opt] [--profile] [--stats] [--arg N]...
+    mjc opt   <file.mj|file.ir> [pass flags] [--version-fns] [--dump]
+    mjc dump  <file.mj|file.ir> [--stage ir|ssa|essa|opt]
+    mjc graph <file.mj|file.ir> [--fn NAME] [--lower]        (Graphviz output)
 
 PASS FLAGS (for `opt` and `run --opt`):
     --no-pre --no-lower --no-upper --no-cleanup --no-gvn-hook
@@ -46,29 +67,54 @@ PASS FLAGS (for `opt` and `run --opt`):
     --version-fns      guarded fast/slow function clones
     --hot N            with --profile: analyze only sites with ≥N hits
     --jobs N           optimize functions on N worker threads
-    --metrics          emit abcd-metrics/1 JSON (stdout for opt, stderr for run)
+    --metrics          emit abcd-metrics/2 JSON (stdout for opt, stderr for run)
     --metrics-out F    write the metrics JSON to file F
+
+FAIL-OPEN CONTROLS (for `opt` and `run --opt`):
+    --fuel N           per-query solver step budget (exhaustion keeps the check)
+    --fuel-fn N        per-function solver step budget
+    --validate         translation-validate: re-prove every elimination on a
+                       fresh constraint graph, reinstating anything unproven
+    --verify-ir        verify the IR between passes (failing pass is rolled back)
+    --fault-plan SPEC  inject deterministic faults, e.g. panic:f:solve,fuel:g,
+                       edge:*:42 (see `abcd::FaultPlan`)
+    --no-isolate       disable per-function panic isolation (panics become
+                       fatal instead of shipping the function unoptimized)
+
+EXIT CODES:
+    0  success     1  error (bad input, trap, usage)
+    2  degraded    3  internal panic
 ";
 
 fn usage() -> String {
     HELP.to_string()
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+/// Loads `file` as a module: textual IR when the extension is `.ir`, MJ
+/// source otherwise. All failure modes are structured errors, never panics.
+fn load_module(file: &str) -> Result<Module, String> {
+    let source = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
+    if file.ends_with(".ir") {
+        abcd_ir::parse_module(&source).map_err(|e| format!("{file}: {e}"))
+    } else {
+        compile(&source).map_err(|e| format!("{file}: {e}"))
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
     let cmd = args.first().ok_or_else(usage)?;
     if cmd == "--help" || cmd == "help" || cmd == "-h" {
         print!("{HELP}");
-        return Ok(());
+        return Ok(ExitCode::SUCCESS);
     }
     let file = args.get(1).ok_or_else(usage)?;
-    let source = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
     let rest = &args[2..];
 
     match cmd.as_str() {
-        "run" => cmd_run(&source, rest),
-        "opt" => cmd_opt(&source, rest),
-        "dump" => cmd_dump(&source, rest),
-        "graph" => cmd_graph(&source, rest),
+        "run" => cmd_run(file, rest),
+        "opt" => cmd_opt(file, rest),
+        "dump" => cmd_dump(file, rest),
+        "graph" => cmd_graph(file, rest),
         other => Err(format!("unknown command `{other}`\n{}", usage())),
     }
 }
@@ -86,6 +132,9 @@ fn parse_options(rest: &[String]) -> Result<OptimizerOptions, String> {
             "--ipa" => o.interprocedural = true,
             "--version-fns" => {}
             "--merge" => o.merge_checks = true,
+            "--validate" => o.validate = true,
+            "--verify-ir" => o.verify_ir = true,
+            "--no-isolate" => o.isolate_panics = false,
             "--hot" => {
                 i += 1;
                 let n = rest
@@ -94,9 +143,25 @@ fn parse_options(rest: &[String]) -> Result<OptimizerOptions, String> {
                     .ok_or("`--hot` needs a count")?;
                 o.hot_threshold = Some(n);
             }
+            "--fuel" => {
+                i += 1;
+                let n = rest
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("`--fuel` needs a step count")?;
+                o.fuel_per_query = Some(n);
+            }
+            "--fuel-fn" => {
+                i += 1;
+                let n = rest
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("`--fuel-fn` needs a step count")?;
+                o.fuel_per_function = Some(n);
+            }
             // run/dump flags handled by callers
             "--opt" | "--stats" | "--profile" | "--dump" | "--metrics" => {}
-            "--arg" | "--stage" | "--fn" | "--jobs" | "--metrics-out" => i += 1,
+            "--arg" | "--stage" | "--fn" | "--jobs" | "--metrics-out" | "--fault-plan" => i += 1,
             "--lower" if rest[i] == "--lower" => {}
             other => return Err(format!("unknown flag `{other}`")),
         }
@@ -123,7 +188,34 @@ fn jobs_of(rest: &[String]) -> Result<usize, String> {
     }
 }
 
-/// Emits the `abcd-metrics/1` JSON if `--metrics` or `--metrics-out` was
+/// Builds the optimizer for `opt`/`run --opt`, wiring in any `--fault-plan`.
+fn optimizer_for(options: OptimizerOptions, rest: &[String]) -> Result<Optimizer, String> {
+    let optimizer = Optimizer::with_options(options).with_threads(jobs_of(rest)?);
+    match value_of(rest, "--fault-plan") {
+        None => Ok(optimizer),
+        Some(spec) => {
+            let plan = FaultPlan::parse(spec).map_err(|e| format!("--fault-plan: {e}"))?;
+            Ok(optimizer.with_fault_plan(plan))
+        }
+    }
+}
+
+/// Prints every incident to stderr and picks the exit code: degraded
+/// incidents (panics, verifier failures, reinstatements) exit 2 so scripts
+/// notice, while pure budget exhaustion — requested behavior, not a failure
+/// — stays at 0.
+fn incident_exit(report: &abcd::ModuleReport) -> ExitCode {
+    for incident in report.incidents() {
+        eprintln!("mjc: incident: {incident}");
+    }
+    if report.degraded_incident_count() > 0 {
+        ExitCode::from(EXIT_DEGRADED)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Emits the `abcd-metrics/2` JSON if `--metrics` or `--metrics-out` was
 /// given. `to_stderr` keeps `run`'s program output clean on stdout.
 fn emit_metrics(
     report: &abcd::ModuleReport,
@@ -156,11 +248,12 @@ fn emit_metrics(
     Ok(())
 }
 
-fn cmd_run(source: &str, rest: &[String]) -> Result<(), String> {
+fn cmd_run(file: &str, rest: &[String]) -> Result<ExitCode, String> {
     // Validate flags up front so typos are rejected even without --opt.
     let options = parse_options(rest)?;
-    let mut module = compile(source).map_err(|e| e.to_string())?;
+    let mut module = load_module(file)?;
     let mut profile = None;
+    let mut exit = ExitCode::SUCCESS;
 
     if has(rest, "--opt") {
         if has(rest, "--profile") {
@@ -169,8 +262,7 @@ fn cmd_run(source: &str, rest: &[String]) -> Result<(), String> {
             vm.call_by_name("main", &[]).map_err(|t| t.to_string())?;
             profile = Some(vm.into_profile());
         }
-        let jobs = jobs_of(rest)?;
-        let optimizer = Optimizer::with_options(options).with_threads(jobs);
+        let optimizer = optimizer_for(options, rest)?;
         let threads = optimizer.threads();
         let started = Instant::now();
         let report = optimizer.optimize_module(&mut module, profile.as_ref());
@@ -183,6 +275,7 @@ fn cmd_run(source: &str, rest: &[String]) -> Result<(), String> {
             report.steps_per_check()
         );
         emit_metrics(&report, threads, wall, rest, true)?;
+        exit = incident_exit(&report);
     }
 
     let int_args: Vec<RtVal> = rest
@@ -216,13 +309,13 @@ fn cmd_run(source: &str, rest: &[String]) -> Result<(), String> {
             s.trap_tests
         );
     }
-    Ok(())
+    Ok(exit)
 }
 
-fn cmd_opt(source: &str, rest: &[String]) -> Result<(), String> {
-    let mut module = compile(source).map_err(|e| e.to_string())?;
+fn cmd_opt(file: &str, rest: &[String]) -> Result<ExitCode, String> {
+    let mut module = load_module(file)?;
     let options = parse_options(rest)?;
-    let optimizer = Optimizer::with_options(options).with_threads(jobs_of(rest)?);
+    let optimizer = optimizer_for(options, rest)?;
     let threads = optimizer.threads();
     let started = Instant::now();
     let report = optimizer.optimize_module(&mut module, None);
@@ -250,12 +343,12 @@ fn cmd_opt(source: &str, rest: &[String]) -> Result<(), String> {
     if has(rest, "--dump") {
         println!("\n{module}");
     }
-    Ok(())
+    Ok(incident_exit(&report))
 }
 
-fn cmd_dump(source: &str, rest: &[String]) -> Result<(), String> {
+fn cmd_dump(file: &str, rest: &[String]) -> Result<ExitCode, String> {
     let stage = value_of(rest, "--stage").unwrap_or("essa");
-    let mut module = compile(source).map_err(|e| e.to_string())?;
+    let mut module = load_module(file)?;
     match stage {
         "ir" => {}
         "ssa" => {
@@ -275,7 +368,7 @@ fn cmd_dump(source: &str, rest: &[String]) -> Result<(), String> {
         other => return Err(format!("unknown stage `{other}` (ir|ssa|essa|opt)")),
     }
     emit(format!("{module}\n"));
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
 /// Writes to stdout, tolerating a closed pipe (`mjc dump … | head`).
@@ -284,8 +377,8 @@ fn emit(text: String) {
     let _ = std::io::stdout().write_all(text.as_bytes());
 }
 
-fn cmd_graph(source: &str, rest: &[String]) -> Result<(), String> {
-    let mut module = compile(source).map_err(|e| e.to_string())?;
+fn cmd_graph(file: &str, rest: &[String]) -> Result<ExitCode, String> {
+    let mut module = load_module(file)?;
     abcd_ssa::module_to_essa(&mut module).map_err(|(n, e)| format!("{n}: {e}"))?;
     let problem = if has(rest, "--lower") {
         Problem::Lower
@@ -325,5 +418,5 @@ fn cmd_graph(source: &str, rest: &[String]) -> Result<(), String> {
         let _ = writeln!(out, "}}");
     }
     emit(out);
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }

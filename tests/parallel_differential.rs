@@ -121,6 +121,26 @@ fn parallel_driver_matches_interprocedural() {
     }
 }
 
+/// The full fail-open layer — per-pass IR verification, translation
+/// validation, solver fuel budgets — must not break parallel determinism:
+/// a pool run stays byte-identical to the sequential one with every new
+/// knob enabled at once.
+#[test]
+fn parallel_driver_matches_with_fail_open_layer_enabled() {
+    let options = OptimizerOptions {
+        verify_ir: true,
+        validate: true,
+        fuel_per_query: Some(64),
+        fuel_per_function: Some(512),
+        ..OptimizerOptions::default()
+    };
+    for name in ["db", "bytemark", "qsort", "dhrystone"] {
+        let bench = abcd_benchsuite::by_name(name).unwrap();
+        let profile = train(bench);
+        assert_equivalent(name, 4, options, Some(&profile), bench);
+    }
+}
+
 /// Thread counts beyond the function count (and 0 = "sequential") are
 /// clamped, not crashed; reports still merge in function order.
 #[test]
@@ -148,7 +168,7 @@ fn metrics_json_reports_parallel_run() {
             wall_time: started.elapsed(),
         },
     );
-    assert!(json.starts_with("{\"schema\":\"abcd-metrics/1\""), "{json}");
+    assert!(json.starts_with("{\"schema\":\"abcd-metrics/2\""), "{json}");
     assert!(json.contains("\"threads\":2"), "{json}");
     assert!(json.contains("\"memo_hits\":"), "{json}");
     assert!(json.contains("\"graph\":"), "{json}");

@@ -1,0 +1,222 @@
+//! Trap-semantics coverage (PR: fail-open optimizer): optimization must
+//! preserve *failure* behavior exactly — which access traps, with which
+//! variant and observable data — not just the happy path. The VM
+//! differential oracle is the witness, and the last test shows the oracle
+//! has teeth: a hand-falsified "optimization" (deleting an unprovable
+//! check) is reported as a divergence.
+
+use abcd::oracle::{differential, run_entry, Divergence};
+use abcd::{Optimizer, OptimizerOptions};
+use abcd_ir::{InstKind, Module};
+use abcd_vm::TrapKind;
+
+fn optimized(source: &str) -> (Module, abcd::ModuleReport) {
+    let mut module = abcd_frontend::compile(source).expect("program compiles");
+    let report = Optimizer::with_options(OptimizerOptions {
+        verify_ir: true,
+        validate: true,
+        ..OptimizerOptions::default()
+    })
+    .optimize_module(&mut module, None);
+    (module, report)
+}
+
+fn assert_preserved(source: &str) -> Module {
+    let reference = abcd_frontend::compile(source).unwrap();
+    let (module, _) = optimized(source);
+    if let Some(div) = differential(&reference, &module, "main") {
+        panic!("optimization changed observable behavior: {div}\nsource:\n{source}");
+    }
+    module
+}
+
+/// Boundary accesses around both ends of an array: the first and last
+/// element are fine; one past either end traps — identically before and
+/// after optimization, including the trap's index/length data.
+#[test]
+fn boundary_accesses_trap_identically() {
+    // In bounds: a[0] and a[len-1].
+    let module = assert_preserved(
+        "fn main() -> int {
+             let a: int[] = new int[4];
+             a[0] = 7;
+             a[a.length - 1] = 9;
+             return a[0] + a[3];
+         }",
+    );
+    assert!(run_entry(&module, "main").result.is_ok());
+
+    // One past the end: a[len].
+    let module = assert_preserved(
+        "fn main() -> int {
+             let a: int[] = new int[4];
+             let i: int = a.length;
+             return a[i];
+         }",
+    );
+    let trap = run_entry(&module, "main").result.unwrap_err();
+    assert!(
+        matches!(
+            trap.kind,
+            TrapKind::BoundsCheckFailed {
+                index: 4,
+                len: 4,
+                ..
+            }
+        ),
+        "expected upper-bound trap, got {:?}",
+        trap.kind
+    );
+
+    // One before the start: a[-1].
+    let module = assert_preserved(
+        "fn main() -> int {
+             let a: int[] = new int[4];
+             let i: int = 0 - 1;
+             return a[i];
+         }",
+    );
+    let trap = run_entry(&module, "main").result.unwrap_err();
+    assert!(
+        matches!(
+            trap.kind,
+            TrapKind::BoundsCheckFailed {
+                index: -1,
+                len: 4,
+                ..
+            }
+        ),
+        "expected lower-bound trap, got {:?}",
+        trap.kind
+    );
+}
+
+/// A loop that overruns by one (`i <= length`): ABCD correctly refuses to
+/// remove the check, and the retained check traps at exactly the same
+/// iteration with the same data as in the unoptimized program.
+#[test]
+fn retained_checks_preserve_the_trapping_iteration() {
+    let source = "fn main() -> int {
+             let a: int[] = new int[8];
+             let s: int = 0;
+             for (let i: int = 0; i <= a.length; i = i + 1) {
+                 s = s + a[i];
+             }
+             return s;
+         }";
+    let module = assert_preserved(source);
+    let trap = run_entry(&module, "main").result.unwrap_err();
+    assert!(
+        matches!(
+            trap.kind,
+            TrapKind::BoundsCheckFailed {
+                index: 8,
+                len: 8,
+                ..
+            }
+        ),
+        "got {:?}",
+        trap.kind
+    );
+}
+
+/// The §6 compare/trap split under an *actually failing* hoisted check: the
+/// compensating `SpecCheck` sets the flag, and the demoted residual
+/// `TrapIfFlagged` re-validates before trapping — so the program still
+/// traps with full bounds-check fidelity (variant, index, length) even
+/// though the hot-path check was hoisted out of the loop.
+#[test]
+fn hoisted_checks_keep_trap_fidelity() {
+    // The §6 shape from the paper (unknown bound `n` feeding a scanned
+    // limit), driven past the end of the array so the hoisted check fails.
+    let source = "fn scan(a: int[], n: int) -> int {
+             let limit: int = n;
+             let st: int = 0 - 1;
+             let s: int = 0;
+             while (st < limit) {
+                 st = st + 1;
+                 limit = limit - 1;
+                 for (let j: int = st; j < limit; j = j + 1) {
+                     s = s + a[j];
+                 }
+             }
+             return s;
+         }
+         fn main() -> int {
+             let a: int[] = new int[4];
+             return scan(a, 100);
+         }";
+    let reference = abcd_frontend::compile(source).unwrap();
+    let (module, report) = optimized(source);
+    assert!(
+        report.checks_hoisted() > 0,
+        "the loop-invariant check was expected to be PRE-hoisted"
+    );
+    assert!(differential(&reference, &module, "main").is_none());
+    let trap = run_entry(&module, "main").result.unwrap_err();
+    assert!(
+        matches!(
+            trap.kind,
+            TrapKind::BoundsCheckFailed {
+                index: 4,
+                len: 4,
+                ..
+            }
+        ),
+        "residual trap lost fidelity: {:?}",
+        trap.kind
+    );
+}
+
+/// The oracle has teeth: delete an unprovable bounds check by hand (the
+/// miscompilation a buggy optimizer would commit) and the differential
+/// reports it — the sabotaged module raises the unchecked-access variant
+/// where the reference raised a proper bounds-check trap.
+#[test]
+fn oracle_catches_a_wrongly_eliminated_check() {
+    let source = "fn main() -> int {
+             let a: int[] = new int[4];
+             let i: int = a.length;
+             return a[i];
+         }";
+    let reference = abcd_frontend::compile(source).unwrap();
+    let mut sabotaged = abcd_frontend::compile(source).unwrap();
+    let ids: Vec<_> = sabotaged.functions().map(|(id, _)| id).collect();
+    let mut removed = 0usize;
+    for id in ids {
+        let func = sabotaged.function_mut(id);
+        let checks: Vec<_> = func
+            .blocks()
+            .flat_map(|b| {
+                func.block(b)
+                    .insts()
+                    .iter()
+                    .filter(|&&i| matches!(func.inst(i).kind, InstKind::BoundsCheck { .. }))
+                    .map(move |&i| (b, i))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        for (b, i) in checks {
+            func.remove_inst(b, i);
+            removed += 1;
+        }
+    }
+    assert!(removed > 0, "test needs a check to falsify");
+
+    match differential(&reference, &sabotaged, "main") {
+        Some(Divergence::Result {
+            reference: want,
+            candidate: got,
+        }) => {
+            assert!(matches!(
+                want.result.as_ref().unwrap_err().kind,
+                TrapKind::BoundsCheckFailed { .. }
+            ));
+            assert!(matches!(
+                got.result.as_ref().unwrap_err().kind,
+                TrapKind::UncheckedAccessOutOfBounds { .. }
+            ));
+        }
+        other => panic!("oracle missed the miscompilation: {other:?}"),
+    }
+}

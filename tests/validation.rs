@@ -1,0 +1,164 @@
+//! Translation validation (PR: fail-open optimizer): every elimination and
+//! hoist is independently re-justified against constraint graphs rebuilt
+//! from the final e-SSA form. On honest runs the validator must be a
+//! no-op (everything re-proves, nothing is touched); when the constraint
+//! system is corrupted it must reinstate exactly the eliminations it can
+//! no longer justify, restoring soundness.
+
+use abcd::{CheckOutcome, FaultPlan, Incident, ModuleReport, Optimizer, OptimizerOptions};
+use abcd_ir::Module;
+
+/// Canonical printed form of a module — the byte-identity witness.
+fn dump(m: &Module) -> String {
+    m.functions().map(|(_, f)| format!("{f}\n")).collect()
+}
+
+fn optimize(
+    bench: &abcd_benchsuite::Benchmark,
+    options: OptimizerOptions,
+    plan: &str,
+) -> (Module, ModuleReport) {
+    let mut module = bench.compile().expect("benchmark compiles");
+    let report = Optimizer::with_options(options)
+        .with_fault_plan(FaultPlan::parse(plan).expect("plan parses"))
+        .optimize_module(&mut module, None);
+    (module, report)
+}
+
+/// On unfaulted runs validation re-proves every single change — zero
+/// reinstatements across the whole suite (an acceptance criterion of the
+/// fail-open PR) — and leaves the optimized IR byte-identical to a run
+/// with validation disabled.
+#[test]
+fn unfaulted_validation_is_a_sound_no_op_on_the_whole_suite() {
+    let base = OptimizerOptions {
+        verify_ir: true,
+        ..OptimizerOptions::default()
+    };
+    let validated = OptimizerOptions {
+        validate: true,
+        ..base
+    };
+    let mut total_validated = 0usize;
+    for bench in abcd_benchsuite::BENCHMARKS {
+        let (plain_module, _) = optimize(bench, base, "");
+        let (val_module, report) = optimize(bench, validated, "");
+        assert_eq!(
+            dump(&plain_module),
+            dump(&val_module),
+            "{}: validation changed IR on an honest run",
+            bench.name
+        );
+        assert_eq!(
+            report.checks_reinstated(),
+            0,
+            "{}: honest eliminations failed revalidation",
+            bench.name
+        );
+        assert_eq!(
+            report.incident_count(),
+            0,
+            "{}: unexpected incidents",
+            bench.name
+        );
+        // Every recorded change was re-proven, none skipped.
+        for f in &report.functions {
+            assert_eq!(
+                f.checks_validated,
+                f.eliminated.len() + f.hoisted_checks.len(),
+                "{}/{}: validated count does not cover every change",
+                bench.name,
+                f.name
+            );
+        }
+        total_validated += report.checks_validated();
+    }
+    assert!(
+        total_validated > 100,
+        "suspiciously few validated checks across the suite: {total_validated}"
+    );
+}
+
+/// Known deterministic edge-perturbation seeds flip provability statically
+/// (the benchsuite never actually traps, so only the validator can see the
+/// corruption): validation must reinstate at least one check, mark its
+/// outcome, record a degraded incident, and the shipped module must still
+/// agree with the unoptimized program.
+#[test]
+fn corrupted_graphs_force_reinstatements_that_stay_sound() {
+    let options = OptimizerOptions {
+        verify_ir: true,
+        validate: true,
+        ..OptimizerOptions::default()
+    };
+    for (name, seed) in [
+        ("mpeg", 2u64),
+        ("qsort", 3),
+        ("dhrystone", 0),
+        ("bytemark", 0),
+    ] {
+        let bench = abcd_benchsuite::by_name(name).unwrap();
+        let plan = format!("edge:*:{seed}");
+        let (module, report) = optimize(bench, options, &plan);
+        assert!(
+            report.checks_reinstated() > 0,
+            "{name}: seed {seed} is known to flip a proof, yet nothing was reinstated"
+        );
+        assert!(
+            report
+                .incidents()
+                .any(|i| matches!(i, Incident::ValidationReinstated { .. })),
+            "{name}: reinstatement must surface as an incident"
+        );
+        assert!(
+            report.degraded_incident_count() > 0,
+            "{name}: a reinstatement is a degraded outcome"
+        );
+        let reinstated_outcomes = report
+            .functions
+            .iter()
+            .flat_map(|f| &f.outcomes)
+            .filter(|(_, _, o)| matches!(o, CheckOutcome::Reinstated))
+            .count();
+        assert!(
+            reinstated_outcomes > 0,
+            "{name}: reinstated sites must be visible in per-check outcomes"
+        );
+        let reference = bench.compile().unwrap();
+        assert!(
+            abcd::oracle::differential(&reference, &module, "main").is_none(),
+            "{name}: module diverged after reinstatement under `{plan}`"
+        );
+    }
+}
+
+/// The reinstated check is real: running the repaired module re-executes
+/// the bounds check dynamically (the check count goes back up relative to
+/// the unvalidated, corrupted run).
+#[test]
+fn reinstatement_restores_dynamic_checks() {
+    let options = OptimizerOptions {
+        verify_ir: true,
+        validate: true,
+        ..OptimizerOptions::default()
+    };
+    let unvalidated = OptimizerOptions {
+        validate: false,
+        ..options
+    };
+    let bench = abcd_benchsuite::by_name("bytemark").unwrap();
+    let plan = "edge:*:0";
+    let (corrupted, _) = optimize(bench, unvalidated, plan);
+    let (repaired, report) = optimize(bench, options, plan);
+    assert!(report.checks_reinstated() > 0);
+
+    let dynamic_checks = |m: &Module| {
+        let mut vm = abcd_vm::Vm::new(m);
+        vm.call_by_name("main", &[]).expect("benchmark runs");
+        vm.stats().dynamic_checks_total()
+    };
+    assert!(
+        dynamic_checks(&repaired) > dynamic_checks(&corrupted),
+        "reinstatement must put real dynamic checks back"
+    );
+}
