@@ -220,8 +220,14 @@ pub fn stress_module() -> abcd_ir::Module {
 
 /// Measures the optimize phase of `benches` at one worker and at
 /// `threads` workers and renders the comparison — plus each benchmark's
-/// `abcd-metrics/2` object from the parallel run — as one JSON document
-/// (schema `abcd-bench-metrics/2`).
+/// `abcd-metrics/3` object from the parallel run — as one JSON document
+/// (schema `abcd-bench-metrics/3`).
+///
+/// Version 3 adds a `"cache"` object comparing a cold run against a warm
+/// rerun through one shared [`abcd::AnalysisCache`]: the warm wall, the
+/// hit/miss/store counters, and `warm_speedup`. The warm rerun reuses the
+/// cold run's cache, so every function should replay (`hits > 0`,
+/// `warm_misses == 0` on a healthy run).
 ///
 /// The document leads with the suite-wide fail-open counters (`incidents`,
 /// `degraded_incidents`, `checks_validated`, `checks_reinstated`) so a
@@ -299,6 +305,34 @@ pub fn metrics_json_for(
     // the walls are interpretable.
     let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
 
+    // Warm-vs-cold: run the suite twice through one shared cache. The
+    // first pass misses and stores; the second should replay every
+    // function from the cache (incremental-recompilation scenario).
+    let cache = std::sync::Arc::new(abcd::AnalysisCache::in_memory(
+        abcd::cache::DEFAULT_CACHE_BYTES,
+    ));
+    let cached_suite = || -> (Duration, usize) {
+        let mut total = Duration::ZERO;
+        let mut from_cache = 0;
+        for (bench, profile) in &trained {
+            let mut module = bench.compile().expect("benchmark compiles");
+            let started = Instant::now();
+            let report = Optimizer::with_options(options)
+                .with_cache(std::sync::Arc::clone(&cache))
+                .optimize_module(&mut module, Some(profile));
+            total += started.elapsed();
+            from_cache += report.functions_from_cache();
+        }
+        (total, from_cache)
+    };
+    let (cold_wall, _) = cached_suite();
+    let cold_stats = cache.stats();
+    let (warm_wall, warm_from_cache) = cached_suite();
+    let warm_stats = cache.stats();
+    let cold_us = cold_wall.as_micros();
+    let warm_us = warm_wall.as_micros();
+    let warm_speedup = cold_us as f64 / (warm_us.max(1)) as f64;
+
     let incidents: usize = par_reports.iter().map(|(_, r)| r.incident_count()).sum();
     let degraded: usize = par_reports
         .iter()
@@ -307,7 +341,7 @@ pub fn metrics_json_for(
     let validated: usize = par_reports.iter().map(|(_, r)| r.checks_validated()).sum();
     let reinstated: usize = par_reports.iter().map(|(_, r)| r.checks_reinstated()).sum();
 
-    let mut out = String::from("{\"schema\":\"abcd-bench-metrics/2\"");
+    let mut out = String::from("{\"schema\":\"abcd-bench-metrics/3\"");
     let _ = write!(
         out,
         ",\"incidents\":{incidents},\"degraded_incidents\":{degraded},\
@@ -323,18 +357,23 @@ pub fn metrics_json_for(
          \"suite_parallel_wall_us\":{suite_par_us},\
          \"suite_speedup\":\"{suite_speedup:.4}\"}}"
     );
+    let _ = write!(
+        out,
+        ",\"cache\":{{\"cold_wall_us\":{cold_us},\"warm_wall_us\":{warm_us},\
+         \"warm_speedup\":\"{warm_speedup:.4}\",\
+         \"cold_misses\":{},\"stores\":{},\"warm_hits\":{},\"warm_misses\":{},\
+         \"functions_from_cache\":{warm_from_cache}}}",
+        cold_stats.misses,
+        cold_stats.stores,
+        warm_stats.hits - cold_stats.hits,
+        warm_stats.misses - cold_stats.misses,
+    );
     out.push_str(",\"benchmarks\":[");
     for (i, ((bench, _), (wall, report))) in trained.iter().zip(&par_reports).enumerate() {
         if i > 0 {
             out.push(',');
         }
-        let metrics = abcd::module_metrics_json(
-            report,
-            abcd::RunInfo {
-                threads,
-                wall_time: *wall,
-            },
-        );
+        let metrics = abcd::module_metrics_json(report, abcd::RunInfo::new(threads, *wall));
         let _ = write!(out, "{{\"name\":\"{}\",\"metrics\":{metrics}}}", bench.name);
     }
     out.push_str("]}");
@@ -372,7 +411,7 @@ pub fn print_incident_summary(results: &[BenchResult]) {
 /// Shared CLI tail of the experiment binaries: when `--metrics` or
 /// `--metrics-out FILE` was passed, re-optimizes the suite at one worker
 /// and at `--jobs N` workers (default and minimum 2) and emits the
-/// `abcd-bench-metrics/2` comparison JSON after the table.
+/// `abcd-bench-metrics/3` comparison JSON after the table.
 pub fn emit_cli_metrics(options: OptimizerOptions) {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let value_of = |flag: &str| {
@@ -433,7 +472,7 @@ mod tests {
             2,
         );
         assert!(
-            json.starts_with("{\"schema\":\"abcd-bench-metrics/2\""),
+            json.starts_with("{\"schema\":\"abcd-bench-metrics/3\""),
             "{json}"
         );
         // Zero-incident runs are recorded explicitly, not by omission.
@@ -447,13 +486,17 @@ mod tests {
         assert!(json.contains("\"sequential_wall_us\":"), "{json}");
         assert!(json.contains("\"parallel_wall_us\":"), "{json}");
         assert!(json.contains("\"speedup\":\""), "{json}");
-        // Each of the two benchmarks embeds a full abcd-metrics/2 object.
+        // Each of the two benchmarks embeds a full abcd-metrics/3 object.
         assert_eq!(
-            json.matches("\"metrics\":{\"schema\":\"abcd-metrics/2\"")
+            json.matches("\"metrics\":{\"schema\":\"abcd-metrics/3\"")
                 .count(),
             2,
             "{json}"
         );
+        // The warm rerun replays every function the cold run stored.
+        assert!(json.contains("\"cache\":{\"cold_wall_us\":"), "{json}");
+        assert!(json.contains("\"warm_misses\":0"), "{json}");
+        assert!(!json.contains("\"functions_from_cache\":0}"), "{json}");
     }
 
     #[test]

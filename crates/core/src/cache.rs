@@ -1,0 +1,803 @@
+//! Content-addressed analysis cache: replay a function's optimization
+//! without re-proving anything.
+//!
+//! ABCD is built for dynamic compilation, where analysis cost must be
+//! amortized across repeated compilations of the same hot code (§1, §5 of
+//! the paper). This module provides that amortization layer: a
+//! function-level cache keyed by everything that determines the
+//! optimizer's output —
+//!
+//! * the **canonicalized input IR** (via [`abcd_ir::canonicalize`], so the
+//!   key is insensitive to arena numbering accidents),
+//! * the **options fingerprint** (every [`OptimizerOptions`] knob),
+//! * the **interprocedural fact fingerprint** (the verified parameter
+//!   facts applied to this function's constraint graphs — when a caller
+//!   changes, the callee's facts change and its key changes with them,
+//!   which is exactly the transitive invalidation the driver needs),
+//! * the **profile-bucket fingerprint** (log₂ buckets of the function's
+//!   site/block counts, plus the exact hot/cold partition when a
+//!   `hot_threshold` is in force).
+//!
+//! The cached value is the *canonical printed optimized IR* plus the
+//! summary counters needed to reconstruct the [`FunctionReport`]. Replay
+//! is therefore a parse, never a re-proof. Because the driver's final
+//! pipeline stage canonicalizes, cached text is a `print ∘ parse`
+//! fixpoint: warm and cold runs produce byte-identical modules.
+//!
+//! The profile fingerprint is a deliberate approximation: counts are
+//! bucketed so that run-to-run jitter in a stable workload still hits,
+//! at the cost of possibly replaying a PRE profitability decision made
+//! for a near-identical profile. This can never miscompile — optimized
+//! output is semantics-preserving for *any* profile — it only risks a
+//! mildly stale cost/benefit call, which is the amortization trade the
+//! paper's dynamic-compilation setting asks for.
+//!
+//! **Failure policy (fail-open).** The disk tier re-verifies everything
+//! on load: header shape, payload checksum, key match, and that the
+//! cached IR parses, re-verifies, and is a print fixpoint. Any mismatch
+//! is reported as [`Incident::CacheCorrupt`](crate::Incident), the entry
+//! is deleted, and the function is recompiled cold — cache corruption is
+//! an incident, never a miscompile and never a crash.
+
+use crate::driver::OptimizerOptions;
+use crate::interproc::ParamFact;
+use crate::report::CheckOutcome;
+use abcd_ir::{CheckKind, CheckSite, FuncId};
+use abcd_vm::Profile;
+use std::collections::HashMap;
+use std::fmt;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Magic line prefix of the on-disk entry format.
+const DISK_MAGIC: &str = "abcd-cache/1";
+
+// ---- hashing ------------------------------------------------------------
+
+/// FNV-1a 64-bit — dependency-free, stable across platforms and runs.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn mix(h: u64, v: u64) -> u64 {
+    // Feed the value through the same FNV stream byte by byte.
+    let mut h = h;
+    for b in v.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A content-addressed cache key (see the module docs for what it hashes).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct CacheKey(u64);
+
+impl CacheKey {
+    /// The key as a fixed-width hex string (used for disk file names).
+    pub fn hex(self) -> String {
+        format!("{:016x}", self.0)
+    }
+}
+
+impl fmt::Display for CacheKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.hex())
+    }
+}
+
+/// Derives the cache key for one function from its four components.
+pub fn cache_key(canonical_ir: &str, options_fp: u64, facts_fp: u64, profile_fp: u64) -> CacheKey {
+    let h = fnv1a64(canonical_ir.as_bytes());
+    CacheKey(mix(mix(mix(h, options_fp), facts_fp), profile_fp))
+}
+
+/// Fingerprints every [`OptimizerOptions`] knob. All knobs participate —
+/// even ones (like `isolate_panics`) that cannot change a healthy run's
+/// output — because a byte of hash is cheaper than an argument about
+/// which knob is observable.
+pub fn options_fingerprint(o: &OptimizerOptions) -> u64 {
+    let text = format!(
+        "upper={} lower={} cleanup={} pre={} gvn_hook={} merge_checks={} \
+         classify_local={} hot_threshold={:?} interprocedural={} \
+         fuel_per_query={:?} fuel_per_function={:?} verify_ir={} validate={} \
+         isolate_panics={}",
+        o.upper,
+        o.lower,
+        o.cleanup,
+        o.pre,
+        o.gvn_hook,
+        o.merge_checks,
+        o.classify_local,
+        o.hot_threshold,
+        o.interprocedural,
+        o.fuel_per_query,
+        o.fuel_per_function,
+        o.verify_ir,
+        o.validate,
+        o.isolate_panics,
+    );
+    fnv1a64(text.as_bytes())
+}
+
+/// Fingerprints the interprocedural parameter facts in force for one
+/// function (the facts *about its own parameters*, inferred from every
+/// call site). Editing a caller that changes what can be assumed about a
+/// callee's parameters changes this fingerprint and hence the callee's
+/// key — transitive invalidation without a dependency graph.
+pub fn facts_fingerprint(facts: &[ParamFact]) -> u64 {
+    let mut lines: Vec<String> = facts.iter().map(|f| format!("{f:?}")).collect();
+    lines.sort();
+    fnv1a64(lines.join("\n").as_bytes())
+}
+
+/// Log₂ bucket of a dynamic count (0 stays 0, so the cold/warm boundary
+/// is exact).
+fn bucket(n: u64) -> u32 {
+    if n == 0 {
+        0
+    } else {
+        64 - n.leading_zeros()
+    }
+}
+
+/// Fingerprints the slice of `profile` relevant to `func`: bucketed site
+/// and block counts, plus — when `hot_threshold` is set — the exact
+/// hot/cold partition of the function's check sites (the work-list
+/// itself must never be stale).
+pub fn profile_fingerprint(
+    profile: Option<&Profile>,
+    func: FuncId,
+    hot_threshold: Option<u64>,
+) -> u64 {
+    let Some(p) = profile else {
+        return fnv1a64(b"no-profile");
+    };
+    let mut sites: Vec<(usize, u32, bool)> = p
+        .site_entries()
+        .filter(|((f, _), _)| *f == func)
+        .map(|((_, site), n)| {
+            let hot = hot_threshold.is_some_and(|t| n >= t);
+            (site.index(), bucket(n), hot)
+        })
+        .collect();
+    sites.sort_unstable();
+    let mut blocks: Vec<(usize, u32)> = p
+        .block_entries()
+        .filter(|((f, _), _)| *f == func)
+        .map(|((_, b), n)| (b.index(), bucket(n)))
+        .collect();
+    blocks.sort_unstable();
+    let mut h = fnv1a64(b"profile");
+    h = mix(h, hot_threshold.map_or(u64::MAX, |t| t));
+    for (s, b, hot) in sites {
+        h = mix(h, s as u64);
+        h = mix(h, b as u64);
+        h = mix(h, hot as u64);
+    }
+    h = mix(h, 0xb10c);
+    for (b, n) in blocks {
+        h = mix(h, b as u64);
+        h = mix(h, n as u64);
+    }
+    h
+}
+
+// ---- entries ------------------------------------------------------------
+
+/// One cached optimization result: the canonical optimized IR plus the
+/// summary counters needed to reconstruct the function's report.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CacheEntry {
+    /// Canonical printed optimized IR (a `print ∘ parse` fixpoint).
+    pub ir_text: String,
+    /// Static checks before optimization.
+    pub checks_total: usize,
+    /// Per-check verdicts, in the order they were recorded.
+    pub outcomes: Vec<(CheckSite, CheckKind, CheckOutcome)>,
+    /// Solver steps the original (cold) run spent.
+    pub steps: u64,
+    /// PRE-pass solver steps of the original run.
+    pub pre_steps: u64,
+    /// Compensating checks PRE inserted.
+    pub spec_checks_inserted: usize,
+    /// Lower+upper pairs merged (§7.2).
+    pub checks_merged: usize,
+    /// Eliminations re-proven by translation validation in the cold run.
+    pub checks_validated: usize,
+}
+
+impl CacheEntry {
+    /// Approximate heap footprint, used against the byte budget.
+    pub fn byte_size(&self) -> usize {
+        self.ir_text.len() + self.outcomes.len() * 24 + 96
+    }
+
+    /// Serializes the summary section (everything but `ir_text`) as the
+    /// line-oriented format stored on disk.
+    pub fn summary_text(&self) -> String {
+        let mut out = String::new();
+        use std::fmt::Write as _;
+        let _ = writeln!(
+            out,
+            "counts {} {} {} {} {} {}",
+            self.checks_total,
+            self.steps,
+            self.pre_steps,
+            self.spec_checks_inserted,
+            self.checks_merged,
+            self.checks_validated,
+        );
+        for (site, kind, outcome) in &self.outcomes {
+            let _ = write!(out, "outcome {} {} ", site.index(), kind_str(*kind));
+            match outcome {
+                CheckOutcome::RemovedFully {
+                    local,
+                    via_congruence,
+                } => {
+                    let _ = writeln!(out, "removed {} {}", *local as u8, *via_congruence as u8);
+                }
+                CheckOutcome::Hoisted { insertions } => {
+                    let _ = writeln!(out, "hoisted {insertions}");
+                }
+                CheckOutcome::Kept => {
+                    let _ = writeln!(out, "kept");
+                }
+                CheckOutcome::Skipped => {
+                    let _ = writeln!(out, "skipped");
+                }
+                CheckOutcome::Reinstated => {
+                    let _ = writeln!(out, "reinstated");
+                }
+            }
+        }
+        out
+    }
+
+    /// Parses a summary section back; strict — any malformed line is a
+    /// corruption verdict.
+    pub fn parse_summary(ir_text: String, summary: &str) -> Result<CacheEntry, String> {
+        let mut lines = summary.lines();
+        let counts = lines.next().ok_or("empty summary")?;
+        let mut it = counts.split_whitespace();
+        if it.next() != Some("counts") {
+            return Err("summary missing counts line".to_string());
+        }
+        let mut next_num = |what: &str| -> Result<u64, String> {
+            it.next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| format!("bad counts field `{what}`"))
+        };
+        let checks_total = next_num("checks_total")? as usize;
+        let steps = next_num("steps")?;
+        let pre_steps = next_num("pre_steps")?;
+        let spec_checks_inserted = next_num("spec_checks_inserted")? as usize;
+        let checks_merged = next_num("checks_merged")? as usize;
+        let checks_validated = next_num("checks_validated")? as usize;
+        let mut outcomes = Vec::new();
+        for line in lines {
+            let mut f = line.split_whitespace();
+            if f.next() != Some("outcome") {
+                return Err(format!("unexpected summary line `{line}`"));
+            }
+            let site: usize = f
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| format!("bad site in `{line}`"))?;
+            let kind = match f.next() {
+                Some("upper") => CheckKind::Upper,
+                Some("lower") => CheckKind::Lower,
+                Some("both") => CheckKind::Both,
+                _ => return Err(format!("bad check kind in `{line}`")),
+            };
+            let outcome = match f.next() {
+                Some("removed") => {
+                    let local = f.next() == Some("1");
+                    let via_congruence = f.next() == Some("1");
+                    CheckOutcome::RemovedFully {
+                        local,
+                        via_congruence,
+                    }
+                }
+                Some("hoisted") => CheckOutcome::Hoisted {
+                    insertions: f
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| format!("bad insertions in `{line}`"))?,
+                },
+                Some("kept") => CheckOutcome::Kept,
+                Some("skipped") => CheckOutcome::Skipped,
+                Some("reinstated") => CheckOutcome::Reinstated,
+                _ => return Err(format!("bad outcome in `{line}`")),
+            };
+            outcomes.push((CheckSite::new(site), kind, outcome));
+        }
+        Ok(CacheEntry {
+            ir_text,
+            checks_total,
+            outcomes,
+            steps,
+            pre_steps,
+            spec_checks_inserted,
+            checks_merged,
+            checks_validated,
+        })
+    }
+}
+
+fn kind_str(kind: CheckKind) -> &'static str {
+    match kind {
+        CheckKind::Upper => "upper",
+        CheckKind::Lower => "lower",
+        CheckKind::Both => "both",
+    }
+}
+
+// ---- the cache ----------------------------------------------------------
+
+/// Counters exposed in `abcd-metrics/3` and the server `stats` command.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Entries currently resident in memory.
+    pub entries: usize,
+    /// Bytes currently resident in memory.
+    pub bytes: usize,
+    /// Configured in-memory byte budget.
+    pub budget_bytes: usize,
+    /// Lookups answered from memory or disk.
+    pub hits: u64,
+    /// Lookups that found nothing (or only a corrupt disk entry).
+    pub misses: u64,
+    /// Entries written (memory, and disk when persistent).
+    pub stores: u64,
+    /// Entries evicted from memory by the byte budget.
+    pub evictions: u64,
+    /// Disk entries rejected by re-verification and deleted.
+    pub corrupt: u64,
+    /// Hits served by re-reading and re-verifying a disk entry.
+    pub disk_hits: u64,
+}
+
+/// One lookup's verdict.
+#[derive(Debug)]
+pub enum Lookup {
+    /// A verified entry; replay it.
+    Hit(Box<CacheEntry>),
+    /// Nothing cached under this key.
+    Miss,
+    /// A disk entry existed but failed re-verification; it has been
+    /// deleted and the function must be recompiled cold. The string is
+    /// the human-readable reason, surfaced as an incident.
+    Corrupt(String),
+}
+
+struct Slot {
+    entry: CacheEntry,
+    size: usize,
+    last_used: u64,
+}
+
+#[derive(Default)]
+struct Inner {
+    map: HashMap<u64, Slot>,
+    bytes: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    stores: u64,
+    evictions: u64,
+    corrupt: u64,
+    disk_hits: u64,
+}
+
+/// The function-level analysis cache: in-memory LRU under a byte budget,
+/// optionally backed by an on-disk tier (`--cache-dir`) whose entries are
+/// re-verified on every load. Shared across driver worker threads (and
+/// server requests) behind one mutex — lookups are a hash probe plus a
+/// clone, far cheaper than the analysis they replace.
+pub struct AnalysisCache {
+    budget: usize,
+    dir: Option<PathBuf>,
+    inner: Mutex<Inner>,
+}
+
+impl fmt::Debug for AnalysisCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AnalysisCache")
+            .field("budget", &self.budget)
+            .field("dir", &self.dir)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Default in-memory byte budget (64 MiB).
+pub const DEFAULT_CACHE_BYTES: usize = 64 << 20;
+
+impl AnalysisCache {
+    /// An in-memory-only cache with the given byte budget.
+    pub fn in_memory(budget_bytes: usize) -> AnalysisCache {
+        AnalysisCache {
+            budget: budget_bytes,
+            dir: None,
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// A cache persisted under `dir` (created if absent) with the given
+    /// in-memory byte budget.
+    pub fn with_dir(
+        dir: impl Into<PathBuf>,
+        budget_bytes: usize,
+    ) -> std::io::Result<AnalysisCache> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(AnalysisCache {
+            budget: budget_bytes,
+            dir: Some(dir),
+            inner: Mutex::new(Inner::default()),
+        })
+    }
+
+    /// The on-disk tier's directory, when persistent.
+    pub fn dir(&self) -> Option<&Path> {
+        self.dir.as_deref()
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().expect("cache lock");
+        CacheStats {
+            entries: inner.map.len(),
+            bytes: inner.bytes,
+            budget_bytes: self.budget,
+            hits: inner.hits,
+            misses: inner.misses,
+            stores: inner.stores,
+            evictions: inner.evictions,
+            corrupt: inner.corrupt,
+            disk_hits: inner.disk_hits,
+        }
+    }
+
+    /// Looks `key` up: memory first, then the disk tier (with full
+    /// re-verification). Never panics and never returns unverified data.
+    pub fn lookup(&self, key: CacheKey) -> Lookup {
+        {
+            let mut inner = self.inner.lock().expect("cache lock");
+            inner.tick += 1;
+            let tick = inner.tick;
+            if let Some(slot) = inner.map.get_mut(&key.0) {
+                slot.last_used = tick;
+                let entry = slot.entry.clone();
+                inner.hits += 1;
+                return Lookup::Hit(Box::new(entry));
+            }
+        }
+        match self.load_disk(key) {
+            None => {
+                self.inner.lock().expect("cache lock").misses += 1;
+                Lookup::Miss
+            }
+            Some(Ok(entry)) => {
+                {
+                    let mut inner = self.inner.lock().expect("cache lock");
+                    inner.hits += 1;
+                    inner.disk_hits += 1;
+                }
+                self.insert_memory(key, entry.clone());
+                Lookup::Hit(Box::new(entry))
+            }
+            Some(Err(reason)) => {
+                {
+                    let mut inner = self.inner.lock().expect("cache lock");
+                    inner.misses += 1;
+                    inner.corrupt += 1;
+                }
+                // Quarantine: a corrupt entry must not be served twice.
+                if let Some(path) = self.disk_path(key) {
+                    let _ = std::fs::remove_file(path);
+                }
+                Lookup::Corrupt(reason)
+            }
+        }
+    }
+
+    /// Stores `entry` under `key` in memory (evicting LRU entries past
+    /// the byte budget) and on disk when persistent.
+    pub fn insert(&self, key: CacheKey, entry: CacheEntry) {
+        self.store_disk(key, &entry);
+        self.insert_memory(key, entry);
+        self.inner.lock().expect("cache lock").stores += 1;
+    }
+
+    fn insert_memory(&self, key: CacheKey, entry: CacheEntry) {
+        let size = entry.byte_size();
+        let mut inner = self.inner.lock().expect("cache lock");
+        if size > self.budget {
+            // Oversized for the memory tier entirely; the disk tier (if
+            // any) still has it.
+            return;
+        }
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(old) = inner.map.insert(
+            key.0,
+            Slot {
+                entry,
+                size,
+                last_used: tick,
+            },
+        ) {
+            inner.bytes -= old.size;
+        }
+        inner.bytes += size;
+        while inner.bytes > self.budget {
+            let Some((&victim, _)) = inner
+                .map
+                .iter()
+                .filter(|(k, _)| **k != key.0)
+                .min_by_key(|(_, s)| s.last_used)
+            else {
+                break;
+            };
+            let slot = inner.map.remove(&victim).expect("victim present");
+            inner.bytes -= slot.size;
+            inner.evictions += 1;
+        }
+    }
+
+    fn disk_path(&self, key: CacheKey) -> Option<PathBuf> {
+        self.dir
+            .as_ref()
+            .map(|d| d.join(format!("{}.abcdc", key.hex())))
+    }
+
+    /// Reads and fully re-verifies a disk entry. `None`: no file.
+    /// `Some(Err)`: the file exists but failed verification.
+    fn load_disk(&self, key: CacheKey) -> Option<Result<CacheEntry, String>> {
+        let path = self.disk_path(key)?;
+        let bytes = std::fs::read(&path).ok()?;
+        Some(parse_disk_entry(key, &bytes))
+    }
+
+    fn store_disk(&self, key: CacheKey, entry: &CacheEntry) {
+        let Some(path) = self.disk_path(key) else {
+            return;
+        };
+        let summary = entry.summary_text();
+        let payload_checksum = {
+            let mut h = fnv1a64(entry.ir_text.as_bytes());
+            h = mix(h, fnv1a64(summary.as_bytes()));
+            h
+        };
+        let mut buf = Vec::with_capacity(entry.ir_text.len() + summary.len() + 80);
+        let _ = writeln!(
+            buf,
+            "{DISK_MAGIC} {} {:016x} {} {}",
+            key.hex(),
+            payload_checksum,
+            entry.ir_text.len(),
+            summary.len(),
+        );
+        buf.extend_from_slice(entry.ir_text.as_bytes());
+        buf.extend_from_slice(summary.as_bytes());
+        // Atomic publish: a concurrent reader sees the old entry or the
+        // new one, never a torn write. Failures are silently dropped —
+        // a cache that cannot persist is merely cold, not broken.
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        if std::fs::write(&tmp, &buf).is_ok() && std::fs::rename(&tmp, &path).is_err() {
+            let _ = std::fs::remove_file(&tmp);
+        }
+    }
+}
+
+/// Parses and re-verifies one on-disk entry. Every failure mode returns a
+/// reason string; the caller turns it into an incident.
+fn parse_disk_entry(key: CacheKey, bytes: &[u8]) -> Result<CacheEntry, String> {
+    let text = std::str::from_utf8(bytes).map_err(|_| "entry is not UTF-8".to_string())?;
+    let (header, payload) = text
+        .split_once('\n')
+        .ok_or_else(|| "missing header line".to_string())?;
+    let fields: Vec<&str> = header.split(' ').collect();
+    if fields.len() != 5 || fields[0] != DISK_MAGIC {
+        return Err(format!("bad header `{header}`"));
+    }
+    if fields[1] != key.hex() {
+        return Err(format!(
+            "key mismatch: file says {}, expected {key}",
+            fields[1]
+        ));
+    }
+    let checksum =
+        u64::from_str_radix(fields[2], 16).map_err(|_| "bad checksum field".to_string())?;
+    let ir_len: usize = fields[3].parse().map_err(|_| "bad ir length".to_string())?;
+    let sum_len: usize = fields[4]
+        .parse()
+        .map_err(|_| "bad summary length".to_string())?;
+    if payload.len() != ir_len + sum_len || !payload.is_char_boundary(ir_len) {
+        return Err(format!(
+            "length mismatch: payload {} vs declared {}+{}",
+            payload.len(),
+            ir_len,
+            sum_len
+        ));
+    }
+    let (ir_text, summary) = payload.split_at(ir_len);
+    let actual = mix(fnv1a64(ir_text.as_bytes()), fnv1a64(summary.as_bytes()));
+    if actual != checksum {
+        return Err(format!(
+            "checksum mismatch: {actual:016x} vs {checksum:016x}"
+        ));
+    }
+    // Semantic re-verification: the IR must parse, pass the verifier, and
+    // be the canonical print fixpoint it was stored as.
+    let func = abcd_ir::parse_function_text(ir_text)
+        .map_err(|e| format!("cached IR does not parse: {e}"))?;
+    abcd_ir::verify_function(&func, None)
+        .map_err(|e| format!("cached IR fails verification: {e}"))?;
+    if func.to_string() != ir_text.trim_end() {
+        return Err("cached IR is not a print fixpoint".to_string());
+    }
+    CacheEntry::parse_summary(ir_text.to_string(), summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(ir: &str) -> CacheEntry {
+        CacheEntry {
+            ir_text: ir.to_string(),
+            checks_total: 2,
+            outcomes: vec![
+                (
+                    CheckSite::new(0),
+                    CheckKind::Upper,
+                    CheckOutcome::RemovedFully {
+                        local: true,
+                        via_congruence: false,
+                    },
+                ),
+                (CheckSite::new(1), CheckKind::Lower, CheckOutcome::Kept),
+            ],
+            steps: 7,
+            pre_steps: 3,
+            spec_checks_inserted: 1,
+            checks_merged: 0,
+            checks_validated: 1,
+        }
+    }
+
+    const FUNC: &str = "\
+func @f(v0: int) -> int {
+bb0:
+    v1: int = add v0, v0
+    ret v1
+}";
+
+    #[test]
+    fn summary_round_trips() {
+        let e = entry(FUNC);
+        let text = e.summary_text();
+        let parsed = CacheEntry::parse_summary(e.ir_text.clone(), &text).unwrap();
+        assert_eq!(parsed, e);
+    }
+
+    #[test]
+    fn summary_rejects_garbage() {
+        assert!(CacheEntry::parse_summary(String::new(), "").is_err());
+        assert!(CacheEntry::parse_summary(String::new(), "counts 1 2").is_err());
+        assert!(CacheEntry::parse_summary(
+            String::new(),
+            "counts 1 2 3 4 5 6\noutcome x upper kept"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn memory_hit_and_miss() {
+        let cache = AnalysisCache::in_memory(1 << 20);
+        let key = cache_key("text", 1, 2, 3);
+        assert!(matches!(cache.lookup(key), Lookup::Miss));
+        cache.insert(key, entry(FUNC));
+        match cache.lookup(key) {
+            Lookup::Hit(e) => assert_eq!(e.ir_text, FUNC),
+            other => panic!("expected hit, got {other:?}"),
+        }
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.stores), (1, 1, 1));
+    }
+
+    #[test]
+    fn lru_evicts_oldest_under_budget() {
+        let one = entry(FUNC).byte_size();
+        let cache = AnalysisCache::in_memory(2 * one + one / 2);
+        let keys: Vec<CacheKey> = (0..3).map(|i| cache_key("t", i, 0, 0)).collect();
+        cache.insert(keys[0], entry(FUNC));
+        cache.insert(keys[1], entry(FUNC));
+        // Touch key 0 so key 1 is the LRU victim.
+        assert!(matches!(cache.lookup(keys[0]), Lookup::Hit(_)));
+        cache.insert(keys[2], entry(FUNC));
+        assert!(matches!(cache.lookup(keys[0]), Lookup::Hit(_)));
+        assert!(matches!(cache.lookup(keys[1]), Lookup::Miss));
+        assert!(matches!(cache.lookup(keys[2]), Lookup::Hit(_)));
+        assert_eq!(cache.stats().evictions, 1);
+        assert!(cache.stats().bytes <= cache.stats().budget_bytes);
+    }
+
+    #[test]
+    fn disk_round_trip_and_corruption() {
+        let dir = std::env::temp_dir().join(format!("abcd-cache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = AnalysisCache::with_dir(&dir, 1 << 20).unwrap();
+        let key = cache_key(FUNC, 9, 9, 9);
+        cache.insert(key, entry(FUNC));
+
+        // A fresh cache over the same dir serves the entry from disk.
+        let cold = AnalysisCache::with_dir(&dir, 1 << 20).unwrap();
+        match cold.lookup(key) {
+            Lookup::Hit(e) => assert_eq!(*e, entry(FUNC)),
+            other => panic!("expected disk hit, got {other:?}"),
+        }
+        assert_eq!(cold.stats().disk_hits, 1);
+
+        // Flip a payload byte: the checksum must catch it, the entry must
+        // be deleted, and the next lookup is a clean miss.
+        let path = dir.join(format!("{}.abcdc", key.hex()));
+        let mut bytes = std::fs::read(&path).unwrap();
+        let n = bytes.len();
+        bytes[n - 2] ^= 0x20;
+        std::fs::write(&path, &bytes).unwrap();
+        let fresh = AnalysisCache::with_dir(&dir, 1 << 20).unwrap();
+        match fresh.lookup(key) {
+            Lookup::Corrupt(reason) => assert!(reason.contains("mismatch"), "{reason}"),
+            other => panic!("expected corrupt, got {other:?}"),
+        }
+        assert!(!path.exists(), "corrupt entry must be quarantined");
+        assert!(matches!(fresh.lookup(key), Lookup::Miss));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fingerprints_separate_inputs() {
+        let o1 = OptimizerOptions::default();
+        let o2 = OptimizerOptions {
+            pre: false,
+            ..OptimizerOptions::default()
+        };
+        assert_ne!(options_fingerprint(&o1), options_fingerprint(&o2));
+
+        let f = FuncId::new(0);
+        let mut p1 = Profile::new();
+        p1.add_site_count(f, CheckSite::new(0), 100);
+        let mut p2 = Profile::new();
+        p2.add_site_count(f, CheckSite::new(0), 1);
+        // Different buckets → different fingerprints.
+        assert_ne!(
+            profile_fingerprint(Some(&p1), f, None),
+            profile_fingerprint(Some(&p2), f, None)
+        );
+        // Same bucket (100 vs 101) → same fingerprint (amortization).
+        let mut p3 = Profile::new();
+        p3.add_site_count(f, CheckSite::new(0), 101);
+        assert_eq!(
+            profile_fingerprint(Some(&p1), f, None),
+            profile_fingerprint(Some(&p3), f, None)
+        );
+        // But a threshold crossing always invalidates.
+        assert_ne!(
+            profile_fingerprint(Some(&p1), f, Some(101)),
+            profile_fingerprint(Some(&p3), f, Some(101))
+        );
+        assert_ne!(
+            profile_fingerprint(None, f, None),
+            profile_fingerprint(Some(&p1), f, None)
+        );
+    }
+}

@@ -7,6 +7,7 @@
 //! `demandProve` per bounds check — hottest first when a profile is given,
 //! exactly the demand-driven discipline the paper designed for.
 
+use crate::cache::{AnalysisCache, CacheEntry, CacheKey, Lookup};
 use crate::faults::{current_pass, set_current_pass, FaultPlan};
 use crate::graph::{InequalityGraph, Problem, Vertex};
 use crate::pre::{apply_insertions, merge_remaining_checks};
@@ -19,7 +20,7 @@ use abcd_ssa::DomTree;
 use abcd_vm::Profile;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Tuning knobs for the optimizer.
@@ -124,6 +125,9 @@ pub struct Optimizer {
     threads: usize,
     /// Deterministic fault-injection plan (tests and `mjc --fault-plan`).
     fault_plan: Option<FaultPlan>,
+    /// Content-addressed analysis cache shared across runs (and across the
+    /// server's requests). `None` = always cold.
+    cache: Option<Arc<AnalysisCache>>,
 }
 
 impl Optimizer {
@@ -138,6 +142,7 @@ impl Optimizer {
             options,
             threads: 0,
             fault_plan: None,
+            cache: None,
         }
     }
 
@@ -155,6 +160,26 @@ impl Optimizer {
         self
     }
 
+    /// Attaches a shared analysis cache: functions whose content-addressed
+    /// key hits are replayed from cached IR instead of re-analyzed, and
+    /// incident-free cold results are stored for future runs.
+    pub fn with_cache(mut self, cache: Arc<AnalysisCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The cache actually consulted this run. An armed fault plan disables
+    /// it entirely: injected faults must fire deterministically on every
+    /// run, which a replayed result would silently swallow — and faulted
+    /// results must never be stored.
+    fn effective_cache(&self) -> Option<&AnalysisCache> {
+        if self.fault_plan.is_some() {
+            None
+        } else {
+            self.cache.as_deref()
+        }
+    }
+
     /// The active options.
     pub fn options(&self) -> &OptimizerOptions {
         &self.options
@@ -170,10 +195,47 @@ impl Optimizer {
     /// prior training run drives hot-check selection and PRE profitability.
     pub fn optimize_module(&self, module: &mut Module, profile: Option<&Profile>) -> ModuleReport {
         let mut report = ModuleReport::default();
+        let options_fp = crate::cache::options_fingerprint(&self.options);
         if !self.options.interprocedural {
             report.functions = self.map_functions(module, |id, func| {
-                self.isolated(func, |f| self.optimize_function_inner(f, id, profile))
-                    .merge()
+                if let Some(r) = self.cold_skip_report(func, id, profile) {
+                    return r;
+                }
+                // Content-addressed lookup before any pipeline work: the
+                // key is derived from the *input* (canonicalized), the
+                // options, and the profile slice for this function. No
+                // interproc facts in this mode, so that component is the
+                // fingerprint of the empty fact set.
+                let keyed = self.effective_cache().map(|cache| {
+                    let canon = abcd_ir::canonicalize(func).to_string();
+                    let key = crate::cache::cache_key(
+                        &canon,
+                        options_fp,
+                        crate::cache::facts_fingerprint(&[]),
+                        crate::cache::profile_fingerprint(profile, id, self.options.hot_threshold),
+                    );
+                    (cache, key)
+                });
+                let mut corrupt = None;
+                if let Some((cache, key)) = keyed {
+                    match self.try_replay(cache, key, func) {
+                        Ok(Some(rep)) => return rep,
+                        Ok(None) => {}
+                        Err(incident) => corrupt = Some(incident),
+                    }
+                }
+                let mut rep = self
+                    .isolated(func, |f| self.optimize_function_inner(f, id, profile))
+                    .merge();
+                // Store before surfacing the corruption incident: the cold
+                // recompile is the healthy entry that heals the cache.
+                if let Some((cache, key)) = keyed {
+                    self.maybe_store(cache, key, func, &rep);
+                }
+                if let Some(incident) = corrupt {
+                    rep.incidents.insert(0, incident);
+                }
+                rep
             });
             return report;
         }
@@ -183,20 +245,47 @@ impl Optimizer {
         // its verified assumptions. Each phase is panic-isolated per
         // function; a function whose prepare failed ships as-is and is
         // skipped by analyze.
+        // The cache key needs the *input* text, so canonicalize before
+        // prepare mutates anything. The interproc-fact component of the
+        // key is only known after inference, which is what gives editing
+        // one function its transitive reach: callees whose verified
+        // parameter facts change get new keys and recompile cold.
+        let caching = self.effective_cache().is_some();
         let prepared = self.map_functions(module, |_, func| {
-            self.isolated(func, |f| self.prepare_function(f))
+            let canon = caching.then(|| abcd_ir::canonicalize(func).to_string());
+            (canon, self.isolated(func, |f| self.prepare_function(f)))
         });
         let facts = crate::interproc::infer_param_facts(module);
         let facts = &facts;
         let prepared: Vec<PreparedSlot> =
             prepared.into_iter().map(|g| Mutex::new(Some(g))).collect();
         report.functions = self.map_functions(module, |id, func| {
-            let prep = prepared[id.index()]
+            let (canon, prep) = prepared[id.index()]
                 .lock()
                 .expect("prepared state lock")
                 .take()
                 .expect("each function analyzed once");
-            match prep {
+            let keyed = match (self.effective_cache(), canon) {
+                (Some(cache), Some(canon)) => {
+                    let key = crate::cache::cache_key(
+                        &canon,
+                        options_fp,
+                        crate::cache::facts_fingerprint(facts.of(id)),
+                        crate::cache::profile_fingerprint(profile, id, self.options.hot_threshold),
+                    );
+                    Some((cache, key))
+                }
+                _ => None,
+            };
+            let mut corrupt = None;
+            if let Some((cache, key)) = keyed {
+                match self.try_replay(cache, key, func) {
+                    Ok(Some(rep)) => return rep,
+                    Ok(None) => {}
+                    Err(incident) => corrupt = Some(incident),
+                }
+            }
+            let mut rep = match prep {
                 FailOpen::Done(Ok(gvn)) => self
                     .isolated(func, move |f| {
                         self.analyze_function(f, id, profile, gvn, facts.of(id))
@@ -204,7 +293,14 @@ impl Optimizer {
                     .merge(),
                 FailOpen::Done(Err(incident)) => fail_open_report(func, incident),
                 FailOpen::Panicked(r) => *r,
+            };
+            if let Some((cache, key)) = keyed {
+                self.maybe_store(cache, key, func, &rep);
             }
+            if let Some(incident) = corrupt {
+                rep.incidents.insert(0, incident);
+            }
+            rep
         });
         report
     }
@@ -296,6 +392,143 @@ impl Optimizer {
                     .expect("every job completed")
             })
             .collect()
+    }
+
+    /// Demand discipline at function granularity: with a profile and a
+    /// `hot_threshold` in force (intraprocedurally), a function none of
+    /// whose check sites is hot gets no pipeline at all — the module text
+    /// stays byte-identical to the input, and every check is reported
+    /// `Skipped`. This is the work-list semantics of §5 lifted a level:
+    /// analysis effort is spent only where the profile says it pays.
+    fn cold_skip_report(
+        &self,
+        func: &Function,
+        func_id: FuncId,
+        profile: Option<&Profile>,
+    ) -> Option<FunctionReport> {
+        let threshold = self.options.hot_threshold?;
+        let profile = profile?;
+        if self.options.interprocedural {
+            // Interproc fact inference needs every function prepared, so
+            // whole-function skipping only applies intraprocedurally.
+            return None;
+        }
+        if threshold == 0 {
+            // Threshold 0 declares every site hot — including the vacuous
+            // "no sites at all" case — so nothing is skipped and the output
+            // stays byte-identical to an unthresholded run.
+            return None;
+        }
+        let mut checks = Vec::new();
+        for b in func.blocks() {
+            for &id in func.block(b).insts() {
+                if let InstKind::BoundsCheck { site, kind, .. } = func.inst(id).kind {
+                    if profile.site_count(func_id, site) >= threshold {
+                        return None; // at least one hot site: run the pipeline
+                    }
+                    checks.push((site, kind));
+                }
+            }
+        }
+        let mut report = FunctionReport::new(func.name());
+        report.checks_total = checks.len();
+        for (site, kind) in checks {
+            report.record(site, kind, CheckOutcome::Skipped);
+        }
+        Some(report)
+    }
+
+    /// Attempts to replay a cached result for `func`. `Ok(Some(report))`:
+    /// hit, `func` replaced by the cached optimized IR. `Ok(None)`: miss.
+    /// `Err(incident)`: a disk entry existed but failed re-verification
+    /// (already quarantined by the cache) — recompile cold and surface the
+    /// incident.
+    fn try_replay(
+        &self,
+        cache: &AnalysisCache,
+        key: CacheKey,
+        func: &mut Function,
+    ) -> Result<Option<FunctionReport>, Incident> {
+        match cache.lookup(key) {
+            Lookup::Miss => Ok(None),
+            Lookup::Corrupt(detail) => Err(Incident::CacheCorrupt {
+                function: func.name().to_string(),
+                detail,
+            }),
+            Lookup::Hit(entry) => match self.replay_entry(func, &entry) {
+                Ok(report) => Ok(Some(report)),
+                // An in-memory entry that fails replay is equally a
+                // corruption event; fall back to cold.
+                Err(detail) => Err(Incident::CacheCorrupt {
+                    function: func.name().to_string(),
+                    detail,
+                }),
+            },
+        }
+    }
+
+    /// Replaces `func` with a cached optimized body and reconstructs its
+    /// report from the entry's summary.
+    fn replay_entry(
+        &self,
+        func: &mut Function,
+        entry: &CacheEntry,
+    ) -> Result<FunctionReport, String> {
+        let parsed = abcd_ir::parse_function_text(&entry.ir_text)
+            .map_err(|e| format!("cached IR does not parse: {e}"))?;
+        if parsed.name() != func.name() {
+            return Err(format!(
+                "cached IR names `{}`, expected `{}`",
+                parsed.name(),
+                func.name()
+            ));
+        }
+        abcd_ir::verify_function(&parsed, None)
+            .map_err(|e| format!("cached IR fails verification: {e}"))?;
+        *func = parsed;
+        let mut report = FunctionReport::new(func.name());
+        report.from_cache = true;
+        report.checks_total = entry.checks_total;
+        report.outcomes = entry.outcomes.clone();
+        report.steps = entry.steps;
+        report.pre_steps = entry.pre_steps;
+        report.spec_checks_inserted = entry.spec_checks_inserted;
+        report.checks_merged = entry.checks_merged;
+        report.checks_validated = entry.checks_validated;
+        report.fuel_spent = entry.steps + entry.pre_steps;
+        report.fuel_limit = self
+            .options
+            .fuel_per_function
+            .or(self.options.fuel_per_query);
+        Ok(report)
+    }
+
+    /// Stores an incident-free cold result. Anything with incidents is
+    /// not cached: fail-open outputs are deliberately conservative and
+    /// must be re-derived (and re-reported) every run, never replayed.
+    fn maybe_store(
+        &self,
+        cache: &AnalysisCache,
+        key: CacheKey,
+        func: &Function,
+        rep: &FunctionReport,
+    ) {
+        if !rep.incidents.is_empty() || rep.from_cache {
+            return;
+        }
+        cache.insert(
+            key,
+            CacheEntry {
+                ir_text: func.to_string(),
+                checks_total: rep.checks_total,
+                outcomes: rep.outcomes.clone(),
+                steps: rep.steps,
+                pre_steps: rep.pre_steps,
+                spec_checks_inserted: rep.spec_checks_inserted,
+                checks_merged: rep.checks_merged,
+                checks_validated: rep.checks_validated,
+            },
+        );
     }
 
     /// Optimizes a single function. `func_id` keys profile lookups.
@@ -768,6 +1001,17 @@ impl Optimizer {
             crate::validate::validate_function(func, &mut report, facts, &gvn, &dt, opts.gvn_hook);
         }
 
+        // Final stage, always on: renumber into the parser's canonical
+        // form. This makes the printed module a `print ∘ parse` fixpoint —
+        // the property the content-addressed cache stores and re-verifies,
+        // and what keeps batch, served, warm, and cold outputs
+        // byte-identical to each other.
+        if let Err(incident) = self.run_stage(func, "canonicalize", true, |f| {
+            *f = abcd_ir::canonicalize(f);
+        }) {
+            report.incidents.push(incident);
+        }
+
         report.fuel_spent = report.steps + report.pre_steps;
         debug_assert_eq!(abcd_ir::verify_function(func, None), Ok(()));
         report
@@ -890,9 +1134,11 @@ struct PreparedGvn {
     prepare_time: std::time::Duration,
 }
 
-/// A prepared function's analysis state, handed from the parallel prepare
-/// phase to the parallel analyze phase of interprocedural mode.
-type PreparedSlot = Mutex<Option<FailOpen<Result<PreparedGvn, Incident>>>>;
+/// A prepared function's analysis state — its canonical *input* text (for
+/// cache keying, captured before prepare mutated anything) and the prepare
+/// outcome — handed from the parallel prepare phase to the parallel
+/// analyze phase of interprocedural mode.
+type PreparedSlot = Mutex<Option<(Option<String>, FailOpen<Result<PreparedGvn, Incident>>)>>;
 
 /// Result of an isolated pipeline run: the work's own output, or the
 /// fail-open report of a function whose pipeline panicked.

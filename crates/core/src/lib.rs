@@ -53,6 +53,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 mod driver;
 mod exhaustive;
 pub mod faults;
@@ -66,6 +67,7 @@ mod solver;
 mod validate;
 pub mod versioning;
 
+pub use cache::{AnalysisCache, CacheEntry, CacheKey, CacheStats};
 pub use driver::{Optimizer, OptimizerOptions};
 pub use exhaustive::ExhaustiveDistances;
 pub use faults::{Fault, FaultPlan};

@@ -5,46 +5,58 @@
 //! The driver fills a [`FunctionMetrics`] per function (stored on its
 //! [`FunctionReport`](crate::report::FunctionReport)); [`module_metrics_json`]
 //! renders the whole run — including the worker-thread count and measured
-//! wall-clock time — in the stable `abcd-metrics/2` schema consumed by the
-//! `mjc` CLI and the bench binaries.
+//! wall-clock time — in the stable `abcd-metrics/3` schema consumed by the
+//! `mjc` CLI, the `abcdd` server, and the bench binaries.
 //!
-//! # Schema (`abcd-metrics/2`)
+//! # Schema (`abcd-metrics/3`)
 //!
 //! ```json
 //! {
-//!   "schema": "abcd-metrics/2",
+//!   "schema": "abcd-metrics/3",
 //!   "threads": 2,
 //!   "wall_time_us": 1234,
+//!   "deterministic": false,
 //!   "totals": {
 //!     "functions": 3, "checks_total": 10, "removed_fully": 6,
 //!     "hoisted": 1, "reinstated": 0, "steps": 57, "pre_steps": 12,
 //!     "fuel_spent": 69, "checks_validated": 7, "checks_reinstated": 0,
 //!     "incidents": 0, "degraded_incidents": 0,
+//!     "functions_from_cache": 1,
 //!     "memo_hits": 20, "memo_misses": 37, "memo_hit_rate": 0.3508,
 //!     "prepare_us": 10, "graph_build_us": 5, "solve_us": 3,
 //!     "pre_us": 2, "transform_us": 1
 //!   },
+//!   "cache": { "hits": 1, "misses": 2, "stores": 2, "evictions": 0,
+//!              "corrupt": 0, "disk_hits": 0, "entries": 2,
+//!              "bytes": 4096, "budget_bytes": 67108864 },
+//!   "server": { "queue_depth": 0, "request_latency_us": 412 },
 //!   "incidents": [
 //!     { "kind": "budget_exhausted", "function": "f", "site": "ck3",
 //!       "check": "upper", "fuel": 64 }
 //!   ],
-//!   "functions": [ { "name": "f", ..., "fuel_spent": 57, "fuel_limit": 64,
+//!   "functions": [ { "name": "f", ..., "from_cache": false,
+//!                    "fuel_spent": 57, "fuel_limit": 64,
 //!                    "incidents": [...], "graph": {...}, "times_us": {...} } ]
 //! }
 //! ```
 //!
-//! Relative to `abcd-metrics/1`, version 2 adds the fail-open
-//! observability: the flat `incidents` array (one typed object per
-//! [`Incident`], in function order), per-function and total `fuel_spent`
-//! (solver steps consumed), the per-function `fuel_limit` (`null` when
-//! unbudgeted), and the translation-validation counters
-//! `checks_validated` / `checks_reinstated`. A healthy run has
-//! `"incidents": []` — the empty array is emitted explicitly so metric
-//! trajectories record zero-incident runs as a positive observation.
+//! Relative to `abcd-metrics/2`, version 3 adds the serving + caching
+//! observability: the `cache` object (hit/miss/store/eviction/corruption
+//! counters and byte budget — `null` when no cache is attached), the
+//! `server` object (admission-queue depth at dequeue and per-request
+//! latency — `null` for batch runs), the per-function `from_cache` flag
+//! with its `functions_from_cache` total, the `cache_corrupt` incident
+//! kind, and the `deterministic` flag: when set, every duration field is
+//! emitted as `0` so two runs over the same input produce byte-identical
+//! JSON (the property the warm-vs-cold and served-vs-batch differential
+//! tests compare). All non-time fields are deterministic by construction:
+//! functions are emitted in module order, outcomes and incidents in the
+//! order the driver recorded them.
 //!
 //! All durations are integer microseconds; `memo_hit_rate` is
 //! `hits / (hits + misses)` (0 when no queries ran).
 
+use crate::cache::CacheStats;
 use crate::report::{Incident, ModuleReport};
 use abcd_ir::CheckKind;
 use std::fmt::Write as _;
@@ -108,7 +120,8 @@ fn hit_rate(hits: u64, misses: u64) -> f64 {
 }
 
 /// Run-level facts the report itself does not know: how the module was
-/// driven and how long the whole optimization took end to end.
+/// driven, how long the whole optimization took end to end, and — when a
+/// cache or the `abcdd` server is involved — their counters.
 #[derive(Clone, Copy, Debug)]
 pub struct RunInfo {
     /// Worker threads the driver used.
@@ -116,6 +129,43 @@ pub struct RunInfo {
     /// End-to-end wall-clock time of `optimize_module` as measured by the
     /// caller (covers scheduling overhead the per-pass times do not).
     pub wall_time: Duration,
+    /// Emit every duration as 0 so identical runs produce byte-identical
+    /// JSON (used by the differential tests and `--deterministic-metrics`).
+    pub deterministic: bool,
+    /// Analysis-cache counters, when a cache was attached.
+    pub cache: Option<CacheStats>,
+    /// Admission-queue depth observed when this request was dequeued
+    /// (server runs only).
+    pub queue_depth: Option<usize>,
+    /// End-to-end request latency as measured by the server (admission to
+    /// response), server runs only.
+    pub request_latency: Option<Duration>,
+}
+
+impl RunInfo {
+    /// Run info for a plain batch run (no cache, no server).
+    pub fn new(threads: usize, wall_time: Duration) -> RunInfo {
+        RunInfo {
+            threads,
+            wall_time,
+            deterministic: false,
+            cache: None,
+            queue_depth: None,
+            request_latency: None,
+        }
+    }
+
+    /// Attaches cache counters.
+    pub fn with_cache(mut self, stats: CacheStats) -> RunInfo {
+        self.cache = Some(stats);
+        self
+    }
+
+    /// Zeroes all emitted durations for byte-comparable output.
+    pub fn deterministic(mut self) -> RunInfo {
+        self.deterministic = true;
+        self
+    }
 }
 
 // ---- JSON emission (no dependencies) -----------------------------------
@@ -216,6 +266,14 @@ fn incident_json(incident: &Incident, out: &mut String) {
                 kind_str(*kind),
             );
         }
+        Incident::CacheCorrupt { function, detail } => {
+            let _ = write!(
+                out,
+                ",\"function\":\"{}\",\"detail\":\"{}\"",
+                escape(function),
+                escape(detail),
+            );
+        }
     }
     out.push('}');
 }
@@ -231,15 +289,16 @@ fn incidents_json<'a>(incidents: impl Iterator<Item = &'a Incident>, out: &mut S
     out.push(']');
 }
 
-/// Renders one function's metrics object.
-fn function_json(report: &crate::report::FunctionReport, out: &mut String) {
+/// Renders one function's metrics object. `det` zeroes the durations.
+fn function_json(report: &crate::report::FunctionReport, det: bool, out: &mut String) {
     let m = &report.metrics;
+    let us = |d: Duration| if det { 0 } else { us(d) };
     let _ = write!(
         out,
         "{{\"name\":\"{}\",\"checks_total\":{},\"removed_fully\":{},\"hoisted\":{},\
          \"reinstated\":{},\"steps\":{},\"pre_steps\":{},\
          \"fuel_spent\":{},\"fuel_limit\":{},\
-         \"checks_validated\":{},\"checks_reinstated\":{},\
+         \"checks_validated\":{},\"checks_reinstated\":{},\"from_cache\":{},\
          \"memo_hits\":{},\"memo_misses\":{},\"memo_hit_rate\":{},\
          \"pre_memo_hits\":{},\"pre_memo_misses\":{},\"incidents\":",
         escape(&report.name),
@@ -255,6 +314,7 @@ fn function_json(report: &crate::report::FunctionReport, out: &mut String) {
             .map_or_else(|| "null".to_string(), |f| f.to_string()),
         report.checks_validated,
         report.checks_reinstated,
+        report.from_cache,
         m.memo_hits,
         m.memo_misses,
         rate(m.memo_hit_rate()),
@@ -281,7 +341,7 @@ fn function_json(report: &crate::report::FunctionReport, out: &mut String) {
     );
 }
 
-/// Renders the `abcd-metrics/2` JSON document for one optimized module.
+/// Renders the `abcd-metrics/3` JSON document for one optimized module.
 pub fn module_metrics_json(report: &ModuleReport, run: RunInfo) -> String {
     let mut hits = 0u64;
     let mut misses = 0u64;
@@ -299,19 +359,23 @@ pub fn module_metrics_json(report: &ModuleReport, run: RunInfo) -> String {
         pre += f.metrics.pre_time;
         transform += f.metrics.transform_time;
     }
+    let det = run.deterministic;
+    let us = |d: Duration| if det { 0 } else { us(d) };
     let mut out = String::new();
     let _ = write!(
         out,
-        "{{\"schema\":\"abcd-metrics/2\",\"threads\":{},\"wall_time_us\":{},\
+        "{{\"schema\":\"abcd-metrics/3\",\"threads\":{},\"wall_time_us\":{},\
+         \"deterministic\":{},\
          \"totals\":{{\"functions\":{},\"checks_total\":{},\"removed_fully\":{},\
          \"hoisted\":{},\"reinstated\":{},\"steps\":{},\"pre_steps\":{},\
          \"fuel_spent\":{},\"checks_validated\":{},\"checks_reinstated\":{},\
-         \"incidents\":{},\"degraded_incidents\":{},\
+         \"incidents\":{},\"degraded_incidents\":{},\"functions_from_cache\":{},\
          \"memo_hits\":{},\"memo_misses\":{},\"memo_hit_rate\":{},\
          \"prepare_us\":{},\"graph_build_us\":{},\"solve_us\":{},\
-         \"pre_us\":{},\"transform_us\":{}}},\"incidents\":",
+         \"pre_us\":{},\"transform_us\":{}}},\"cache\":",
         run.threads,
         us(run.wall_time),
+        det,
         report.functions.len(),
         report.checks_total(),
         report.checks_removed_fully(),
@@ -328,6 +392,7 @@ pub fn module_metrics_json(report: &ModuleReport, run: RunInfo) -> String {
         report.checks_reinstated(),
         report.incident_count(),
         report.degraded_incident_count(),
+        report.functions_from_cache(),
         hits,
         misses,
         rate(hit_rate(hits, misses)),
@@ -337,13 +402,46 @@ pub fn module_metrics_json(report: &ModuleReport, run: RunInfo) -> String {
         us(pre),
         us(transform),
     );
+    match run.cache {
+        None => out.push_str("null"),
+        Some(c) => {
+            let _ = write!(
+                out,
+                "{{\"hits\":{},\"misses\":{},\"stores\":{},\"evictions\":{},\
+                 \"corrupt\":{},\"disk_hits\":{},\"entries\":{},\"bytes\":{},\
+                 \"budget_bytes\":{}}}",
+                c.hits,
+                c.misses,
+                c.stores,
+                c.evictions,
+                c.corrupt,
+                c.disk_hits,
+                c.entries,
+                c.bytes,
+                c.budget_bytes,
+            );
+        }
+    }
+    out.push_str(",\"server\":");
+    match (run.queue_depth, run.request_latency) {
+        (None, None) => out.push_str("null"),
+        (depth, latency) => {
+            let _ = write!(
+                out,
+                "{{\"queue_depth\":{},\"request_latency_us\":{}}}",
+                depth.map_or_else(|| "null".to_string(), |d| d.to_string()),
+                latency.map_or_else(|| "null".to_string(), |l| us(l).to_string()),
+            );
+        }
+    }
+    out.push_str(",\"incidents\":");
     incidents_json(report.incidents(), &mut out);
     out.push_str(",\"functions\":[");
     for (i, f) in report.functions.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
-        function_json(f, &mut out);
+        function_json(f, det, &mut out);
     }
     out.push_str("]}");
     out
@@ -375,16 +473,15 @@ mod tests {
         f.metrics.memo_hits = 3;
         f.metrics.memo_misses = 1;
         report.functions.push(f);
-        let json = module_metrics_json(
-            &report,
-            RunInfo {
-                threads: 2,
-                wall_time: Duration::from_micros(7),
-            },
-        );
-        assert!(json.starts_with("{\"schema\":\"abcd-metrics/2\""));
+        let json = module_metrics_json(&report, RunInfo::new(2, Duration::from_micros(7)));
+        assert!(json.starts_with("{\"schema\":\"abcd-metrics/3\""));
         assert!(json.contains("\"threads\":2"));
         assert!(json.contains("\"wall_time_us\":7"));
+        assert!(json.contains("\"deterministic\":false"));
+        assert!(json.contains("\"cache\":null"));
+        assert!(json.contains("\"server\":null"));
+        assert!(json.contains("\"from_cache\":false"));
+        assert!(json.contains("\"functions_from_cache\":0"));
         assert!(json.contains("\"name\":\"f\\\"1\""));
         assert!(json.contains("\"memo_hit_rate\":0.7500"));
         // Zero-incident runs record the empty array explicitly.
@@ -419,13 +516,7 @@ mod tests {
             payload: "injected \"quote\"".to_string(),
         });
         report.functions.push(f);
-        let json = module_metrics_json(
-            &report,
-            RunInfo {
-                threads: 1,
-                wall_time: Duration::ZERO,
-            },
-        );
+        let json = module_metrics_json(&report, RunInfo::new(1, Duration::ZERO));
         assert!(json.contains(
             "{\"kind\":\"budget_exhausted\",\"function\":\"f\",\"site\":\"ck3\",\
              \"check\":\"upper\",\"fuel\":64}"
@@ -435,5 +526,47 @@ mod tests {
         assert!(json.contains("\"incidents\":2,\"degraded_incidents\":1"));
         assert!(json.contains("\"fuel_limit\":64"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn cache_corrupt_incident_renders_and_is_not_degraded() {
+        let mut report = ModuleReport::default();
+        let mut f = crate::report::FunctionReport::new("f");
+        f.incidents.push(Incident::CacheCorrupt {
+            function: "f".to_string(),
+            detail: "checksum mismatch".to_string(),
+        });
+        report.functions.push(f);
+        assert_eq!(report.degraded_incident_count(), 0);
+        let json = module_metrics_json(&report, RunInfo::new(1, Duration::ZERO));
+        assert!(json.contains(
+            "{\"kind\":\"cache_corrupt\",\"function\":\"f\",\"detail\":\"checksum mismatch\"}"
+        ));
+    }
+
+    #[test]
+    fn deterministic_zeroes_every_duration() {
+        let mut report = ModuleReport::default();
+        let mut f = crate::report::FunctionReport::new("f");
+        f.metrics.prepare_time = Duration::from_micros(99);
+        f.metrics.solve_time = Duration::from_micros(3);
+        report.functions.push(f);
+        let info = RunInfo::new(1, Duration::from_micros(123456))
+            .with_cache(crate::cache::CacheStats::default())
+            .deterministic();
+        let info = RunInfo {
+            request_latency: Some(Duration::from_micros(77)),
+            queue_depth: Some(4),
+            ..info
+        };
+        let json = module_metrics_json(&report, info);
+        assert!(json.contains("\"deterministic\":true"));
+        assert!(json.contains("\"wall_time_us\":0"));
+        assert!(json.contains("\"request_latency_us\":0"));
+        assert!(json.contains("\"queue_depth\":4"));
+        assert!(json.contains("\"cache\":{\"hits\":0"));
+        assert!(!json.contains(":99"), "{json}");
+        // Byte-identical across repeated emission.
+        assert_eq!(json, module_metrics_json(&report, info));
     }
 }

@@ -80,6 +80,16 @@ pub enum Incident {
         /// Which bound had been eliminated.
         kind: CheckKind,
     },
+    /// A persisted cache entry failed re-verification on load; it was
+    /// quarantined and the function recompiled cold. The output is fully
+    /// optimized — this surfaces an operational problem (disk rot, a
+    /// writer crash mid-entry), never a correctness one.
+    CacheCorrupt {
+        /// Function whose entry was rejected.
+        function: String,
+        /// Why re-verification rejected the entry.
+        detail: String,
+    },
 }
 
 impl Incident {
@@ -90,14 +100,19 @@ impl Incident {
             Incident::PassPanic { .. } => "pass_panic",
             Incident::VerifyFailed { .. } => "verify_failed",
             Incident::ValidationReinstated { .. } => "validation_reinstated",
+            Incident::CacheCorrupt { .. } => "cache_corrupt",
         }
     }
 
     /// Does this incident indicate the optimizer itself misbehaved (as
     /// opposed to merely running out of budget)? `mjc` maps these to a
-    /// distinct exit status.
+    /// distinct exit status. Cache corruption is not degradation either:
+    /// the function was recompiled cold and is fully optimized.
     pub fn is_degraded(&self) -> bool {
-        !matches!(self, Incident::BudgetExhausted { .. })
+        !matches!(
+            self,
+            Incident::BudgetExhausted { .. } | Incident::CacheCorrupt { .. }
+        )
     }
 }
 
@@ -136,6 +151,11 @@ impl fmt::Display for Incident {
             } => write!(
                 f,
                 "translation validation reinstated check {site:?} ({kind:?}) in `{function}`"
+            ),
+            Incident::CacheCorrupt { function, detail } => write!(
+                f,
+                "cache entry for `{function}` failed re-verification ({detail}); \
+                 quarantined and recompiled cold"
             ),
         }
     }
@@ -224,6 +244,10 @@ pub struct FunctionReport {
     pub fuel_spent: u64,
     /// Per-function fuel budget in force, if any.
     pub fuel_limit: Option<u64>,
+    /// The result was replayed from the analysis cache; `steps`,
+    /// `pre_steps`, and the per-check outcomes reproduce the original
+    /// cold run's verdicts, but no solver work happened in this run.
+    pub from_cache: bool,
 }
 
 impl FunctionReport {
@@ -387,5 +411,10 @@ impl ModuleReport {
     /// Solver fuel spent module-wide.
     pub fn fuel_spent(&self) -> u64 {
         self.functions.iter().map(|f| f.fuel_spent).sum()
+    }
+
+    /// Functions whose results were replayed from the analysis cache.
+    pub fn functions_from_cache(&self) -> usize {
+        self.functions.iter().filter(|f| f.from_cache).count()
     }
 }

@@ -1,0 +1,213 @@
+//! Canonical renumbering of functions.
+//!
+//! After optimization a function's value and block id spaces have holes:
+//! deleted instructions leave unreferenced arena slots, and builder scratch
+//! blocks may never have been filled. The printed text then carries the
+//! gaps (`v7` missing, `bb1` skipped), and — because the IR parser
+//! renumbers densely — `parse(print(f))` prints *differently* from `f`.
+//!
+//! [`canonicalize`] rebuilds the function with values numbered densely in
+//! definition order and blocks numbered densely in appearance order
+//! (never-filled blocks dropped), exactly the numbering the parser
+//! produces. On canonical functions `print` and `parse` are mutual
+//! inverses byte-for-byte, which is what makes printed IR usable as a
+//! content-addressed cache payload: `print(parse(text)) == text`.
+
+use crate::entities::{Block, Value};
+use crate::function::Function;
+use crate::inst::{InstKind, PiGuard};
+use std::collections::HashMap;
+
+/// Returns `func` rebuilt with dense, parser-identical numbering: values
+/// in definition order (parameters first), blocks in appearance order with
+/// never-filled blocks removed, instructions re-created in program order.
+/// Locals, parameter/return types, and the check-site count are preserved.
+///
+/// The result is semantically identical to `func` (same CFG, same
+/// instruction sequence, same operands up to renaming) and printing it is
+/// a fixpoint of `parse` ∘ `print`.
+pub fn canonicalize(func: &Function) -> Function {
+    let mut out = Function::new(
+        func.name().to_string(),
+        func.param_types().to_vec(),
+        func.ret_type().cloned(),
+    );
+    for i in 0..func.local_count() {
+        out.new_local(func.local_type(crate::Local::new(i)).clone());
+    }
+    while out.check_site_count() < func.check_site_count() {
+        out.new_check_site();
+    }
+
+    // Blocks in appearance order, skipping never-filled ones (the printer
+    // omits them, and nothing reachable may target them).
+    let mut block_map: HashMap<Block, Block> = HashMap::new();
+    let mut live_blocks: Vec<Block> = Vec::new();
+    for b in func.blocks() {
+        let data = func.block(b);
+        if data.insts().is_empty() && data.terminator_opt().is_none() {
+            continue;
+        }
+        let nb = if live_blocks.is_empty() {
+            out.entry()
+        } else {
+            out.new_block()
+        };
+        block_map.insert(b, nb);
+        live_blocks.push(b);
+    }
+
+    // Pre-scan: assign dense value ids in definition order. Parameters map
+    // to themselves; instruction results get ids in program order. The map
+    // must be complete before any instruction is rebuilt because phi
+    // operands may reference values defined later (loop back-edges).
+    let mut value_map: HashMap<Value, Value> = HashMap::new();
+    for i in 0..func.param_count() {
+        value_map.insert(Value::new(i), Value::new(i));
+    }
+    let mut next = func.param_count();
+    for &b in &live_blocks {
+        for &id in func.block(b).insts() {
+            if let Some(r) = func.inst(id).result {
+                value_map.insert(r, Value::new(next));
+                next += 1;
+            }
+        }
+    }
+
+    // Rebuild instructions and terminators with remapped operands.
+    for &b in &live_blocks {
+        let nb = block_map[&b];
+        for &id in func.block(b).insts() {
+            let inst = func.inst(id);
+            let mut kind = inst.kind.clone();
+            kind.map_uses(|v| value_map[&v]);
+            remap_blocks(&mut kind, &block_map);
+            let ty = inst.result.map(|r| func.value_type(r).clone());
+            let nid = out.create_inst(kind, ty);
+            out.append_inst(nb, nid);
+            // create_inst allocates results in creation order, which is the
+            // pre-scan order — the mapping must agree.
+            debug_assert_eq!(out.inst(nid).result, inst.result.map(|r| value_map[&r]));
+        }
+        if let Some(term) = func.block(b).terminator_opt() {
+            let mut t = term.clone();
+            t.map_uses(|v| value_map[&v]);
+            t.map_successors(|s| block_map[&s]);
+            out.set_terminator(nb, t);
+        }
+    }
+    debug_assert_eq!(out.value_count(), next);
+    out
+}
+
+/// Remaps the block references embedded in instruction kinds (φ incoming
+/// edges and π branch guards); everything else is block-free.
+fn remap_blocks(kind: &mut InstKind, map: &HashMap<Block, Block>) {
+    match kind {
+        InstKind::Phi { args } => {
+            for (b, _) in args.iter_mut() {
+                *b = map[b];
+            }
+        }
+        InstKind::Pi {
+            guard: PiGuard::Branch { block, .. },
+            ..
+        } => {
+            *block = map[block];
+        }
+        _ => {}
+    }
+}
+
+/// Is `func` already in canonical form? (Cheap check: rebuilding and
+/// comparing the printed text; used by tests and debug assertions.)
+pub fn is_canonical(func: &Function) -> bool {
+    canonicalize(func).to_string() == func.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::function::ValueDef;
+    use crate::inst::{BinOp, CheckKind};
+    use crate::parse::parse_function_text;
+    use crate::types::Type;
+    use crate::verify::verify_function;
+
+    /// A function with value holes (removed insts) and a never-filled block.
+    fn holey() -> Function {
+        let mut b = FunctionBuilder::new("h", vec![Type::array_of(Type::Int)], Some(Type::Int));
+        let a = b.param(0);
+        let i = b.iconst(2);
+        let dead = b.binary(BinOp::Add, i, i); // will be unlinked
+        b.bounds_check(a, i, CheckKind::Upper);
+        let x = b.load(a, i);
+        let _scratch = b.new_block(); // never filled
+        let exit = b.new_block();
+        b.jump(exit);
+        b.switch_to_block(exit);
+        let s = b.binary(BinOp::Add, x, i);
+        b.ret(Some(s));
+        let mut f = b.finish().unwrap();
+        // Unlink the dead add, leaving a hole in the value space.
+        let entry = f.entry();
+        let dead_id = match f.value_def(dead) {
+            ValueDef::Inst(id) => id,
+            _ => unreachable!(),
+        };
+        assert!(f.remove_inst(entry, dead_id));
+        f
+    }
+
+    #[test]
+    fn canonical_print_is_a_parse_fixpoint() {
+        let f = holey();
+        let canon = canonicalize(&f);
+        verify_function(&canon, None).unwrap();
+        let text = canon.to_string();
+        let reparsed = parse_function_text(&text).unwrap();
+        assert_eq!(reparsed.to_string(), text, "print∘parse not a fixpoint");
+        assert!(is_canonical(&canon));
+        // The original, holey function is *not* canonical.
+        assert!(!is_canonical(&f));
+    }
+
+    #[test]
+    fn canonicalize_is_idempotent_and_preserves_shape() {
+        let f = holey();
+        let c1 = canonicalize(&f);
+        let c2 = canonicalize(&c1);
+        assert_eq!(c1.to_string(), c2.to_string());
+        assert_eq!(c1.check_site_count(), f.check_site_count());
+        assert_eq!(c1.local_count(), f.local_count());
+        assert_eq!(c1.count_checks(), f.count_checks());
+        // Dense: every value is either a param or a linked instruction.
+        assert_eq!(c1.value_count(), f.value_count() - 1); // dead add gone
+    }
+
+    #[test]
+    fn phis_and_back_edges_survive() {
+        let text = "\
+func @loop(v0: int[]) -> int {
+bb0:
+    v1: int = const 0
+    jump bb1
+bb1:
+    v2: int = phi [bb0: v1], [bb2: v4]
+    v3: bool = cmp.lt v2, v1
+    br v3, bb2, bb3
+bb2:
+    v4: int = add v2, v2
+    jump bb1
+bb3:
+    ret v2
+}
+";
+        let f = parse_function_text(text).unwrap();
+        let canon = canonicalize(&f);
+        verify_function(&canon, None).unwrap();
+        assert_eq!(canon.to_string(), text.trim_end());
+    }
+}

@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 
 mod builder;
+mod canon;
 mod cfg;
 mod entities;
 mod function;
@@ -51,6 +52,7 @@ mod types;
 mod verify;
 
 pub use builder::FunctionBuilder;
+pub use canon::{canonicalize, is_canonical};
 pub use cfg::{postorder, predecessors, reverse_postorder, successors};
 pub use entities::{Block, CheckSite, FuncId, InstId, Local, Value};
 pub use function::{BlockData, Function, ValueDef};

@@ -1,0 +1,104 @@
+//! `abcdd` — the persistent ABCD optimization daemon.
+//!
+//! ```text
+//! abcdd --socket /tmp/abcdd.sock [--workers N] [--queue N] [--jobs N]
+//!       [--cache-bytes N] [--cache-dir DIR] [--no-cache]
+//! ```
+//!
+//! Runs in the foreground until a `shutdown` request arrives (e.g. from
+//! `mjc client --socket … shutdown`), then drains admitted requests and
+//! exits 0. Exit 1 means bad usage or a bind failure.
+
+use abcd::AnalysisCache;
+use abcd_server::{ServerConfig, ServerHandle};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+const HELP: &str = "\
+abcdd — persistent ABCD optimization service
+
+USAGE:
+    abcdd --socket PATH [options]
+
+OPTIONS:
+    --socket PATH      Unix-domain socket to listen on (required)
+    --workers N        concurrent request handlers (default 2)
+    --queue N          bounded admission queue; overflow gets a `busy`
+                       reply with a retry hint (default 8)
+    --jobs N           optimizer threads per request (default 0 = sequential)
+    --cache-bytes N    in-memory analysis-cache budget (default 64 MiB)
+    --cache-dir DIR    also persist cache entries to DIR (content-addressed,
+                       re-verified on load; corruption falls back to cold)
+    --no-cache         disable the analysis cache entirely
+    --help             this text
+
+Protocol and retry contract: see DESIGN.md §5e. Shut down with
+`mjc client --socket PATH shutdown`; exit code 0 after a graceful drain.
+";
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("abcdd: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{HELP}");
+        return Ok(ExitCode::SUCCESS);
+    }
+    let value_of = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .map(String::as_str)
+    };
+    let count_of = |flag: &str, default: usize| -> Result<usize, String> {
+        match value_of(flag) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("`{flag}` needs a count")),
+        }
+    };
+    // Reject unknown flags up front (structured error, not silent ignore).
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--socket" | "--workers" | "--queue" | "--jobs" | "--cache-bytes" | "--cache-dir" => {
+                i += 1
+            }
+            "--no-cache" => {}
+            other => return Err(format!("unknown flag `{other}`\n{HELP}")),
+        }
+        i += 1;
+    }
+
+    let socket = value_of("--socket").ok_or(format!("`--socket PATH` is required\n{HELP}"))?;
+    let cache_bytes = count_of("--cache-bytes", abcd::cache::DEFAULT_CACHE_BYTES)?;
+    let cache = if args.iter().any(|a| a == "--no-cache") {
+        None
+    } else {
+        Some(Arc::new(match value_of("--cache-dir") {
+            None => AnalysisCache::in_memory(cache_bytes),
+            Some(dir) => AnalysisCache::with_dir(std::path::Path::new(dir), cache_bytes)
+                .map_err(|e| format!("--cache-dir {dir}: {e}"))?,
+        }))
+    };
+    let config = ServerConfig {
+        socket: socket.into(),
+        workers: count_of("--workers", 2)?,
+        queue: count_of("--queue", 8)?,
+        jobs: count_of("--jobs", 0)?,
+        cache,
+    };
+    let handle: ServerHandle =
+        abcd_server::start(config).map_err(|e| format!("bind {socket}: {e}"))?;
+    eprintln!("abcdd: listening on {socket}");
+    handle.join();
+    eprintln!("abcdd: drained, bye");
+    Ok(ExitCode::SUCCESS)
+}

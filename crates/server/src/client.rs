@@ -1,0 +1,162 @@
+//! A blocking client for the `abcdd` wire protocol.
+//!
+//! One call = one connection = one frame each way, mirroring the server's
+//! admission model. The only non-terminal failure is `busy`, surfaced as
+//! [`Reply::Busy`] so callers can implement the documented retry contract.
+
+use crate::json::Json;
+use crate::proto::{optimize_request_json, read_frame, write_frame};
+use abcd::OptimizerOptions;
+use abcd_vm::Profile;
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+/// A parsed server reply.
+#[derive(Debug)]
+pub enum Reply {
+    /// The request succeeded; the parsed response document plus the raw
+    /// reply text (the `metrics` field must be extracted verbatim — a
+    /// re-serialization would not be byte-comparable with batch `mjc`).
+    Ok(Json, String),
+    /// The admission queue was full; retry after the given delay.
+    Busy {
+        /// Advisory back-off before resending the identical request.
+        retry_after_ms: u64,
+    },
+    /// A terminal, structured error.
+    Err(String),
+}
+
+/// The successful payload of an `optimize` request.
+#[derive(Debug)]
+pub struct Optimized {
+    /// The optimized module, printed as canonical textual IR.
+    pub ir: String,
+    /// Static checks seen / fully removed / hoisted.
+    pub checks: (u64, u64, u64),
+    /// Total and degraded incident counts.
+    pub incidents: (u64, u64),
+    /// Functions replayed from the analysis cache.
+    pub functions_from_cache: u64,
+    /// The `abcd-metrics/3` document, verbatim as the server emitted it,
+    /// when requested.
+    pub metrics: Option<String>,
+}
+
+/// Sends one raw request frame and returns the parsed reply.
+pub fn roundtrip(socket: &Path, request: &str) -> Result<Reply, String> {
+    let mut conn =
+        UnixStream::connect(socket).map_err(|e| format!("connect {}: {e}", socket.display()))?;
+    // A shed connection is answered and closed without the request being
+    // read, so the send can fail with EPIPE while a perfectly good `busy`
+    // frame sits in our receive buffer — always try the read.
+    let sent = write_frame(&mut conn, request.as_bytes());
+    let payload = match (read_frame(&mut conn), sent) {
+        (Ok(p), _) => p,
+        (Err(_), Err(e)) => return Err(format!("send: {e}")),
+        (Err(e), Ok(())) => return Err(format!("receive: {e}")),
+    };
+    let text = std::str::from_utf8(&payload).map_err(|_| "reply is not UTF-8".to_string())?;
+    let doc = Json::parse(text).map_err(|e| format!("bad reply: {e}"))?;
+    if doc.get("ok").and_then(Json::as_bool) == Some(true) {
+        return Ok(Reply::Ok(doc, text.to_string()));
+    }
+    if doc.get("busy").and_then(Json::as_bool) == Some(true) {
+        return Ok(Reply::Busy {
+            retry_after_ms: doc
+                .get("retry_after_ms")
+                .and_then(Json::as_u64)
+                .unwrap_or(25),
+        });
+    }
+    Ok(Reply::Err(
+        doc.get("error")
+            .and_then(Json::as_str)
+            .unwrap_or("malformed error reply")
+            .to_string(),
+    ))
+}
+
+/// Optimizes a module remotely. Retries `busy` replies up to `retries`
+/// times with the server-advised back-off; any other failure is terminal.
+#[allow(clippy::too_many_arguments)]
+pub fn optimize(
+    socket: &Path,
+    source_or_ir: (&str, bool),
+    options: &OptimizerOptions,
+    profile: Option<&Profile>,
+    metrics: bool,
+    deterministic_metrics: bool,
+    retries: u32,
+) -> Result<Optimized, String> {
+    let request = optimize_request_json(
+        source_or_ir,
+        options,
+        profile,
+        metrics,
+        deterministic_metrics,
+    );
+    let mut attempt = 0;
+    loop {
+        match roundtrip(socket, &request)? {
+            Reply::Ok(doc, raw) => {
+                let n = |key: &str| doc.get(key).and_then(Json::as_u64).unwrap_or(0);
+                return Ok(Optimized {
+                    ir: doc
+                        .get("ir")
+                        .and_then(Json::as_str)
+                        .ok_or("reply missing `ir`")?
+                        .to_string(),
+                    checks: (n("checks_total"), n("removed_fully"), n("hoisted")),
+                    incidents: (n("incidents"), n("degraded_incidents")),
+                    functions_from_cache: n("functions_from_cache"),
+                    metrics: extract_metrics(&doc, &raw),
+                });
+            }
+            Reply::Busy { retry_after_ms } => {
+                if attempt >= retries {
+                    return Err(format!("server busy after {attempt} retries"));
+                }
+                attempt += 1;
+                std::thread::sleep(std::time::Duration::from_millis(retry_after_ms));
+            }
+            Reply::Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Slices the verbatim `metrics` field out of a raw success reply. The
+/// server's `ok_response` always emits `"metrics":…}` as the final field,
+/// so the document between that marker and the closing brace is exactly
+/// what `module_metrics_json` produced.
+fn extract_metrics(doc: &Json, raw: &str) -> Option<String> {
+    if matches!(doc.get("metrics"), None | Some(Json::Null)) {
+        return None;
+    }
+    let start = raw.rfind(",\"metrics\":")? + ",\"metrics\":".len();
+    let end = raw.len().checked_sub(1)?;
+    Some(raw.get(start..end)?.to_string())
+}
+
+/// Sends a `ping`; true when a live server answered.
+pub fn ping(socket: &Path) -> bool {
+    matches!(roundtrip(socket, "{\"cmd\":\"ping\"}"), Ok(Reply::Ok(..)))
+}
+
+/// Sends a `shutdown` request.
+pub fn shutdown(socket: &Path) -> Result<(), String> {
+    match roundtrip(socket, "{\"cmd\":\"shutdown\"}")? {
+        Reply::Ok(..) => Ok(()),
+        Reply::Busy { .. } => Err("server busy; shutdown not accepted".to_string()),
+        Reply::Err(e) => Err(e),
+    }
+}
+
+/// Sends a `stats` request and returns the raw document.
+pub fn stats(socket: &Path) -> Result<Json, String> {
+    match roundtrip(socket, "{\"cmd\":\"stats\"}")? {
+        Reply::Ok(doc, _) => Ok(doc),
+        Reply::Busy { .. } => Err("server busy".to_string()),
+        Reply::Err(e) => Err(e),
+    }
+}

@@ -1,0 +1,30 @@
+//! `abcd-server` — the `abcdd` persistent optimization service.
+//!
+//! ABCD is demand-driven and therefore cheap per check, but a batch `mjc`
+//! invocation still pays compile + e-SSA + analysis for every function on
+//! every run. This crate keeps the optimizer resident: a daemon (`abcdd`)
+//! listens on a Unix-domain socket, optimizes modules on request, and
+//! shares one content-addressed [`abcd::AnalysisCache`] across requests so
+//! an edit to one function recompiles *that function* (plus interprocedural
+//! dependents, via summary fingerprints) instead of the module.
+//!
+//! - [`proto`] — framing, request/response schema, retry contract;
+//! - [`server`] — acceptor / bounded queue / worker pool / graceful drain;
+//! - [`client`] — a blocking client used by `mjc client` and the tests;
+//! - [`json`] — the dependency-free JSON reader behind both.
+//!
+//! Differential guarantee: a served module is byte-identical to one-shot
+//! `mjc dump --stage opt` output for the same input and options, warm or
+//! cold cache (the driver canonicalizes IR as its final stage precisely so
+//! this holds).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod json;
+pub mod proto;
+pub mod server;
+
+pub use client::{optimize, ping, roundtrip, shutdown, stats, Optimized, Reply};
+pub use server::{start, ServerConfig, ServerHandle};

@@ -1,0 +1,320 @@
+//! The `abcdd` daemon: a bounded-admission, multi-worker optimization
+//! service over a Unix-domain socket.
+//!
+//! # Architecture
+//!
+//! ```text
+//!             accept()           sync_channel(queue)
+//!   clients ──────────► acceptor ───────────────────► worker × N
+//!                          │  try_send full?                │
+//!                          └─► write Busy frame        Optimizer (+ shared
+//!                              and close                AnalysisCache)
+//! ```
+//!
+//! One thread accepts connections and *only* accepts: admission control is
+//! a `try_send` onto a bounded channel, so a full queue is detected without
+//! reading a byte of the request and answered with the documented `busy`
+//! response. Workers own the whole request lifecycle (read frame → parse →
+//! optimize → write frame), sharing one [`AnalysisCache`] so a function
+//! optimized for any client is a cache hit for every later client.
+//!
+//! # Shutdown
+//!
+//! A `shutdown` request sets the stop flag, then self-connects to the
+//! socket to wake the acceptor out of its blocking `accept`. The acceptor
+//! exits and drops its channel sender; workers drain every request already
+//! admitted (the graceful part), then see the channel close and exit.
+//! [`ServerHandle::join`] observes all of it.
+
+use crate::proto::{
+    busy_response, error_response, ok_response, parse_request, read_frame, write_frame,
+    OptimizeRequest, Request,
+};
+use abcd::{module_metrics_json, AnalysisCache, Optimizer, RunInfo};
+use abcd_frontend::compile;
+use abcd_ir::Module;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// How long a shed client should wait before retrying (advisory).
+const RETRY_AFTER_MS: u64 = 25;
+
+/// Configuration for [`start`].
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Unix-domain socket path (created on start, removed on drop).
+    pub socket: PathBuf,
+    /// Worker threads handling requests concurrently.
+    pub workers: usize,
+    /// Bounded admission-queue depth; `0` means a worker must be free at
+    /// connect time (rendezvous), anything else queues that many requests.
+    pub queue: usize,
+    /// `Optimizer::with_threads` parallelism *within* one request.
+    pub jobs: usize,
+    /// Shared analysis cache, if caching is enabled.
+    pub cache: Option<Arc<AnalysisCache>>,
+}
+
+impl ServerConfig {
+    /// A single-worker server on `socket` with library defaults.
+    pub fn new(socket: impl Into<PathBuf>) -> ServerConfig {
+        ServerConfig {
+            socket: socket.into(),
+            workers: 1,
+            queue: 8,
+            jobs: 0,
+            cache: None,
+        }
+    }
+}
+
+/// Counters shared by the acceptor and workers, reported by `stats`.
+#[derive(Debug, Default)]
+struct Counters {
+    accepted: AtomicU64,
+    served: AtomicU64,
+    shed: AtomicU64,
+    errors: AtomicU64,
+    queue_depth: AtomicUsize,
+}
+
+struct Shared {
+    config: ServerConfig,
+    stop: AtomicBool,
+    counters: Counters,
+}
+
+/// A running server; join or drop to clean up the socket file.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The socket path the server is listening on.
+    pub fn socket(&self) -> &std::path::Path {
+        &self.shared.config.socket
+    }
+
+    /// Blocks until the server has shut down and every admitted request
+    /// has been answered.
+    pub fn join(mut self) {
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+
+    /// True once a `shutdown` request has been accepted.
+    pub fn stopping(&self) -> bool {
+        self.shared.stop.load(Ordering::SeqCst)
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.shared.config.socket);
+    }
+}
+
+/// Starts the daemon: binds the socket, spawns the acceptor and workers,
+/// and returns immediately.
+pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
+    // A stale socket file from a crashed daemon would make bind fail;
+    // connect() distinguishes "stale" from "live" so we never steal a
+    // running server's socket.
+    if config.socket.exists() {
+        if UnixStream::connect(&config.socket).is_ok() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::AddrInUse,
+                format!("{} already has a live server", config.socket.display()),
+            ));
+        }
+        std::fs::remove_file(&config.socket)?;
+    }
+    let listener = UnixListener::bind(&config.socket)?;
+    let workers = config.workers.max(1);
+    let (tx, rx) = std::sync::mpsc::sync_channel::<(UnixStream, Instant)>(config.queue);
+    let rx = Arc::new(Mutex::new(rx));
+    let shared = Arc::new(Shared {
+        config,
+        stop: AtomicBool::new(false),
+        counters: Counters::default(),
+    });
+
+    let mut handles = Vec::with_capacity(workers);
+    for _ in 0..workers {
+        let shared = Arc::clone(&shared);
+        let rx = Arc::clone(&rx);
+        handles.push(std::thread::spawn(move || worker_loop(&shared, &rx)));
+    }
+    let acceptor = {
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || accept_loop(&shared, listener, tx))
+    };
+    Ok(ServerHandle {
+        shared,
+        acceptor: Some(acceptor),
+        workers: handles,
+    })
+}
+
+fn accept_loop(shared: &Shared, listener: UnixListener, tx: SyncSender<(UnixStream, Instant)>) {
+    for conn in listener.incoming() {
+        if shared.stop.load(Ordering::SeqCst) {
+            // `conn` is the self-connect wake-up (or a late client); the
+            // channel sender drops below, which is what drains workers.
+            break;
+        }
+        let Ok(conn) = conn else { continue };
+        shared.counters.accepted.fetch_add(1, Ordering::Relaxed);
+        shared.counters.queue_depth.fetch_add(1, Ordering::SeqCst);
+        match tx.try_send((conn, Instant::now())) {
+            Ok(()) => {}
+            Err(TrySendError::Full((mut conn, _)) | TrySendError::Disconnected((mut conn, _))) => {
+                shared.counters.queue_depth.fetch_sub(1, Ordering::SeqCst);
+                shared.counters.shed.fetch_add(1, Ordering::Relaxed);
+                // Load-shed without reading the request: tiny frame, the
+                // socket buffer absorbs it even if the client is mid-write.
+                let _ = write_frame(&mut conn, busy_response(RETRY_AFTER_MS).as_bytes());
+            }
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<(UnixStream, Instant)>>) {
+    loop {
+        // Hold the lock only for the dequeue so workers drain in parallel.
+        let msg = rx.lock().expect("receiver lock").recv();
+        let Ok((mut conn, enqueued)) = msg else {
+            return;
+        };
+        shared.counters.queue_depth.fetch_sub(1, Ordering::SeqCst);
+        let response = handle_connection(shared, &mut conn, enqueued);
+        if write_frame(&mut conn, response.as_bytes()).is_err() {
+            shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Reads, parses and dispatches one request; every outcome is a response
+/// string (the server never drops a connection silently).
+fn handle_connection(shared: &Shared, conn: &mut UnixStream, enqueued: Instant) -> String {
+    let payload = match read_frame(conn) {
+        Ok(p) => p,
+        Err(e) => {
+            shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+            return error_response(&format!("bad frame: {e}"));
+        }
+    };
+    let request = match parse_request(&payload) {
+        Ok(r) => r,
+        Err(e) => {
+            shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+            return error_response(&e);
+        }
+    };
+    match request {
+        Request::Ping => {
+            shared.counters.served.fetch_add(1, Ordering::Relaxed);
+            "{\"ok\":true,\"pong\":true}".to_string()
+        }
+        Request::Stats => {
+            shared.counters.served.fetch_add(1, Ordering::Relaxed);
+            stats_response(shared)
+        }
+        Request::Sleep(ms) => {
+            // Diagnostic: lets tests pin a worker deterministically to
+            // exercise the busy path. Capped at parse time.
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+            shared.counters.served.fetch_add(1, Ordering::Relaxed);
+            "{\"ok\":true,\"slept\":true}".to_string()
+        }
+        Request::Shutdown => {
+            shared.stop.store(true, Ordering::SeqCst);
+            // Wake the acceptor out of its blocking accept().
+            let _ = UnixStream::connect(&shared.config.socket);
+            shared.counters.served.fetch_add(1, Ordering::Relaxed);
+            "{\"ok\":true,\"shutting_down\":true}".to_string()
+        }
+        Request::Optimize(req) => match handle_optimize(shared, &req, enqueued) {
+            Ok(response) => {
+                shared.counters.served.fetch_add(1, Ordering::Relaxed);
+                response
+            }
+            Err(e) => {
+                shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+                error_response(&e)
+            }
+        },
+    }
+}
+
+fn stats_response(shared: &Shared) -> String {
+    let c = &shared.counters;
+    let cache = match &shared.config.cache {
+        None => "null".to_string(),
+        Some(cache) => {
+            let s = cache.stats();
+            format!(
+                "{{\"hits\":{},\"misses\":{},\"stores\":{},\"evictions\":{},\
+                 \"corrupt\":{},\"disk_hits\":{},\"entries\":{},\"bytes\":{}}}",
+                s.hits, s.misses, s.stores, s.evictions, s.corrupt, s.disk_hits, s.entries, s.bytes,
+            )
+        }
+    };
+    format!(
+        "{{\"ok\":true,\"accepted\":{},\"served\":{},\"shed\":{},\"errors\":{},\
+         \"queue_depth\":{},\"workers\":{},\"queue\":{},\"cache\":{cache}}}",
+        c.accepted.load(Ordering::Relaxed),
+        c.served.load(Ordering::Relaxed),
+        c.shed.load(Ordering::Relaxed),
+        c.errors.load(Ordering::Relaxed),
+        c.queue_depth.load(Ordering::SeqCst),
+        shared.config.workers.max(1),
+        shared.config.queue,
+    )
+}
+
+fn handle_optimize(
+    shared: &Shared,
+    req: &OptimizeRequest,
+    enqueued: Instant,
+) -> Result<String, String> {
+    let mut module: Module = match (&req.source, &req.ir) {
+        (Some(src), None) => compile(src).map_err(|e| format!("compile: {e}"))?,
+        (None, Some(ir)) => abcd_ir::parse_module(ir).map_err(|e| format!("parse: {e}"))?,
+        _ => unreachable!("validated by parse_request"),
+    };
+    let mut optimizer = Optimizer::with_options(req.options).with_threads(shared.config.jobs);
+    if let Some(cache) = &shared.config.cache {
+        optimizer = optimizer.with_cache(Arc::clone(cache));
+    }
+    let threads = optimizer.threads();
+    let started = Instant::now();
+    let report = optimizer.optimize_module(&mut module, req.profile.as_ref());
+    let wall = started.elapsed();
+    let ir = module.to_string();
+    let metrics = if req.metrics {
+        let mut run = RunInfo::new(threads, wall);
+        if let Some(cache) = &shared.config.cache {
+            run = run.with_cache(cache.stats());
+        }
+        run.queue_depth = Some(shared.counters.queue_depth.load(Ordering::SeqCst));
+        run.request_latency = Some(enqueued.elapsed());
+        if req.deterministic_metrics {
+            run = run.deterministic();
+        }
+        Some(module_metrics_json(&report, run))
+    } else {
+        None
+    };
+    Ok(ok_response(&ir, &report, metrics.as_deref()))
+}

@@ -68,6 +68,41 @@ impl Profile {
         self.site_counts.values().sum()
     }
 
+    /// Adds `n` executions to the check at `site` in `func`. Public so
+    /// profiles can be reconstructed from serialized counts (the `abcdd`
+    /// wire protocol ships profiles as plain count triples).
+    pub fn add_site_count(&mut self, func: FuncId, site: CheckSite, n: u64) {
+        *self.site_counts.entry((func, site)).or_insert(0) += n;
+    }
+
+    /// Adds `n` executions to block `block` of `func` (see
+    /// [`Profile::add_site_count`]).
+    pub fn add_block_count(&mut self, func: FuncId, block: Block, n: u64) {
+        *self.block_counts.entry((func, block)).or_insert(0) += n;
+    }
+
+    /// Adds `n` traversals of CFG edge `from → to` in `func` (see
+    /// [`Profile::add_site_count`]).
+    pub fn add_edge_count(&mut self, func: FuncId, from: Block, to: Block, n: u64) {
+        *self.edge_counts.entry((func, from, to)).or_insert(0) += n;
+    }
+
+    /// All recorded `((func, site), count)` entries, in hash order — sort
+    /// before using where determinism matters.
+    pub fn site_entries(&self) -> impl Iterator<Item = ((FuncId, CheckSite), u64)> + '_ {
+        self.site_counts.iter().map(|(k, c)| (*k, *c))
+    }
+
+    /// All recorded `((func, block), count)` entries, in hash order.
+    pub fn block_entries(&self) -> impl Iterator<Item = ((FuncId, Block), u64)> + '_ {
+        self.block_counts.iter().map(|(k, c)| (*k, *c))
+    }
+
+    /// All recorded `((func, from, to), count)` edge entries, in hash order.
+    pub fn edge_entries(&self) -> impl Iterator<Item = ((FuncId, Block, Block), u64)> + '_ {
+        self.edge_counts.iter().map(|(k, c)| (*k, *c))
+    }
+
     /// Merges another profile into this one (e.g. across multiple runs).
     pub fn merge(&mut self, other: &Profile) {
         for (k, v) in &other.edge_counts {

@@ -5,6 +5,8 @@
 //! mjc opt <file.mj> [passes…] [--dump]               optimize and report
 //! mjc dump <file.mj> [--stage ir|ssa|essa|opt]       print the IR of a stage
 //! mjc graph <file.mj> [--fn NAME] [--lower]          print the inequality graph
+//! mjc serve --socket PATH [server flags]             run the abcdd daemon
+//! mjc client <file|ping|stats|shutdown> --socket P   talk to a running abcdd
 //! ```
 //!
 //! Inputs ending in `.ir` are parsed as textual IR instead of MJ source.
@@ -13,9 +15,11 @@
 //! `--no-cleanup`, `--no-gvn-hook`, `--merge`, `--ipa` (closed-world
 //! interprocedural facts), `--version-fns` (guarded fast/slow clones),
 //! `--hot N` (with `--profile`), `--jobs N` (parallel driver),
-//! `--metrics`/`--metrics-out FILE` (`abcd-metrics/2` JSON), and the
-//! fail-open controls `--fuel N`, `--fuel-fn N`, `--validate`,
-//! `--verify-ir`, `--fault-plan SPEC`, `--no-isolate`.
+//! `--metrics`/`--metrics-out FILE` (`abcd-metrics/3` JSON),
+//! `--deterministic-metrics` (zero every duration for byte-comparable
+//! output), `--cache-dir DIR`/`--cache-bytes N` (content-addressed analysis
+//! cache), and the fail-open controls `--fuel N`, `--fuel-fn N`,
+//! `--validate`, `--verify-ir`, `--fault-plan SPEC`, `--no-isolate`.
 //!
 //! Exit codes: `0` success, `1` error (bad input, trap, usage), `2` the
 //! pipeline degraded fail-open (a pass panicked, IR verification failed, or
@@ -59,16 +63,35 @@ USAGE:
     mjc opt   <file.mj|file.ir> [pass flags] [--version-fns] [--dump]
     mjc dump  <file.mj|file.ir> [--stage ir|ssa|essa|opt]
     mjc graph <file.mj|file.ir> [--fn NAME] [--lower]        (Graphviz output)
+    mjc serve --socket PATH [--workers N] [--queue N] [--jobs N]
+              [--cache-dir DIR] [--cache-bytes N] [--no-cache]
+    mjc client <file.mj|file.ir> --socket PATH [pass flags] [--metrics]
+    mjc client ping|stats|shutdown --socket PATH
 
-PASS FLAGS (for `opt` and `run --opt`):
+PASS FLAGS (for `opt`, `run --opt` and `client <file>`):
     --no-pre --no-lower --no-upper --no-cleanup --no-gvn-hook
     --merge            merge surviving lower+upper pairs (§7.2)
     --ipa              closed-world interprocedural parameter facts
     --version-fns      guarded fast/slow function clones
     --hot N            with --profile: analyze only sites with ≥N hits
     --jobs N           optimize functions on N worker threads
-    --metrics          emit abcd-metrics/2 JSON (stdout for opt, stderr for run)
+    --metrics          emit abcd-metrics/3 JSON (stdout for opt, stderr for run)
     --metrics-out F    write the metrics JSON to file F
+    --deterministic-metrics
+                       zero every duration in the metrics JSON so identical
+                       runs are byte-identical (warm/cold cache comparisons)
+
+CACHING (for `opt`, `run --opt`; always on in `serve` unless --no-cache):
+    --cache-dir DIR    persist analysis-cache entries to DIR; entries are
+                       content-addressed and re-verified on load, corruption
+                       is reported as an incident and recompiled cold
+    --cache-bytes N    in-memory cache budget in bytes (default 64 MiB)
+
+SERVER (for `serve`; `client` retries `busy` replies per the retry hint):
+    --socket PATH      Unix-domain socket (required for serve/client)
+    --workers N        concurrent request handlers (default 2)
+    --queue N          bounded admission queue; overflow is answered with a
+                       structured `busy` reply instead of blocking (default 8)
 
 FAIL-OPEN CONTROLS (for `opt` and `run --opt`):
     --fuel N           per-query solver step budget (exhaustion keeps the check)
@@ -107,6 +130,9 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         print!("{HELP}");
         return Ok(ExitCode::SUCCESS);
     }
+    if cmd == "serve" {
+        return cmd_serve(&args[1..]);
+    }
     let file = args.get(1).ok_or_else(usage)?;
     let rest = &args[2..];
 
@@ -115,6 +141,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "opt" => cmd_opt(file, rest),
         "dump" => cmd_dump(file, rest),
         "graph" => cmd_graph(file, rest),
+        "client" => cmd_client(file, rest),
         other => Err(format!("unknown command `{other}`\n{}", usage())),
     }
 }
@@ -159,9 +186,16 @@ fn parse_options(rest: &[String]) -> Result<OptimizerOptions, String> {
                     .ok_or("`--fuel-fn` needs a step count")?;
                 o.fuel_per_function = Some(n);
             }
-            // run/dump flags handled by callers
-            "--opt" | "--stats" | "--profile" | "--dump" | "--metrics" => {}
-            "--arg" | "--stage" | "--fn" | "--jobs" | "--metrics-out" | "--fault-plan" => i += 1,
+            // run/dump/serve/client flags handled by callers
+            "--opt"
+            | "--stats"
+            | "--profile"
+            | "--dump"
+            | "--metrics"
+            | "--deterministic-metrics"
+            | "--no-cache" => {}
+            "--arg" | "--stage" | "--fn" | "--jobs" | "--metrics-out" | "--fault-plan"
+            | "--cache-dir" | "--cache-bytes" | "--socket" | "--workers" | "--queue" => i += 1,
             "--lower" if rest[i] == "--lower" => {}
             other => return Err(format!("unknown flag `{other}`")),
         }
@@ -188,16 +222,44 @@ fn jobs_of(rest: &[String]) -> Result<usize, String> {
     }
 }
 
-/// Builds the optimizer for `opt`/`run --opt`, wiring in any `--fault-plan`.
-fn optimizer_for(options: OptimizerOptions, rest: &[String]) -> Result<Optimizer, String> {
-    let optimizer = Optimizer::with_options(options).with_threads(jobs_of(rest)?);
-    match value_of(rest, "--fault-plan") {
-        None => Ok(optimizer),
-        Some(spec) => {
-            let plan = FaultPlan::parse(spec).map_err(|e| format!("--fault-plan: {e}"))?;
-            Ok(optimizer.with_fault_plan(plan))
+/// Builds the analysis cache requested by `--cache-dir`/`--cache-bytes`
+/// (batch mode caches only when asked; `serve` defaults the other way).
+fn cache_for(rest: &[String]) -> Result<Option<std::sync::Arc<abcd::AnalysisCache>>, String> {
+    let bytes = match value_of(rest, "--cache-bytes") {
+        None => abcd::cache::DEFAULT_CACHE_BYTES,
+        Some(v) => v
+            .parse()
+            .map_err(|_| "`--cache-bytes` needs a byte count".to_string())?,
+    };
+    match value_of(rest, "--cache-dir") {
+        Some(dir) => {
+            let cache = abcd::AnalysisCache::with_dir(std::path::Path::new(dir), bytes)
+                .map_err(|e| format!("--cache-dir {dir}: {e}"))?;
+            Ok(Some(std::sync::Arc::new(cache)))
         }
+        None if has(rest, "--cache-bytes") => Ok(Some(std::sync::Arc::new(
+            abcd::AnalysisCache::in_memory(bytes),
+        ))),
+        None => Ok(None),
     }
+}
+
+/// Builds the optimizer for `opt`/`run --opt`, wiring in any `--fault-plan`
+/// and cache. Returns the cache too so metrics can report its counters.
+fn optimizer_for(
+    options: OptimizerOptions,
+    rest: &[String],
+) -> Result<(Optimizer, Option<std::sync::Arc<abcd::AnalysisCache>>), String> {
+    let mut optimizer = Optimizer::with_options(options).with_threads(jobs_of(rest)?);
+    let cache = cache_for(rest)?;
+    if let Some(cache) = &cache {
+        optimizer = optimizer.with_cache(std::sync::Arc::clone(cache));
+    }
+    if let Some(spec) = value_of(rest, "--fault-plan") {
+        let plan = FaultPlan::parse(spec).map_err(|e| format!("--fault-plan: {e}"))?;
+        optimizer = optimizer.with_fault_plan(plan);
+    }
+    Ok((optimizer, cache))
 }
 
 /// Prints every incident to stderr and picks the exit code: degraded
@@ -215,12 +277,13 @@ fn incident_exit(report: &abcd::ModuleReport) -> ExitCode {
     }
 }
 
-/// Emits the `abcd-metrics/2` JSON if `--metrics` or `--metrics-out` was
+/// Emits the `abcd-metrics/3` JSON if `--metrics` or `--metrics-out` was
 /// given. `to_stderr` keeps `run`'s program output clean on stdout.
 fn emit_metrics(
     report: &abcd::ModuleReport,
     threads: usize,
     wall: std::time::Duration,
+    cache: Option<&abcd::AnalysisCache>,
     rest: &[String],
     to_stderr: bool,
 ) -> Result<(), String> {
@@ -228,13 +291,14 @@ fn emit_metrics(
     if !has(rest, "--metrics") && to_file.is_none() {
         return Ok(());
     }
-    let json = abcd::module_metrics_json(
-        report,
-        abcd::RunInfo {
-            threads,
-            wall_time: wall,
-        },
-    );
+    let mut run = abcd::RunInfo::new(threads, wall);
+    if let Some(cache) = cache {
+        run = run.with_cache(cache.stats());
+    }
+    if has(rest, "--deterministic-metrics") {
+        run = run.deterministic();
+    }
+    let json = abcd::module_metrics_json(report, run);
     if let Some(path) = to_file {
         std::fs::write(path, format!("{json}\n")).map_err(|e| format!("{path}: {e}"))?;
     }
@@ -262,7 +326,7 @@ fn cmd_run(file: &str, rest: &[String]) -> Result<ExitCode, String> {
             vm.call_by_name("main", &[]).map_err(|t| t.to_string())?;
             profile = Some(vm.into_profile());
         }
-        let optimizer = optimizer_for(options, rest)?;
+        let (optimizer, cache) = optimizer_for(options, rest)?;
         let threads = optimizer.threads();
         let started = Instant::now();
         let report = optimizer.optimize_module(&mut module, profile.as_ref());
@@ -274,7 +338,7 @@ fn cmd_run(file: &str, rest: &[String]) -> Result<ExitCode, String> {
             report.checks_hoisted(),
             report.steps_per_check()
         );
-        emit_metrics(&report, threads, wall, rest, true)?;
+        emit_metrics(&report, threads, wall, cache.as_deref(), rest, true)?;
         exit = incident_exit(&report);
     }
 
@@ -315,12 +379,12 @@ fn cmd_run(file: &str, rest: &[String]) -> Result<ExitCode, String> {
 fn cmd_opt(file: &str, rest: &[String]) -> Result<ExitCode, String> {
     let mut module = load_module(file)?;
     let options = parse_options(rest)?;
-    let optimizer = optimizer_for(options, rest)?;
+    let (optimizer, cache) = optimizer_for(options, rest)?;
     let threads = optimizer.threads();
     let started = Instant::now();
     let report = optimizer.optimize_module(&mut module, None);
     let wall = started.elapsed();
-    emit_metrics(&report, threads, wall, rest, false)?;
+    emit_metrics(&report, threads, wall, cache.as_deref(), rest, false)?;
     if has(rest, "--version-fns") {
         let v = abcd::version_functions(&mut module, None, 0);
         for (name, facts, removed) in &v.versioned {
@@ -375,6 +439,104 @@ fn cmd_dump(file: &str, rest: &[String]) -> Result<ExitCode, String> {
 fn emit(text: String) {
     use std::io::Write;
     let _ = std::io::stdout().write_all(text.as_bytes());
+}
+
+/// `mjc serve`: run the `abcdd` daemon in the foreground until a client
+/// sends `shutdown`, then drain and exit 0. The cache is on by default
+/// here (the whole point of a persistent service); `--no-cache` opts out.
+fn cmd_serve(rest: &[String]) -> Result<ExitCode, String> {
+    let options = parse_options(rest)?; // reject typos even though serve ignores pass flags
+    let _ = options;
+    let socket = value_of(rest, "--socket").ok_or("`serve` needs `--socket PATH`")?;
+    let count = |flag: &str, default: usize| -> Result<usize, String> {
+        match value_of(rest, flag) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("`{flag}` needs a count")),
+        }
+    };
+    let cache = if has(rest, "--no-cache") {
+        None
+    } else {
+        match cache_for(rest)? {
+            Some(cache) => Some(cache),
+            None => Some(std::sync::Arc::new(abcd::AnalysisCache::in_memory(
+                abcd::cache::DEFAULT_CACHE_BYTES,
+            ))),
+        }
+    };
+    let config = abcd_server::ServerConfig {
+        socket: socket.into(),
+        workers: count("--workers", 2)?,
+        queue: count("--queue", 8)?,
+        jobs: jobs_of(rest)?,
+        cache,
+    };
+    let handle = abcd_server::start(config).map_err(|e| format!("bind {socket}: {e}"))?;
+    eprintln!("mjc: serving on {socket}");
+    handle.join();
+    eprintln!("mjc: server drained");
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `mjc client`: one request against a running daemon. `file` is either a
+/// module to optimize or one of the control verbs `ping`/`stats`/`shutdown`.
+/// The optimized IR goes to stdout exactly as `mjc dump --stage opt` would
+/// print it, so the two are byte-comparable.
+fn cmd_client(file: &str, rest: &[String]) -> Result<ExitCode, String> {
+    let socket = value_of(rest, "--socket").ok_or("`client` needs `--socket PATH`")?;
+    let socket = std::path::Path::new(socket);
+    match file {
+        "ping" => {
+            if abcd_server::ping(socket) {
+                println!("pong");
+                Ok(ExitCode::SUCCESS)
+            } else {
+                Err(format!("no server at {}", socket.display()))
+            }
+        }
+        "stats" => {
+            let doc = abcd_server::stats(socket)?;
+            emit(format!("{doc:?}\n"));
+            Ok(ExitCode::SUCCESS)
+        }
+        "shutdown" => {
+            abcd_server::shutdown(socket)?;
+            Ok(ExitCode::SUCCESS)
+        }
+        _ => {
+            let options = parse_options(rest)?;
+            let text = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
+            let reply = abcd_server::optimize(
+                socket,
+                (&text, file.ends_with(".ir")),
+                &options,
+                None,
+                has(rest, "--metrics") || value_of(rest, "--metrics-out").is_some(),
+                has(rest, "--deterministic-metrics"),
+                8,
+            )?;
+            // Exactly what `cmd_dump` prints: `{module}` + one newline.
+            emit(format!("{}\n", reply.ir));
+            if let Some(metrics) = &reply.metrics {
+                if let Some(path) = value_of(rest, "--metrics-out") {
+                    std::fs::write(path, format!("{metrics}\n"))
+                        .map_err(|e| format!("{path}: {e}"))?;
+                }
+                if has(rest, "--metrics") {
+                    eprintln!("{metrics}");
+                }
+            }
+            let (incidents, degraded) = reply.incidents;
+            if incidents > 0 {
+                eprintln!("mjc: server reported {incidents} incident(s), {degraded} degraded");
+            }
+            if degraded > 0 {
+                Ok(ExitCode::from(EXIT_DEGRADED))
+            } else {
+                Ok(ExitCode::SUCCESS)
+            }
+        }
+    }
 }
 
 fn cmd_graph(file: &str, rest: &[String]) -> Result<ExitCode, String> {

@@ -45,7 +45,108 @@ const GOOD_PROGRAM: &str = "fn main() -> int {
 fn help_exits_zero() {
     let out = mjc(&["--help"]);
     assert_eq!(exit_code(&out), 0);
-    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+    let help = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(help.contains("USAGE"));
+    // Every subcommand and the exit codes are documented in one place.
+    for needle in [
+        "mjc serve",
+        "mjc client",
+        "--cache-dir",
+        "--deterministic-metrics",
+        "abcd-metrics/3",
+        "EXIT CODES",
+        "0  success",
+        "2  degraded",
+        "3  internal panic",
+    ] {
+        assert!(help.contains(needle), "help is missing `{needle}`:\n{help}");
+    }
+}
+
+#[test]
+fn serve_and_client_usage_errors_are_structured() {
+    let file = scratch("client.mj", GOOD_PROGRAM);
+    for args in [
+        // serve without a socket, with a bad flag value, with a typo
+        &["serve"][..],
+        &["serve", "--socket"][..],
+        &["serve", "--socket", "/tmp/x.sock", "--workers", "many"][..],
+        &["serve", "--socket", "/tmp/x.sock", "--frobnicate"][..],
+        // client without a socket / against a dead socket
+        &["client", file.to_str().unwrap()][..],
+        &["client", "ping", "--socket", "/nonexistent/dir/abcdd.sock"][..],
+        &[
+            "client",
+            "shutdown",
+            "--socket",
+            "/nonexistent/dir/abcdd.sock",
+        ][..],
+    ] {
+        let out = mjc(args);
+        assert_eq!(exit_code(&out), 1, "args {args:?}: {}", stderr(&out));
+        assert!(
+            stderr(&out).starts_with("mjc: "),
+            "args {args:?}: stderr not structured: {}",
+            stderr(&out)
+        );
+        assert!(
+            !stderr(&out).contains("panicked"),
+            "args {args:?} panicked: {}",
+            stderr(&out)
+        );
+    }
+}
+
+/// The full loop as CI runs it: boot `mjc serve`, round-trip a module with
+/// `mjc client`, compare byte-for-byte against one-shot `mjc dump --stage
+/// opt`, and shut down gracefully.
+#[test]
+fn serve_client_roundtrip_matches_dump() {
+    let file = scratch("served.mj", GOOD_PROGRAM);
+    let socket = std::env::temp_dir().join(format!("mjc_cli_serve_{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&socket);
+
+    let mut server = Command::new(env!("CARGO_BIN_EXE_mjc"))
+        .args([
+            "serve",
+            "--socket",
+            socket.to_str().unwrap(),
+            "--workers",
+            "2",
+        ])
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("server spawns");
+
+    // Wait for the socket to come up.
+    for _ in 0..200 {
+        if socket.exists() {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+
+    let reference = mjc(&["dump", file.to_str().unwrap(), "--stage", "opt"]);
+    assert_eq!(exit_code(&reference), 0, "{}", stderr(&reference));
+
+    let served = mjc(&[
+        "client",
+        file.to_str().unwrap(),
+        "--socket",
+        socket.to_str().unwrap(),
+    ]);
+    assert_eq!(exit_code(&served), 0, "{}", stderr(&served));
+    assert_eq!(
+        String::from_utf8_lossy(&served.stdout),
+        String::from_utf8_lossy(&reference.stdout),
+        "served output must be byte-identical to one-shot `mjc dump --stage opt`"
+    );
+
+    let down = mjc(&["client", "shutdown", "--socket", socket.to_str().unwrap()]);
+    assert_eq!(exit_code(&down), 0, "{}", stderr(&down));
+    let status = server.wait().expect("server exits");
+    assert_eq!(status.code(), Some(0), "graceful drain exits 0");
+    assert!(!socket.exists(), "socket file cleaned up");
 }
 
 #[test]
@@ -154,7 +255,7 @@ fn full_fail_open_flags_run_clean() {
     ]);
     assert_eq!(exit_code(&out), 0, "stderr: {}", stderr(&out));
     let err = stderr(&out);
-    assert!(err.contains("\"schema\":\"abcd-metrics/2\""), "{err}");
+    assert!(err.contains("\"schema\":\"abcd-metrics/3\""), "{err}");
     assert!(err.contains("\"incidents\":[]"), "{err}");
 }
 

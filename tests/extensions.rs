@@ -171,6 +171,121 @@ fn hot_threshold_skips_cold_checks() {
     assert!(f_report.removed_fully() >= 2); // the hot loop pair
 }
 
+/// Hot-threshold edge: with no profile at all, a threshold is inert —
+/// everything is analyzed and the output is byte-identical to the
+/// unthresholded run.
+#[test]
+fn hot_threshold_without_profile_is_inert() {
+    let src = r#"
+        fn f(a: int[]) -> int {
+            let s: int = 0;
+            for (let i: int = 0; i < a.length; i = i + 1) { s = s + a[i]; }
+            return s;
+        }
+        fn main() -> int { return 0; }
+    "#;
+    let baseline = {
+        let mut m = compile(src).unwrap();
+        Optimizer::new().optimize_module(&mut m, None);
+        m.to_string()
+    };
+    let mut m = compile(src).unwrap();
+    let opts = OptimizerOptions {
+        hot_threshold: Some(1_000_000),
+        ..OptimizerOptions::default()
+    };
+    let report = Optimizer::with_options(opts).optimize_module(&mut m, None);
+    assert_eq!(m.to_string(), baseline);
+    assert!(
+        !report
+            .functions
+            .iter()
+            .flat_map(|f| &f.outcomes)
+            .any(|(_, _, o)| matches!(o, CheckOutcome::Skipped)),
+        "nothing may be skipped without a profile"
+    );
+}
+
+/// Hot-threshold edge: threshold 0 means every site (even never-executed
+/// ones) counts as hot — byte-identical to the unthresholded run.
+#[test]
+fn hot_threshold_zero_analyzes_everything() {
+    let src = r#"
+        fn f(a: int[]) -> int {
+            let s: int = 0;
+            for (let i: int = 0; i < a.length; i = i + 1) { s = s + a[i]; }
+            return s;
+        }
+        fn main() -> int {
+            let a: int[] = new int[4];
+            return f(a);
+        }
+    "#;
+    let train = compile(src).unwrap();
+    let mut vm = Vm::new(&train);
+    vm.call_by_name("main", &[]).unwrap();
+    let profile = vm.into_profile();
+
+    let baseline = {
+        let mut m = compile(src).unwrap();
+        Optimizer::new().optimize_module(&mut m, Some(&profile));
+        m.to_string()
+    };
+    let mut m = compile(src).unwrap();
+    let opts = OptimizerOptions {
+        hot_threshold: Some(0),
+        ..OptimizerOptions::default()
+    };
+    let report = Optimizer::with_options(opts).optimize_module(&mut m, Some(&profile));
+    assert_eq!(m.to_string(), baseline);
+    assert!(report.checks_removed_fully() > 0);
+}
+
+/// Hot-threshold edge: when every check in the module is cold, the whole
+/// pipeline is skipped and the module ships byte-identical to its input,
+/// with every check reported `Skipped`.
+#[test]
+fn all_cold_module_is_byte_identical_to_input() {
+    let src = r#"
+        fn f(a: int[]) -> int {
+            let s: int = 0;
+            for (let i: int = 0; i < a.length; i = i + 1) { s = s + a[i]; }
+            return s;
+        }
+        fn main() -> int {
+            let a: int[] = new int[2];
+            return f(a);
+        }
+    "#;
+    let train = compile(src).unwrap();
+    let mut vm = Vm::new(&train);
+    vm.call_by_name("main", &[]).unwrap();
+    let profile = vm.into_profile();
+
+    let mut m = compile(src).unwrap();
+    let input = m.to_string();
+    let opts = OptimizerOptions {
+        hot_threshold: Some(1_000_000), // hotter than any trained count
+        ..OptimizerOptions::default()
+    };
+    let report = Optimizer::with_options(opts).optimize_module(&mut m, Some(&profile));
+    assert_eq!(
+        m.to_string(),
+        input,
+        "all-cold functions must ship untouched"
+    );
+    assert_eq!(report.checks_removed_fully(), 0);
+    for f in &report.functions {
+        for (site, kind, outcome) in &f.outcomes {
+            assert!(
+                matches!(outcome, CheckOutcome::Skipped),
+                "{}: {site:?} {kind:?} {outcome:?}",
+                f.name
+            );
+        }
+    }
+}
+
 #[test]
 fn upper_only_mode_keeps_lower_checks() {
     let src = "fn f(a: int[]) -> int {

@@ -161,14 +161,8 @@ fn metrics_json_reports_parallel_run() {
     let report = Optimizer::new()
         .with_threads(2)
         .optimize_module(&mut m, None);
-    let json = abcd::module_metrics_json(
-        &report,
-        abcd::RunInfo {
-            threads: 2,
-            wall_time: started.elapsed(),
-        },
-    );
-    assert!(json.starts_with("{\"schema\":\"abcd-metrics/2\""), "{json}");
+    let json = abcd::module_metrics_json(&report, abcd::RunInfo::new(2, started.elapsed()));
+    assert!(json.starts_with("{\"schema\":\"abcd-metrics/3\""), "{json}");
     assert!(json.contains("\"threads\":2"), "{json}");
     assert!(json.contains("\"memo_hits\":"), "{json}");
     assert!(json.contains("\"graph\":"), "{json}");

@@ -1,0 +1,223 @@
+//! End-to-end tests of the `abcdd` service: served output is
+//! byte-identical to in-process optimization, concurrent clients agree,
+//! the bounded queue sheds load with the documented `busy` reply, and
+//! shutdown drains gracefully.
+
+use abcd::{AnalysisCache, Optimizer, OptimizerOptions};
+use abcd_frontend::compile;
+use abcd_server::{Reply, ServerConfig};
+use std::sync::Arc;
+
+const PROGRAM: &str = r#"
+    fn sum(a: int[]) -> int {
+        let s: int = 0;
+        for (let i: int = 0; i < a.length; i = i + 1) { s = s + a[i]; }
+        return s;
+    }
+    fn main() -> int {
+        let a: int[] = new int[8];
+        return sum(a);
+    }
+"#;
+
+fn sock(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("abcdd-test-{}-{tag}.sock", std::process::id()))
+}
+
+fn ping_eventually(socket: &std::path::Path) -> bool {
+    for _ in 0..100 {
+        if abcd_server::ping(socket) {
+            return true;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    false
+}
+
+fn local_reference(src: &str) -> String {
+    let mut module = compile(src).expect("compiles");
+    Optimizer::new().optimize_module(&mut module, None);
+    module.to_string()
+}
+
+#[test]
+fn served_output_is_byte_identical_to_local() {
+    let socket = sock("roundtrip");
+    let mut config = ServerConfig::new(&socket);
+    config.cache = Some(Arc::new(AnalysisCache::in_memory(1 << 20)));
+    let handle = abcd_server::start(config).unwrap();
+
+    let reference = local_reference(PROGRAM);
+    let options = OptimizerOptions::default();
+    // Twice: the second request is a warm-cache replay and must not differ.
+    for pass in 0..2 {
+        let reply = abcd_server::optimize(&socket, (PROGRAM, false), &options, None, true, true, 4)
+            .unwrap();
+        assert_eq!(reply.ir, reference, "pass {pass}");
+        assert_eq!(reply.incidents, (0, 0), "pass {pass}");
+        let metrics = reply.metrics.expect("metrics requested");
+        assert!(
+            metrics.contains("\"schema\":\"abcd-metrics/3\""),
+            "{metrics}"
+        );
+        assert!(metrics.contains("\"deterministic\":true"), "{metrics}");
+        // Deterministic metrics zero the request latency.
+        assert!(metrics.contains("\"request_latency_us\":0"), "{metrics}");
+        if pass == 1 {
+            assert!(reply.functions_from_cache > 0, "warm pass must replay");
+        }
+    }
+
+    abcd_server::shutdown(&socket).unwrap();
+    handle.join();
+}
+
+#[test]
+fn concurrent_clients_all_get_the_sequential_answer() {
+    let socket = sock("concurrent");
+    let mut config = ServerConfig::new(&socket);
+    config.workers = 4;
+    config.queue = 16;
+    config.cache = Some(Arc::new(AnalysisCache::in_memory(1 << 20)));
+    let handle = abcd_server::start(config).unwrap();
+
+    let reference = local_reference(PROGRAM);
+    let results: Vec<String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let socket = socket.clone();
+                scope.spawn(move || {
+                    abcd_server::optimize(
+                        &socket,
+                        (PROGRAM, false),
+                        &OptimizerOptions::default(),
+                        None,
+                        false,
+                        false,
+                        16,
+                    )
+                    .unwrap()
+                    .ir
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for (i, ir) in results.iter().enumerate() {
+        assert_eq!(
+            *ir, reference,
+            "client {i} must match the sequential answer"
+        );
+    }
+
+    abcd_server::shutdown(&socket).unwrap();
+    handle.join();
+}
+
+#[test]
+fn full_queue_sheds_load_with_busy_and_recovers() {
+    let socket = sock("busy");
+    let mut config = ServerConfig::new(&socket);
+    config.workers = 1;
+    config.queue = 0; // rendezvous: a request is admitted only if a worker is free
+    let handle = abcd_server::start(config).unwrap();
+    // With a rendezvous queue a ping is admitted only while the worker sits
+    // in recv(), so poll until the worker is demonstrably idle.
+    assert!(ping_eventually(&socket), "server must come up");
+
+    // Pin the only worker, then probe: the probe must be shed, not queued.
+    let pin = std::thread::spawn({
+        let socket = socket.clone();
+        move || abcd_server::roundtrip(&socket, "{\"cmd\":\"sleep\",\"ms\":600}")
+    });
+    std::thread::sleep(std::time::Duration::from_millis(150));
+    match abcd_server::roundtrip(&socket, "{\"cmd\":\"ping\"}").unwrap() {
+        Reply::Busy { retry_after_ms } => assert!(retry_after_ms > 0),
+        other => panic!("expected busy, got {other:?}"),
+    }
+    assert!(matches!(pin.join().unwrap(), Ok(Reply::Ok(..))));
+
+    // After the worker frees up, the identical retry succeeds — the
+    // documented contract: busy is transient and side-effect free.
+    assert!(ping_eventually(&socket));
+    let stats = (0..100)
+        .find_map(|_| {
+            abcd_server::stats(&socket).ok().or_else(|| {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                None
+            })
+        })
+        .expect("stats should be admitted once the worker idles");
+    let shed = stats
+        .get("shed")
+        .and_then(abcd_server::json::Json::as_u64)
+        .unwrap();
+    assert!(shed >= 1, "{stats:?}");
+
+    while abcd_server::shutdown(&socket).is_err() {
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    handle.join();
+}
+
+#[test]
+fn malformed_requests_get_structured_errors_not_disconnects() {
+    let socket = sock("errors");
+    let handle = abcd_server::start(ServerConfig::new(&socket)).unwrap();
+
+    for (request, needle) in [
+        ("this is not json", "bad JSON"),
+        ("{\"cmd\":\"launch\"}", "unknown cmd"),
+        ("{\"no_cmd\":1}", "missing string field `cmd`"),
+        ("{\"cmd\":\"optimize\"}", "`source` or `ir`"),
+        (
+            "{\"cmd\":\"optimize\",\"source\":\"fn main( {\"}",
+            "compile",
+        ),
+        ("{\"cmd\":\"optimize\",\"ir\":\"garbage\"}", "parse"),
+        (
+            "{\"cmd\":\"optimize\",\"source\":\"fn main() -> int { return 0; }\",\
+             \"options\":{\"warp_drive\":true}}",
+            "unknown option",
+        ),
+    ] {
+        match abcd_server::roundtrip(&socket, request).unwrap() {
+            Reply::Err(e) => assert!(e.contains(needle), "{request} → {e}"),
+            other => panic!("{request} → {other:?}"),
+        }
+    }
+
+    abcd_server::shutdown(&socket).unwrap();
+    handle.join();
+}
+
+#[test]
+fn shutdown_drains_admitted_requests() {
+    let socket = sock("drain");
+    let mut config = ServerConfig::new(&socket);
+    config.workers = 2;
+    config.queue = 8;
+    let handle = abcd_server::start(config).unwrap();
+
+    // Occupy both workers, then shut down via a third connection; the
+    // sleeps were admitted and must still be answered.
+    let sleepers: Vec<_> = (0..2)
+        .map(|_| {
+            let socket = socket.clone();
+            std::thread::spawn(move || {
+                abcd_server::roundtrip(&socket, "{\"cmd\":\"sleep\",\"ms\":400}")
+            })
+        })
+        .collect();
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    abcd_server::shutdown(&socket).unwrap();
+    for sleeper in sleepers {
+        assert!(
+            matches!(sleeper.join().unwrap(), Ok(Reply::Ok(..))),
+            "admitted requests are drained, not dropped"
+        );
+    }
+    handle.join();
+    assert!(!socket.exists(), "socket file removed after join");
+    assert!(!abcd_server::ping(&socket), "server is gone");
+}
