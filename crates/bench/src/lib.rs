@@ -220,8 +220,8 @@ pub fn stress_module() -> abcd_ir::Module {
 
 /// Measures the optimize phase of `benches` at one worker and at
 /// `threads` workers and renders the comparison — plus each benchmark's
-/// `abcd-metrics/3` object from the parallel run — as one JSON document
-/// (schema `abcd-bench-metrics/3`).
+/// `abcd-metrics/4` object from the parallel run — as one JSON document
+/// (schema `abcd-bench-metrics/4`).
 ///
 /// Version 3 adds a `"cache"` object comparing a cold run against a warm
 /// rerun through one shared [`abcd::AnalysisCache`]: the warm wall, the
@@ -341,7 +341,7 @@ pub fn metrics_json_for(
     let validated: usize = par_reports.iter().map(|(_, r)| r.checks_validated()).sum();
     let reinstated: usize = par_reports.iter().map(|(_, r)| r.checks_reinstated()).sum();
 
-    let mut out = String::from("{\"schema\":\"abcd-bench-metrics/3\"");
+    let mut out = String::from("{\"schema\":\"abcd-bench-metrics/4\"");
     let _ = write!(
         out,
         ",\"incidents\":{incidents},\"degraded_incidents\":{degraded},\
@@ -374,7 +374,11 @@ pub fn metrics_json_for(
             out.push(',');
         }
         let metrics = abcd::module_metrics_json(report, abcd::RunInfo::new(threads, *wall));
-        let _ = write!(out, "{{\"name\":\"{}\",\"metrics\":{metrics}}}", bench.name);
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"metrics\":{metrics}}}",
+            abcd::json_escape(bench.name)
+        );
     }
     out.push_str("]}");
     out
@@ -411,7 +415,7 @@ pub fn print_incident_summary(results: &[BenchResult]) {
 /// Shared CLI tail of the experiment binaries: when `--metrics` or
 /// `--metrics-out FILE` was passed, re-optimizes the suite at one worker
 /// and at `--jobs N` workers (default and minimum 2) and emits the
-/// `abcd-bench-metrics/3` comparison JSON after the table.
+/// `abcd-bench-metrics/4` comparison JSON after the table.
 pub fn emit_cli_metrics(options: OptimizerOptions) {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let value_of = |flag: &str| {
@@ -472,7 +476,7 @@ mod tests {
             2,
         );
         assert!(
-            json.starts_with("{\"schema\":\"abcd-bench-metrics/3\""),
+            json.starts_with("{\"schema\":\"abcd-bench-metrics/4\""),
             "{json}"
         );
         // Zero-incident runs are recorded explicitly, not by omission.
@@ -486,9 +490,9 @@ mod tests {
         assert!(json.contains("\"sequential_wall_us\":"), "{json}");
         assert!(json.contains("\"parallel_wall_us\":"), "{json}");
         assert!(json.contains("\"speedup\":\""), "{json}");
-        // Each of the two benchmarks embeds a full abcd-metrics/3 object.
+        // Each of the two benchmarks embeds a full abcd-metrics/4 object.
         assert_eq!(
-            json.matches("\"metrics\":{\"schema\":\"abcd-metrics/3\"")
+            json.matches("\"metrics\":{\"schema\":\"abcd-metrics/4\"")
                 .count(),
             2,
             "{json}"

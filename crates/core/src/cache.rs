@@ -341,7 +341,7 @@ fn kind_str(kind: CheckKind) -> &'static str {
 
 // ---- the cache ----------------------------------------------------------
 
-/// Counters exposed in `abcd-metrics/3` and the server `stats` command.
+/// Counters exposed in `abcd-metrics/4` and the server `stats` command.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Entries currently resident in memory.

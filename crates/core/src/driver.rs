@@ -15,6 +15,7 @@ use crate::report::{
     CheckOutcome, EliminatedCheck, FunctionReport, HoistedCheck, Incident, ModuleReport,
 };
 use crate::solver::{DemandProver, PreOutcome, PreProver};
+use crate::trace::{FunctionTrace, PreInsertionRecord, Span};
 use abcd_ir::{Block, CheckKind, CheckSite, FuncId, Function, InstId, InstKind, Module, Value};
 use abcd_ssa::DomTree;
 use abcd_vm::Profile;
@@ -128,6 +129,11 @@ pub struct Optimizer {
     /// Content-addressed analysis cache shared across runs (and across the
     /// server's requests). `None` = always cold.
     cache: Option<Arc<AnalysisCache>>,
+    /// Record an [`FunctionTrace`] per function (see [`crate::trace`]).
+    /// Deliberately *not* an [`OptimizerOptions`] field: options are
+    /// cache-fingerprinted and wire-serialized, and observing a run must
+    /// never change its cache keys or verdicts.
+    trace: bool,
 }
 
 impl Optimizer {
@@ -143,7 +149,18 @@ impl Optimizer {
             threads: 0,
             fault_plan: None,
             cache: None,
+            trace: false,
         }
+    }
+
+    /// Enables (or disables) structured span tracing: every
+    /// [`FunctionReport`] gains a [`FunctionTrace`] recording pass
+    /// timings, graph sizes, each `demandProve` traversal, PRE decisions,
+    /// and cache lookups. Off (the default) costs one untaken branch per
+    /// hook — no allocation on the prove path.
+    pub fn with_trace(mut self, trace: bool) -> Self {
+        self.trace = trace;
+        self
     }
 
     /// Sets the number of worker threads `optimize_module` may use.
@@ -219,7 +236,10 @@ impl Optimizer {
                 let mut corrupt = None;
                 if let Some((cache, key)) = keyed {
                     match self.try_replay(cache, key, func) {
-                        Ok(Some(rep)) => return rep,
+                        Ok(Some(mut rep)) => {
+                            self.attach_cache_span(&mut rep, true);
+                            return rep;
+                        }
                         Ok(None) => {}
                         Err(incident) => corrupt = Some(incident),
                     }
@@ -231,6 +251,7 @@ impl Optimizer {
                 // recompile is the healthy entry that heals the cache.
                 if let Some((cache, key)) = keyed {
                     self.maybe_store(cache, key, func, &rep);
+                    self.attach_cache_span(&mut rep, false);
                 }
                 if let Some(incident) = corrupt {
                     rep.incidents.insert(0, incident);
@@ -280,7 +301,10 @@ impl Optimizer {
             let mut corrupt = None;
             if let Some((cache, key)) = keyed {
                 match self.try_replay(cache, key, func) {
-                    Ok(Some(rep)) => return rep,
+                    Ok(Some(mut rep)) => {
+                        self.attach_cache_span(&mut rep, true);
+                        return rep;
+                    }
                     Ok(None) => {}
                     Err(incident) => corrupt = Some(incident),
                 }
@@ -296,6 +320,7 @@ impl Optimizer {
             };
             if let Some((cache, key)) = keyed {
                 self.maybe_store(cache, key, func, &rep);
+                self.attach_cache_span(&mut rep, false);
             }
             if let Some(incident) = corrupt {
                 rep.incidents.insert(0, incident);
@@ -303,6 +328,19 @@ impl Optimizer {
             rep
         });
         report
+    }
+
+    /// Prepends the cache-lookup span to a function's trace (tracing runs
+    /// only). The lookup logically precedes the pipeline it short-circuits,
+    /// so it goes at the front; on a hit the replayed report has no other
+    /// spans — the cache span *is* its trace.
+    fn attach_cache_span(&self, rep: &mut FunctionReport, hit: bool) {
+        if !self.trace {
+            return;
+        }
+        rep.trace
+            .get_or_insert_with(Default::default)
+            .push_front(Span::Cache { hit });
     }
 
     /// Runs `work` on a scratch clone of `func` under `catch_unwind` (when
@@ -635,16 +673,19 @@ impl Optimizer {
             abcd_analysis::record_load_congruence(func, &mut gvn);
         }
         let already_essa = has_pi(func);
+        let pi_started = Instant::now();
         if !already_essa {
             self.run_stage(func, "insert_pi", true, |f| {
                 abcd_ssa::insert_pi_nodes(f);
             })?;
         }
+        let pi_time = pi_started.elapsed();
         debug_assert_eq!(abcd_ssa::verify_ssa(func), Ok(()));
         Ok(PreparedGvn {
             gvn,
             cleanup: cleanup_stats,
             prepare_time: prepare_started.elapsed(),
+            pi_time,
         })
     }
 
@@ -666,6 +707,17 @@ impl Optimizer {
         report.metrics.prepare_time = prepared.prepare_time;
         report.fuel_limit = opts.fuel_per_function.or(opts.fuel_per_query);
         let gvn = prepared.gvn;
+        let mut ftrace: Option<Box<FunctionTrace>> = self.trace.then(Box::default);
+        if let Some(t) = &mut ftrace {
+            t.push(Span::Pass {
+                pass: "prepare",
+                dur: prepared.prepare_time,
+            });
+            t.push(Span::Pass {
+                pass: "insert_pi",
+                dur: prepared.pi_time,
+            });
+        }
 
         // 4: the two sparse constraint systems.
         set_current_pass("graph_build");
@@ -696,6 +748,15 @@ impl Optimizer {
         report.metrics.upper_edges = upper_graph.edge_count();
         report.metrics.lower_vertices = lower_graph.vertex_count();
         report.metrics.lower_edges = lower_graph.edge_count();
+        if let Some(t) = &mut ftrace {
+            t.push(Span::GraphBuild {
+                dur: report.metrics.graph_build_time,
+                upper_vertices: report.metrics.upper_vertices,
+                upper_edges: report.metrics.upper_edges,
+                lower_vertices: report.metrics.lower_vertices,
+                lower_edges: report.metrics.lower_edges,
+            });
+        }
 
         // The checks, in program order, hottest-first when profiled.
         let mut checks: Vec<(Block, InstId, CheckSite, Value, Value, CheckKind)> = Vec::new();
@@ -724,6 +785,9 @@ impl Optimizer {
         // PRE provers, whose exact-match memo is equally reusable.
         let mut upper_provers: HashMap<Value, DemandProver> = HashMap::new();
         let mut lower_prover = DemandProver::new(&lower_graph, Vertex::Const(0));
+        if self.trace {
+            lower_prover.enable_trace();
+        }
         let freq_fn = profile.map(|p| move |b: Block| p.block_count(func_id, b));
         let freq_dyn: Option<&dyn Fn(Block) -> u64> = match &freq_fn {
             Some(f) => Some(f),
@@ -801,6 +865,8 @@ impl Optimizer {
                     query_fuel,
                     array,
                     index,
+                    site,
+                    &mut ftrace,
                 ),
                 CheckKind::Lower => prove_lower(
                     &mut lower_prover,
@@ -808,6 +874,8 @@ impl Optimizer {
                     &mut exhausted,
                     query_fuel,
                     index,
+                    site,
+                    &mut ftrace,
                 ),
                 CheckKind::Both => {
                     prove_upper(
@@ -818,12 +886,16 @@ impl Optimizer {
                         query_fuel,
                         array,
                         index,
+                        site,
+                        &mut ftrace,
                     ) && prove_lower(
                         &mut lower_prover,
                         &mut spent_steps,
                         &mut exhausted,
                         query_fuel,
                         index,
+                        site,
+                        &mut ftrace,
                     )
                 }
             };
@@ -831,7 +903,8 @@ impl Optimizer {
 
             // §7.1: on upper-check failure, retry against congruent arrays.
             // A starved query skips the retries: its False is a budget
-            // artifact, and the check is being kept anyway.
+            // artifact, and the check is being kept anyway. Each retry
+            // records its own prove span (against the congruent array).
             if !proven && !exhausted && opts.gvn_hook && matches!(kind, CheckKind::Upper) {
                 for other in abcd_analysis::congruent_arrays(func, &gvn, &dt, array, block) {
                     if prove_upper(
@@ -842,6 +915,8 @@ impl Optimizer {
                         query_fuel,
                         other,
                         index,
+                        site,
+                        &mut ftrace,
                     ) {
                         proven = true;
                         via_congruence = true;
@@ -894,11 +969,25 @@ impl Optimizer {
                     plan.maybe_panic(func.name(), "pre");
                 }
                 let pre_started = Instant::now();
-                let prover = pre_provers
-                    .entry((problem, source))
-                    .or_insert_with(|| PreProver::new(graph, source, freq_dyn));
-                let (result, pre_steps) =
-                    self.try_pre(func_id, profile, site, prover, index, c, query_fuel);
+                let tracing = self.trace;
+                let prover = pre_provers.entry((problem, source)).or_insert_with(|| {
+                    let mut p = PreProver::new(graph, source, freq_dyn);
+                    if tracing {
+                        p.enable_trace();
+                    }
+                    p
+                });
+                let (result, pre_steps) = self.try_pre(
+                    func_id,
+                    profile,
+                    site,
+                    prover,
+                    index,
+                    c,
+                    query_fuel,
+                    problem,
+                    &mut ftrace,
+                );
                 report.pre_steps += pre_steps;
                 report.metrics.pre_time += pre_started.elapsed();
                 set_current_pass("solve");
@@ -990,6 +1079,18 @@ impl Optimizer {
             }
         }
         report.metrics.transform_time = transform_started.elapsed();
+        if let Some(t) = &mut ftrace {
+            // Summary spans: total solver and transform wall time, after the
+            // per-check Prove/Pre spans they aggregate.
+            t.push(Span::Pass {
+                pass: "solve",
+                dur: report.metrics.solve_time,
+            });
+            t.push(Span::Pass {
+                pass: "transform",
+                dur: report.metrics.transform_time,
+            });
+        }
 
         // Translation validation (fail-open layer): independently
         // re-justify every elimination from the final e-SSA form.
@@ -1013,6 +1114,7 @@ impl Optimizer {
         }
 
         report.fuel_spent = report.steps + report.pre_steps;
+        report.trace = ftrace;
         debug_assert_eq!(abcd_ir::verify_function(func, None), Ok(()));
         report
     }
@@ -1030,6 +1132,8 @@ impl Optimizer {
         index: Value,
         c: i64,
         fuel: Option<u64>,
+        problem: Problem,
+        trace: &mut Option<Box<FunctionTrace>>,
     ) -> (Option<Vec<crate::solver::InsertionPoint>>, u64) {
         let steps_before = prover.steps;
         if let Some(f) = fuel {
@@ -1037,8 +1141,25 @@ impl Optimizer {
         }
         let outcome = prover.demand_prove(Vertex::Value(index), c);
         let steps = prover.steps - steps_before;
+        let span_outcome;
+        let mut insertions: Vec<PreInsertionRecord> = Vec::new();
         let result = match outcome {
+            PreOutcome::Proven => {
+                span_outcome = "proven";
+                None
+            }
             PreOutcome::ProvenWithInsertions(points) => {
+                if trace.is_some() {
+                    insertions = points
+                        .iter()
+                        .map(|pt| PreInsertionRecord {
+                            pred: pt.pred.to_string(),
+                            arg: pt.arg.to_string(),
+                            c_prime: pt.c_prime,
+                            delta: crate::pre::compensation_delta(problem, pt.c_prime),
+                        })
+                        .collect();
+                }
                 let profitable = match profile {
                     Some(p) => {
                         let cost: u64 = points
@@ -1054,10 +1175,35 @@ impl Optimizer {
                     // shape and essentially always profitable.
                     None => points.len() <= 1,
                 };
+                span_outcome = if profitable {
+                    "hoisted"
+                } else {
+                    "unprofitable"
+                };
                 profitable.then_some(points)
             }
-            _ => None,
+            PreOutcome::Failed => {
+                span_outcome = if prover.last_query_exhausted() {
+                    "exhausted"
+                } else {
+                    "failed"
+                };
+                None
+            }
         };
+        if let Some(t) = trace {
+            t.push(Span::Pre {
+                site,
+                check: match problem {
+                    Problem::Upper => "upper",
+                    Problem::Lower => "lower",
+                },
+                outcome: span_outcome,
+                steps,
+                insertions,
+                events: prover.take_trace(),
+            });
+        }
         (result, steps)
     }
 
@@ -1094,36 +1240,74 @@ fn prove_upper<'g>(
     fuel: Option<u64>,
     array: Value,
     index: Value,
+    site: CheckSite,
+    trace: &mut Option<Box<FunctionTrace>>,
 ) -> bool {
-    let p = provers
-        .entry(array)
-        .or_insert_with(|| DemandProver::new(graph, Vertex::ArrayLen(array)));
+    let tracing = trace.is_some();
+    let p = provers.entry(array).or_insert_with(|| {
+        let mut p = DemandProver::new(graph, Vertex::ArrayLen(array));
+        if tracing {
+            p.enable_trace();
+        }
+        p
+    });
     let before = p.steps;
     if let Some(f) = fuel {
         p.set_query_fuel(f);
     }
     let ok = p.demand_prove(Vertex::Value(index), -1);
-    *spent += p.steps - before;
+    let steps = p.steps - before;
+    *spent += steps;
     *exhausted |= p.last_query_exhausted();
+    if let Some(t) = trace {
+        t.push(Span::Prove {
+            site,
+            check: "upper",
+            target: Vertex::Value(index).to_string(),
+            source: Vertex::ArrayLen(array).to_string(),
+            c: -1,
+            proven: ok,
+            exhausted: p.last_query_exhausted(),
+            steps,
+            events: p.take_trace(),
+        });
+    }
     ok
 }
 
 /// The lower-bound analogue of [`prove_upper`] (one shared constant-0
 /// prover).
+#[allow(clippy::too_many_arguments)]
 fn prove_lower(
     prover: &mut DemandProver,
     spent: &mut u64,
     exhausted: &mut bool,
     fuel: Option<u64>,
     index: Value,
+    site: CheckSite,
+    trace: &mut Option<Box<FunctionTrace>>,
 ) -> bool {
     let before = prover.steps;
     if let Some(f) = fuel {
         prover.set_query_fuel(f);
     }
     let ok = prover.demand_prove(Vertex::Value(index), 0);
-    *spent += prover.steps - before;
+    let steps = prover.steps - before;
+    *spent += steps;
     *exhausted |= prover.last_query_exhausted();
+    if let Some(t) = trace {
+        t.push(Span::Prove {
+            site,
+            check: "lower",
+            target: Vertex::Value(index).to_string(),
+            source: Vertex::Const(0).to_string(),
+            c: 0,
+            proven: ok,
+            exhausted: prover.last_query_exhausted(),
+            steps,
+            events: prover.take_trace(),
+        });
+    }
     ok
 }
 
@@ -1132,6 +1316,8 @@ struct PreparedGvn {
     gvn: abcd_analysis::GvnResult,
     cleanup: abcd_analysis::CleanupStats,
     prepare_time: std::time::Duration,
+    /// The π-insertion slice of `prepare_time`, for its trace span.
+    pi_time: std::time::Duration,
 }
 
 /// A prepared function's analysis state — its canonical *input* text (for

@@ -64,6 +64,7 @@ pub mod oracle;
 mod pre;
 mod report;
 mod solver;
+pub mod trace;
 mod validate;
 pub mod versioning;
 
@@ -74,9 +75,13 @@ pub use faults::{Fault, FaultPlan};
 pub use graph::{InEdge, InequalityGraph, Problem, Vertex, VertexId};
 pub use interproc::{infer_param_facts, ModuleFacts, ParamFact};
 pub use metrics::{module_metrics_json, FunctionMetrics, RunInfo};
-pub use pre::{apply_insertions, merge_remaining_checks};
+pub use pre::{apply_insertions, compensation_delta, merge_remaining_checks};
 pub use report::{
     CheckOutcome, EliminatedCheck, FunctionReport, HoistedCheck, Incident, ModuleReport,
 };
 pub use solver::{DemandProver, InsertionPoint, Lattice, PreOutcome, PreProver};
+pub use trace::{
+    explain_function, json_escape, module_trace_jsonl, request_span_jsonl, witness_path,
+    FunctionTrace, ProveEvent, Span, TRACE_SCHEMA,
+};
 pub use versioning::{version_functions, VersioningReport};

@@ -5,14 +5,14 @@
 //! The driver fills a [`FunctionMetrics`] per function (stored on its
 //! [`FunctionReport`](crate::report::FunctionReport)); [`module_metrics_json`]
 //! renders the whole run — including the worker-thread count and measured
-//! wall-clock time — in the stable `abcd-metrics/3` schema consumed by the
+//! wall-clock time — in the stable `abcd-metrics/4` schema consumed by the
 //! `mjc` CLI, the `abcdd` server, and the bench binaries.
 //!
-//! # Schema (`abcd-metrics/3`)
+//! # Schema (`abcd-metrics/4`)
 //!
 //! ```json
 //! {
-//!   "schema": "abcd-metrics/3",
+//!   "schema": "abcd-metrics/4",
 //!   "threads": 2,
 //!   "wall_time_us": 1234,
 //!   "deterministic": false,
@@ -36,11 +36,22 @@
 //!   ],
 //!   "functions": [ { "name": "f", ..., "from_cache": false,
 //!                    "fuel_spent": 57, "fuel_limit": 64,
+//!                    "provenance": { "removed_local": 2, "removed_global": 4,
+//!                                    "removed_congruent": 0, "hoisted": 1,
+//!                                    "kept": 3, "kept_exhausted": 0,
+//!                                    "skipped": 0, "reinstated": 0 },
 //!                    "incidents": [...], "graph": {...}, "times_us": {...} } ]
 //! }
 //! ```
 //!
-//! Relative to `abcd-metrics/2`, version 3 adds the serving + caching
+//! Relative to `abcd-metrics/3`, version 4 adds the per-function
+//! `provenance` object summarizing *why* each verdict happened (the
+//! Figure 6 accounting: local vs. global vs. congruence-only removals,
+//! hoists, kept checks split by fuel exhaustion, skips and validation
+//! reinstatements) — the aggregate companion to the full derivation
+//! traces recorded by [`crate::trace`].
+//!
+//! Relative to `abcd-metrics/2`, version 3 added the serving + caching
 //! observability: the `cache` object (hit/miss/store/eviction/corruption
 //! counters and byte budget — `null` when no cache is attached), the
 //! `server` object (admission-queue depth at dequeue and per-request
@@ -170,23 +181,10 @@ impl RunInfo {
 
 // ---- JSON emission (no dependencies) -----------------------------------
 
-/// Escapes `s` as a JSON string literal body.
+/// Escapes `s` as a JSON string literal body (the shared workspace
+/// helper, re-exported here for local use).
 fn escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for ch in s.chars() {
-        match ch {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out
+    crate::trace::json_escape(s)
 }
 
 fn us(d: Duration) -> u128 {
@@ -289,6 +287,53 @@ fn incidents_json<'a>(incidents: impl Iterator<Item = &'a Incident>, out: &mut S
     out.push(']');
 }
 
+/// Renders the schema-4 verdict-provenance object: the Figure 6
+/// accounting of *why* each check ended where it did.
+fn provenance_json(report: &crate::report::FunctionReport, out: &mut String) {
+    use crate::report::CheckOutcome;
+    let mut removed_local = 0usize;
+    let mut removed_global = 0usize;
+    let mut removed_congruent = 0usize;
+    let mut hoisted = 0usize;
+    let mut kept = 0usize;
+    let mut skipped = 0usize;
+    let mut reinstated = 0usize;
+    for (_, _, o) in &report.outcomes {
+        match o {
+            CheckOutcome::RemovedFully {
+                local,
+                via_congruence,
+            } => {
+                if *local {
+                    removed_local += 1;
+                } else {
+                    removed_global += 1;
+                }
+                if *via_congruence {
+                    removed_congruent += 1;
+                }
+            }
+            CheckOutcome::Hoisted { .. } => hoisted += 1,
+            CheckOutcome::Kept => kept += 1,
+            CheckOutcome::Skipped => skipped += 1,
+            CheckOutcome::Reinstated => reinstated += 1,
+        }
+    }
+    let kept_exhausted = report
+        .incidents
+        .iter()
+        .filter(|i| matches!(i, Incident::BudgetExhausted { .. }))
+        .count();
+    let _ = write!(
+        out,
+        ",\"provenance\":{{\"removed_local\":{removed_local},\
+         \"removed_global\":{removed_global},\
+         \"removed_congruent\":{removed_congruent},\"hoisted\":{hoisted},\
+         \"kept\":{kept},\"kept_exhausted\":{kept_exhausted},\
+         \"skipped\":{skipped},\"reinstated\":{reinstated}}}"
+    );
+}
+
 /// Renders one function's metrics object. `det` zeroes the durations.
 fn function_json(report: &crate::report::FunctionReport, det: bool, out: &mut String) {
     let m = &report.metrics;
@@ -300,7 +345,7 @@ fn function_json(report: &crate::report::FunctionReport, det: bool, out: &mut St
          \"fuel_spent\":{},\"fuel_limit\":{},\
          \"checks_validated\":{},\"checks_reinstated\":{},\"from_cache\":{},\
          \"memo_hits\":{},\"memo_misses\":{},\"memo_hit_rate\":{},\
-         \"pre_memo_hits\":{},\"pre_memo_misses\":{},\"incidents\":",
+         \"pre_memo_hits\":{},\"pre_memo_misses\":{}",
         escape(&report.name),
         report.checks_total,
         report.removed_fully(),
@@ -321,6 +366,8 @@ fn function_json(report: &crate::report::FunctionReport, det: bool, out: &mut St
         m.pre_memo_hits,
         m.pre_memo_misses,
     );
+    provenance_json(report, out);
+    out.push_str(",\"incidents\":");
     incidents_json(report.incidents.iter(), out);
     let _ = write!(
         out,
@@ -341,7 +388,7 @@ fn function_json(report: &crate::report::FunctionReport, det: bool, out: &mut St
     );
 }
 
-/// Renders the `abcd-metrics/3` JSON document for one optimized module.
+/// Renders the `abcd-metrics/4` JSON document for one optimized module.
 pub fn module_metrics_json(report: &ModuleReport, run: RunInfo) -> String {
     let mut hits = 0u64;
     let mut misses = 0u64;
@@ -364,7 +411,7 @@ pub fn module_metrics_json(report: &ModuleReport, run: RunInfo) -> String {
     let mut out = String::new();
     let _ = write!(
         out,
-        "{{\"schema\":\"abcd-metrics/3\",\"threads\":{},\"wall_time_us\":{},\
+        "{{\"schema\":\"abcd-metrics/4\",\"threads\":{},\"wall_time_us\":{},\
          \"deterministic\":{},\
          \"totals\":{{\"functions\":{},\"checks_total\":{},\"removed_fully\":{},\
          \"hoisted\":{},\"reinstated\":{},\"steps\":{},\"pre_steps\":{},\
@@ -474,7 +521,8 @@ mod tests {
         f.metrics.memo_misses = 1;
         report.functions.push(f);
         let json = module_metrics_json(&report, RunInfo::new(2, Duration::from_micros(7)));
-        assert!(json.starts_with("{\"schema\":\"abcd-metrics/3\""));
+        assert!(json.starts_with("{\"schema\":\"abcd-metrics/4\""));
+        assert!(json.contains("\"provenance\":{\"removed_local\":0"));
         assert!(json.contains("\"threads\":2"));
         assert!(json.contains("\"wall_time_us\":7"));
         assert!(json.contains("\"deterministic\":false"));
@@ -523,6 +571,7 @@ mod tests {
         ));
         assert!(json.contains("\"kind\":\"pass_panic\""));
         assert!(json.contains("\"payload\":\"injected \\\"quote\\\"\""));
+        assert!(json.contains("\"kept_exhausted\":1"));
         assert!(json.contains("\"incidents\":2,\"degraded_incidents\":1"));
         assert!(json.contains("\"fuel_limit\":64"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
@@ -542,6 +591,51 @@ mod tests {
         assert!(json.contains(
             "{\"kind\":\"cache_corrupt\",\"function\":\"f\",\"detail\":\"checksum mismatch\"}"
         ));
+    }
+
+    #[test]
+    fn provenance_counts_every_outcome_bucket() {
+        use crate::report::CheckOutcome;
+        use abcd_ir::CheckSite;
+        let mut f = crate::report::FunctionReport::new("f");
+        let o = |n: usize, k, oc| (CheckSite::new(n), k, oc);
+        f.outcomes.push(o(
+            0,
+            CheckKind::Upper,
+            CheckOutcome::RemovedFully {
+                local: true,
+                via_congruence: false,
+            },
+        ));
+        f.outcomes.push(o(
+            1,
+            CheckKind::Upper,
+            CheckOutcome::RemovedFully {
+                local: false,
+                via_congruence: true,
+            },
+        ));
+        f.outcomes.push(o(
+            2,
+            CheckKind::Lower,
+            CheckOutcome::Hoisted { insertions: 2 },
+        ));
+        f.outcomes.push(o(3, CheckKind::Upper, CheckOutcome::Kept));
+        f.outcomes
+            .push(o(4, CheckKind::Upper, CheckOutcome::Skipped));
+        f.outcomes
+            .push(o(5, CheckKind::Lower, CheckOutcome::Reinstated));
+        let mut report = ModuleReport::default();
+        report.functions.push(f);
+        let json = module_metrics_json(&report, RunInfo::new(1, Duration::ZERO));
+        assert!(
+            json.contains(
+                "\"provenance\":{\"removed_local\":1,\"removed_global\":1,\
+                 \"removed_congruent\":1,\"hoisted\":1,\"kept\":1,\
+                 \"kept_exhausted\":0,\"skipped\":1,\"reinstated\":1}"
+            ),
+            "{json}"
+        );
     }
 
     #[test]

@@ -22,6 +22,18 @@ use crate::graph::Problem;
 use crate::solver::InsertionPoint;
 use abcd_ir::{CheckKind, CheckSite, Function, InstId, InstKind, Type, Value};
 
+/// The index offset δ a compensating check applies on top of the failing
+/// φ argument, derived from the prover's remaining difference query `c′`
+/// (see the module docs): `δ = −1 − c′` for upper checks, `δ = c′` for
+/// lower checks. Shared between the transformation and the trace layer so
+/// certificates report exactly what [`apply_insertions`] will do.
+pub fn compensation_delta(problem: Problem, c_prime: i64) -> i64 {
+    match problem {
+        Problem::Upper => -1 - c_prime,
+        Problem::Lower => c_prime,
+    }
+}
+
 /// Applies the §6.2 transformation for one partially redundant check.
 ///
 /// `check_block`/`check_inst` locate the original `bounds_check`; `points`
@@ -49,10 +61,7 @@ pub fn apply_insertions(
     };
 
     for p in points {
-        let delta = match problem {
-            Problem::Upper => -1 - p.c_prime,
-            Problem::Lower => p.c_prime,
-        };
+        let delta = compensation_delta(problem, p.c_prime);
         insert_spec_check(func, p.pred, site, array, p.arg, delta, kind);
     }
 

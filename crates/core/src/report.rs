@@ -248,6 +248,11 @@ pub struct FunctionReport {
     /// `pre_steps`, and the per-check outcomes reproduce the original
     /// cold run's verdicts, but no solver work happened in this run.
     pub from_cache: bool,
+    /// Recorded span trace, present only when the driver ran with tracing
+    /// enabled ([`crate::Optimizer::with_trace`]). Boxed so the disabled
+    /// path costs one pointer; rides the driver's deterministic
+    /// function-order merge like every other report field.
+    pub trace: Option<Box<crate::trace::FunctionTrace>>,
 }
 
 impl FunctionReport {

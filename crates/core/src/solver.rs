@@ -23,6 +23,7 @@
 //! every stronger query.
 
 use crate::graph::{InequalityGraph, Vertex, VertexId};
+use crate::trace::ProveEvent;
 use abcd_ir::{Block, Value};
 use std::collections::HashMap;
 
@@ -46,6 +47,15 @@ impl Lattice {
     /// Join (least upper bound): used at min vertices.
     pub fn join(self, other: Lattice) -> Lattice {
         self.max(other)
+    }
+
+    /// Stable lower-case name, used by the trace schema.
+    pub fn name(self) -> &'static str {
+        match self {
+            Lattice::False => "false",
+            Lattice::Reduced => "reduced",
+            Lattice::True => "true",
+        }
     }
 }
 
@@ -122,6 +132,10 @@ pub struct DemandProver<'g> {
     pub memo_misses: u64,
     /// Queries that tripped their fuel budget (fail-open: the check stays).
     pub exhausted_queries: u64,
+    /// Traversal recorder: `None` (the default) keeps the hot path a
+    /// single untaken branch per record point — no allocation, no
+    /// formatting. [`DemandProver::enable_trace`] arms it.
+    trace: Option<Vec<ProveEvent>>,
 }
 
 impl<'g> DemandProver<'g> {
@@ -140,6 +154,7 @@ impl<'g> DemandProver<'g> {
             memo_hits: 0,
             memo_misses: 0,
             exhausted_queries: 0,
+            trace: None,
         }
     }
 
@@ -153,6 +168,24 @@ impl<'g> DemandProver<'g> {
     /// Did the most recent `demand_prove` trip its fuel budget?
     pub fn last_query_exhausted(&self) -> bool {
         self.exhausted_in_query
+    }
+
+    /// Arms the traversal recorder: subsequent queries append their events
+    /// to an internal buffer drained by [`DemandProver::take_trace`].
+    pub fn enable_trace(&mut self) {
+        if self.trace.is_none() {
+            self.trace = Some(Vec::new());
+        }
+    }
+
+    /// Drains the recorded events. On a prover that never had tracing
+    /// enabled this returns a `Vec` with capacity 0 — the structural
+    /// witness that the disabled path never allocated.
+    pub fn take_trace(&mut self) -> Vec<ProveEvent> {
+        match &mut self.trace {
+            Some(buf) => std::mem::take(buf),
+            None => Vec::new(),
+        }
     }
 
     /// `demandProve`: is `target − source ≤ c` implied by the constraint
@@ -201,32 +234,48 @@ impl<'g> DemandProver<'g> {
         // unbounded walk.
         if self.steps >= self.fuel_stop {
             self.exhausted_in_query = true;
+            if let Some(buf) = &mut self.trace {
+                buf.push(ProveEvent::Fuel { d: depth });
+            }
             return (Lattice::False, NO_DEP);
         }
         self.steps += 1;
+        let g = self.graph;
 
         // Lines 3–5: memoized subsumption.
         if let Some(entries) = self.memo.get(&v) {
+            let mut hit = None;
             for &(c2, l) in entries {
                 match l {
-                    Lattice::True if c2 <= c => {
-                        self.memo_hits += 1;
-                        return (Lattice::True, NO_DEP);
-                    }
-                    Lattice::False if c2 >= c => {
-                        self.memo_hits += 1;
-                        return (Lattice::False, NO_DEP);
-                    }
-                    Lattice::Reduced if c2 <= c => {
-                        self.memo_hits += 1;
-                        return (Lattice::Reduced, NO_DEP);
-                    }
-                    _ => {}
+                    Lattice::True if c2 <= c => hit = Some(Lattice::True),
+                    Lattice::False if c2 >= c => hit = Some(Lattice::False),
+                    Lattice::Reduced if c2 <= c => hit = Some(Lattice::Reduced),
+                    _ => continue,
                 }
+                break;
+            }
+            if let Some(l) = hit {
+                self.memo_hits += 1;
+                if let Some(buf) = &mut self.trace {
+                    buf.push(ProveEvent::MemoHit {
+                        v: g.vertex(v).to_string(),
+                        c,
+                        d: depth,
+                        verdict: l.name(),
+                    });
+                }
+                return (l, NO_DEP);
             }
         }
         // Line 6: reached the source with enough slack.
         if Some(v) == self.source && c >= 0 {
+            if let Some(buf) = &mut self.trace {
+                buf.push(ProveEvent::Source {
+                    v: g.vertex(v).to_string(),
+                    c,
+                    d: depth,
+                });
+            }
             return (Lattice::True, NO_DEP);
         }
         // Fall through: the source may itself be constrained (only
@@ -242,6 +291,14 @@ impl<'g> DemandProver<'g> {
             } else {
                 Lattice::False
             };
+            if let Some(buf) = &mut self.trace {
+                buf.push(ProveEvent::Potential {
+                    v: g.vertex(v).to_string(),
+                    c,
+                    d: depth,
+                    proven: l == Lattice::True,
+                });
+            }
             return (l, NO_DEP);
         }
         // Line 7: no constraint bounds v. (`self.graph` is a shared
@@ -250,6 +307,13 @@ impl<'g> DemandProver<'g> {
         // without cloning the edge list.)
         let edges: &'g [crate::graph::InEdge] = self.graph.in_edges(v);
         if edges.is_empty() {
+            if let Some(buf) = &mut self.trace {
+                buf.push(ProveEvent::Unconstrained {
+                    v: g.vertex(v).to_string(),
+                    c,
+                    d: depth,
+                });
+            }
             return (Lattice::False, NO_DEP);
         }
         // Lines 8–11: cycle detection. The verdict is relative to the
@@ -260,11 +324,27 @@ impl<'g> DemandProver<'g> {
             } else {
                 Lattice::Reduced // harmless cycle
             };
+            if let Some(buf) = &mut self.trace {
+                buf.push(ProveEvent::Cycle {
+                    v: g.vertex(v).to_string(),
+                    c,
+                    entry_c: ac,
+                    amplifying: c < ac,
+                    d: depth,
+                });
+            }
             return (l, ad);
         }
         self.memo_misses += 1;
         // Lines 12–18: recurse over in-edges, merging per vertex kind.
         self.active.insert(v, (c, depth));
+        if let Some(buf) = &mut self.trace {
+            buf.push(ProveEvent::Visit {
+                v: g.vertex(v).to_string(),
+                c,
+                d: depth,
+            });
+        }
         let is_max = self.graph.is_max(v);
         let mut result = if is_max {
             Lattice::True
@@ -285,6 +365,13 @@ impl<'g> DemandProver<'g> {
             }
         }
         self.active.remove(&v);
+        if let Some(buf) = &mut self.trace {
+            buf.push(ProveEvent::Resolved {
+                v: g.vertex(v).to_string(),
+                d: depth,
+                verdict: result.name(),
+            });
+        }
         if dep >= depth && !self.exhausted_in_query {
             // Self-contained: any cycle the sub-traversal closed bottoms
             // out at this vertex, which is now fully resolved. (Verdicts
@@ -331,6 +418,9 @@ pub struct PreProver<'g, 'f> {
     pub memo_misses: u64,
     /// Queries that tripped their fuel budget.
     pub exhausted_queries: u64,
+    /// Traversal recorder (see [`DemandProver`]): `None` keeps the hot
+    /// path allocation-free.
+    trace: Option<Vec<ProveEvent>>,
 }
 
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -366,6 +456,7 @@ impl<'g, 'f> PreProver<'g, 'f> {
             memo_hits: 0,
             memo_misses: 0,
             exhausted_queries: 0,
+            trace: None,
         }
     }
 
@@ -377,6 +468,21 @@ impl<'g, 'f> PreProver<'g, 'f> {
     /// Did the most recent `demand_prove` trip its fuel budget?
     pub fn last_query_exhausted(&self) -> bool {
         self.exhausted_in_query
+    }
+
+    /// Arms the traversal recorder (see [`DemandProver::enable_trace`]).
+    pub fn enable_trace(&mut self) {
+        if self.trace.is_none() {
+            self.trace = Some(Vec::new());
+        }
+    }
+
+    /// Drains the recorded events (see [`DemandProver::take_trace`]).
+    pub fn take_trace(&mut self) -> Vec<ProveEvent> {
+        match &mut self.trace {
+            Some(buf) => std::mem::take(buf),
+            None => Vec::new(),
+        }
     }
 
     fn cost(&self, points: &[InsertionPoint]) -> u64 {
@@ -408,6 +514,9 @@ impl<'g, 'f> PreProver<'g, 'f> {
     fn prove(&mut self, v: VertexId, c: i64, depth: u32) -> (Res, u32) {
         if self.steps >= self.fuel_stop {
             self.exhausted_in_query = true;
+            if let Some(buf) = &mut self.trace {
+                buf.push(ProveEvent::Fuel { d: depth });
+            }
             return (
                 Res {
                     lat: Lattice::False,
@@ -417,11 +526,28 @@ impl<'g, 'f> PreProver<'g, 'f> {
             );
         }
         self.steps += 1;
+        let g = self.graph;
         if let Some(r) = self.memo.get(&(v, c)) {
             self.memo_hits += 1;
-            return (r.clone(), NO_DEP);
+            let r = r.clone();
+            if let Some(buf) = &mut self.trace {
+                buf.push(ProveEvent::MemoHit {
+                    v: g.vertex(v).to_string(),
+                    c,
+                    d: depth,
+                    verdict: r.lat.name(),
+                });
+            }
+            return (r, NO_DEP);
         }
         if Some(v) == self.source && c >= 0 {
+            if let Some(buf) = &mut self.trace {
+                buf.push(ProveEvent::Source {
+                    v: g.vertex(v).to_string(),
+                    c,
+                    d: depth,
+                });
+            }
             return (Res::proven(Lattice::True), NO_DEP);
         }
         if let (Some(pv), Some(pa)) = (
@@ -436,10 +562,25 @@ impl<'g, 'f> PreProver<'g, 'f> {
                     ins: None,
                 }
             };
+            if let Some(buf) = &mut self.trace {
+                buf.push(ProveEvent::Potential {
+                    v: g.vertex(v).to_string(),
+                    c,
+                    d: depth,
+                    proven: r.lat == Lattice::True,
+                });
+            }
             return (r, NO_DEP);
         }
         let edges: &'g [crate::graph::InEdge] = self.graph.in_edges(v);
         if edges.is_empty() {
+            if let Some(buf) = &mut self.trace {
+                buf.push(ProveEvent::Unconstrained {
+                    v: g.vertex(v).to_string(),
+                    c,
+                    d: depth,
+                });
+            }
             return (
                 Res {
                     lat: Lattice::False,
@@ -457,17 +598,40 @@ impl<'g, 'f> PreProver<'g, 'f> {
             } else {
                 Res::proven(Lattice::Reduced)
             };
+            if let Some(buf) = &mut self.trace {
+                buf.push(ProveEvent::Cycle {
+                    v: g.vertex(v).to_string(),
+                    c,
+                    entry_c: ac,
+                    amplifying: c < ac,
+                    d: depth,
+                });
+            }
             return (r, ad);
         }
         self.memo_misses += 1;
 
         self.active.insert(v, (c, depth));
+        if let Some(buf) = &mut self.trace {
+            buf.push(ProveEvent::Visit {
+                v: g.vertex(v).to_string(),
+                c,
+                d: depth,
+            });
+        }
         let (result, dep) = if self.graph.is_max(v) {
             self.prove_max(v, c, edges, depth)
         } else {
             self.prove_min(c, edges, depth)
         };
         self.active.remove(&v);
+        if let Some(buf) = &mut self.trace {
+            buf.push(ProveEvent::Resolved {
+                v: g.vertex(v).to_string(),
+                d: depth,
+                verdict: result.lat.name(),
+            });
+        }
         if dep >= depth && !self.exhausted_in_query {
             // Self-contained (see DemandProver::prove): safe to memoize.
             // Exhaustion-tainted verdicts never enter the memo.

@@ -38,9 +38,11 @@ pub struct Optimized {
     pub incidents: (u64, u64),
     /// Functions replayed from the analysis cache.
     pub functions_from_cache: u64,
-    /// The `abcd-metrics/3` document, verbatim as the server emitted it,
+    /// The `abcd-metrics/4` document, verbatim as the server emitted it,
     /// when requested.
     pub metrics: Option<String>,
+    /// The `abcd-trace/1` JSONL document, when requested.
+    pub trace: Option<String>,
 }
 
 /// Sends one raw request frame and returns the parsed reply.
@@ -87,6 +89,7 @@ pub fn optimize(
     profile: Option<&Profile>,
     metrics: bool,
     deterministic_metrics: bool,
+    trace: bool,
     retries: u32,
 ) -> Result<Optimized, String> {
     let request = optimize_request_json(
@@ -95,6 +98,7 @@ pub fn optimize(
         profile,
         metrics,
         deterministic_metrics,
+        trace,
     );
     let mut attempt = 0;
     loop {
@@ -111,6 +115,7 @@ pub fn optimize(
                     incidents: (n("incidents"), n("degraded_incidents")),
                     functions_from_cache: n("functions_from_cache"),
                     metrics: extract_metrics(&doc, &raw),
+                    trace: doc.get("trace").and_then(Json::as_str).map(str::to_string),
                 });
             }
             Reply::Busy { retry_after_ms } => {
@@ -156,6 +161,21 @@ pub fn shutdown(socket: &Path) -> Result<(), String> {
 pub fn stats(socket: &Path) -> Result<Json, String> {
     match roundtrip(socket, "{\"cmd\":\"stats\"}")? {
         Reply::Ok(doc, _) => Ok(doc),
+        Reply::Busy { .. } => Err("server busy".to_string()),
+        Reply::Err(e) => Err(e),
+    }
+}
+
+/// Sends a `metrics` request and returns the Prometheus-style text
+/// exposition, unescaped and ready to print or scrape.
+pub fn metrics(socket: &Path, deterministic: bool) -> Result<String, String> {
+    let request = format!("{{\"cmd\":\"metrics\",\"deterministic\":{deterministic}}}");
+    match roundtrip(socket, &request)? {
+        Reply::Ok(doc, _) => doc
+            .get("exposition")
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| "reply missing `exposition`".to_string()),
         Reply::Busy { .. } => Err("server busy".to_string()),
         Reply::Err(e) => Err(e),
     }

@@ -7,7 +7,6 @@
 //! otherwise.
 
 use std::collections::BTreeMap;
-use std::fmt::Write as _;
 
 /// A parsed JSON value.
 #[derive(Clone, Debug, PartialEq)]
@@ -277,24 +276,11 @@ fn parse_hex4(bytes: &[u8], pos: &mut usize) -> Result<u32, String> {
     Ok(n)
 }
 
-/// Escapes `s` as a JSON string literal body (mirror of the emitter in
-/// `abcd::metrics`).
+/// Escapes `s` as a JSON string literal body. Delegates to the one shared
+/// escaper ([`abcd::json_escape`]) so every emitter in the workspace agrees
+/// with this parser, byte for byte.
 pub fn escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for ch in s.chars() {
-        match ch {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out
+    abcd::json_escape(s)
 }
 
 #[cfg(test)]

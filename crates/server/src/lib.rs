@@ -26,5 +26,5 @@ pub mod json;
 pub mod proto;
 pub mod server;
 
-pub use client::{optimize, ping, roundtrip, shutdown, stats, Optimized, Reply};
+pub use client::{metrics, optimize, ping, roundtrip, shutdown, stats, Optimized, Reply};
 pub use server::{start, ServerConfig, ServerHandle};

@@ -16,9 +16,11 @@
 //! {"cmd":"optimize", "source":"fn main() ...",       // or "ir":"func @f..."
 //!  "options":{"pre":true,"hot_threshold":10, ...},   // optional, defaults
 //!  "profile":{"sites":[[0,0,500]],"blocks":[[0,1,500]],"edges":[]},
-//!  "metrics":true, "deterministic_metrics":false}
+//!  "metrics":true, "deterministic_metrics":false,
+//!  "trace":false}                // attach an `abcd-trace/1` JSONL document
 //! {"cmd":"ping"}
 //! {"cmd":"stats"}
+//! {"cmd":"metrics","deterministic":false}   // Prometheus-style exposition
 //! {"cmd":"sleep","ms":100}      // diagnostic: occupy a worker (tests)
 //! {"cmd":"shutdown"}
 //! ```
@@ -28,7 +30,9 @@
 //! ```json
 //! {"ok":true,"ir":"...","checks_total":4,"removed_fully":2,"hoisted":0,
 //!  "incidents":0,"degraded_incidents":0,"functions_from_cache":1,
+//!  "trace":"...",                // JSONL string, only when requested
 //!  "metrics":{...}}                                  // null unless requested
+//! {"ok":true,"exposition":"abcdd_requests_total{outcome=\"served\"} 3\n..."}
 //! {"ok":false,"busy":true,"retry_after_ms":25,"error":"server at capacity"}
 //! {"ok":false,"error":"line 3: unknown instruction ..."}
 //! ```
@@ -93,10 +97,15 @@ pub struct OptimizeRequest {
     pub options: OptimizerOptions,
     /// Optional execution profile.
     pub profile: Option<Profile>,
-    /// Attach the `abcd-metrics/3` blob to the response.
+    /// Attach the `abcd-metrics/4` blob to the response.
     pub metrics: bool,
     /// Zero all durations in the metrics blob (byte-comparable output).
+    /// Also zeroes trace durations when `trace` is set.
     pub deterministic_metrics: bool,
+    /// Attach an `abcd-trace/1` JSONL document to the response. Tracing is
+    /// a per-request observation knob, deliberately *not* an optimizer
+    /// option: it must never change cache keys or analysis results.
+    pub trace: bool,
 }
 
 /// A parsed request.
@@ -108,6 +117,13 @@ pub enum Request {
     Ping,
     /// Server + cache counters.
     Stats,
+    /// Prometheus-style text exposition of the server's counters and
+    /// histograms; `deterministic` zeroes every sampled value so the
+    /// exposition *format* can be golden-tested.
+    Metrics {
+        /// Zero histogram samples and counters that depend on timing.
+        deterministic: bool,
+    },
     /// Diagnostic: hold a worker for `ms` milliseconds, then reply.
     Sleep(u64),
     /// Drain in-flight requests and exit.
@@ -127,6 +143,12 @@ pub fn parse_request(payload: &[u8]) -> Result<Request, String> {
     match cmd {
         "ping" => Ok(Request::Ping),
         "stats" => Ok(Request::Stats),
+        "metrics" => Ok(Request::Metrics {
+            deterministic: doc
+                .get("deterministic")
+                .and_then(Json::as_bool)
+                .unwrap_or(false),
+        }),
         "shutdown" => Ok(Request::Shutdown),
         "sleep" => Ok(Request::Sleep(
             doc.get("ms")
@@ -162,6 +184,7 @@ pub fn parse_request(payload: &[u8]) -> Result<Request, String> {
                     .get("deterministic_metrics")
                     .and_then(Json::as_bool)
                     .unwrap_or(false),
+                trace: doc.get("trace").and_then(Json::as_bool).unwrap_or(false),
             })))
         }
         other => Err(format!("unknown cmd `{other}`")),
@@ -333,12 +356,14 @@ pub fn optimize_request_json(
     profile: Option<&Profile>,
     metrics: bool,
     deterministic_metrics: bool,
+    trace: bool,
 ) -> String {
     let (text, is_ir) = source_or_ir;
     let field = if is_ir { "ir" } else { "source" };
     format!(
         "{{\"cmd\":\"optimize\",\"{field}\":\"{}\",\"options\":{},\"profile\":{},\
-         \"metrics\":{metrics},\"deterministic_metrics\":{deterministic_metrics}}}",
+         \"metrics\":{metrics},\"deterministic_metrics\":{deterministic_metrics},\
+         \"trace\":{trace}}}",
         escape(text),
         options_json(options),
         profile.map_or_else(|| "null".to_string(), profile_json),
@@ -346,12 +371,21 @@ pub fn optimize_request_json(
 }
 
 /// Builds the success response for an optimized module. `metrics` is a
-/// pre-rendered `abcd-metrics/3` document spliced in verbatim.
-pub fn ok_response(ir: &str, report: &ModuleReport, metrics: Option<&str>) -> String {
+/// pre-rendered `abcd-metrics/4` document spliced in verbatim; `trace` is
+/// a pre-rendered `abcd-trace/1` JSONL document attached as a string.
+/// `metrics` must stay the final field — clients locate it by scanning
+/// from the end of the frame.
+pub fn ok_response(
+    ir: &str,
+    report: &ModuleReport,
+    trace: Option<&str>,
+    metrics: Option<&str>,
+) -> String {
+    let trace = trace.map_or_else(|| "null".to_string(), |t| format!("\"{}\"", escape(t)));
     format!(
         "{{\"ok\":true,\"ir\":\"{}\",\"checks_total\":{},\"removed_fully\":{},\
          \"hoisted\":{},\"incidents\":{},\"degraded_incidents\":{},\
-         \"functions_from_cache\":{},\"metrics\":{}}}",
+         \"functions_from_cache\":{},\"trace\":{trace},\"metrics\":{}}}",
         escape(ir),
         report.checks_total(),
         report.checks_removed_fully(),
@@ -432,7 +466,8 @@ mod tests {
         profile.add_site_count(FuncId::new(0), CheckSite::new(2), 41);
         profile.add_block_count(FuncId::new(1), Block::new(3), 9);
         profile.add_edge_count(FuncId::new(0), Block::new(0), Block::new(1), 5);
-        let payload = optimize_request_json(("func", true), &options, Some(&profile), true, true);
+        let payload =
+            optimize_request_json(("func", true), &options, Some(&profile), true, true, true);
         let req = parse_request(payload.as_bytes()).unwrap();
         let Request::Optimize(o) = req else {
             panic!("expected optimize");
@@ -448,6 +483,22 @@ mod tests {
             p.edge_count(FuncId::new(0), Block::new(0), Block::new(1)),
             5
         );
-        assert!(o.metrics && o.deterministic_metrics);
+        assert!(o.metrics && o.deterministic_metrics && o.trace);
+    }
+
+    #[test]
+    fn metrics_request_parses_with_default() {
+        assert!(matches!(
+            parse_request(br#"{"cmd":"metrics"}"#),
+            Ok(Request::Metrics {
+                deterministic: false
+            })
+        ));
+        assert!(matches!(
+            parse_request(br#"{"cmd":"metrics","deterministic":true}"#),
+            Ok(Request::Metrics {
+                deterministic: true
+            })
+        ));
     }
 }

@@ -72,7 +72,8 @@ impl ServerConfig {
     }
 }
 
-/// Counters shared by the acceptor and workers, reported by `stats`.
+/// Counters shared by the acceptor and workers, reported by `stats` and
+/// exposed by `metrics`.
 #[derive(Debug, Default)]
 struct Counters {
     accepted: AtomicU64,
@@ -80,6 +81,60 @@ struct Counters {
     shed: AtomicU64,
     errors: AtomicU64,
     queue_depth: AtomicUsize,
+    /// Request latency (enqueue → response written), microseconds.
+    latency: Hist,
+    /// Admission-queue depth observed at each dequeue.
+    queue_hist: Hist,
+}
+
+/// A lock-free log2-bucketed histogram. Bucket 0 counts zero samples;
+/// bucket `i ≥ 1` counts samples in `[2^(i-1), 2^i − 1]`, so the
+/// Prometheus `le` bound of bucket `i` is `2^i − 1`; the last bucket
+/// additionally absorbs everything larger.
+#[derive(Debug, Default)]
+struct Hist {
+    buckets: [AtomicU64; 32],
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Hist {
+    fn observe(&self, v: u64) {
+        let b = (64 - v.leading_zeros()).min(31) as usize;
+        self.buckets[b].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Appends the Prometheus exposition lines for this histogram.
+    /// `deterministic` renders the full bucket ladder with every sample
+    /// zeroed, so the *format* is byte-stable across runs.
+    fn exposition(&self, name: &str, out: &mut String, deterministic: bool) {
+        use std::fmt::Write as _;
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let mut cumulative = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            if !deterministic {
+                cumulative += bucket.load(Ordering::Relaxed);
+            }
+            let le = if i == 31 {
+                "+Inf".to_string()
+            } else {
+                ((1u64 << i) - 1).to_string()
+            };
+            let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+        }
+        let (sum, count) = if deterministic {
+            (0, 0)
+        } else {
+            (
+                self.sum.load(Ordering::Relaxed),
+                self.count.load(Ordering::Relaxed),
+            )
+        };
+        let _ = writeln!(out, "{name}_sum {sum}");
+        let _ = writeln!(out, "{name}_count {count}");
+    }
 }
 
 struct Shared {
@@ -196,11 +251,19 @@ fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<(UnixStream, Instant)>>) {
         let Ok((mut conn, enqueued)) = msg else {
             return;
         };
-        shared.counters.queue_depth.fetch_sub(1, Ordering::SeqCst);
+        let depth_before = shared.counters.queue_depth.fetch_sub(1, Ordering::SeqCst);
+        shared
+            .counters
+            .queue_hist
+            .observe(depth_before.saturating_sub(1) as u64);
         let response = handle_connection(shared, &mut conn, enqueued);
         if write_frame(&mut conn, response.as_bytes()).is_err() {
             shared.counters.errors.fetch_add(1, Ordering::Relaxed);
         }
+        shared
+            .counters
+            .latency
+            .observe(enqueued.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
     }
 }
 
@@ -229,6 +292,10 @@ fn handle_connection(shared: &Shared, conn: &mut UnixStream, enqueued: Instant) 
         Request::Stats => {
             shared.counters.served.fetch_add(1, Ordering::Relaxed);
             stats_response(shared)
+        }
+        Request::Metrics { deterministic } => {
+            shared.counters.served.fetch_add(1, Ordering::Relaxed);
+            metrics_response(shared, deterministic)
         }
         Request::Sleep(ms) => {
             // Diagnostic: lets tests pin a worker deterministically to
@@ -283,6 +350,59 @@ fn stats_response(shared: &Shared) -> String {
     )
 }
 
+/// Renders the Prometheus-style text exposition and wraps it in the JSON
+/// reply. `deterministic` zeroes every sampled value (histogram buckets,
+/// sums, counts) while keeping the full line set, so tests can compare
+/// the exposition byte-for-byte.
+fn metrics_response(shared: &Shared, deterministic: bool) -> String {
+    use std::fmt::Write as _;
+    let c = &shared.counters;
+    let mut text = String::new();
+    let _ = writeln!(text, "# TYPE abcdd_requests_total counter");
+    for (outcome, n) in [
+        ("accepted", c.accepted.load(Ordering::Relaxed)),
+        ("served", c.served.load(Ordering::Relaxed)),
+        ("shed", c.shed.load(Ordering::Relaxed)),
+        ("errors", c.errors.load(Ordering::Relaxed)),
+    ] {
+        let _ = writeln!(text, "abcdd_requests_total{{outcome=\"{outcome}\"}} {n}");
+    }
+    let _ = writeln!(text, "# TYPE abcdd_queue_depth gauge");
+    let _ = writeln!(
+        text,
+        "abcdd_queue_depth {}",
+        c.queue_depth.load(Ordering::SeqCst)
+    );
+    let _ = writeln!(text, "# TYPE abcdd_workers gauge");
+    let _ = writeln!(text, "abcdd_workers {}", shared.config.workers.max(1));
+    if let Some(cache) = &shared.config.cache {
+        let s = cache.stats();
+        let _ = writeln!(text, "# TYPE abcdd_cache_events_total counter");
+        for (event, n) in [
+            ("hits", s.hits),
+            ("misses", s.misses),
+            ("stores", s.stores),
+            ("evictions", s.evictions),
+            ("corrupt", s.corrupt),
+            ("disk_hits", s.disk_hits),
+        ] {
+            let _ = writeln!(text, "abcdd_cache_events_total{{event=\"{event}\"}} {n}");
+        }
+        let _ = writeln!(text, "# TYPE abcdd_cache_entries gauge");
+        let _ = writeln!(text, "abcdd_cache_entries {}", s.entries);
+        let _ = writeln!(text, "# TYPE abcdd_cache_bytes gauge");
+        let _ = writeln!(text, "abcdd_cache_bytes {}", s.bytes);
+    }
+    c.latency
+        .exposition("abcdd_request_latency_us", &mut text, deterministic);
+    c.queue_hist
+        .exposition("abcdd_queue_depth_at_dequeue", &mut text, deterministic);
+    format!(
+        "{{\"ok\":true,\"exposition\":\"{}\"}}",
+        crate::json::escape(&text)
+    )
+}
+
 fn handle_optimize(
     shared: &Shared,
     req: &OptimizeRequest,
@@ -293,7 +413,9 @@ fn handle_optimize(
         (None, Some(ir)) => abcd_ir::parse_module(ir).map_err(|e| format!("parse: {e}"))?,
         _ => unreachable!("validated by parse_request"),
     };
-    let mut optimizer = Optimizer::with_options(req.options).with_threads(shared.config.jobs);
+    let mut optimizer = Optimizer::with_options(req.options)
+        .with_threads(shared.config.jobs)
+        .with_trace(req.trace);
     if let Some(cache) = &shared.config.cache {
         optimizer = optimizer.with_cache(Arc::clone(cache));
     }
@@ -302,6 +424,17 @@ fn handle_optimize(
     let report = optimizer.optimize_module(&mut module, req.profile.as_ref());
     let wall = started.elapsed();
     let ir = module.to_string();
+    let trace = if req.trace {
+        let mut doc = abcd::module_trace_jsonl(&report, threads, req.deterministic_metrics);
+        doc.push_str(&abcd::request_span_jsonl(
+            shared.counters.queue_depth.load(Ordering::SeqCst),
+            enqueued.elapsed(),
+            req.deterministic_metrics,
+        ));
+        Some(doc)
+    } else {
+        None
+    };
     let metrics = if req.metrics {
         let mut run = RunInfo::new(threads, wall);
         if let Some(cache) = &shared.config.cache {
@@ -316,5 +449,10 @@ fn handle_optimize(
     } else {
         None
     };
-    Ok(ok_response(&ir, &report, metrics.as_deref()))
+    Ok(ok_response(
+        &ir,
+        &report,
+        trace.as_deref(),
+        metrics.as_deref(),
+    ))
 }

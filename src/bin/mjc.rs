@@ -3,10 +3,11 @@
 //! ```text
 //! mjc run <file.mj> [--opt] [--stats] [--arg N]...   compile and execute main()
 //! mjc opt <file.mj> [passes…] [--dump]               optimize and report
+//! mjc explain <file.mj> <fn> [--check N]             print proof certificates
 //! mjc dump <file.mj> [--stage ir|ssa|essa|opt]       print the IR of a stage
 //! mjc graph <file.mj> [--fn NAME] [--lower]          print the inequality graph
 //! mjc serve --socket PATH [server flags]             run the abcdd daemon
-//! mjc client <file|ping|stats|shutdown> --socket P   talk to a running abcdd
+//! mjc client <file|ping|stats|metrics|shutdown> --socket P   talk to abcdd
 //! ```
 //!
 //! Inputs ending in `.ir` are parsed as textual IR instead of MJ source.
@@ -15,7 +16,8 @@
 //! `--no-cleanup`, `--no-gvn-hook`, `--merge`, `--ipa` (closed-world
 //! interprocedural facts), `--version-fns` (guarded fast/slow clones),
 //! `--hot N` (with `--profile`), `--jobs N` (parallel driver),
-//! `--metrics`/`--metrics-out FILE` (`abcd-metrics/3` JSON),
+//! `--metrics`/`--metrics-out FILE` (`abcd-metrics/4` JSON),
+//! `--trace-out FILE` (`abcd-trace/1` JSONL structured trace),
 //! `--deterministic-metrics` (zero every duration for byte-comparable
 //! output), `--cache-dir DIR`/`--cache-bytes N` (content-addressed analysis
 //! cache), and the fail-open controls `--fuel N`, `--fuel-fn N`,
@@ -61,12 +63,13 @@ mjc — the MJ compiler driver of the ABCD reproduction
 USAGE:
     mjc run   <file.mj|file.ir> [--opt] [--profile] [--stats] [--arg N]...
     mjc opt   <file.mj|file.ir> [pass flags] [--version-fns] [--dump]
+    mjc explain <file.mj|file.ir> <fn> [--check N] [pass flags]
     mjc dump  <file.mj|file.ir> [--stage ir|ssa|essa|opt]
     mjc graph <file.mj|file.ir> [--fn NAME] [--lower]        (Graphviz output)
     mjc serve --socket PATH [--workers N] [--queue N] [--jobs N]
               [--cache-dir DIR] [--cache-bytes N] [--no-cache]
     mjc client <file.mj|file.ir> --socket PATH [pass flags] [--metrics]
-    mjc client ping|stats|shutdown --socket PATH
+    mjc client ping|stats|metrics|shutdown --socket PATH
 
 PASS FLAGS (for `opt`, `run --opt` and `client <file>`):
     --no-pre --no-lower --no-upper --no-cleanup --no-gvn-hook
@@ -75,11 +78,21 @@ PASS FLAGS (for `opt`, `run --opt` and `client <file>`):
     --version-fns      guarded fast/slow function clones
     --hot N            with --profile: analyze only sites with ≥N hits
     --jobs N           optimize functions on N worker threads
-    --metrics          emit abcd-metrics/3 JSON (stdout for opt, stderr for run)
+    --metrics          emit abcd-metrics/4 JSON (stdout for opt, stderr for run)
     --metrics-out F    write the metrics JSON to file F
+    --trace-out F      record an abcd-trace/1 JSONL structured trace to F
+                       (spans for every pass, prove query, PRE decision and
+                       cache lookup; zero overhead when absent)
     --deterministic-metrics
-                       zero every duration in the metrics JSON so identical
-                       runs are byte-identical (warm/cold cache comparisons)
+                       zero every duration in the metrics JSON (and every
+                       trace timestamp) so identical runs are byte-identical
+                       (warm/cold cache comparisons)
+
+EXPLAIN (`mjc explain <file> <fn> [--check N]`):
+    replays the recorded derivation into human-readable proof certificates:
+    why each check was eliminated (the derivation path and its weight) or
+    kept (amplifying cycle, fuel exhaustion, unconstrained vertex).
+    `--check N` narrows the output to check site ckN.
 
 CACHING (for `opt`, `run --opt`; always on in `serve` unless --no-cache):
     --cache-dir DIR    persist analysis-cache entries to DIR; entries are
@@ -139,6 +152,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     match cmd.as_str() {
         "run" => cmd_run(file, rest),
         "opt" => cmd_opt(file, rest),
+        "explain" => cmd_explain(file, rest),
         "dump" => cmd_dump(file, rest),
         "graph" => cmd_graph(file, rest),
         "client" => cmd_client(file, rest),
@@ -194,8 +208,9 @@ fn parse_options(rest: &[String]) -> Result<OptimizerOptions, String> {
             | "--metrics"
             | "--deterministic-metrics"
             | "--no-cache" => {}
-            "--arg" | "--stage" | "--fn" | "--jobs" | "--metrics-out" | "--fault-plan"
-            | "--cache-dir" | "--cache-bytes" | "--socket" | "--workers" | "--queue" => i += 1,
+            "--arg" | "--stage" | "--fn" | "--jobs" | "--metrics-out" | "--trace-out"
+            | "--check" | "--fault-plan" | "--cache-dir" | "--cache-bytes" | "--socket"
+            | "--workers" | "--queue" => i += 1,
             "--lower" if rest[i] == "--lower" => {}
             other => return Err(format!("unknown flag `{other}`")),
         }
@@ -250,7 +265,9 @@ fn optimizer_for(
     options: OptimizerOptions,
     rest: &[String],
 ) -> Result<(Optimizer, Option<std::sync::Arc<abcd::AnalysisCache>>), String> {
-    let mut optimizer = Optimizer::with_options(options).with_threads(jobs_of(rest)?);
+    let mut optimizer = Optimizer::with_options(options)
+        .with_threads(jobs_of(rest)?)
+        .with_trace(value_of(rest, "--trace-out").is_some());
     let cache = cache_for(rest)?;
     if let Some(cache) = &cache {
         optimizer = optimizer.with_cache(std::sync::Arc::clone(cache));
@@ -277,7 +294,7 @@ fn incident_exit(report: &abcd::ModuleReport) -> ExitCode {
     }
 }
 
-/// Emits the `abcd-metrics/3` JSON if `--metrics` or `--metrics-out` was
+/// Emits the `abcd-metrics/4` JSON if `--metrics` or `--metrics-out` was
 /// given. `to_stderr` keeps `run`'s program output clean on stdout.
 fn emit_metrics(
     report: &abcd::ModuleReport,
@@ -312,6 +329,15 @@ fn emit_metrics(
     Ok(())
 }
 
+/// Writes the `abcd-trace/1` JSONL document if `--trace-out` was given.
+fn emit_trace(report: &abcd::ModuleReport, threads: usize, rest: &[String]) -> Result<(), String> {
+    let Some(path) = value_of(rest, "--trace-out") else {
+        return Ok(());
+    };
+    let doc = abcd::module_trace_jsonl(report, threads, has(rest, "--deterministic-metrics"));
+    std::fs::write(path, doc).map_err(|e| format!("{path}: {e}"))
+}
+
 fn cmd_run(file: &str, rest: &[String]) -> Result<ExitCode, String> {
     // Validate flags up front so typos are rejected even without --opt.
     let options = parse_options(rest)?;
@@ -339,6 +365,7 @@ fn cmd_run(file: &str, rest: &[String]) -> Result<ExitCode, String> {
             report.steps_per_check()
         );
         emit_metrics(&report, threads, wall, cache.as_deref(), rest, true)?;
+        emit_trace(&report, threads, rest)?;
         exit = incident_exit(&report);
     }
 
@@ -385,6 +412,7 @@ fn cmd_opt(file: &str, rest: &[String]) -> Result<ExitCode, String> {
     let report = optimizer.optimize_module(&mut module, None);
     let wall = started.elapsed();
     emit_metrics(&report, threads, wall, cache.as_deref(), rest, false)?;
+    emit_trace(&report, threads, rest)?;
     if has(rest, "--version-fns") {
         let v = abcd::version_functions(&mut module, None, 0);
         for (name, facts, removed) in &v.versioned {
@@ -408,6 +436,40 @@ fn cmd_opt(file: &str, rest: &[String]) -> Result<ExitCode, String> {
         println!("\n{module}");
     }
     Ok(incident_exit(&report))
+}
+
+/// `mjc explain`: run the pipeline with tracing on and replay the recorded
+/// derivation for one function as human-readable proof certificates.
+fn cmd_explain(file: &str, rest: &[String]) -> Result<ExitCode, String> {
+    let func_name = rest
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or("`explain` needs a function name: mjc explain <file> <fn> [--check N]")?
+        .clone();
+    let flags = &rest[1..];
+    let check = match value_of(flags, "--check") {
+        None => None,
+        Some(v) => Some(
+            v.parse::<usize>()
+                .map_err(|_| "`--check` needs a check number".to_string())?,
+        ),
+    };
+    let options = parse_options(flags)?;
+    let mut module = load_module(file)?;
+    let (optimizer, _cache) = optimizer_for(options, flags)?;
+    let report = optimizer
+        .with_trace(true)
+        .optimize_module(&mut module, None);
+    let Some(frep) = report.functions.iter().find(|f| f.name == func_name) else {
+        return Err(format!("no function `{func_name}` in {file}"));
+    };
+    match abcd::explain_function(frep, check) {
+        Some(text) => {
+            emit(text);
+            Ok(incident_exit(&report))
+        }
+        None => Err(format!("no derivation recorded for `{func_name}`")),
+    }
 }
 
 fn cmd_dump(file: &str, rest: &[String]) -> Result<ExitCode, String> {
@@ -499,6 +561,11 @@ fn cmd_client(file: &str, rest: &[String]) -> Result<ExitCode, String> {
             emit(format!("{doc:?}\n"));
             Ok(ExitCode::SUCCESS)
         }
+        "metrics" => {
+            let text = abcd_server::metrics(socket, has(rest, "--deterministic-metrics"))?;
+            emit(text);
+            Ok(ExitCode::SUCCESS)
+        }
         "shutdown" => {
             abcd_server::shutdown(socket)?;
             Ok(ExitCode::SUCCESS)
@@ -513,10 +580,15 @@ fn cmd_client(file: &str, rest: &[String]) -> Result<ExitCode, String> {
                 None,
                 has(rest, "--metrics") || value_of(rest, "--metrics-out").is_some(),
                 has(rest, "--deterministic-metrics"),
+                value_of(rest, "--trace-out").is_some(),
                 8,
             )?;
             // Exactly what `cmd_dump` prints: `{module}` + one newline.
             emit(format!("{}\n", reply.ir));
+            if let Some(path) = value_of(rest, "--trace-out") {
+                std::fs::write(path, reply.trace.as_deref().unwrap_or(""))
+                    .map_err(|e| format!("{path}: {e}"))?;
+            }
             if let Some(metrics) = &reply.metrics {
                 if let Some(path) = value_of(rest, "--metrics-out") {
                     std::fs::write(path, format!("{metrics}\n"))

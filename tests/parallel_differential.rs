@@ -151,6 +151,34 @@ fn thread_count_edge_cases() {
     }
 }
 
+/// Deterministic traces are part of the differential guarantee: with
+/// timestamps zeroed, a pool run's `abcd-trace/1` document is
+/// byte-identical to the sequential one after the header line (the header
+/// legitimately embeds the thread count).
+#[test]
+fn parallel_trace_is_byte_identical_after_the_header() {
+    for name in ["db", "sieve", "array", "qsort"] {
+        let bench = abcd_benchsuite::by_name(name).unwrap();
+        let mut seq = bench.compile().unwrap();
+        let seq_report = Optimizer::new()
+            .with_trace(true)
+            .optimize_module(&mut seq, None);
+        let mut par = bench.compile().unwrap();
+        let par_report = Optimizer::new()
+            .with_trace(true)
+            .with_threads(4)
+            .optimize_module(&mut par, None);
+        let seq_trace = abcd::module_trace_jsonl(&seq_report, 1, true);
+        let par_trace = abcd::module_trace_jsonl(&par_report, 4, true);
+        let tail = |t: &str| t.lines().skip(1).collect::<Vec<_>>().join("\n");
+        assert_eq!(
+            tail(&seq_trace),
+            tail(&par_trace),
+            "{name}: trace spans differ between sequential and 4-thread runs"
+        );
+    }
+}
+
 /// The metrics JSON from a parallel run carries the worker count and a
 /// measured wall time, alongside solver and memo counters.
 #[test]
@@ -162,7 +190,7 @@ fn metrics_json_reports_parallel_run() {
         .with_threads(2)
         .optimize_module(&mut m, None);
     let json = abcd::module_metrics_json(&report, abcd::RunInfo::new(2, started.elapsed()));
-    assert!(json.starts_with("{\"schema\":\"abcd-metrics/3\""), "{json}");
+    assert!(json.starts_with("{\"schema\":\"abcd-metrics/4\""), "{json}");
     assert!(json.contains("\"threads\":2"), "{json}");
     assert!(json.contains("\"memo_hits\":"), "{json}");
     assert!(json.contains("\"graph\":"), "{json}");

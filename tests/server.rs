@@ -51,13 +51,25 @@ fn served_output_is_byte_identical_to_local() {
     let options = OptimizerOptions::default();
     // Twice: the second request is a warm-cache replay and must not differ.
     for pass in 0..2 {
-        let reply = abcd_server::optimize(&socket, (PROGRAM, false), &options, None, true, true, 4)
-            .unwrap();
+        let reply = abcd_server::optimize(
+            &socket,
+            (PROGRAM, false),
+            &options,
+            None,
+            true,
+            true,
+            true,
+            4,
+        )
+        .unwrap();
         assert_eq!(reply.ir, reference, "pass {pass}");
         assert_eq!(reply.incidents, (0, 0), "pass {pass}");
+        let trace = reply.trace.expect("trace requested");
+        assert!(trace.starts_with("{\"schema\":\"abcd-trace/1\""), "{trace}");
+        assert!(trace.contains("\"span\":\"request\""), "{trace}");
         let metrics = reply.metrics.expect("metrics requested");
         assert!(
-            metrics.contains("\"schema\":\"abcd-metrics/3\""),
+            metrics.contains("\"schema\":\"abcd-metrics/4\""),
             "{metrics}"
         );
         assert!(metrics.contains("\"deterministic\":true"), "{metrics}");
@@ -92,6 +104,7 @@ fn concurrent_clients_all_get_the_sequential_answer() {
                         (PROGRAM, false),
                         &OptimizerOptions::default(),
                         None,
+                        false,
                         false,
                         false,
                         16,
