@@ -4,33 +4,41 @@
 //! for dynamic compilation.
 //!
 //! Run with: `cargo bench -p abcd-bench --bench pipeline`
+//!
+//! With `BENCH_PIPELINE_JSON=path` set, the run additionally persists its
+//! numbers — including the per-`--prover`-backend sweep — as a JSON
+//! document (the committed `BENCH_pipeline.json` perf trajectory).
 
-use abcd::{Optimizer, OptimizerOptions};
+use abcd::{Optimizer, OptimizerOptions, ProverBackend};
 use abcd_bench::micro::bench;
 
-fn bench_essa() {
+fn bench_essa(results: &mut Vec<(String, f64)>) {
     for b in abcd_benchsuite::BENCHMARKS.iter().take(6) {
         let module = b.compile().unwrap();
-        bench(&format!("pipeline/to_essa/{}", b.name), || {
+        let name = format!("pipeline/to_essa/{}", b.name);
+        let ns = bench(&name, || {
             let mut m = module.clone();
             abcd_ssa::module_to_essa(&mut m).unwrap();
             m.function_count()
         });
+        results.push((name, ns));
     }
 }
 
-fn bench_full_abcd() {
+fn bench_full_abcd(results: &mut Vec<(String, f64)>) {
     for b in abcd_benchsuite::BENCHMARKS {
         let module = b.compile().unwrap();
-        bench(&format!("pipeline/abcd_full/{}", b.name), || {
+        let name = format!("pipeline/abcd_full/{}", b.name);
+        let ns = bench(&name, || {
             let mut m = module.clone();
             let report = Optimizer::new().optimize_module(&mut m, None);
             report.checks_removed_fully()
         });
+        results.push((name, ns));
     }
 }
 
-fn bench_abcd_without_pre() {
+fn bench_abcd_without_pre(results: &mut Vec<(String, f64)>) {
     let b = abcd_benchsuite::by_name("biDirBubbleSort").unwrap();
     let module = b.compile().unwrap();
     let opts = OptimizerOptions {
@@ -38,19 +46,21 @@ fn bench_abcd_without_pre() {
         classify_local: false,
         ..OptimizerOptions::default()
     };
-    bench("pipeline/abcd_minimal_bidir", || {
+    let ns = bench("pipeline/abcd_minimal_bidir", || {
         let mut m = module.clone();
         Optimizer::with_options(opts)
             .optimize_module(&mut m, None)
             .checks_removed_fully()
     });
+    results.push(("pipeline/abcd_minimal_bidir".to_string(), ns));
 }
 
 /// Sequential vs. parallel driver on the whole suite — the speedup the
 /// scoped-thread work pool buys at module granularity.
-fn bench_parallel_driver() {
+fn bench_parallel_driver(results: &mut Vec<(String, f64)>) {
     for threads in [1usize, 2, 4] {
-        bench(&format!("pipeline/abcd_suite_threads/{threads}"), || {
+        let name = format!("pipeline/abcd_suite_threads/{threads}");
+        let ns = bench(&name, || {
             let mut removed = 0usize;
             for b in abcd_benchsuite::BENCHMARKS {
                 let mut m = b.compile().unwrap();
@@ -59,12 +69,85 @@ fn bench_parallel_driver() {
             }
             removed
         });
+        results.push((name, ns));
     }
 }
 
+/// One `--prover` backend over the whole suite: wall time (ns/iter) plus
+/// the deterministic solver-step total, which is what the regression gate
+/// in `tests/regressions.rs` pins.
+fn bench_backends(results: &mut Vec<(String, f64)>) -> Vec<(&'static str, f64, u64)> {
+    let mut rows = Vec::new();
+    for backend in [
+        ProverBackend::Demand,
+        ProverBackend::Batch,
+        ProverBackend::Dbm,
+        ProverBackend::Auto,
+    ] {
+        let opts = OptimizerOptions {
+            prover: backend,
+            ..OptimizerOptions::default()
+        };
+        let name = format!("pipeline/abcd_suite_prover/{}", backend.name());
+        let ns = bench(&name, || {
+            let mut removed = 0usize;
+            for b in abcd_benchsuite::BENCHMARKS {
+                let mut m = b.compile().unwrap();
+                removed += Optimizer::with_options(opts)
+                    .optimize_module(&mut m, None)
+                    .checks_removed_fully();
+            }
+            removed
+        });
+        results.push((name, ns));
+        let mut steps = 0u64;
+        for b in abcd_benchsuite::BENCHMARKS {
+            let mut m = b.compile().unwrap();
+            let report = Optimizer::with_options(opts).optimize_module(&mut m, None);
+            steps += report
+                .functions
+                .iter()
+                .map(|f| f.metrics.backend_steps.iter().sum::<u64>())
+                .sum::<u64>();
+        }
+        rows.push((backend.name(), ns, steps));
+    }
+    rows
+}
+
+/// Renders the committed perf-trajectory document. Wall times vary by
+/// host, so the schema separates them from the deterministic step counts.
+fn render_json(results: &[(String, f64)], backends: &[(&'static str, f64, u64)]) -> String {
+    let mut out = String::from("{\"schema\":\"abcd-bench-pipeline/1\",\"backends\":{");
+    for (i, (name, ns, steps)) in backends.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\"{name}\":{{\"suite_ns_per_iter\":{:.0},\"suite_solver_steps\":{steps}}}",
+            ns
+        ));
+    }
+    out.push_str("},\"benchmarks\":{");
+    for (i, (name, ns)) in results.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\":{:.0}", abcd::json_escape(name), ns));
+    }
+    out.push_str("}}\n");
+    out
+}
+
 fn main() {
-    bench_essa();
-    bench_full_abcd();
-    bench_abcd_without_pre();
-    bench_parallel_driver();
+    let mut results = Vec::new();
+    bench_essa(&mut results);
+    bench_full_abcd(&mut results);
+    bench_abcd_without_pre(&mut results);
+    bench_parallel_driver(&mut results);
+    let backends = bench_backends(&mut results);
+    if let Ok(path) = std::env::var("BENCH_PIPELINE_JSON") {
+        std::fs::write(&path, render_json(&results, &backends)).expect("write bench json");
+        println!("wrote {path}");
+    }
 }

@@ -94,3 +94,32 @@ fn bytemark_keeps_the_largest_partial_redundancy() {
         "the paper's partial-redundancy outlier moved (now {best_name} at {best:.2})"
     );
 }
+
+#[test]
+fn demand_backend_step_count_stays_flat() {
+    // The demand prover is the oracle backend and the default engine; its
+    // suite-wide step total is deterministic, so any solver change that
+    // makes it traverse more is a regression this gate catches before the
+    // wall-clock numbers in BENCH_pipeline.json drift. Calibrated at 2314
+    // steps with ~12% headroom.
+    use abcd::{Optimizer, ProverBackend};
+    let opts = OptimizerOptions {
+        prover: ProverBackend::Demand,
+        ..OptimizerOptions::default()
+    };
+    let mut steps = 0u64;
+    for b in abcd_benchsuite::BENCHMARKS {
+        let mut m = b.compile().unwrap();
+        let report = Optimizer::with_options(opts).optimize_module(&mut m, None);
+        steps += report
+            .functions
+            .iter()
+            .map(|f| f.metrics.backend_steps.iter().sum::<u64>())
+            .sum::<u64>();
+    }
+    assert!(
+        steps <= 2600,
+        "demand backend suite steps regressed: {steps} (calibrated: 2314)"
+    );
+    assert!(steps > 0, "step accounting broke: no steps recorded");
+}

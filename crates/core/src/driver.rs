@@ -14,7 +14,7 @@ use crate::pre::{apply_insertions, merge_remaining_checks};
 use crate::report::{
     CheckOutcome, EliminatedCheck, FunctionReport, HoistedCheck, Incident, ModuleReport,
 };
-use crate::solver::{DemandProver, PreOutcome, PreProver};
+use crate::solver::{AnyProver, DemandProver, PreOutcome, PreProver, ProverBackend};
 use crate::trace::{FunctionTrace, PreInsertionRecord, Span};
 use abcd_ir::{Block, CheckKind, CheckSite, FuncId, Function, InstId, InstKind, Module, Value};
 use abcd_ssa::DomTree;
@@ -71,6 +71,10 @@ pub struct OptimizerOptions {
     /// function ships unoptimized ([`Incident::PassPanic`]) while the rest
     /// of the module proceeds.
     pub isolate_panics: bool,
+    /// Which engine answers difference queries (`--prover`). All backends
+    /// compute identical verdicts; [`ProverBackend::Auto`] picks per
+    /// function (and per problem) by graph shape.
+    pub prover: ProverBackend,
 }
 
 impl Default for OptimizerOptions {
@@ -90,6 +94,7 @@ impl Default for OptimizerOptions {
             verify_ir: cfg!(debug_assertions),
             validate: false,
             isolate_panics: true,
+            prover: ProverBackend::Demand,
         }
     }
 }
@@ -758,6 +763,29 @@ impl Optimizer {
             });
         }
 
+        // Resolve the query engine per problem graph: `auto` inspects each
+        // graph's shape, concrete backends pass through unchanged.
+        let upper_backend = opts.prover.resolve(&upper_graph);
+        let lower_backend = opts.prover.resolve(&lower_graph);
+        report.metrics.upper_backend = upper_backend.name();
+        report.metrics.lower_backend = lower_backend.name();
+        if let Some(t) = &mut ftrace {
+            for (problem, graph, resolved) in [
+                ("upper", &upper_graph, upper_backend),
+                ("lower", &lower_graph, lower_backend),
+            ] {
+                let shape = graph.shape();
+                t.push(Span::Backend {
+                    problem,
+                    requested: opts.prover.name(),
+                    backend: resolved.name(),
+                    vertices: shape.vertices,
+                    edges: shape.edges,
+                    cycles: shape.cycles,
+                });
+            }
+        }
+
         // The checks, in program order, hottest-first when profiled.
         let mut checks: Vec<(Block, InstId, CheckSite, Value, Value, CheckKind)> = Vec::new();
         for b in func.blocks() {
@@ -783,8 +811,8 @@ impl Optimizer {
         // Provers are cached per source vertex so memoization spans all
         // checks against the same array (or the constant 0) — including the
         // PRE provers, whose exact-match memo is equally reusable.
-        let mut upper_provers: HashMap<Value, DemandProver> = HashMap::new();
-        let mut lower_prover = DemandProver::new(&lower_graph, Vertex::Const(0));
+        let mut upper_provers: HashMap<Value, AnyProver> = HashMap::new();
+        let mut lower_prover = AnyProver::new(&lower_graph, Vertex::Const(0), lower_backend);
         if self.trace {
             lower_prover.enable_trace();
         }
@@ -847,6 +875,7 @@ impl Optimizer {
             let started = Instant::now();
             let mut spent_steps = 0u64;
             let mut exhausted = false;
+            let mut overflowed = false;
 
             let (problem, source, c, graph): (Problem, Vertex, i64, &InequalityGraph) = match kind {
                 CheckKind::Upper | CheckKind::Both => {
@@ -859,9 +888,12 @@ impl Optimizer {
             let mut proven = match kind {
                 CheckKind::Upper => prove_upper(
                     &upper_graph,
+                    upper_backend,
                     &mut upper_provers,
+                    &mut report.metrics,
                     &mut spent_steps,
                     &mut exhausted,
+                    &mut overflowed,
                     query_fuel,
                     array,
                     index,
@@ -870,8 +902,10 @@ impl Optimizer {
                 ),
                 CheckKind::Lower => prove_lower(
                     &mut lower_prover,
+                    &mut report.metrics,
                     &mut spent_steps,
                     &mut exhausted,
+                    &mut overflowed,
                     query_fuel,
                     index,
                     site,
@@ -880,9 +914,12 @@ impl Optimizer {
                 CheckKind::Both => {
                     prove_upper(
                         &upper_graph,
+                        upper_backend,
                         &mut upper_provers,
+                        &mut report.metrics,
                         &mut spent_steps,
                         &mut exhausted,
+                        &mut overflowed,
                         query_fuel,
                         array,
                         index,
@@ -890,8 +927,10 @@ impl Optimizer {
                         &mut ftrace,
                     ) && prove_lower(
                         &mut lower_prover,
+                        &mut report.metrics,
                         &mut spent_steps,
                         &mut exhausted,
+                        &mut overflowed,
                         query_fuel,
                         index,
                         site,
@@ -909,9 +948,12 @@ impl Optimizer {
                 for other in abcd_analysis::congruent_arrays(func, &gvn, &dt, array, block) {
                     if prove_upper(
                         &upper_graph,
+                        upper_backend,
                         &mut upper_provers,
+                        &mut report.metrics,
                         &mut spent_steps,
                         &mut exhausted,
+                        &mut overflowed,
                         query_fuel,
                         other,
                         index,
@@ -960,6 +1002,18 @@ impl Optimizer {
                     site,
                     kind,
                     fuel: spent_steps,
+                });
+                CheckOutcome::Kept
+            } else if overflowed {
+                // Path-weight arithmetic saturated: the `False` is an
+                // artifact of the conservative overflow answer, not a real
+                // refutation, so PRE (which would trust it) is skipped and
+                // the precision loss is surfaced as a non-degraded incident.
+                report.metrics.solve_time += started.elapsed();
+                report.incidents.push(Incident::SolverOverflow {
+                    function: func.name().to_string(),
+                    site,
+                    kind,
                 });
                 CheckOutcome::Kept
             } else if opts.pre && kind != CheckKind::Both {
@@ -1027,11 +1081,11 @@ impl Optimizer {
         }
 
         for p in upper_provers.values() {
-            report.metrics.memo_hits += p.memo_hits;
-            report.metrics.memo_misses += p.memo_misses;
+            report.metrics.memo_hits += p.memo_hits();
+            report.metrics.memo_misses += p.memo_misses();
         }
-        report.metrics.memo_hits += lower_prover.memo_hits;
-        report.metrics.memo_misses += lower_prover.memo_misses;
+        report.metrics.memo_hits += lower_prover.memo_hits();
+        report.metrics.memo_misses += lower_prover.memo_misses();
         for p in pre_provers.values() {
             report.metrics.pre_memo_hits += p.memo_hits;
             report.metrics.pre_memo_misses += p.memo_misses;
@@ -1229,14 +1283,18 @@ impl Optimizer {
 }
 
 /// Runs an upper-bound query against the (memoized) prover for `array`,
-/// accounting the solver steps it spends into `spent` and budget trips into
-/// `exhausted`.
+/// accounting the solver steps it spends into `spent`, budget trips into
+/// `exhausted`, and arithmetic saturation into `overflowed`. Steps and
+/// wall time also land in the per-backend metrics slots.
 #[allow(clippy::too_many_arguments)]
 fn prove_upper<'g>(
     graph: &'g InequalityGraph,
-    provers: &mut HashMap<Value, DemandProver<'g>>,
+    backend: ProverBackend,
+    provers: &mut HashMap<Value, AnyProver<'g>>,
+    metrics: &mut crate::metrics::FunctionMetrics,
     spent: &mut u64,
     exhausted: &mut bool,
+    overflowed: &mut bool,
     fuel: Option<u64>,
     array: Value,
     index: Value,
@@ -1245,20 +1303,25 @@ fn prove_upper<'g>(
 ) -> bool {
     let tracing = trace.is_some();
     let p = provers.entry(array).or_insert_with(|| {
-        let mut p = DemandProver::new(graph, Vertex::ArrayLen(array));
+        let mut p = AnyProver::new(graph, Vertex::ArrayLen(array), backend);
         if tracing {
             p.enable_trace();
         }
         p
     });
-    let before = p.steps;
+    let started = Instant::now();
+    let before = p.steps();
     if let Some(f) = fuel {
         p.set_query_fuel(f);
     }
     let ok = p.demand_prove(Vertex::Value(index), -1);
-    let steps = p.steps - before;
+    let steps = p.steps() - before;
     *spent += steps;
     *exhausted |= p.last_query_exhausted();
+    *overflowed |= p.last_query_overflowed();
+    let slot = p.backend().index();
+    metrics.backend_steps[slot] += steps;
+    metrics.backend_time[slot] += started.elapsed();
     if let Some(t) = trace {
         t.push(Span::Prove {
             site,
@@ -1279,22 +1342,29 @@ fn prove_upper<'g>(
 /// prover).
 #[allow(clippy::too_many_arguments)]
 fn prove_lower(
-    prover: &mut DemandProver,
+    prover: &mut AnyProver,
+    metrics: &mut crate::metrics::FunctionMetrics,
     spent: &mut u64,
     exhausted: &mut bool,
+    overflowed: &mut bool,
     fuel: Option<u64>,
     index: Value,
     site: CheckSite,
     trace: &mut Option<Box<FunctionTrace>>,
 ) -> bool {
-    let before = prover.steps;
+    let started = Instant::now();
+    let before = prover.steps();
     if let Some(f) = fuel {
         prover.set_query_fuel(f);
     }
     let ok = prover.demand_prove(Vertex::Value(index), 0);
-    let steps = prover.steps - before;
+    let steps = prover.steps() - before;
     *spent += steps;
     *exhausted |= prover.last_query_exhausted();
+    *overflowed |= prover.last_query_overflowed();
+    let slot = prover.backend().index();
+    metrics.backend_steps[slot] += steps;
+    metrics.backend_time[slot] += started.elapsed();
     if let Some(t) = trace {
         t.push(Span::Prove {
             site,

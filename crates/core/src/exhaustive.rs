@@ -40,6 +40,58 @@ const INF: i64 = i64::MAX / 4;
 /// Kleene bottom ("no derivation found yet").
 const BOT: i64 = i64::MIN / 4;
 
+/// Beyond this many vertices a dense n×n matrix stops paying for itself
+/// (and its memory quadratically stops being funny); the dense relaxation
+/// silently falls back to the sparse edge lists — the fixpoint is
+/// identical either way.
+const DENSE_LIMIT: usize = 1024;
+
+/// How the Kleene rounds examine the graph.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Relaxation {
+    /// Walk each vertex's sparse in-edge list (the batch backend).
+    Sparse,
+    /// Collapse parallel edges into a dense difference-bound matrix and
+    /// relax whole rows (the dbm/octagon-closure backend). Falls back to
+    /// sparse past [`DENSE_LIMIT`] vertices.
+    Dense,
+}
+
+/// Parallel edges collapsed into one weight per `(dst, src)` pair — max
+/// weight into max vertices, min weight into min vertices, which preserves
+/// the fixpoint exactly because `max/min` distribute over `d[u] + w`.
+struct DenseRows {
+    n: usize,
+    weight: Vec<i64>,
+    present: Vec<bool>,
+}
+
+impl DenseRows {
+    fn build(graph: &InequalityGraph, n: usize) -> DenseRows {
+        let mut rows = DenseRows {
+            n,
+            weight: vec![0; n * n],
+            present: vec![false; n * n],
+        };
+        for v in 0..n {
+            let vid = VertexId::from_index(v);
+            let keep_max = graph.is_max(vid);
+            for e in graph.in_edges(vid) {
+                let cell = v * n + e.src.index();
+                if !rows.present[cell] {
+                    rows.present[cell] = true;
+                    rows.weight[cell] = e.weight;
+                } else if keep_max {
+                    rows.weight[cell] = rows.weight[cell].max(e.weight);
+                } else {
+                    rows.weight[cell] = rows.weight[cell].min(e.weight);
+                }
+            }
+        }
+        rows
+    }
+}
+
 /// Distances from one source vertex to every vertex of the graph.
 #[derive(Clone, Debug)]
 pub struct ExhaustiveDistances {
@@ -48,13 +100,45 @@ pub struct ExhaustiveDistances {
     source_potential: Option<i64>,
     problem: Problem,
     /// Vertex-relaxation steps performed (the cost metric to compare with
-    /// [`DemandProver::steps`](crate::DemandProver)).
+    /// [`DemandProver::steps`](crate::DemandProver)): one per sparse
+    /// vertex relaxation, one per matrix cell examined in dense mode.
     pub steps: u64,
+    /// The fuel budget ran out mid-sweep; `dist` is partial and callers
+    /// must discard the table (fail-open).
+    aborted: bool,
+    /// Some accumulation saturated against the sentinel range; distances
+    /// are conservative but no longer exact, so sweep-backed provers
+    /// refuse to prove from them.
+    overflowed: bool,
 }
 
 impl ExhaustiveDistances {
-    /// Runs the single-source computation for `source` over `graph`.
+    /// Runs the unbudgeted single-source computation for `source` over
+    /// `graph` with the sparse relaxation.
     pub fn compute(graph: &InequalityGraph, source: Vertex) -> ExhaustiveDistances {
+        Self::compute_budgeted(graph, source, u64::MAX, Relaxation::Sparse)
+    }
+
+    /// Did the fuel budget run out mid-sweep?
+    pub fn aborted(&self) -> bool {
+        self.aborted
+    }
+
+    /// Did any accumulation saturate (distances conservative, not exact)?
+    pub fn overflowed(&self) -> bool {
+        self.overflowed
+    }
+
+    /// Runs the single-source computation for `source` over `graph`,
+    /// spending at most `fuel` relaxation steps (the sweep aborts past the
+    /// budget — check [`ExhaustiveDistances::aborted`]) and relaxing per
+    /// `relaxation`.
+    pub fn compute_budgeted(
+        graph: &InequalityGraph,
+        source: Vertex,
+        fuel: u64,
+        relaxation: Relaxation,
+    ) -> ExhaustiveDistances {
         let n = graph.vertex_count();
         let src = graph.lookup(source);
         let source_potential = src.and_then(|s| graph.potential(s));
@@ -64,13 +148,21 @@ impl ExhaustiveDistances {
             source_potential,
             problem: graph.problem(),
             steps: 0,
+            aborted: false,
+            overflowed: false,
         };
         if n == 0 {
             return this;
         }
+        let dense = match relaxation {
+            Relaxation::Dense if n <= DENSE_LIMIT => Some(DenseRows::build(graph, n)),
+            _ => None,
+        };
 
         // Axioms: the source, and — when the source is a constant —
-        // every constant-potential vertex (exact numeric relation).
+        // every constant-potential vertex (exact numeric relation,
+        // computed in i128 so adversarial constants saturate instead of
+        // wrapping).
         let mut axiom = vec![false; n];
         if let Some(s) = src {
             this.dist[s.index()] = 0;
@@ -79,7 +171,17 @@ impl ExhaustiveDistances {
         if let Some(pa) = source_potential {
             for (v, is_axiom) in axiom.iter_mut().enumerate() {
                 if let Some(pv) = graph.potential(VertexId::from_index(v)) {
-                    this.dist[v] = this.dist[v].max(pv - pa);
+                    let rel = pv as i128 - pa as i128;
+                    let rel = if rel >= INF as i128 {
+                        this.overflowed = true;
+                        INF
+                    } else if rel <= BOT as i128 {
+                        this.overflowed = true;
+                        BOT + 1
+                    } else {
+                        rel as i64
+                    };
+                    this.dist[v] = this.dist[v].max(rel);
                     *is_axiom = true;
                 }
             }
@@ -110,8 +212,37 @@ impl ExhaustiveDistances {
         }
 
         // Steps 2–3: Kleene from below with amplification pinning.
+        // ⊥ participates as a genuine −∞: max ignores not-yet-derived
+        // inputs (and converges upward as they appear), min is dragged to
+        // ⊥ by them (and rises together with them) — exactly the monotone
+        // Kleene step.
+        let relax = |dist: &[i64], v: usize, overflowed: &mut bool| -> (i64, u64) {
+            let vid = VertexId::from_index(v);
+            let is_max = graph.is_max(vid);
+            let mut val = if is_max { BOT } else { INF };
+            match &dense {
+                Some(rows) => {
+                    let row = v * rows.n;
+                    for (u, &du) in dist.iter().enumerate().take(rows.n) {
+                        if !rows.present[row + u] {
+                            continue;
+                        }
+                        let via = add(du, rows.weight[row + u], overflowed);
+                        val = if is_max { val.max(via) } else { val.min(via) };
+                    }
+                    (val, rows.n as u64)
+                }
+                None => {
+                    for e in graph.in_edges(vid) {
+                        let via = add(dist[e.src.index()], e.weight, overflowed);
+                        val = if is_max { val.max(via) } else { val.min(via) };
+                    }
+                    (val, 1)
+                }
+            }
+        };
         let mut pinned = vec![false; n];
-        loop {
+        'sweep: loop {
             let rounds = n + 2;
             let mut changed_last = false;
             for _ in 0..rounds {
@@ -120,22 +251,17 @@ impl ExhaustiveDistances {
                     if axiom[v] || pinned[v] || !reach[v] {
                         continue;
                     }
-                    let vid = VertexId::from_index(v);
-                    let edges = graph.in_edges(vid);
-                    if edges.is_empty() {
+                    if graph.in_edges(VertexId::from_index(v)).is_empty() {
                         continue;
                     }
-                    this.steps += 1;
-                    let is_max = graph.is_max(vid);
-                    // ⊥ participates as a genuine −∞: max ignores not-yet-
-                    // derived inputs (and converges upward as they appear),
-                    // min is dragged to ⊥ by them (and rises together with
-                    // them) — exactly the monotone Kleene step.
-                    let mut val = if is_max { BOT } else { INF };
-                    for e in edges {
-                        let via = add(this.dist[e.src.index()], e.weight);
-                        val = if is_max { val.max(via) } else { val.min(via) };
+                    if this.steps >= fuel {
+                        // Fail-open: out of budget mid-sweep — the partial
+                        // table must not be consulted.
+                        this.aborted = true;
+                        break 'sweep;
                     }
+                    let (val, cost) = relax(&this.dist, v, &mut this.overflowed);
+                    this.steps += cost;
                     if val > this.dist[v] {
                         this.dist[v] = val;
                         changed_last = true;
@@ -155,17 +281,10 @@ impl ExhaustiveDistances {
                 if axiom[v] || pinned[v] || !reach[v] {
                     continue;
                 }
-                let vid = VertexId::from_index(v);
-                let edges = graph.in_edges(vid);
-                if edges.is_empty() {
+                if graph.in_edges(VertexId::from_index(v)).is_empty() {
                     continue;
                 }
-                let is_max = graph.is_max(vid);
-                let mut val = if is_max { BOT } else { INF };
-                for e in edges {
-                    let via = add(this.dist[e.src.index()], e.weight);
-                    val = if is_max { val.max(via) } else { val.min(via) };
-                }
+                let (val, _) = relax(&this.dist, v, &mut this.overflowed);
                 if val > this.dist[v] {
                     this.dist[v] = INF;
                     pinned[v] = true;
@@ -174,6 +293,43 @@ impl ExhaustiveDistances {
             }
             if !pinned_any {
                 break;
+            }
+        }
+
+        // Step 4: downward correction (narrowing). The from-below sweep
+        // over-pins: a positive-gain cycle that a parallel edge clamps at a
+        // min vertex (`x ≤ x_prev + 1` next to `x ≤ limit`) rises by one
+        // per trip, so its fixpoint is O(weight) rounds away while the
+        // round bound is O(|V|) — the pinning pass then widens the whole
+        // cycle to `INF` even though it converges. The pinned table is a
+        // post-fixpoint (every coordinate ≥ the least fixpoint), so
+        // re-applying the equations downward only removes widening
+        // overshoot and every intermediate table stays sound; genuinely
+        // amplifying cycles keep `INF` because their φ max holds them up.
+        if !this.aborted {
+            'narrow: for _ in 0..(n + 2) {
+                let mut changed = false;
+                for v in 0..n {
+                    if axiom[v] || !reach[v] {
+                        continue;
+                    }
+                    if graph.in_edges(VertexId::from_index(v)).is_empty() {
+                        continue;
+                    }
+                    if this.steps >= fuel {
+                        this.aborted = true;
+                        break 'narrow;
+                    }
+                    let (val, cost) = relax(&this.dist, v, &mut this.overflowed);
+                    this.steps += cost;
+                    if val < this.dist[v] {
+                        this.dist[v] = val;
+                        changed = true;
+                    }
+                }
+                if !changed {
+                    break;
+                }
             }
         }
         this
@@ -193,13 +349,14 @@ impl ExhaustiveDistances {
         if target == self.source_vertex {
             return c >= 0;
         }
-        // Constant targets against constant sources resolve numerically.
+        // Constant targets against constant sources resolve numerically
+        // (in i128 — near-i64::MAX constants must not wrap).
         if let (Vertex::Const(k), Some(pa)) = (target, self.source_potential) {
             let pk = match self.problem {
-                Problem::Upper => k,
-                Problem::Lower => -k,
+                Problem::Upper => k as i128,
+                Problem::Lower => -(k as i128),
             };
-            if pk - pa <= c {
+            if pk - pa as i128 <= c as i128 {
                 return true;
             }
         }
@@ -210,13 +367,26 @@ impl ExhaustiveDistances {
     }
 }
 
-fn add(a: i64, b: i64) -> i64 {
+/// Sentinel-aware addition. A finite sum that collides with the sentinel
+/// range saturates (which is conservative: `INF` keeps the check,
+/// `BOT + 1` over-claims the distance only upward) and raises the
+/// overflow flag so sweep-backed provers stop trusting the table.
+fn add(a: i64, b: i64, overflowed: &mut bool) -> i64 {
     if a >= INF {
         INF
     } else if a <= BOT {
         BOT
     } else {
-        a.saturating_add(b).clamp(BOT + 1, INF)
+        let sum = a as i128 + b as i128;
+        if sum >= INF as i128 {
+            *overflowed = true;
+            INF
+        } else if sum <= BOT as i128 {
+            *overflowed = true;
+            BOT + 1
+        } else {
+            sum as i64
+        }
     }
 }
 
@@ -373,6 +543,38 @@ mod tests {
     }
 
     #[test]
+    fn clamped_cycle_narrows_back_from_the_widening_pin() {
+        // Regression (found by the backend-parity sweep on the `mpeg`
+        // kernel): a constant-bound loop over a constant-size allocation
+        // forms a +1-gain cycle clamped by a parallel min edge (`i ≤ 63`).
+        // The fixpoint climb is O(bound) rounds, the sweep's round budget
+        // is O(|V|), so the pinning pass used to widen the whole cycle to
+        // INF and refute a check the demand prover proves via potentials.
+        // The downward-correction rounds must recover the exact fixpoint.
+        let f = essa(
+            "fn f() -> int {
+                let a: int[] = new int[64];
+                let s: int = 0;
+                for (let i: int = 0; i < 64; i = i + 1) { s = s + a[i]; }
+                return s;
+            }",
+        );
+        let g = InequalityGraph::build(&f, Problem::Upper, None);
+        let (array, index, _) = checks(&f)
+            .into_iter()
+            .find(|(_, _, k)| *k == CheckKind::Upper)
+            .unwrap();
+        let source = Vertex::ArrayLen(array);
+        let mut demand = DemandProver::new(&g, source);
+        assert!(demand.demand_prove(Vertex::Value(index), -1), "{f}");
+        let ex = ExhaustiveDistances::compute(&g, source);
+        assert!(
+            ex.proves(&g, Vertex::Value(index), -1),
+            "sweep must agree with the demand prover on the clamped cycle\n{f}"
+        );
+    }
+
+    #[test]
     fn amplifying_cycle_yields_unbounded_distance() {
         // j grows without a length bound: its φ must be +∞ in the upper
         // problem (the amplification pin), never a finite value.
@@ -421,5 +623,93 @@ mod tests {
             ex.steps,
             demand.steps
         );
+    }
+
+    /// Dense (matrix) relaxation computes exactly the same fixpoint as the
+    /// sparse edge lists, vertex by vertex.
+    #[test]
+    fn dense_relaxation_matches_sparse() {
+        let sources = [
+            "fn f(a: int[]) -> int {
+                let s: int = 0;
+                for (let i: int = 0; i < a.length; i = i + 1) { s = s + a[i]; }
+                return s;
+            }",
+            "fn f(a: int[], n: int) -> int {
+                let s: int = 0;
+                for (let i: int = 0; i < n; i = i + 1) { s = s + a[i]; }
+                return s;
+            }",
+            "fn f(a: int[]) {
+                let limit: int = a.length;
+                let st: int = 0 - 1;
+                while (st < limit) {
+                    st = st + 1;
+                    limit = limit - 1;
+                    for (let j: int = st; j < limit; j = j + 1) {
+                        let x: int = a[j];
+                    }
+                }
+            }",
+        ];
+        for src in sources {
+            let f = essa(src);
+            for problem in [Problem::Upper, Problem::Lower] {
+                let g = InequalityGraph::build(&f, problem, None);
+                for (array, _, _) in checks(&f) {
+                    let source = match problem {
+                        Problem::Upper => Vertex::ArrayLen(array),
+                        Problem::Lower => Vertex::Const(0),
+                    };
+                    let sparse = ExhaustiveDistances::compute_budgeted(
+                        &g,
+                        source,
+                        u64::MAX,
+                        Relaxation::Sparse,
+                    );
+                    let dense = ExhaustiveDistances::compute_budgeted(
+                        &g,
+                        source,
+                        u64::MAX,
+                        Relaxation::Dense,
+                    );
+                    for v in 0..g.vertex_count() {
+                        let vx = g.vertex(VertexId::from_index(v));
+                        assert_eq!(
+                            sparse.distance(&g, vx),
+                            dense.distance(&g, vx),
+                            "{problem:?} dense/sparse split on {vx:?}\n{src}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// A starved sweep reports `aborted` and is never consulted.
+    #[test]
+    fn budgeted_sweep_aborts_cleanly() {
+        let f = essa(
+            "fn f(a: int[]) -> int {
+                let s: int = 0;
+                for (let i: int = 0; i < a.length; i = i + 1) { s = s + a[i]; }
+                return s;
+            }",
+        );
+        let g = InequalityGraph::build(&f, Problem::Upper, None);
+        let (array, _, _) = checks(&f)[0];
+        for relaxation in [Relaxation::Sparse, Relaxation::Dense] {
+            let ex =
+                ExhaustiveDistances::compute_budgeted(&g, Vertex::ArrayLen(array), 0, relaxation);
+            assert!(ex.aborted(), "{relaxation:?}");
+            let full = ExhaustiveDistances::compute_budgeted(
+                &g,
+                Vertex::ArrayLen(array),
+                u64::MAX,
+                relaxation,
+            );
+            assert!(!full.aborted(), "{relaxation:?}");
+            assert!(!full.overflowed(), "{relaxation:?}");
+        }
     }
 }

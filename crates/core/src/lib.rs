@@ -70,16 +70,19 @@ pub mod versioning;
 
 pub use cache::{AnalysisCache, CacheEntry, CacheKey, CacheStats};
 pub use driver::{Optimizer, OptimizerOptions};
-pub use exhaustive::ExhaustiveDistances;
+pub use exhaustive::{ExhaustiveDistances, Relaxation};
 pub use faults::{Fault, FaultPlan};
-pub use graph::{InEdge, InequalityGraph, Problem, Vertex, VertexId};
+pub use graph::{GraphShape, InEdge, InequalityGraph, Problem, Vertex, VertexId};
 pub use interproc::{infer_param_facts, ModuleFacts, ParamFact};
 pub use metrics::{module_metrics_json, FunctionMetrics, RunInfo};
 pub use pre::{apply_insertions, compensation_delta, merge_remaining_checks};
 pub use report::{
     CheckOutcome, EliminatedCheck, FunctionReport, HoistedCheck, Incident, ModuleReport,
 };
-pub use solver::{DemandProver, InsertionPoint, Lattice, PreOutcome, PreProver};
+pub use solver::{
+    AnyProver, DemandProver, InsertionPoint, Lattice, PreOutcome, PreProver, Prover, ProverBackend,
+    SweepProver,
+};
 pub use trace::{
     explain_function, json_escape, module_trace_jsonl, request_span_jsonl, witness_path,
     FunctionTrace, ProveEvent, Span, TRACE_SCHEMA,

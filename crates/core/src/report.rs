@@ -90,6 +90,17 @@ pub enum Incident {
         /// Why re-verification rejected the entry.
         detail: String,
     },
+    /// Path-weight arithmetic overflowed `i64` during a prove; the query
+    /// answered `False` conservatively and the check was kept. Like a
+    /// budget stop, this is a precision loss, never a soundness one.
+    SolverOverflow {
+        /// Function the query ran in.
+        function: String,
+        /// Site of the check that stayed in place.
+        site: CheckSite,
+        /// Which bound was being proven.
+        kind: CheckKind,
+    },
 }
 
 impl Incident {
@@ -101,6 +112,7 @@ impl Incident {
             Incident::VerifyFailed { .. } => "verify_failed",
             Incident::ValidationReinstated { .. } => "validation_reinstated",
             Incident::CacheCorrupt { .. } => "cache_corrupt",
+            Incident::SolverOverflow { .. } => "solver_overflow",
         }
     }
 
@@ -111,7 +123,9 @@ impl Incident {
     pub fn is_degraded(&self) -> bool {
         !matches!(
             self,
-            Incident::BudgetExhausted { .. } | Incident::CacheCorrupt { .. }
+            Incident::BudgetExhausted { .. }
+                | Incident::CacheCorrupt { .. }
+                | Incident::SolverOverflow { .. }
         )
     }
 }
@@ -156,6 +170,14 @@ impl fmt::Display for Incident {
                 f,
                 "cache entry for `{function}` failed re-verification ({detail}); \
                  quarantined and recompiled cold"
+            ),
+            Incident::SolverOverflow {
+                function,
+                site,
+                kind,
+            } => write!(
+                f,
+                "path-weight overflow in `{function}` at {site:?} ({kind:?}); check kept"
             ),
         }
     }

@@ -18,12 +18,12 @@
 //! [`FunctionReport`](crate::report::FunctionReport)), so a parallel run
 //! emits the same trace as a sequential one.
 //!
-//! # Schema (`abcd-trace/1`)
+//! # Schema (`abcd-trace/2`)
 //!
 //! [`module_trace_jsonl`] renders one JSON object per line:
 //!
 //! ```json
-//! {"schema":"abcd-trace/1","threads":1,"deterministic":true,"functions":1}
+//! {"schema":"abcd-trace/2","threads":1,"deterministic":true,"functions":1}
 //! {"span":"pass","function":"f","pass":"insert_pi","dur_us":0}
 //! {"span":"graph_build","function":"f","dur_us":0,"upper_vertices":9,...}
 //! {"span":"prove","function":"f","site":"ck0","check":"upper",
@@ -37,13 +37,17 @@
 //! ```
 //!
 //! Span taxonomy: `pass` (one per timed pipeline stage), `graph_build`,
-//! `prove` (one per `demandProve` query, §5), `pre` (one per PRE decision,
-//! §6), `cache` (content-addressed lookup result), `incident` (always
-//! rendered last for a function), `dropped` (ring-buffer overflow marker)
-//! and — appended by the `abcdd` server only — `request` (queue depth at
-//! dequeue plus end-to-end latency). With `deterministic` set, every
-//! duration renders as `0` so traces are byte-comparable across runs and
-//! thread counts.
+//! `backend` (one per inequality problem: which prover engine the
+//! `--prover` request resolved to, with the graph-shape inputs the `auto`
+//! heuristic consulted), `prove` (one per `demandProve` query, §5), `pre`
+//! (one per PRE decision, §6), `cache` (content-addressed lookup result),
+//! `incident` (always rendered last for a function), `dropped` (ring-buffer
+//! overflow marker) and — appended by the `abcdd` server only — `request`
+//! (queue depth at dequeue plus end-to-end latency). With `deterministic`
+//! set, every duration renders as `0` so traces are byte-comparable across
+//! runs and thread counts.
+//!
+//! Relative to `abcd-trace/1`, version 2 adds the `backend` span.
 
 use crate::report::{FunctionReport, ModuleReport};
 use abcd_ir::CheckSite;
@@ -52,7 +56,7 @@ use std::fmt::Write as _;
 use std::time::Duration;
 
 /// The trace schema identifier emitted in the header line.
-pub const TRACE_SCHEMA: &str = "abcd-trace/1";
+pub const TRACE_SCHEMA: &str = "abcd-trace/2";
 
 /// Ring capacity per function: oldest spans are dropped (and counted) once
 /// a function records more than this many.
@@ -313,6 +317,23 @@ pub enum Span {
         /// Whether the lookup hit (the pipeline was replayed, not run).
         hit: bool,
     },
+    /// Prover-backend resolution for one problem graph (`--prover`):
+    /// what was requested, what `auto` (or the explicit choice) resolved
+    /// to, and the graph shape the heuristic saw.
+    Backend {
+        /// `upper` / `lower`.
+        problem: &'static str,
+        /// The configured backend (may be `auto`).
+        requested: &'static str,
+        /// The engine actually answering queries (never `auto`).
+        backend: &'static str,
+        /// Graph vertex count.
+        vertices: usize,
+        /// Graph edge count.
+        edges: usize,
+        /// Back-edge count of a DFS over the graph (0 = acyclic).
+        cycles: usize,
+    },
 }
 
 impl Span {
@@ -410,6 +431,22 @@ impl Span {
                     "{{\"span\":\"cache\",\"function\":\"{func}\",\"hit\":{hit}}}"
                 );
             }
+            Span::Backend {
+                problem,
+                requested,
+                backend,
+                vertices,
+                edges,
+                cycles,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"span\":\"backend\",\"function\":\"{func}\",\
+                     \"problem\":\"{problem}\",\"requested\":\"{requested}\",\
+                     \"backend\":\"{backend}\",\"vertices\":{vertices},\
+                     \"edges\":{edges},\"cycles\":{cycles}}}"
+                );
+            }
         }
     }
 }
@@ -467,7 +504,7 @@ impl FunctionTrace {
     }
 }
 
-/// Renders the `abcd-trace/1` JSONL document for one optimized module:
+/// Renders the `abcd-trace/2` JSONL document for one optimized module:
 /// a header line, then every function's spans in module order, each
 /// function's incidents last. With `deterministic` set, every duration is
 /// emitted as `0` (the trace differential tests compare these bytes).
@@ -518,7 +555,7 @@ fn incident_pass(incident: &crate::report::Incident) -> &str {
     use crate::report::Incident;
     match incident {
         Incident::PassPanic { pass, .. } | Incident::VerifyFailed { pass, .. } => pass,
-        Incident::BudgetExhausted { .. } => "solve",
+        Incident::BudgetExhausted { .. } | Incident::SolverOverflow { .. } => "solve",
         Incident::ValidationReinstated { .. } => "validate",
         Incident::CacheCorrupt { .. } => "cache",
     }
@@ -895,7 +932,7 @@ mod tests {
         let jsonl = module_trace_jsonl(&report, 2, false);
         let lines: Vec<&str> = jsonl.lines().collect();
         assert_eq!(lines.len(), 3);
-        assert!(lines[0].starts_with("{\"schema\":\"abcd-trace/1\""));
+        assert!(lines[0].starts_with("{\"schema\":\"abcd-trace/2\""));
         assert!(lines[1].contains("\"function\":\"weird\\\"name\""));
         assert!(lines[2].contains("\"span\":\"prove\""));
         for line in &lines {

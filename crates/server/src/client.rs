@@ -38,10 +38,10 @@ pub struct Optimized {
     pub incidents: (u64, u64),
     /// Functions replayed from the analysis cache.
     pub functions_from_cache: u64,
-    /// The `abcd-metrics/4` document, verbatim as the server emitted it,
+    /// The `abcd-metrics/5` document, verbatim as the server emitted it,
     /// when requested.
     pub metrics: Option<String>,
-    /// The `abcd-trace/1` JSONL document, when requested.
+    /// The `abcd-trace/2` JSONL document, when requested.
     pub trace: Option<String>,
 }
 

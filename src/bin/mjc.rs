@@ -16,8 +16,9 @@
 //! `--no-cleanup`, `--no-gvn-hook`, `--merge`, `--ipa` (closed-world
 //! interprocedural facts), `--version-fns` (guarded fast/slow clones),
 //! `--hot N` (with `--profile`), `--jobs N` (parallel driver),
-//! `--metrics`/`--metrics-out FILE` (`abcd-metrics/4` JSON),
-//! `--trace-out FILE` (`abcd-trace/1` JSONL structured trace),
+//! `--prover demand|batch|dbm|auto` (query-engine selection),
+//! `--metrics`/`--metrics-out FILE` (`abcd-metrics/5` JSON),
+//! `--trace-out FILE` (`abcd-trace/2` JSONL structured trace),
 //! `--deterministic-metrics` (zero every duration for byte-comparable
 //! output), `--cache-dir DIR`/`--cache-bytes N` (content-addressed analysis
 //! cache), and the fail-open controls `--fuel N`, `--fuel-fn N`,
@@ -78,9 +79,13 @@ PASS FLAGS (for `opt`, `run --opt` and `client <file>`):
     --version-fns      guarded fast/slow function clones
     --hot N            with --profile: analyze only sites with ≥N hits
     --jobs N           optimize functions on N worker threads
-    --metrics          emit abcd-metrics/4 JSON (stdout for opt, stderr for run)
+    --prover ENGINE    query engine: demand (default, the paper's DFS),
+                       batch (one shortest-path sweep per source), dbm
+                       (dense difference-bound relaxation), or auto (pick
+                       per function by graph shape); verdicts are identical
+    --metrics          emit abcd-metrics/5 JSON (stdout for opt, stderr for run)
     --metrics-out F    write the metrics JSON to file F
-    --trace-out F      record an abcd-trace/1 JSONL structured trace to F
+    --trace-out F      record an abcd-trace/2 JSONL structured trace to F
                        (spans for every pass, prove query, PRE decision and
                        cache lookup; zero overhead when absent)
     --deterministic-metrics
@@ -200,6 +205,14 @@ fn parse_options(rest: &[String]) -> Result<OptimizerOptions, String> {
                     .ok_or("`--fuel-fn` needs a step count")?;
                 o.fuel_per_function = Some(n);
             }
+            "--prover" => {
+                i += 1;
+                let v = rest
+                    .get(i)
+                    .ok_or("`--prover` needs an engine (demand|batch|dbm|auto)")?;
+                o.prover = abcd::ProverBackend::parse(v)
+                    .ok_or_else(|| format!("unknown prover `{v}` (demand|batch|dbm|auto)"))?;
+            }
             // run/dump/serve/client flags handled by callers
             "--opt"
             | "--stats"
@@ -294,7 +307,7 @@ fn incident_exit(report: &abcd::ModuleReport) -> ExitCode {
     }
 }
 
-/// Emits the `abcd-metrics/4` JSON if `--metrics` or `--metrics-out` was
+/// Emits the `abcd-metrics/5` JSON if `--metrics` or `--metrics-out` was
 /// given. `to_stderr` keeps `run`'s program output clean on stdout.
 fn emit_metrics(
     report: &abcd::ModuleReport,
@@ -329,7 +342,7 @@ fn emit_metrics(
     Ok(())
 }
 
-/// Writes the `abcd-trace/1` JSONL document if `--trace-out` was given.
+/// Writes the `abcd-trace/2` JSONL document if `--trace-out` was given.
 fn emit_trace(report: &abcd::ModuleReport, threads: usize, rest: &[String]) -> Result<(), String> {
     let Some(path) = value_of(rest, "--trace-out") else {
         return Ok(());
