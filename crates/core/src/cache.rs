@@ -38,8 +38,18 @@
 //! is reported as [`Incident::CacheCorrupt`](crate::Incident), the entry
 //! is deleted, and the function is recompiled cold — cache corruption is
 //! an incident, never a miscompile and never a crash.
+//!
+//! **Crash safety.** Disk persists are write-to-temp → `fsync` → atomic
+//! rename (plus a best-effort directory fsync), so a published entry is
+//! always complete. A crash between the temp write and the rename leaves
+//! only a `*.tmp.*` file, which the startup recovery sweep moves into a
+//! `quarantine/` subdirectory (counted in [`CacheStats::recovered`]) —
+//! after a `kill -9` mid-write the cache is at worst cold, never wrong.
+//! Failed persists roll the temp file back and count as
+//! [`CacheStats::write_errors`]; the entry stays in memory only.
 
 use crate::driver::OptimizerOptions;
+use crate::faults::{ChaosPlan, ChaosSite};
 use crate::interproc::ParamFact;
 use crate::report::CheckOutcome;
 use abcd_ir::{CheckKind, CheckSite, FuncId};
@@ -48,10 +58,16 @@ use std::collections::HashMap;
 use std::fmt;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Magic line prefix of the on-disk entry format.
 const DISK_MAGIC: &str = "abcd-cache/1";
+
+/// Process-wide sequence for unique temp-file names: two threads (or two
+/// stores of the same key) never collide on a temp path, so one writer's
+/// cleanup can never clobber another's in-flight file.
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
 
 // ---- hashing ------------------------------------------------------------
 
@@ -342,7 +358,7 @@ fn kind_str(kind: CheckKind) -> &'static str {
 
 // ---- the cache ----------------------------------------------------------
 
-/// Counters exposed in `abcd-metrics/5` and the server `stats` command.
+/// Counters exposed in `abcd-metrics/6` and the server `stats` command.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Entries currently resident in memory.
@@ -363,6 +379,12 @@ pub struct CacheStats {
     pub corrupt: u64,
     /// Hits served by re-reading and re-verifying a disk entry.
     pub disk_hits: u64,
+    /// Partial temp files quarantined by the startup recovery sweep
+    /// (debris of a crash mid-persist; see the module docs).
+    pub recovered: u64,
+    /// Disk persists that failed and were rolled back (the entry stayed
+    /// in-memory only).
+    pub write_errors: u64,
 }
 
 /// One lookup's verdict.
@@ -395,6 +417,7 @@ struct Inner {
     evictions: u64,
     corrupt: u64,
     disk_hits: u64,
+    write_errors: u64,
 }
 
 /// The function-level analysis cache: in-memory LRU under a byte budget,
@@ -405,6 +428,11 @@ struct Inner {
 pub struct AnalysisCache {
     budget: usize,
     dir: Option<PathBuf>,
+    /// Temp files quarantined by the startup recovery sweep (fixed at
+    /// construction — recovery only runs when the cache is opened).
+    recovered: u64,
+    /// Armed chaos plan driving disk-fault injection, if any.
+    chaos: Mutex<Option<Arc<ChaosPlan>>>,
     inner: Mutex<Inner>,
 }
 
@@ -426,23 +454,39 @@ impl AnalysisCache {
         AnalysisCache {
             budget: budget_bytes,
             dir: None,
+            recovered: 0,
+            chaos: Mutex::new(None),
             inner: Mutex::new(Inner::default()),
         }
     }
 
     /// A cache persisted under `dir` (created if absent) with the given
-    /// in-memory byte budget.
+    /// in-memory byte budget. Opening the directory runs the crash-recovery
+    /// sweep: any `*.tmp.*` debris left by a writer that died mid-persist is
+    /// moved into a `quarantine/` subdirectory and counted in
+    /// [`CacheStats::recovered`] — published entries are never touched.
     pub fn with_dir(
         dir: impl Into<PathBuf>,
         budget_bytes: usize,
     ) -> std::io::Result<AnalysisCache> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
+        let recovered = recovery_sweep(&dir);
         Ok(AnalysisCache {
             budget: budget_bytes,
             dir: Some(dir),
+            recovered,
+            chaos: Mutex::new(None),
             inner: Mutex::new(Inner::default()),
         })
+    }
+
+    /// Arms a chaos plan for the disk tier: subsequent persists consult it
+    /// for short-write / corrupt-on-write / disk-full injections. Lookups
+    /// are untouched — the injected damage is caught by the existing
+    /// re-verification machinery, which is the point.
+    pub fn set_chaos(&self, plan: Arc<ChaosPlan>) {
+        *self.chaos.lock().expect("chaos lock") = Some(plan);
     }
 
     /// The on-disk tier's directory, when persistent.
@@ -463,6 +507,8 @@ impl AnalysisCache {
             evictions: inner.evictions,
             corrupt: inner.corrupt,
             disk_hits: inner.disk_hits,
+            recovered: self.recovered,
+            write_errors: inner.write_errors,
         }
     }
 
@@ -588,14 +634,110 @@ impl AnalysisCache {
         );
         buf.extend_from_slice(entry.ir_text.as_bytes());
         buf.extend_from_slice(summary.as_bytes());
-        // Atomic publish: a concurrent reader sees the old entry or the
-        // new one, never a torn write. Failures are silently dropped —
-        // a cache that cannot persist is merely cold, not broken.
-        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
-        if std::fs::write(&tmp, &buf).is_ok() && std::fs::rename(&tmp, &path).is_err() {
+        // Unique temp name per store: pid guards against another process
+        // on the same dir, the sequence against our own threads.
+        let tmp = path.with_extension(format!(
+            "tmp.{}.{}",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+
+        let chaos = self.chaos.lock().expect("chaos lock").clone();
+        if let Some(plan) = &chaos {
+            if plan.decide(ChaosSite::DiskFull) {
+                // ENOSPC: the persist fails cleanly, nothing is left behind
+                // and the published entry (if any) is untouched.
+                self.inner.lock().expect("cache lock").write_errors += 1;
+                return;
+            }
+            if plan.decide(ChaosSite::DiskShortWrite) {
+                // The exact on-disk state of a `kill -9` mid-write: a
+                // truncated temp file that never got renamed. Left in
+                // place deliberately — the next startup's recovery sweep
+                // must quarantine it.
+                let _ = std::fs::write(&tmp, &buf[..buf.len() / 2]);
+                self.inner.lock().expect("cache lock").write_errors += 1;
+                return;
+            }
+        }
+
+        // Atomic, durable publish: write + fsync the temp file, rename it
+        // over the destination, then fsync the directory so the rename
+        // itself survives a crash. A concurrent reader sees the old entry
+        // or the new one, never a torn write. Failures roll the temp file
+        // back — a cache that cannot persist is merely cold, not broken.
+        if persist_atomically(&tmp, &path, &buf).is_err() {
             let _ = std::fs::remove_file(&tmp);
+            self.inner.lock().expect("cache lock").write_errors += 1;
+            return;
+        }
+
+        if let Some(plan) = &chaos {
+            if let Some(seed) = plan.decide_seeded(ChaosSite::DiskCorrupt) {
+                // Rot a byte of the *published* entry. The checksum (or,
+                // for header damage, the shape check) must catch it on the
+                // next disk lookup and quarantine the entry.
+                if let Ok(mut bytes) = std::fs::read(&path) {
+                    if !bytes.is_empty() {
+                        let i = (seed as usize) % bytes.len();
+                        bytes[i] ^= 0x01;
+                        let _ = std::fs::write(&path, &bytes);
+                    }
+                }
+            }
         }
     }
+}
+
+/// Writes `buf` to `tmp`, fsyncs it, renames it over `dst`, and fsyncs the
+/// parent directory (best effort on platforms where directories cannot be
+/// opened). Any step failing aborts the publish.
+fn persist_atomically(tmp: &Path, dst: &Path, buf: &[u8]) -> std::io::Result<()> {
+    {
+        let mut f = std::fs::File::create(tmp)?;
+        f.write_all(buf)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(tmp, dst)?;
+    if let Some(parent) = dst.parent() {
+        if let Ok(d) = std::fs::File::open(parent) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Moves every `*.tmp.*` leftover in `dir` into `dir/quarantine/`,
+/// returning how many were recovered. Runs once when a persistent cache is
+/// opened. Quarantine (rather than delete) keeps the debris inspectable —
+/// an operator can diff a partial entry against the recompiled one.
+fn recovery_sweep(dir: &Path) -> u64 {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return 0;
+    };
+    let mut recovered = 0u64;
+    let quarantine = dir.join("quarantine");
+    for entry in entries.flatten() {
+        let path = entry.path();
+        // Published entries are `<hex>.abcdc`; anything with `.tmp` in its
+        // name is an unfinished persist.
+        let is_tmp = path.is_file()
+            && path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.contains(".tmp"));
+        if !is_tmp {
+            continue;
+        }
+        let _ = std::fs::create_dir_all(&quarantine);
+        let dst = quarantine.join(entry.file_name());
+        // Quarantine keeps the debris inspectable; if even that fails,
+        // delete — losing the forensic copy beats re-sweeping it forever.
+        if std::fs::rename(&path, &dst).is_ok() || std::fs::remove_file(&path).is_ok() {
+            recovered += 1;
+        }
+    }
+    recovered
 }
 
 /// Parses and re-verifies one on-disk entry. Every failure mode returns a
@@ -762,6 +904,98 @@ bb0:
         }
         assert!(!path.exists(), "corrupt entry must be quarantined");
         assert!(matches!(fresh.lookup(key), Lookup::Miss));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recovery_sweep_quarantines_partial_writes() {
+        let dir = std::env::temp_dir().join(format!("abcd-cache-sweep-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let cache = AnalysisCache::with_dir(&dir, 1 << 20).unwrap();
+            cache.insert(cache_key(FUNC, 1, 2, 3), entry(FUNC));
+        }
+        // Manufacture the aftermath of a kill -9 mid-write: a truncated
+        // temp file that never got renamed.
+        let debris = dir.join("deadbeefdeadbeef.tmp.12345.0");
+        std::fs::write(&debris, b"abcd-cache/1 dead").unwrap();
+        let reopened = AnalysisCache::with_dir(&dir, 1 << 20).unwrap();
+        assert_eq!(reopened.stats().recovered, 1);
+        assert!(!debris.exists(), "debris must leave the cache dir");
+        assert!(
+            dir.join("quarantine")
+                .join("deadbeefdeadbeef.tmp.12345.0")
+                .exists(),
+            "debris is quarantined, not destroyed"
+        );
+        // The published entry survived the sweep and still verifies.
+        match reopened.lookup(cache_key(FUNC, 1, 2, 3)) {
+            Lookup::Hit(e) => assert_eq!(e.ir_text, FUNC),
+            other => panic!("expected disk hit after sweep, got {other:?}"),
+        }
+        // A third open finds nothing left to recover.
+        assert_eq!(
+            AnalysisCache::with_dir(&dir, 1 << 20)
+                .unwrap()
+                .stats()
+                .recovered,
+            0
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn chaos_short_write_leaves_recoverable_debris_and_no_entry() {
+        let dir = std::env::temp_dir().join(format!("abcd-cache-chaos-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = AnalysisCache::with_dir(&dir, 1 << 20).unwrap();
+        cache.set_chaos(Arc::new(
+            ChaosPlan::parse("seed:1,disk_short:1000").unwrap(),
+        ));
+        let key = cache_key(FUNC, 4, 5, 6);
+        cache.insert(key, entry(FUNC));
+        assert_eq!(cache.stats().write_errors, 1);
+        // No published entry — only temp debris a reopen must quarantine.
+        assert!(!dir.join(format!("{}.abcdc", key.hex())).exists());
+        let reopened = AnalysisCache::with_dir(&dir, 1 << 20).unwrap();
+        assert_eq!(reopened.stats().recovered, 1);
+        assert!(matches!(reopened.lookup(key), Lookup::Miss));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn chaos_disk_full_fails_persist_cleanly() {
+        let dir = std::env::temp_dir().join(format!("abcd-cache-full-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = AnalysisCache::with_dir(&dir, 1 << 20).unwrap();
+        cache.set_chaos(Arc::new(ChaosPlan::parse("seed:1,disk_full:1000").unwrap()));
+        let key = cache_key(FUNC, 7, 8, 9);
+        cache.insert(key, entry(FUNC));
+        assert_eq!(cache.stats().write_errors, 1);
+        // In-memory tier still serves it; disk has nothing at all.
+        assert!(matches!(cache.lookup(key), Lookup::Hit(_)));
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn chaos_corrupt_on_write_is_caught_by_reverification() {
+        let dir = std::env::temp_dir().join(format!("abcd-cache-rot-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = AnalysisCache::with_dir(&dir, 1 << 20).unwrap();
+        cache.set_chaos(Arc::new(
+            ChaosPlan::parse("seed:2,disk_corrupt:1000").unwrap(),
+        ));
+        let key = cache_key(FUNC, 10, 11, 12);
+        cache.insert(key, entry(FUNC));
+        // The rotted entry must never be served: a cold cache rejects and
+        // quarantines it, then recompilation would repopulate.
+        let cold = AnalysisCache::with_dir(&dir, 1 << 20).unwrap();
+        match cold.lookup(key) {
+            Lookup::Corrupt(reason) => assert!(!reason.is_empty()),
+            other => panic!("expected corrupt verdict, got {other:?}"),
+        }
+        assert!(matches!(cold.lookup(key), Lookup::Miss));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

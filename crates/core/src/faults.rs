@@ -23,10 +23,33 @@
 //! `FUNC` may be `*` to match every function. Pass names are the stage
 //! labels the driver publishes (`split_critical_edges`, `promote_locals`,
 //! `cleanup`, `insert_pi`, `graph_build`, `solve`, `pre`, `transform`).
+//!
+//! # Service-layer chaos
+//!
+//! A [`ChaosPlan`] extends the same philosophy — seeded, name-keyed,
+//! deterministic — from the compiler into the `abcdd` service layer: worker
+//! panics, disk-cache I/O failures (short write, corrupt-on-write, ENOSPC),
+//! partial/slow response frames, and mid-request disconnects. Each injection
+//! site draws from SplitMix64 keyed by `seed ^ fnv1a(site) ^ sequence`, so a
+//! given (plan, site, nth-visit) triple always makes the same call — chaos
+//! schedules replay exactly, which is what lets the soak test assert
+//! byte-level differential correctness *under* the storm.
+//!
+//! # Chaos plan syntax
+//!
+//! A comma- or semicolon-separated list of `key:value` fields. `seed:N`
+//! seeds the schedule; every other key names an injection site with a
+//! per-mille firing rate (0..=1000):
+//!
+//! ```text
+//! seed:42,worker_panic:50,disk_short:30,disk_corrupt:30,disk_full:20,
+//! frame_truncate:40,frame_slow:40,disconnect:50
+//! ```
 
 use crate::graph::InequalityGraph;
 use std::cell::Cell;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// One injected fault.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -198,6 +221,201 @@ impl fmt::Display for FaultPlan {
     }
 }
 
+/// One service-layer chaos injection site. Sites are identified by stable
+/// snake_case names (the plan-syntax keys), which also key the per-site
+/// random streams — adding a site never re-shuffles the others' schedules.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ChaosSite {
+    /// Panic inside a worker thread while it holds a request.
+    WorkerPanic,
+    /// Persist a truncated disk-cache temp file and skip the rename —
+    /// exactly the on-disk state a `kill -9` mid-write leaves behind.
+    DiskShortWrite,
+    /// Flip a byte of a disk-cache entry after it is published, so the
+    /// checksum quarantine path must catch it on the next lookup.
+    DiskCorrupt,
+    /// Fail the disk-cache store as if the volume were full (ENOSPC).
+    DiskFull,
+    /// Send a truncated response frame (header + partial payload), then
+    /// close the connection.
+    FrameTruncate,
+    /// Dribble the response frame out in small chunks with delays.
+    FrameSlow,
+    /// Drop the client connection before reading its request.
+    Disconnect,
+}
+
+/// All chaos sites, in plan-syntax order (stats and expositions iterate
+/// this to render per-site injection counters deterministically).
+pub const CHAOS_SITES: [ChaosSite; 7] = [
+    ChaosSite::WorkerPanic,
+    ChaosSite::DiskShortWrite,
+    ChaosSite::DiskCorrupt,
+    ChaosSite::DiskFull,
+    ChaosSite::FrameTruncate,
+    ChaosSite::FrameSlow,
+    ChaosSite::Disconnect,
+];
+
+impl ChaosSite {
+    /// The stable plan-syntax key (also the RNG stream key).
+    pub fn name(self) -> &'static str {
+        match self {
+            ChaosSite::WorkerPanic => "worker_panic",
+            ChaosSite::DiskShortWrite => "disk_short",
+            ChaosSite::DiskCorrupt => "disk_corrupt",
+            ChaosSite::DiskFull => "disk_full",
+            ChaosSite::FrameTruncate => "frame_truncate",
+            ChaosSite::FrameSlow => "frame_slow",
+            ChaosSite::Disconnect => "disconnect",
+        }
+    }
+
+    fn index(self) -> usize {
+        CHAOS_SITES.iter().position(|s| *s == self).unwrap()
+    }
+
+    fn parse(key: &str) -> Option<ChaosSite> {
+        CHAOS_SITES.iter().copied().find(|s| s.name() == key)
+    }
+}
+
+/// A seeded service-layer chaos schedule for `abcdd`.
+///
+/// Deterministic in the same sense as [`FaultPlan`]: whether the nth visit
+/// to a site injects depends only on `(seed, site, n)`, never on threads or
+/// wall clock. Visit order across *sites* can vary with scheduling, but each
+/// site's own decision stream is fixed, so aggregate behavior (roughly
+/// `rate`‰ of visits fire) and any single-threaded replay are exact.
+///
+/// The plan is shared (`Arc`) between the server's workers and the cache's
+/// disk tier; interior atomics carry the per-site sequence numbers and
+/// injection counters.
+#[derive(Debug, Default)]
+pub struct ChaosPlan {
+    seed: u64,
+    /// Per-site firing rate in per-mille (0..=1000).
+    rates: [u16; CHAOS_SITES.len()],
+    /// Per-site visit sequence numbers (the RNG stream position).
+    seqs: [AtomicU64; CHAOS_SITES.len()],
+    /// Per-site count of injections actually fired.
+    injected: [AtomicU64; CHAOS_SITES.len()],
+}
+
+impl ChaosPlan {
+    /// Parses the chaos plan syntax (see the module docs).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for unknown sites, out-of-range
+    /// rates, or malformed fields.
+    pub fn parse(spec: &str) -> Result<ChaosPlan, String> {
+        let mut plan = ChaosPlan::default();
+        for part in spec
+            .split([',', ';'])
+            .map(str::trim)
+            .filter(|p| !p.is_empty())
+        {
+            let (key, value) = part
+                .split_once(':')
+                .ok_or_else(|| format!("`{part}`: expected key:value"))?;
+            let value: u64 = value
+                .trim()
+                .parse()
+                .map_err(|_| format!("`{part}`: value must be an integer"))?;
+            match key.trim() {
+                "seed" => plan.seed = value,
+                key => {
+                    let site = ChaosSite::parse(key).ok_or_else(|| {
+                        format!(
+                            "unknown chaos site `{key}` (expected seed|{})",
+                            CHAOS_SITES.map(ChaosSite::name).join("|")
+                        )
+                    })?;
+                    if value > 1000 {
+                        return Err(format!("`{part}`: rate is per-mille, max 1000"));
+                    }
+                    plan.rates[site.index()] = value as u16;
+                }
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Does any site have a nonzero rate? (An unarmed plan is a no-op and
+    /// lets callers skip the atomics entirely.)
+    pub fn is_armed(&self) -> bool {
+        self.rates.iter().any(|&r| r > 0)
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Draws the next decision for `site`: `true` means inject. Advances
+    /// the site's sequence number and, on injection, its fired counter.
+    pub fn decide(&self, site: ChaosSite) -> bool {
+        let i = site.index();
+        let rate = self.rates[i];
+        if rate == 0 {
+            return false;
+        }
+        let seq = self.seqs[i].fetch_add(1, Ordering::Relaxed);
+        let draw = Lcg::new(self.seed ^ fnv1a(site.name()) ^ seq).next();
+        let fire = draw % 1000 < u64::from(rate);
+        if fire {
+            self.injected[i].fetch_add(1, Ordering::Relaxed);
+        }
+        fire
+    }
+
+    /// Like [`decide`](Self::decide), but also returns a per-injection seed
+    /// derived from the same draw position — for sites that need further
+    /// deterministic choices (which byte to corrupt, chunk sizes, ...).
+    pub fn decide_seeded(&self, site: ChaosSite) -> Option<u64> {
+        let i = site.index();
+        let rate = self.rates[i];
+        if rate == 0 {
+            return None;
+        }
+        let seq = self.seqs[i].fetch_add(1, Ordering::Relaxed);
+        let mut rng = Lcg::new(self.seed ^ fnv1a(site.name()) ^ seq);
+        if rng.next() % 1000 < u64::from(rate) {
+            self.injected[i].fetch_add(1, Ordering::Relaxed);
+            Some(rng.next())
+        } else {
+            None
+        }
+    }
+
+    /// How many times `site` has actually injected so far.
+    pub fn injected(&self, site: ChaosSite) -> u64 {
+        self.injected[site.index()].load(Ordering::Relaxed)
+    }
+
+    /// Total injections across all sites.
+    pub fn total_injected(&self) -> u64 {
+        self.injected
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+impl fmt::Display for ChaosPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "seed:{}", self.seed)?;
+        for site in CHAOS_SITES {
+            let rate = self.rates[site.index()];
+            if rate > 0 {
+                write!(f, ",{}:{rate}", site.name())?;
+            }
+        }
+        Ok(())
+    }
+}
+
 /// A tiny deterministic generator (SplitMix64) for fault-site selection.
 /// Not for cryptography — for reproducible sabotage.
 #[derive(Clone, Debug)]
@@ -282,6 +500,73 @@ mod tests {
         plan.maybe_panic("g", "cleanup"); // no panic
         let err = std::panic::catch_unwind(|| plan.maybe_panic("f", "cleanup"));
         assert!(err.is_err());
+    }
+
+    #[test]
+    fn chaos_parse_roundtrips() {
+        let plan =
+            ChaosPlan::parse("seed:42, worker_panic:50; disk_short:30,disconnect:1000").unwrap();
+        assert_eq!(plan.seed(), 42);
+        assert!(plan.is_armed());
+        assert_eq!(
+            plan.to_string(),
+            "seed:42,worker_panic:50,disk_short:30,disconnect:1000"
+        );
+        let reparsed = ChaosPlan::parse(&plan.to_string()).unwrap();
+        assert_eq!(reparsed.to_string(), plan.to_string());
+    }
+
+    #[test]
+    fn chaos_parse_rejects_malformed() {
+        assert!(ChaosPlan::parse("meteor:5").is_err());
+        assert!(ChaosPlan::parse("worker_panic").is_err());
+        assert!(ChaosPlan::parse("worker_panic:x").is_err());
+        assert!(ChaosPlan::parse("worker_panic:1001").is_err());
+        assert!(!ChaosPlan::parse("").unwrap().is_armed());
+        assert!(!ChaosPlan::parse("seed:9").unwrap().is_armed());
+    }
+
+    #[test]
+    fn chaos_decisions_are_deterministic_per_site_sequence() {
+        let a = ChaosPlan::parse("seed:7,worker_panic:500,disconnect:500").unwrap();
+        let b = ChaosPlan::parse("seed:7,worker_panic:500,disconnect:500").unwrap();
+        let draws_a: Vec<bool> = (0..64).map(|_| a.decide(ChaosSite::WorkerPanic)).collect();
+        let draws_b: Vec<bool> = (0..64).map(|_| b.decide(ChaosSite::WorkerPanic)).collect();
+        assert_eq!(draws_a, draws_b);
+        // Streams are keyed by site name: a different site at the same
+        // sequence positions draws a different schedule.
+        let other: Vec<bool> = (0..64).map(|_| b.decide(ChaosSite::Disconnect)).collect();
+        assert_ne!(draws_b, other);
+        // Injection counters track fired decisions exactly.
+        let fired = draws_a.iter().filter(|f| **f).count() as u64;
+        assert_eq!(a.injected(ChaosSite::WorkerPanic), fired);
+        assert!(fired > 0, "500‰ over 64 draws should fire at least once");
+    }
+
+    #[test]
+    fn chaos_zero_rate_site_never_fires_or_counts() {
+        let plan = ChaosPlan::parse("seed:3,worker_panic:1000").unwrap();
+        for _ in 0..32 {
+            assert!(!plan.decide(ChaosSite::DiskFull));
+            assert!(plan.decide(ChaosSite::WorkerPanic));
+        }
+        assert_eq!(plan.injected(ChaosSite::DiskFull), 0);
+        assert_eq!(plan.injected(ChaosSite::WorkerPanic), 32);
+        assert_eq!(plan.total_injected(), 32);
+    }
+
+    #[test]
+    fn chaos_seeded_decisions_carry_stable_payload_seeds() {
+        let a = ChaosPlan::parse("seed:11,disk_corrupt:1000").unwrap();
+        let b = ChaosPlan::parse("seed:11,disk_corrupt:1000").unwrap();
+        let sa: Vec<Option<u64>> = (0..8)
+            .map(|_| a.decide_seeded(ChaosSite::DiskCorrupt))
+            .collect();
+        let sb: Vec<Option<u64>> = (0..8)
+            .map(|_| b.decide_seeded(ChaosSite::DiskCorrupt))
+            .collect();
+        assert_eq!(sa, sb);
+        assert!(sa.iter().all(|s| s.is_some()));
     }
 
     #[test]

@@ -71,7 +71,7 @@ pub mod versioning;
 pub use cache::{AnalysisCache, CacheEntry, CacheKey, CacheStats};
 pub use driver::{Optimizer, OptimizerOptions};
 pub use exhaustive::{ExhaustiveDistances, Relaxation};
-pub use faults::{Fault, FaultPlan};
+pub use faults::{ChaosPlan, ChaosSite, Fault, FaultPlan, CHAOS_SITES};
 pub use graph::{GraphShape, InEdge, InequalityGraph, Problem, Vertex, VertexId};
 pub use interproc::{infer_param_facts, ModuleFacts, ParamFact};
 pub use metrics::{module_metrics_json, FunctionMetrics, RunInfo};

@@ -5,14 +5,14 @@
 //! The driver fills a [`FunctionMetrics`] per function (stored on its
 //! [`FunctionReport`](crate::report::FunctionReport)); [`module_metrics_json`]
 //! renders the whole run — including the worker-thread count and measured
-//! wall-clock time — in the stable `abcd-metrics/5` schema consumed by the
+//! wall-clock time — in the stable `abcd-metrics/6` schema consumed by the
 //! `mjc` CLI, the `abcdd` server, and the bench binaries.
 //!
-//! # Schema (`abcd-metrics/5`)
+//! # Schema (`abcd-metrics/6`)
 //!
 //! ```json
 //! {
-//!   "schema": "abcd-metrics/5",
+//!   "schema": "abcd-metrics/6",
 //!   "threads": 2,
 //!   "wall_time_us": 1234,
 //!   "deterministic": false,
@@ -29,7 +29,8 @@
 //!     "backend_times_us": { "demand": 3, "batch": 0, "dbm": 0 }
 //!   },
 //!   "cache": { "hits": 1, "misses": 2, "stores": 2, "evictions": 0,
-//!              "corrupt": 0, "disk_hits": 0, "entries": 2,
+//!              "corrupt": 0, "recovered": 0, "write_errors": 0,
+//!              "disk_hits": 0, "entries": 2,
 //!              "bytes": 4096, "budget_bytes": 67108864 },
 //!   "server": { "queue_depth": 0, "request_latency_us": 412 },
 //!   "incidents": [
@@ -49,6 +50,15 @@
 //!                    "times_us": {...} } ]
 //! }
 //! ```
+//!
+//! Relative to `abcd-metrics/5`, version 6 adds the service-hardening
+//! surface: the non-degraded `deadline_exceeded` incident kind (a request
+//! blew its deadline and the module was served *unoptimized* — every check
+//! kept, correctness intact), and two crash-safety counters on the `cache`
+//! object — `recovered` (partial temp files quarantined by the startup
+//! recovery sweep after an unclean shutdown) and `write_errors` (disk
+//! persists that failed and were rolled back; the entry stays in-memory
+//! only). Both are operational signals, never correctness ones.
 //!
 //! Relative to `abcd-metrics/4`, version 5 adds per-backend solver
 //! accounting for the pluggable prover engines (`--prover
@@ -309,6 +319,17 @@ fn incident_json(incident: &Incident, out: &mut String) {
                 kind_str(*kind),
             );
         }
+        Incident::DeadlineExceeded {
+            function,
+            deadline_ms,
+            elapsed_ms,
+        } => {
+            let _ = write!(
+                out,
+                ",\"function\":\"{}\",\"deadline_ms\":{deadline_ms},\"elapsed_ms\":{elapsed_ms}",
+                escape(function),
+            );
+        }
     }
     out.push('}');
 }
@@ -436,7 +457,7 @@ fn function_json(report: &crate::report::FunctionReport, det: bool, out: &mut St
     );
 }
 
-/// Renders the `abcd-metrics/5` JSON document for one optimized module.
+/// Renders the `abcd-metrics/6` JSON document for one optimized module.
 pub fn module_metrics_json(report: &ModuleReport, run: RunInfo) -> String {
     let mut hits = 0u64;
     let mut misses = 0u64;
@@ -465,7 +486,7 @@ pub fn module_metrics_json(report: &ModuleReport, run: RunInfo) -> String {
     let mut out = String::new();
     let _ = write!(
         out,
-        "{{\"schema\":\"abcd-metrics/5\",\"threads\":{},\"wall_time_us\":{},\
+        "{{\"schema\":\"abcd-metrics/6\",\"threads\":{},\"wall_time_us\":{},\
          \"deterministic\":{},\
          \"totals\":{{\"functions\":{},\"checks_total\":{},\"removed_fully\":{},\
          \"hoisted\":{},\"reinstated\":{},\"steps\":{},\"pre_steps\":{},\
@@ -517,13 +538,16 @@ pub fn module_metrics_json(report: &ModuleReport, run: RunInfo) -> String {
             let _ = write!(
                 out,
                 "{{\"hits\":{},\"misses\":{},\"stores\":{},\"evictions\":{},\
-                 \"corrupt\":{},\"disk_hits\":{},\"entries\":{},\"bytes\":{},\
+                 \"corrupt\":{},\"recovered\":{},\"write_errors\":{},\
+                 \"disk_hits\":{},\"entries\":{},\"bytes\":{},\
                  \"budget_bytes\":{}}}",
                 c.hits,
                 c.misses,
                 c.stores,
                 c.evictions,
                 c.corrupt,
+                c.recovered,
+                c.write_errors,
                 c.disk_hits,
                 c.entries,
                 c.bytes,
@@ -583,7 +607,7 @@ mod tests {
         f.metrics.memo_misses = 1;
         report.functions.push(f);
         let json = module_metrics_json(&report, RunInfo::new(2, Duration::from_micros(7)));
-        assert!(json.starts_with("{\"schema\":\"abcd-metrics/5\""));
+        assert!(json.starts_with("{\"schema\":\"abcd-metrics/6\""));
         assert!(json.contains("\"provenance\":{\"removed_local\":0"));
         assert!(json.contains("\"backend_steps\":{\"demand\":0,\"batch\":0,\"dbm\":0}"));
         assert!(json.contains("\"backend\":{\"upper\":\"\",\"lower\":\"\""));
@@ -655,6 +679,39 @@ mod tests {
         assert!(json.contains(
             "{\"kind\":\"cache_corrupt\",\"function\":\"f\",\"detail\":\"checksum mismatch\"}"
         ));
+    }
+
+    #[test]
+    fn deadline_incident_renders_and_is_not_degraded() {
+        let mut report = ModuleReport::default();
+        let mut f = crate::report::FunctionReport::new("f");
+        f.incidents.push(Incident::DeadlineExceeded {
+            function: "f".to_string(),
+            deadline_ms: 50,
+            elapsed_ms: 61,
+        });
+        report.functions.push(f);
+        assert_eq!(report.degraded_incident_count(), 0);
+        let json = module_metrics_json(&report, RunInfo::new(1, Duration::ZERO));
+        assert!(json.contains(
+            "{\"kind\":\"deadline_exceeded\",\"function\":\"f\",\
+             \"deadline_ms\":50,\"elapsed_ms\":61}"
+        ));
+    }
+
+    #[test]
+    fn cache_recovery_counters_render() {
+        let report = ModuleReport::default();
+        let stats = crate::cache::CacheStats {
+            recovered: 2,
+            write_errors: 3,
+            ..crate::cache::CacheStats::default()
+        };
+        let json = module_metrics_json(&report, RunInfo::new(1, Duration::ZERO).with_cache(stats));
+        assert!(
+            json.contains("\"recovered\":2,\"write_errors\":3"),
+            "{json}"
+        );
     }
 
     #[test]

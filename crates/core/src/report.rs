@@ -101,6 +101,20 @@ pub enum Incident {
         /// Which bound was being proven.
         kind: CheckKind,
     },
+    /// A service request blew its deadline; the module was served
+    /// unoptimized (every check kept). Like a budget stop this trades
+    /// precision for liveness, never soundness — the reply is still a
+    /// correct program, just an unoptimized one.
+    DeadlineExceeded {
+        /// Function the report entry belongs to (`*` when the whole
+        /// module was cut off before per-function attribution existed).
+        function: String,
+        /// The deadline that was in force, in milliseconds.
+        deadline_ms: u64,
+        /// Elapsed time when the deadline tripped, in milliseconds
+        /// (0 under `--deterministic-metrics`).
+        elapsed_ms: u64,
+    },
 }
 
 impl Incident {
@@ -113,6 +127,7 @@ impl Incident {
             Incident::ValidationReinstated { .. } => "validation_reinstated",
             Incident::CacheCorrupt { .. } => "cache_corrupt",
             Incident::SolverOverflow { .. } => "solver_overflow",
+            Incident::DeadlineExceeded { .. } => "deadline_exceeded",
         }
     }
 
@@ -126,6 +141,7 @@ impl Incident {
             Incident::BudgetExhausted { .. }
                 | Incident::CacheCorrupt { .. }
                 | Incident::SolverOverflow { .. }
+                | Incident::DeadlineExceeded { .. }
         )
     }
 }
@@ -178,6 +194,15 @@ impl fmt::Display for Incident {
             } => write!(
                 f,
                 "path-weight overflow in `{function}` at {site:?} ({kind:?}); check kept"
+            ),
+            Incident::DeadlineExceeded {
+                function,
+                deadline_ms,
+                elapsed_ms,
+            } => write!(
+                f,
+                "deadline of {deadline_ms} ms exceeded for `{function}` after {elapsed_ms} ms; \
+                 module served unoptimized, all checks kept"
             ),
         }
     }
@@ -443,5 +468,41 @@ impl ModuleReport {
     /// Functions whose results were replayed from the analysis cache.
     pub fn functions_from_cache(&self) -> usize {
         self.functions.iter().filter(|f| f.from_cache).count()
+    }
+
+    /// Builds the fail-open report for a module served *unoptimized*
+    /// because its request blew a deadline: one entry per function with
+    /// every check counted but none analyzed, and a single non-degraded
+    /// [`Incident::DeadlineExceeded`] attached to the first entry (or to a
+    /// synthetic `*` entry when the module has no functions). Used by
+    /// `abcdd` so a deadline reply still carries an honest report.
+    pub fn deadline_fail_open(
+        module: &abcd_ir::Module,
+        deadline_ms: u64,
+        elapsed_ms: u64,
+    ) -> ModuleReport {
+        let mut report = ModuleReport::default();
+        for (_, f) in module.functions() {
+            let mut fr = FunctionReport::new(f.name());
+            fr.checks_total = f.check_site_count();
+            report.functions.push(fr);
+        }
+        let incident = |function: String| Incident::DeadlineExceeded {
+            function,
+            deadline_ms,
+            elapsed_ms,
+        };
+        match report.functions.first_mut() {
+            Some(first) => {
+                let name = first.name.clone();
+                first.incidents.push(incident(name));
+            }
+            None => {
+                let mut fr = FunctionReport::new("*");
+                fr.incidents.push(incident("*".to_string()));
+                report.functions.push(fr);
+            }
+        }
+        report
     }
 }

@@ -18,12 +18,12 @@
 //! [`FunctionReport`](crate::report::FunctionReport)), so a parallel run
 //! emits the same trace as a sequential one.
 //!
-//! # Schema (`abcd-trace/2`)
+//! # Schema (`abcd-trace/3`)
 //!
 //! [`module_trace_jsonl`] renders one JSON object per line:
 //!
 //! ```json
-//! {"schema":"abcd-trace/2","threads":1,"deterministic":true,"functions":1}
+//! {"schema":"abcd-trace/3","threads":1,"deterministic":true,"functions":1}
 //! {"span":"pass","function":"f","pass":"insert_pi","dur_us":0}
 //! {"span":"graph_build","function":"f","dur_us":0,"upper_vertices":9,...}
 //! {"span":"prove","function":"f","site":"ck0","check":"upper",
@@ -43,11 +43,16 @@
 //! (one per PRE decision, §6), `cache` (content-addressed lookup result),
 //! `incident` (always rendered last for a function), `dropped` (ring-buffer
 //! overflow marker) and — appended by the `abcdd` server only — `request`
-//! (queue depth at dequeue plus end-to-end latency). With `deterministic`
-//! set, every duration renders as `0` so traces are byte-comparable across
-//! runs and thread counts.
+//! (queue depth at dequeue, end-to-end latency, and the deadline in force,
+//! if any). With `deterministic` set, every duration renders as `0` so
+//! traces are byte-comparable across runs and thread counts.
 //!
-//! Relative to `abcd-trace/1`, version 2 adds the `backend` span.
+//! Relative to `abcd-trace/2`, version 3 adds the `deadline_ms` field to
+//! the `request` span (`null` when the request carried no deadline) and
+//! the `deadline_exceeded` incident kind (attributed to the `request`
+//! pass: the cut-off happened in the service layer, not a compiler stage).
+//!
+//! Relative to `abcd-trace/1`, version 2 added the `backend` span.
 
 use crate::report::{FunctionReport, ModuleReport};
 use abcd_ir::CheckSite;
@@ -56,7 +61,7 @@ use std::fmt::Write as _;
 use std::time::Duration;
 
 /// The trace schema identifier emitted in the header line.
-pub const TRACE_SCHEMA: &str = "abcd-trace/2";
+pub const TRACE_SCHEMA: &str = "abcd-trace/3";
 
 /// Ring capacity per function: oldest spans are dropped (and counted) once
 /// a function records more than this many.
@@ -504,7 +509,7 @@ impl FunctionTrace {
     }
 }
 
-/// Renders the `abcd-trace/2` JSONL document for one optimized module:
+/// Renders the `abcd-trace/3` JSONL document for one optimized module:
 /// a header line, then every function's spans in module order, each
 /// function's incidents last. With `deterministic` set, every duration is
 /// emitted as `0` (the trace differential tests compare these bytes).
@@ -558,19 +563,28 @@ fn incident_pass(incident: &crate::report::Incident) -> &str {
         Incident::BudgetExhausted { .. } | Incident::SolverOverflow { .. } => "solve",
         Incident::ValidationReinstated { .. } => "validate",
         Incident::CacheCorrupt { .. } => "cache",
+        Incident::DeadlineExceeded { .. } => "request",
     }
 }
 
 /// Renders the server's request-lifecycle span (one JSONL line, appended
-/// by `abcdd` after the module's spans).
-pub fn request_span_jsonl(queue_depth: usize, latency: Duration, deterministic: bool) -> String {
+/// by `abcdd` after the module's spans). `deadline_ms` is the deadline the
+/// request ran under, `None` when unbounded.
+pub fn request_span_jsonl(
+    queue_depth: usize,
+    latency: Duration,
+    deadline_ms: Option<u64>,
+    deterministic: bool,
+) -> String {
     format!(
-        "{{\"span\":\"request\",\"queue_depth\":{queue_depth},\"latency_us\":{}}}\n",
+        "{{\"span\":\"request\",\"queue_depth\":{queue_depth},\"latency_us\":{},\
+         \"deadline_ms\":{}}}\n",
         if deterministic {
             0
         } else {
             latency.as_micros()
         },
+        deadline_ms.map_or_else(|| "null".to_string(), |d| d.to_string()),
     )
 }
 
@@ -932,7 +946,7 @@ mod tests {
         let jsonl = module_trace_jsonl(&report, 2, false);
         let lines: Vec<&str> = jsonl.lines().collect();
         assert_eq!(lines.len(), 3);
-        assert!(lines[0].starts_with("{\"schema\":\"abcd-trace/2\""));
+        assert!(lines[0].starts_with("{\"schema\":\"abcd-trace/3\""));
         assert!(lines[1].contains("\"function\":\"weird\\\"name\""));
         assert!(lines[2].contains("\"span\":\"prove\""));
         for line in &lines {

@@ -3,16 +3,19 @@
 //! ```text
 //! abcdd --socket /tmp/abcdd.sock [--workers N] [--queue N] [--jobs N]
 //!       [--cache-bytes N] [--cache-dir DIR] [--no-cache]
+//!       [--request-timeout MS] [--io-timeout MS] [--stuck-after MS]
+//!       [--chaos PLAN]
 //! ```
 //!
 //! Runs in the foreground until a `shutdown` request arrives (e.g. from
 //! `mjc client --socket … shutdown`), then drains admitted requests and
 //! exits 0. Exit 1 means bad usage or a bind failure.
 
-use abcd::AnalysisCache;
+use abcd::{AnalysisCache, ChaosPlan};
 use abcd_server::{ServerConfig, ServerHandle};
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
 
 const HELP: &str = "\
 abcdd — persistent ABCD optimization service
@@ -30,10 +33,24 @@ OPTIONS:
     --cache-dir DIR    also persist cache entries to DIR (content-addressed,
                        re-verified on load; corruption falls back to cold)
     --no-cache         disable the analysis cache entirely
+    --request-timeout MS
+                       default per-request deadline for requests that carry
+                       no deadline_ms; tripping it FAILS OPEN (the module is
+                       served unoptimized, every check kept)
+    --io-timeout MS    socket read/write timeout per frame (default 30000;
+                       0 disables)
+    --stuck-after MS   supervision threshold: an in-flight request older
+                       than this gets its connection kicked; 4x older gets
+                       its worker detached and replaced (default 30000)
+    --chaos PLAN       seeded fault injection, e.g.
+                       `seed:42,worker_panic:20,disk_corrupt:10` (permille
+                       rates; sites: worker_panic, disk_short, disk_corrupt,
+                       disk_full, frame_truncate, frame_slow, disconnect)
     --help             this text
 
-Protocol and retry contract: see DESIGN.md §5e. Shut down with
-`mjc client --socket PATH shutdown`; exit code 0 after a graceful drain.
+Protocol, deadline and retry contract: see DESIGN.md §5e/§5h. Shut down
+with `mjc client --socket PATH shutdown`; exit code 0 after a graceful
+drain — even under chaos.
 ";
 
 fn main() -> ExitCode {
@@ -68,9 +85,8 @@ fn run() -> Result<ExitCode, String> {
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
-            "--socket" | "--workers" | "--queue" | "--jobs" | "--cache-bytes" | "--cache-dir" => {
-                i += 1
-            }
+            "--socket" | "--workers" | "--queue" | "--jobs" | "--cache-bytes" | "--cache-dir"
+            | "--request-timeout" | "--io-timeout" | "--stuck-after" | "--chaos" => i += 1,
             "--no-cache" => {}
             other => return Err(format!("unknown flag `{other}`\n{HELP}")),
         }
@@ -88,12 +104,37 @@ fn run() -> Result<ExitCode, String> {
                 .map_err(|e| format!("--cache-dir {dir}: {e}"))?,
         }))
     };
+    let ms_of = |flag: &str| -> Result<Option<u64>, String> {
+        match value_of(flag) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("`{flag}` needs milliseconds")),
+        }
+    };
+    let duration_of = |flag: &str, default_ms: u64| -> Result<Option<Duration>, String> {
+        Ok(match ms_of(flag)?.unwrap_or(default_ms) {
+            0 => None,
+            ms => Some(Duration::from_millis(ms)),
+        })
+    };
+    let chaos = match value_of("--chaos") {
+        None => None,
+        Some(spec) => Some(Arc::new(
+            ChaosPlan::parse(spec).map_err(|e| format!("--chaos: {e}"))?,
+        )),
+    };
     let config = ServerConfig {
         socket: socket.into(),
         workers: count_of("--workers", 2)?,
         queue: count_of("--queue", 8)?,
         jobs: count_of("--jobs", 0)?,
         cache,
+        request_timeout: ms_of("--request-timeout")?.map(Duration::from_millis),
+        io_timeout: duration_of("--io-timeout", 30_000)?,
+        stuck_after: duration_of("--stuck-after", 30_000)?.unwrap_or(Duration::from_secs(86_400)),
+        chaos,
     };
     let handle: ServerHandle =
         abcd_server::start(config).map_err(|e| format!("bind {socket}: {e}"))?;

@@ -2,7 +2,10 @@
 //!
 //! One call = one connection = one frame each way, mirroring the server's
 //! admission model. The only non-terminal failure is `busy`, surfaced as
-//! [`Reply::Busy`] so callers can implement the documented retry contract.
+//! [`Reply::Busy`] so callers can implement the documented retry contract;
+//! [`RetryPolicy`] implements it (exponential backoff with jitter, floored
+//! by the server's adaptive hint, bounded by an attempt cap and an overall
+//! deadline) for callers that just want the right behavior.
 
 use crate::json::Json;
 use crate::proto::{optimize_request_json, read_frame, write_frame};
@@ -10,6 +13,7 @@ use abcd::OptimizerOptions;
 use abcd_vm::Profile;
 use std::os::unix::net::UnixStream;
 use std::path::Path;
+use std::time::{Duration, Instant};
 
 /// A parsed server reply.
 #[derive(Debug)]
@@ -20,11 +24,100 @@ pub enum Reply {
     Ok(Json, String),
     /// The admission queue was full; retry after the given delay.
     Busy {
-        /// Advisory back-off before resending the identical request.
+        /// Advisory back-off before resending the identical request —
+        /// adaptive: the server scales it with the queue depth it shed at.
         retry_after_ms: u64,
     },
     /// A terminal, structured error.
     Err(String),
+}
+
+/// Per-request observation knobs for [`optimize`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CallOptions {
+    /// Attach the `abcd-metrics/6` blob to the reply.
+    pub metrics: bool,
+    /// Zero all durations in the metrics/trace blobs.
+    pub deterministic_metrics: bool,
+    /// Attach the `abcd-trace/3` JSONL document to the reply.
+    pub trace: bool,
+    /// Per-request deadline, in milliseconds from server admission;
+    /// `None` inherits the server's default. Tripping it fails open.
+    pub deadline_ms: Option<u64>,
+}
+
+/// How [`optimize`] retries `busy` replies and bounds its own time.
+///
+/// Each busy reply sleeps `max(server_hint, jittered_backoff)` where the
+/// backoff doubles from [`base_ms`](RetryPolicy::base_ms) up to
+/// [`cap_ms`](RetryPolicy::cap_ms) and the jitter draws uniformly from
+/// `[delay/2, delay]` — deterministic per ([`seed`](RetryPolicy::seed),
+/// attempt), so tests can replay a schedule. The overall deadline covers
+/// everything: connects, frames, and the sleeps between attempts.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (minimum 1).
+    pub max_attempts: u32,
+    /// First backoff delay.
+    pub base_ms: u64,
+    /// Ceiling on the exponential backoff component.
+    pub cap_ms: u64,
+    /// Overall client-side deadline across all attempts and sleeps.
+    pub overall_ms: Option<u64>,
+    /// Socket read/write timeout per connection (per-frame bound).
+    pub io_timeout_ms: Option<u64>,
+    /// Jitter seed; same seed + same attempt = same sleep.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 8,
+            base_ms: 5,
+            cap_ms: 250,
+            overall_ms: None,
+            io_timeout_ms: None,
+            seed: 0x5eed,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy bounded end-to-end by `timeout_ms`: it is both the
+    /// per-frame socket timeout and the overall deadline (`mjc client
+    /// --timeout` maps here).
+    pub fn with_timeout_ms(timeout_ms: u64) -> RetryPolicy {
+        RetryPolicy {
+            overall_ms: Some(timeout_ms),
+            io_timeout_ms: Some(timeout_ms),
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// The sleep before retry number `attempt` (1-based), given the
+    /// server's advisory hint.
+    fn backoff_ms(&self, attempt: u32, server_hint_ms: u64) -> u64 {
+        let doubled = self
+            .base_ms
+            .saturating_mul(1u64 << u64::from(attempt.saturating_sub(1)).min(16));
+        let delay = doubled.min(self.cap_ms);
+        jitter(self.seed, attempt, delay).max(server_hint_ms)
+    }
+}
+
+/// Deterministic jitter: uniform in `[delay/2, delay]` via SplitMix64 on
+/// `(seed, attempt)`.
+fn jitter(seed: u64, attempt: u32, delay: u64) -> u64 {
+    if delay <= 1 {
+        return delay;
+    }
+    let mut z = seed ^ u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    let floor = delay / 2;
+    floor + z % (delay - floor + 1)
 }
 
 /// The successful payload of an `optimize` request.
@@ -38,17 +131,38 @@ pub struct Optimized {
     pub incidents: (u64, u64),
     /// Functions replayed from the analysis cache.
     pub functions_from_cache: u64,
-    /// The `abcd-metrics/5` document, verbatim as the server emitted it,
+    /// True when the server blew the deadline and failed open: `ir` is
+    /// the compiled but unoptimized module, every check kept.
+    pub deadline_exceeded: bool,
+    /// The `abcd-metrics/6` document, verbatim as the server emitted it,
     /// when requested.
     pub metrics: Option<String>,
-    /// The `abcd-trace/2` JSONL document, when requested.
+    /// The `abcd-trace/3` JSONL document, when requested.
     pub trace: Option<String>,
 }
 
 /// Sends one raw request frame and returns the parsed reply.
 pub fn roundtrip(socket: &Path, request: &str) -> Result<Reply, String> {
+    roundtrip_timeout(socket, request, None)
+}
+
+/// [`roundtrip`] with a socket read/write timeout bounding each frame.
+/// (A Unix-socket `connect` blocks only while the accept backlog is full,
+/// so the frames are where a wedged server would otherwise pin a client.)
+pub fn roundtrip_timeout(
+    socket: &Path,
+    request: &str,
+    io_timeout: Option<Duration>,
+) -> Result<Reply, String> {
     let mut conn =
         UnixStream::connect(socket).map_err(|e| format!("connect {}: {e}", socket.display()))?;
+    if let Some(t) = io_timeout {
+        let t = t.max(Duration::from_millis(1)); // zero would disable, not expire
+        conn.set_read_timeout(Some(t))
+            .map_err(|e| format!("set read timeout: {e}"))?;
+        conn.set_write_timeout(Some(t))
+            .map_err(|e| format!("set write timeout: {e}"))?;
+    }
     // A shed connection is answered and closed without the request being
     // read, so the send can fail with EPIPE while a perfectly good `busy`
     // frame sits in our receive buffer — always try the read.
@@ -79,30 +193,51 @@ pub fn roundtrip(socket: &Path, request: &str) -> Result<Reply, String> {
     ))
 }
 
-/// Optimizes a module remotely. Retries `busy` replies up to `retries`
-/// times with the server-advised back-off; any other failure is terminal.
-#[allow(clippy::too_many_arguments)]
+/// Optimizes a module remotely, retrying `busy` replies per `retry`; any
+/// other failure is terminal.
 pub fn optimize(
     socket: &Path,
     source_or_ir: (&str, bool),
     options: &OptimizerOptions,
     profile: Option<&Profile>,
-    metrics: bool,
-    deterministic_metrics: bool,
-    trace: bool,
-    retries: u32,
+    call: &CallOptions,
+    retry: &RetryPolicy,
 ) -> Result<Optimized, String> {
     let request = optimize_request_json(
         source_or_ir,
         options,
         profile,
-        metrics,
-        deterministic_metrics,
-        trace,
+        call.metrics,
+        call.deterministic_metrics,
+        call.trace,
+        call.deadline_ms,
     );
-    let mut attempt = 0;
+    let started = Instant::now();
+    let remaining = |started: Instant| -> Result<Option<Duration>, String> {
+        match retry.overall_ms {
+            None => Ok(None),
+            Some(total) => {
+                let budget = Duration::from_millis(total);
+                let elapsed = started.elapsed();
+                if elapsed >= budget {
+                    Err(format!("client deadline of {total} ms exceeded"))
+                } else {
+                    Ok(Some(budget - elapsed))
+                }
+            }
+        }
+    };
+    let mut attempt: u32 = 0;
     loop {
-        match roundtrip(socket, &request)? {
+        let left = remaining(started)?;
+        // Each frame gets min(per-frame timeout, what's left of the
+        // overall budget), so a single slow frame cannot overrun it.
+        let io = match (retry.io_timeout_ms.map(Duration::from_millis), left) {
+            (Some(io), Some(left)) => Some(io.min(left)),
+            (Some(io), None) => Some(io),
+            (None, left) => left,
+        };
+        match roundtrip_timeout(socket, &request, io)? {
             Reply::Ok(doc, raw) => {
                 let n = |key: &str| doc.get(key).and_then(Json::as_u64).unwrap_or(0);
                 return Ok(Optimized {
@@ -114,16 +249,29 @@ pub fn optimize(
                     checks: (n("checks_total"), n("removed_fully"), n("hoisted")),
                     incidents: (n("incidents"), n("degraded_incidents")),
                     functions_from_cache: n("functions_from_cache"),
+                    deadline_exceeded: doc
+                        .get("deadline_exceeded")
+                        .and_then(Json::as_bool)
+                        .unwrap_or(false),
                     metrics: extract_metrics(&doc, &raw),
                     trace: doc.get("trace").and_then(Json::as_str).map(str::to_string),
                 });
             }
             Reply::Busy { retry_after_ms } => {
-                if attempt >= retries {
-                    return Err(format!("server busy after {attempt} retries"));
-                }
                 attempt += 1;
-                std::thread::sleep(std::time::Duration::from_millis(retry_after_ms));
+                if attempt >= retry.max_attempts.max(1) {
+                    return Err(format!("server busy after {attempt} attempts"));
+                }
+                let sleep = Duration::from_millis(retry.backoff_ms(attempt, retry_after_ms));
+                if let Some(left) = remaining(started)? {
+                    if sleep >= left {
+                        return Err(format!(
+                            "server busy; backoff would exceed the client deadline of {} ms",
+                            retry.overall_ms.unwrap_or(0)
+                        ));
+                    }
+                }
+                std::thread::sleep(sleep);
             }
             Reply::Err(e) => return Err(e),
         }
@@ -178,5 +326,49 @@ pub fn metrics(socket: &Path, deterministic: bool) -> Result<String, String> {
             .ok_or_else(|| "reply missing `exposition`".to_string()),
         Reply::Busy { .. } => Err("server busy".to_string()),
         Reply::Err(e) => Err(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        for attempt in 1..10u32 {
+            for delay in [2u64, 10, 100, 250] {
+                let a = jitter(42, attempt, delay);
+                let b = jitter(42, attempt, delay);
+                assert_eq!(a, b, "same seed/attempt must replay");
+                assert!(
+                    a >= delay / 2 && a <= delay,
+                    "{a} outside [{}, {delay}]",
+                    delay / 2
+                );
+            }
+        }
+        assert_ne!(
+            jitter(1, 3, 100),
+            jitter(2, 3, 100),
+            "different seeds should (here) diverge"
+        );
+    }
+
+    #[test]
+    fn backoff_doubles_floors_on_hint_and_caps() {
+        let p = RetryPolicy {
+            base_ms: 10,
+            cap_ms: 80,
+            seed: 7,
+            ..RetryPolicy::default()
+        };
+        let b1 = p.backoff_ms(1, 0);
+        assert!(
+            (5..=10).contains(&b1),
+            "attempt 1 jitters around base: {b1}"
+        );
+        let b5 = p.backoff_ms(5, 0);
+        assert!(b5 <= 80, "cap bounds the exponential: {b5}");
+        assert_eq!(p.backoff_ms(1, 400), 400, "server hint is a floor");
     }
 }

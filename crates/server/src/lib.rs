@@ -8,8 +8,9 @@
 //! an edit to one function recompiles *that function* (plus interprocedural
 //! dependents, via summary fingerprints) instead of the module.
 //!
-//! - [`proto`] — framing, request/response schema, retry contract;
-//! - [`server`] — acceptor / bounded queue / worker pool / graceful drain;
+//! - [`proto`] — framing, request/response schema, deadline + retry contract;
+//! - [`server`] — acceptor / bounded queue / supervised worker pool /
+//!   graceful drain, with optional seeded fault injection;
 //! - [`client`] — a blocking client used by `mjc client` and the tests;
 //! - [`json`] — the dependency-free JSON reader behind both.
 //!
@@ -26,5 +27,8 @@ pub mod json;
 pub mod proto;
 pub mod server;
 
-pub use client::{metrics, optimize, ping, roundtrip, shutdown, stats, Optimized, Reply};
+pub use client::{
+    metrics, optimize, ping, roundtrip, roundtrip_timeout, shutdown, stats, CallOptions, Optimized,
+    Reply, RetryPolicy,
+};
 pub use server::{start, ServerConfig, ServerHandle};

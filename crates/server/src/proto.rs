@@ -17,7 +17,8 @@
 //!  "options":{"pre":true,"hot_threshold":10, ...},   // optional, defaults
 //!  "profile":{"sites":[[0,0,500]],"blocks":[[0,1,500]],"edges":[]},
 //!  "metrics":true, "deterministic_metrics":false,
-//!  "trace":false}                // attach an `abcd-trace/2` JSONL document
+//!  "deadline_ms":250,            // per-request deadline (null = server default)
+//!  "trace":false}                // attach an `abcd-trace/3` JSONL document
 //! {"cmd":"ping"}
 //! {"cmd":"stats"}
 //! {"cmd":"metrics","deterministic":false}   // Prometheus-style exposition
@@ -30,18 +31,35 @@
 //! ```json
 //! {"ok":true,"ir":"...","checks_total":4,"removed_fully":2,"hoisted":0,
 //!  "incidents":0,"degraded_incidents":0,"functions_from_cache":1,
+//!  "deadline_exceeded":false,    // true → `ir` is the unoptimized module
 //!  "trace":"...",                // JSONL string, only when requested
 //!  "metrics":{...}}                                  // null unless requested
 //! {"ok":true,"exposition":"abcdd_requests_total{outcome=\"served\"} 3\n..."}
-//! {"ok":false,"busy":true,"retry_after_ms":25,"error":"server at capacity"}
+//! {"ok":false,"busy":true,"retry_after_ms":40,"error":"server at capacity"}
 //! {"ok":false,"error":"line 3: unknown instruction ..."}
 //! ```
+//!
+//! # Deadline semantics
+//!
+//! `deadline_ms` bounds the time from *admission* (enqueue) to the reply.
+//! When it trips, the server **fails open**: the reply is still `"ok":true`
+//! and still a correct program — the module compiled but *unoptimized*,
+//! every bounds check kept — flagged with `"deadline_exceeded":true` and a
+//! non-degraded `deadline_exceeded` incident in the report. A deadline is
+//! a precision/latency trade, never a correctness one. Requests without
+//! `deadline_ms` inherit the server's `--request-timeout`, if set.
 //!
 //! # Retry contract
 //!
 //! A `busy` response means the admission queue was full at connect time.
-//! The request was *not* partially processed; clients should back off
-//! `retry_after_ms` (plus jitter) and resend the identical frame. Every
+//! The request was *not* partially processed; clients should resend the
+//! identical frame after backing off. `retry_after_ms` is an **adaptive
+//! hint**: the server scales it with the admission-queue depth it saw when
+//! it shed the connection (a loaded queue advises a longer pause), so a
+//! thundering herd spreads out instead of re-colliding. Clients should
+//! treat it as a floor, add exponential backoff with jitter on repeated
+//! busy replies, and give up after an attempt cap or an overall deadline
+//! (see `abcd_server::RetryPolicy`, which implements exactly this). Every
 //! non-busy `"ok":false` is a terminal, structured error — resending the
 //! same request will fail the same way.
 
@@ -97,15 +115,19 @@ pub struct OptimizeRequest {
     pub options: OptimizerOptions,
     /// Optional execution profile.
     pub profile: Option<Profile>,
-    /// Attach the `abcd-metrics/5` blob to the response.
+    /// Attach the `abcd-metrics/6` blob to the response.
     pub metrics: bool,
     /// Zero all durations in the metrics blob (byte-comparable output).
     /// Also zeroes trace durations when `trace` is set.
     pub deterministic_metrics: bool,
-    /// Attach an `abcd-trace/2` JSONL document to the response. Tracing is
+    /// Attach an `abcd-trace/3` JSONL document to the response. Tracing is
     /// a per-request observation knob, deliberately *not* an optimizer
     /// option: it must never change cache keys or analysis results.
     pub trace: bool,
+    /// Per-request deadline in milliseconds, measured from admission.
+    /// `None` inherits the server default (see the deadline semantics
+    /// above); tripping it fails open, never closed.
+    pub deadline_ms: Option<u64>,
 }
 
 /// A parsed request.
@@ -185,6 +207,7 @@ pub fn parse_request(payload: &[u8]) -> Result<Request, String> {
                     .and_then(Json::as_bool)
                     .unwrap_or(false),
                 trace: doc.get("trace").and_then(Json::as_bool).unwrap_or(false),
+                deadline_ms: doc.get("deadline_ms").and_then(Json::as_u64),
             })))
         }
         other => Err(format!("unknown cmd `{other}`")),
@@ -366,13 +389,15 @@ pub fn optimize_request_json(
     metrics: bool,
     deterministic_metrics: bool,
     trace: bool,
+    deadline_ms: Option<u64>,
 ) -> String {
     let (text, is_ir) = source_or_ir;
     let field = if is_ir { "ir" } else { "source" };
+    let deadline = deadline_ms.map_or_else(|| "null".to_string(), |d| d.to_string());
     format!(
         "{{\"cmd\":\"optimize\",\"{field}\":\"{}\",\"options\":{},\"profile\":{},\
          \"metrics\":{metrics},\"deterministic_metrics\":{deterministic_metrics},\
-         \"trace\":{trace}}}",
+         \"trace\":{trace},\"deadline_ms\":{deadline}}}",
         escape(text),
         options_json(options),
         profile.map_or_else(|| "null".to_string(), profile_json),
@@ -380,13 +405,15 @@ pub fn optimize_request_json(
 }
 
 /// Builds the success response for an optimized module. `metrics` is a
-/// pre-rendered `abcd-metrics/5` document spliced in verbatim; `trace` is
-/// a pre-rendered `abcd-trace/2` JSONL document attached as a string.
-/// `metrics` must stay the final field — clients locate it by scanning
-/// from the end of the frame.
+/// pre-rendered `abcd-metrics/6` document spliced in verbatim; `trace` is
+/// a pre-rendered `abcd-trace/3` JSONL document attached as a string.
+/// `deadline_exceeded` marks a fail-open reply whose `ir` is the compiled
+/// but unoptimized module. `metrics` must stay the final field — clients
+/// locate it by scanning from the end of the frame.
 pub fn ok_response(
     ir: &str,
     report: &ModuleReport,
+    deadline_exceeded: bool,
     trace: Option<&str>,
     metrics: Option<&str>,
 ) -> String {
@@ -394,7 +421,8 @@ pub fn ok_response(
     format!(
         "{{\"ok\":true,\"ir\":\"{}\",\"checks_total\":{},\"removed_fully\":{},\
          \"hoisted\":{},\"incidents\":{},\"degraded_incidents\":{},\
-         \"functions_from_cache\":{},\"trace\":{trace},\"metrics\":{}}}",
+         \"functions_from_cache\":{},\"deadline_exceeded\":{deadline_exceeded},\
+         \"trace\":{trace},\"metrics\":{}}}",
         escape(ir),
         report.checks_total(),
         report.checks_removed_fully(),
@@ -447,6 +475,7 @@ mod tests {
                 assert!(o.source.is_some() && o.ir.is_none());
                 assert!(o.options.pre, "wire defaults mirror OptimizerOptions");
                 assert!(!o.metrics);
+                assert_eq!(o.deadline_ms, None, "no deadline unless requested");
             }
             other => panic!("{other:?}"),
         }
@@ -476,12 +505,20 @@ mod tests {
         profile.add_site_count(FuncId::new(0), CheckSite::new(2), 41);
         profile.add_block_count(FuncId::new(1), Block::new(3), 9);
         profile.add_edge_count(FuncId::new(0), Block::new(0), Block::new(1), 5);
-        let payload =
-            optimize_request_json(("func", true), &options, Some(&profile), true, true, true);
+        let payload = optimize_request_json(
+            ("func", true),
+            &options,
+            Some(&profile),
+            true,
+            true,
+            true,
+            Some(750),
+        );
         let req = parse_request(payload.as_bytes()).unwrap();
         let Request::Optimize(o) = req else {
             panic!("expected optimize");
         };
+        assert_eq!(o.deadline_ms, Some(750));
         assert_eq!(o.ir.as_deref(), Some("func"));
         assert!(!o.options.pre);
         assert_eq!(o.options.hot_threshold, Some(7));

@@ -9,39 +9,88 @@
 //!                          │  try_send full?                │
 //!                          └─► write Busy frame        Optimizer (+ shared
 //!                              and close                AnalysisCache)
+//!                                                           ▲
+//!                                          supervisor ──────┘
+//!                                          (respawn / kick / detach)
 //! ```
 //!
 //! One thread accepts connections and *only* accepts: admission control is
 //! a `try_send` onto a bounded channel, so a full queue is detected without
 //! reading a byte of the request and answered with the documented `busy`
-//! response. Workers own the whole request lifecycle (read frame → parse →
-//! optimize → write frame), sharing one [`AnalysisCache`] so a function
-//! optimized for any client is a cache hit for every later client.
+//! response carrying an adaptive retry hint. Workers own the whole request
+//! lifecycle (read frame → parse → optimize → write frame), sharing one
+//! [`AnalysisCache`] so a function optimized for any client is a cache hit
+//! for every later client.
+//!
+//! # Supervision
+//!
+//! A supervisor thread watches every worker. A worker that *panicked* is
+//! reaped and respawned, and its in-flight connection — registered in a
+//! per-worker slot before any fallible work — receives a structured error
+//! instead of a silent hangup (`worker_restarts`). A worker *stuck* past
+//! [`ServerConfig::stuck_after`] first has its connection shut down, which
+//! unwedges anything blocked on socket IO (`worker_kicks`); if it stays
+//! wedged well past that — stuck in compute, which no signal can
+//! interrupt — the thread is detached and a replacement takes its slot, so
+//! capacity recovers even from a runaway request.
+//!
+//! # Deadlines
+//!
+//! Requests may carry `deadline_ms`, or inherit
+//! [`ServerConfig::request_timeout`]. A tripped deadline **fails open**:
+//! the reply is the compiled but unoptimized module — every bounds check
+//! kept, correctness untouched — with a non-degraded `deadline_exceeded`
+//! incident. Socket reads and writes are additionally bounded by
+//! [`ServerConfig::io_timeout`], so a stalled peer cannot pin a worker.
+//!
+//! # Fault injection
+//!
+//! An armed [`ChaosPlan`] injects failures at the service layer: worker
+//! panics, truncated and slow-trickled response frames, and mid-request
+//! disconnects (disk faults live in the cache layer). Decisions are
+//! deterministic per `(seed, site, sequence)`, so a chaos soak is
+//! replayable. Production servers run with no plan; the code paths chaos
+//! exercises are the same ones real faults take.
 //!
 //! # Shutdown
 //!
 //! A `shutdown` request sets the stop flag, then self-connects to the
 //! socket to wake the acceptor out of its blocking `accept`. The acceptor
 //! exits and drops its channel sender; workers drain every request already
-//! admitted (the graceful part), then see the channel close and exit.
-//! [`ServerHandle::join`] observes all of it.
+//! admitted (the graceful part), then see the channel close and exit. The
+//! supervisor reaps them and exits last; [`ServerHandle::join`] observes
+//! all of it.
 
 use crate::proto::{
     busy_response, error_response, ok_response, parse_request, read_frame, write_frame,
     OptimizeRequest, Request,
 };
-use abcd::{module_metrics_json, AnalysisCache, Optimizer, RunInfo};
+use abcd::{
+    module_metrics_json, AnalysisCache, ChaosPlan, ChaosSite, ModuleReport, Optimizer, RunInfo,
+    CHAOS_SITES,
+};
 use abcd_frontend::compile;
 use abcd_ir::Module;
+use std::io::Write as _;
+use std::net::Shutdown;
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
-use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
 
-/// How long a shed client should wait before retrying (advisory).
-const RETRY_AFTER_MS: u64 = 25;
+/// Floor of the adaptive busy hint (an empty queue still advises a pause).
+const BUSY_HINT_BASE_MS: u64 = 5;
+/// Ceiling of the adaptive busy hint.
+const BUSY_HINT_CAP_MS: u64 = 500;
+
+/// The advisory retry delay for a shed connection, scaled by the
+/// admission-queue depth observed at shed time: a deeper queue advises a
+/// longer pause, so a thundering herd spreads out instead of re-colliding.
+fn busy_hint_ms(queue_depth: usize) -> u64 {
+    (BUSY_HINT_BASE_MS * (queue_depth as u64 + 1)).clamp(BUSY_HINT_BASE_MS, BUSY_HINT_CAP_MS)
+}
 
 /// Configuration for [`start`].
 #[derive(Clone, Debug)]
@@ -57,6 +106,18 @@ pub struct ServerConfig {
     pub jobs: usize,
     /// Shared analysis cache, if caching is enabled.
     pub cache: Option<Arc<AnalysisCache>>,
+    /// Default deadline for requests that carry no `deadline_ms`; `None`
+    /// means requests without their own deadline run unbounded.
+    pub request_timeout: Option<Duration>,
+    /// Socket read/write timeout for request and response frames; `None`
+    /// disables it (a stalled peer then relies on supervision kicks).
+    pub io_timeout: Option<Duration>,
+    /// Supervision threshold: an in-flight request older than this gets
+    /// its connection kicked; one older than four times this gets its
+    /// worker detached and replaced.
+    pub stuck_after: Duration,
+    /// Fault-injection schedule; `None` (production) injects nothing.
+    pub chaos: Option<Arc<ChaosPlan>>,
 }
 
 impl ServerConfig {
@@ -68,6 +129,10 @@ impl ServerConfig {
             queue: 8,
             jobs: 0,
             cache: None,
+            request_timeout: None,
+            io_timeout: Some(Duration::from_secs(30)),
+            stuck_after: Duration::from_secs(30),
+            chaos: None,
         }
     }
 }
@@ -80,6 +145,9 @@ struct Counters {
     served: AtomicU64,
     shed: AtomicU64,
     errors: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    worker_restarts: AtomicU64,
+    worker_kicks: AtomicU64,
     queue_depth: AtomicUsize,
     /// Request latency (enqueue → response written), microseconds.
     latency: Hist,
@@ -143,11 +211,50 @@ struct Shared {
     counters: Counters,
 }
 
+/// Locks a mutex, riding through poison: a worker that panicked while
+/// holding the receiver lock must not take its siblings down with it —
+/// the protected state (a channel receiver, an inflight slot) stays
+/// coherent across an unwind.
+fn lock_tolerant<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// What a worker is doing right now, registered *before* any fallible
+/// work so the supervisor can always fail the request cleanly.
+struct Inflight {
+    started: Instant,
+    /// A clone of the connection, so a rescue can answer even after the
+    /// worker's own handle unwound.
+    conn: Option<UnixStream>,
+    /// The supervisor already shut this connection down.
+    kicked: bool,
+}
+
+/// Per-worker state shared between the worker thread and the supervisor.
+#[derive(Default)]
+struct SlotState {
+    inflight: Mutex<Option<Inflight>>,
+    /// Set by the worker as its last act on a clean exit; a finished
+    /// thread that never set it panicked.
+    done: AtomicBool,
+    /// Set by the supervisor when it has replaced this worker; the
+    /// (possibly stuck) thread exits at its next loop top.
+    detached: AtomicBool,
+}
+
+/// A supervised worker: its thread handle plus the shared slot.
+struct WorkerCell {
+    handle: Option<std::thread::JoinHandle<()>>,
+    slot: Arc<SlotState>,
+}
+
+type Conn = (UnixStream, Instant);
+
 /// A running server; join or drop to clean up the socket file.
 pub struct ServerHandle {
     shared: Arc<Shared>,
     acceptor: Option<std::thread::JoinHandle<()>>,
-    workers: Vec<std::thread::JoinHandle<()>>,
+    supervisor: Option<std::thread::JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -157,13 +264,13 @@ impl ServerHandle {
     }
 
     /// Blocks until the server has shut down and every admitted request
-    /// has been answered.
+    /// has been answered. The supervisor reaps the workers.
     pub fn join(mut self) {
         if let Some(a) = self.acceptor.take() {
             let _ = a.join();
         }
-        for w in self.workers.drain(..) {
-            let _ = w.join();
+        if let Some(s) = self.supervisor.take() {
+            let _ = s.join();
         }
     }
 
@@ -179,8 +286,8 @@ impl Drop for ServerHandle {
     }
 }
 
-/// Starts the daemon: binds the socket, spawns the acceptor and workers,
-/// and returns immediately.
+/// Starts the daemon: binds the socket, spawns the acceptor, workers and
+/// supervisor, and returns immediately.
 pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
     // A stale socket file from a crashed daemon would make bind fail;
     // connect() distinguishes "stale" from "live" so we never steal a
@@ -196,7 +303,10 @@ pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
     }
     let listener = UnixListener::bind(&config.socket)?;
     let workers = config.workers.max(1);
-    let (tx, rx) = std::sync::mpsc::sync_channel::<(UnixStream, Instant)>(config.queue);
+    if let (Some(cache), Some(plan)) = (&config.cache, &config.chaos) {
+        cache.set_chaos(Arc::clone(plan));
+    }
+    let (tx, rx) = std::sync::mpsc::sync_channel::<Conn>(config.queue);
     let rx = Arc::new(Mutex::new(rx));
     let shared = Arc::new(Shared {
         config,
@@ -204,12 +314,12 @@ pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
         counters: Counters::default(),
     });
 
-    let mut handles = Vec::with_capacity(workers);
-    for _ in 0..workers {
+    let cells: Vec<WorkerCell> = (0..workers).map(|_| spawn_worker(&shared, &rx)).collect();
+    let supervisor = {
         let shared = Arc::clone(&shared);
         let rx = Arc::clone(&rx);
-        handles.push(std::thread::spawn(move || worker_loop(&shared, &rx)));
-    }
+        std::thread::spawn(move || supervise(&shared, &rx, cells))
+    };
     let acceptor = {
         let shared = Arc::clone(&shared);
         std::thread::spawn(move || accept_loop(&shared, listener, tx))
@@ -217,11 +327,104 @@ pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
     Ok(ServerHandle {
         shared,
         acceptor: Some(acceptor),
-        workers: handles,
+        supervisor: Some(supervisor),
     })
 }
 
-fn accept_loop(shared: &Shared, listener: UnixListener, tx: SyncSender<(UnixStream, Instant)>) {
+fn spawn_worker(shared: &Arc<Shared>, rx: &Arc<Mutex<Receiver<Conn>>>) -> WorkerCell {
+    let slot = Arc::new(SlotState::default());
+    let handle = {
+        let shared = Arc::clone(shared);
+        let rx = Arc::clone(rx);
+        let slot = Arc::clone(&slot);
+        std::thread::spawn(move || worker_loop(&shared, &rx, &slot))
+    };
+    WorkerCell {
+        handle: Some(handle),
+        slot,
+    }
+}
+
+/// The monitor loop: respawns panicked workers (rescuing their in-flight
+/// request), kicks the connections of stuck ones, and detaches workers
+/// wedged in compute. Exits once every worker has finished, which only
+/// happens after shutdown drains the queue.
+fn supervise(shared: &Arc<Shared>, rx: &Arc<Mutex<Receiver<Conn>>>, mut cells: Vec<WorkerCell>) {
+    loop {
+        let mut alive = false;
+        for cell in &mut cells {
+            let Some(handle) = cell.handle.as_ref() else {
+                continue;
+            };
+            if handle.is_finished() {
+                let clean = cell.slot.done.load(Ordering::SeqCst);
+                if let Some(h) = cell.handle.take() {
+                    let _ = h.join();
+                }
+                if !clean {
+                    rescue_inflight(shared, &cell.slot, "worker panicked; request failed");
+                    shared
+                        .counters
+                        .worker_restarts
+                        .fetch_add(1, Ordering::Relaxed);
+                    *cell = spawn_worker(shared, rx);
+                    alive = true;
+                }
+                continue;
+            }
+            alive = true;
+            let detach = {
+                let mut guard = lock_tolerant(&cell.slot.inflight);
+                match guard.as_mut() {
+                    Some(inf) => {
+                        let elapsed = inf.started.elapsed();
+                        if !inf.kicked && elapsed > shared.config.stuck_after {
+                            // Unwedge anything blocked on socket IO; the
+                            // request fails with a structured IO error.
+                            if let Some(c) = &inf.conn {
+                                let _ = c.shutdown(Shutdown::Both);
+                            }
+                            inf.kicked = true;
+                            shared.counters.worker_kicks.fetch_add(1, Ordering::Relaxed);
+                        }
+                        // Kicked and *still* wedged: stuck in compute,
+                        // which nothing can interrupt — abandon the thread
+                        // and recover the slot's capacity.
+                        inf.kicked && elapsed > shared.config.stuck_after * 4
+                    }
+                    None => false,
+                }
+            };
+            if detach {
+                cell.slot.detached.store(true, Ordering::SeqCst);
+                drop(cell.handle.take()); // never joined; exits on its own if it ever unsticks
+                shared
+                    .counters
+                    .worker_restarts
+                    .fetch_add(1, Ordering::Relaxed);
+                *cell = spawn_worker(shared, rx);
+            }
+        }
+        if !alive {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// Answers a rescued worker's in-flight connection with a structured
+/// error so the client sees a reply, not a hangup.
+fn rescue_inflight(shared: &Shared, slot: &SlotState, message: &str) {
+    if let Some(mut inf) = lock_tolerant(&slot.inflight).take() {
+        if let Some(conn) = inf.conn.as_mut() {
+            let _ = write_frame(conn, error_response(message).as_bytes());
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+        shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+fn accept_loop(shared: &Shared, listener: UnixListener, tx: SyncSender<Conn>) {
     for conn in listener.incoming() {
         if shared.stop.load(Ordering::SeqCst) {
             // `conn` is the self-connect wake-up (or a late client); the
@@ -234,37 +437,110 @@ fn accept_loop(shared: &Shared, listener: UnixListener, tx: SyncSender<(UnixStre
         match tx.try_send((conn, Instant::now())) {
             Ok(()) => {}
             Err(TrySendError::Full((mut conn, _)) | TrySendError::Disconnected((mut conn, _))) => {
-                shared.counters.queue_depth.fetch_sub(1, Ordering::SeqCst);
+                let depth = shared
+                    .counters
+                    .queue_depth
+                    .fetch_sub(1, Ordering::SeqCst)
+                    .saturating_sub(1);
                 shared.counters.shed.fetch_add(1, Ordering::Relaxed);
                 // Load-shed without reading the request: tiny frame, the
                 // socket buffer absorbs it even if the client is mid-write.
-                let _ = write_frame(&mut conn, busy_response(RETRY_AFTER_MS).as_bytes());
+                let _ = write_frame(&mut conn, busy_response(busy_hint_ms(depth)).as_bytes());
             }
         }
     }
 }
 
-fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<(UnixStream, Instant)>>) {
+fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<Conn>>, slot: &SlotState) {
     loop {
-        // Hold the lock only for the dequeue so workers drain in parallel.
-        let msg = rx.lock().expect("receiver lock").recv();
-        let Ok((mut conn, enqueued)) = msg else {
+        if slot.detached.load(Ordering::SeqCst) {
+            // Replaced by the supervisor while we were wedged; our slot
+            // already has a new owner.
             return;
+        }
+        // Hold the lock only for the dequeue so workers drain in parallel;
+        // the timeout keeps the detach check responsive.
+        let msg = lock_tolerant(rx).recv_timeout(Duration::from_millis(25));
+        let (mut conn, enqueued) = match msg {
+            Ok(m) => m,
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => break,
         };
         let depth_before = shared.counters.queue_depth.fetch_sub(1, Ordering::SeqCst);
         shared
             .counters
             .queue_hist
             .observe(depth_before.saturating_sub(1) as u64);
+        // Register the request before any fallible work, so a panic
+        // anywhere below still gets the client a structured error.
+        *lock_tolerant(&slot.inflight) = Some(Inflight {
+            started: Instant::now(),
+            conn: conn.try_clone().ok(),
+            kicked: false,
+        });
+        if let Some(t) = shared.config.io_timeout {
+            let _ = conn.set_read_timeout(Some(t));
+            let _ = conn.set_write_timeout(Some(t));
+        }
+        let chaos = shared.config.chaos.as_deref();
+        if chaos.is_some_and(|p| p.decide(ChaosSite::Disconnect)) {
+            // Simulated mid-request disconnect: hang up without reading a
+            // byte; the client sees EOF where a reply should be.
+            let _ = conn.shutdown(Shutdown::Both);
+            shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+            *lock_tolerant(&slot.inflight) = None;
+            continue;
+        }
+        if chaos.is_some_and(|p| p.decide(ChaosSite::WorkerPanic)) {
+            panic!("chaos: injected worker panic");
+        }
         let response = handle_connection(shared, &mut conn, enqueued);
-        if write_frame(&mut conn, response.as_bytes()).is_err() {
+        if write_response(shared, &mut conn, &response).is_err() {
             shared.counters.errors.fetch_add(1, Ordering::Relaxed);
         }
+        *lock_tolerant(&slot.inflight) = None;
         shared
             .counters
             .latency
             .observe(enqueued.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
     }
+    slot.done.store(true, Ordering::SeqCst);
+}
+
+/// Writes the response frame, applying frame-level chaos when armed:
+/// `frame_truncate` advertises the full length but delivers half and
+/// hangs up; `frame_slow` delivers an intact frame in dribbled chunks.
+fn write_response(shared: &Shared, conn: &mut UnixStream, response: &str) -> std::io::Result<()> {
+    let payload = response.as_bytes();
+    if let Some(plan) = &shared.config.chaos {
+        if plan.decide(ChaosSite::FrameTruncate) {
+            let len = u32::try_from(payload.len()).map_err(|_| {
+                std::io::Error::new(std::io::ErrorKind::InvalidInput, "frame too large")
+            })?;
+            conn.write_all(&len.to_be_bytes())?;
+            conn.write_all(&payload[..payload.len() / 2])?;
+            conn.flush()?;
+            let _ = conn.shutdown(Shutdown::Both);
+            return Err(std::io::Error::other("chaos: truncated response frame"));
+        }
+        if let Some(seed) = plan.decide_seeded(ChaosSite::FrameSlow) {
+            let len = u32::try_from(payload.len()).map_err(|_| {
+                std::io::Error::new(std::io::ErrorKind::InvalidInput, "frame too large")
+            })?;
+            conn.write_all(&len.to_be_bytes())?;
+            let chunk = 64 + (seed as usize % 193);
+            for (i, part) in payload.chunks(chunk).enumerate() {
+                // Pause between early chunks only, so big frames bound the
+                // added latency instead of scaling it.
+                if i > 0 && i <= 16 {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                conn.write_all(part)?;
+            }
+            return conn.flush();
+        }
+    }
+    write_frame(conn, payload)
 }
 
 /// Reads, parses and dispatches one request; every outcome is a response
@@ -332,18 +608,32 @@ fn stats_response(shared: &Shared) -> String {
             let s = cache.stats();
             format!(
                 "{{\"hits\":{},\"misses\":{},\"stores\":{},\"evictions\":{},\
-                 \"corrupt\":{},\"disk_hits\":{},\"entries\":{},\"bytes\":{}}}",
-                s.hits, s.misses, s.stores, s.evictions, s.corrupt, s.disk_hits, s.entries, s.bytes,
+                 \"corrupt\":{},\"recovered\":{},\"write_errors\":{},\
+                 \"disk_hits\":{},\"entries\":{},\"bytes\":{}}}",
+                s.hits,
+                s.misses,
+                s.stores,
+                s.evictions,
+                s.corrupt,
+                s.recovered,
+                s.write_errors,
+                s.disk_hits,
+                s.entries,
+                s.bytes,
             )
         }
     };
     format!(
         "{{\"ok\":true,\"accepted\":{},\"served\":{},\"shed\":{},\"errors\":{},\
+         \"deadline_exceeded\":{},\"worker_restarts\":{},\"worker_kicks\":{},\
          \"queue_depth\":{},\"workers\":{},\"queue\":{},\"cache\":{cache}}}",
         c.accepted.load(Ordering::Relaxed),
         c.served.load(Ordering::Relaxed),
         c.shed.load(Ordering::Relaxed),
         c.errors.load(Ordering::Relaxed),
+        c.deadline_exceeded.load(Ordering::Relaxed),
+        c.worker_restarts.load(Ordering::Relaxed),
+        c.worker_kicks.load(Ordering::Relaxed),
         c.queue_depth.load(Ordering::SeqCst),
         shared.config.workers.max(1),
         shared.config.queue,
@@ -367,6 +657,24 @@ fn metrics_response(shared: &Shared, deterministic: bool) -> String {
     ] {
         let _ = writeln!(text, "abcdd_requests_total{{outcome=\"{outcome}\"}} {n}");
     }
+    let _ = writeln!(text, "# TYPE abcdd_deadline_exceeded_total counter");
+    let _ = writeln!(
+        text,
+        "abcdd_deadline_exceeded_total {}",
+        c.deadline_exceeded.load(Ordering::Relaxed)
+    );
+    let _ = writeln!(text, "# TYPE abcdd_worker_restarts_total counter");
+    let _ = writeln!(
+        text,
+        "abcdd_worker_restarts_total {}",
+        c.worker_restarts.load(Ordering::Relaxed)
+    );
+    let _ = writeln!(text, "# TYPE abcdd_worker_kicks_total counter");
+    let _ = writeln!(
+        text,
+        "abcdd_worker_kicks_total {}",
+        c.worker_kicks.load(Ordering::Relaxed)
+    );
     let _ = writeln!(text, "# TYPE abcdd_queue_depth gauge");
     let _ = writeln!(
         text,
@@ -384,6 +692,8 @@ fn metrics_response(shared: &Shared, deterministic: bool) -> String {
             ("stores", s.stores),
             ("evictions", s.evictions),
             ("corrupt", s.corrupt),
+            ("recovered", s.recovered),
+            ("write_errors", s.write_errors),
             ("disk_hits", s.disk_hits),
         ] {
             let _ = writeln!(text, "abcdd_cache_events_total{{event=\"{event}\"}} {n}");
@@ -392,6 +702,17 @@ fn metrics_response(shared: &Shared, deterministic: bool) -> String {
         let _ = writeln!(text, "abcdd_cache_entries {}", s.entries);
         let _ = writeln!(text, "# TYPE abcdd_cache_bytes gauge");
         let _ = writeln!(text, "abcdd_cache_bytes {}", s.bytes);
+    }
+    if let Some(plan) = &shared.config.chaos {
+        let _ = writeln!(text, "# TYPE abcdd_chaos_injections_total counter");
+        for site in CHAOS_SITES {
+            let _ = writeln!(
+                text,
+                "abcdd_chaos_injections_total{{site=\"{}\"}} {}",
+                site.name(),
+                plan.injected(site)
+            );
+        }
     }
     c.latency
         .exposition("abcdd_request_latency_us", &mut text, deterministic);
@@ -408,11 +729,25 @@ fn handle_optimize(
     req: &OptimizeRequest,
     enqueued: Instant,
 ) -> Result<String, String> {
-    let mut module: Module = match (&req.source, &req.ir) {
-        (Some(src), None) => compile(src).map_err(|e| format!("compile: {e}"))?,
-        (None, Some(ir)) => abcd_ir::parse_module(ir).map_err(|e| format!("parse: {e}"))?,
-        _ => unreachable!("validated by parse_request"),
+    let front = || -> Result<Module, String> {
+        match (&req.source, &req.ir) {
+            (Some(src), None) => compile(src).map_err(|e| format!("compile: {e}")),
+            (None, Some(ir)) => abcd_ir::parse_module(ir).map_err(|e| format!("parse: {e}")),
+            _ => unreachable!("validated by parse_request"),
+        }
     };
+    let deadline_ms = req
+        .deadline_ms
+        .or_else(|| shared.config.request_timeout.map(|d| d.as_millis() as u64));
+    let over_deadline = |d: u64| enqueued.elapsed() > Duration::from_millis(d);
+    let mut module = front()?;
+    if let Some(d) = deadline_ms {
+        if over_deadline(d) {
+            // Blown before analysis even started (queueing, slow read):
+            // serve the module as compiled, every check kept.
+            return Ok(deadline_reply(shared, req, &module, d, enqueued));
+        }
+    }
     let mut optimizer = Optimizer::with_options(req.options)
         .with_threads(shared.config.jobs)
         .with_trace(req.trace);
@@ -423,12 +758,23 @@ fn handle_optimize(
     let started = Instant::now();
     let report = optimizer.optimize_module(&mut module, req.profile.as_ref());
     let wall = started.elapsed();
+    if let Some(d) = deadline_ms {
+        if over_deadline(d) {
+            // The optimized result arrived late; the deadline contract
+            // promises fail-open, so re-derive the unoptimized module
+            // (cheap next to the optimization that just overran) and
+            // serve that instead.
+            let module = front()?;
+            return Ok(deadline_reply(shared, req, &module, d, enqueued));
+        }
+    }
     let ir = module.to_string();
     let trace = if req.trace {
         let mut doc = abcd::module_trace_jsonl(&report, threads, req.deterministic_metrics);
         doc.push_str(&abcd::request_span_jsonl(
             shared.counters.queue_depth.load(Ordering::SeqCst),
             enqueued.elapsed(),
+            deadline_ms,
             req.deterministic_metrics,
         ));
         Some(doc)
@@ -452,7 +798,59 @@ fn handle_optimize(
     Ok(ok_response(
         &ir,
         &report,
+        false,
         trace.as_deref(),
         metrics.as_deref(),
     ))
+}
+
+/// Builds the fail-open reply for a blown deadline: the module exactly as
+/// the front end produced it, a non-degraded `deadline_exceeded` incident,
+/// and the `deadline_exceeded` response flag.
+fn deadline_reply(
+    shared: &Shared,
+    req: &OptimizeRequest,
+    module: &Module,
+    deadline_ms: u64,
+    enqueued: Instant,
+) -> String {
+    shared
+        .counters
+        .deadline_exceeded
+        .fetch_add(1, Ordering::Relaxed);
+    let elapsed_ms = if req.deterministic_metrics {
+        0
+    } else {
+        enqueued.elapsed().as_millis().min(u128::from(u64::MAX)) as u64
+    };
+    let report = ModuleReport::deadline_fail_open(module, deadline_ms, elapsed_ms);
+    let ir = module.to_string();
+    let depth = shared.counters.queue_depth.load(Ordering::SeqCst);
+    let trace = if req.trace {
+        let mut doc = abcd::module_trace_jsonl(&report, 1, req.deterministic_metrics);
+        doc.push_str(&abcd::request_span_jsonl(
+            depth,
+            enqueued.elapsed(),
+            Some(deadline_ms),
+            req.deterministic_metrics,
+        ));
+        Some(doc)
+    } else {
+        None
+    };
+    let metrics = if req.metrics {
+        let mut run = RunInfo::new(1, Duration::ZERO);
+        if let Some(cache) = &shared.config.cache {
+            run = run.with_cache(cache.stats());
+        }
+        run.queue_depth = Some(depth);
+        run.request_latency = Some(enqueued.elapsed());
+        if req.deterministic_metrics {
+            run = run.deterministic();
+        }
+        Some(module_metrics_json(&report, run))
+    } else {
+        None
+    };
+    ok_response(&ir, &report, true, trace.as_deref(), metrics.as_deref())
 }

@@ -17,8 +17,8 @@
 //! interprocedural facts), `--version-fns` (guarded fast/slow clones),
 //! `--hot N` (with `--profile`), `--jobs N` (parallel driver),
 //! `--prover demand|batch|dbm|auto` (query-engine selection),
-//! `--metrics`/`--metrics-out FILE` (`abcd-metrics/5` JSON),
-//! `--trace-out FILE` (`abcd-trace/2` JSONL structured trace),
+//! `--metrics`/`--metrics-out FILE` (`abcd-metrics/6` JSON),
+//! `--trace-out FILE` (`abcd-trace/3` JSONL structured trace),
 //! `--deterministic-metrics` (zero every duration for byte-comparable
 //! output), `--cache-dir DIR`/`--cache-bytes N` (content-addressed analysis
 //! cache), and the fail-open controls `--fuel N`, `--fuel-fn N`,
@@ -69,7 +69,10 @@ USAGE:
     mjc graph <file.mj|file.ir> [--fn NAME] [--lower]        (Graphviz output)
     mjc serve --socket PATH [--workers N] [--queue N] [--jobs N]
               [--cache-dir DIR] [--cache-bytes N] [--no-cache]
+              [--request-timeout MS] [--io-timeout MS] [--stuck-after MS]
+              [--chaos PLAN]
     mjc client <file.mj|file.ir> --socket PATH [pass flags] [--metrics]
+               [--timeout MS] [--deadline MS]
     mjc client ping|stats|metrics|shutdown --socket PATH
 
 PASS FLAGS (for `opt`, `run --opt` and `client <file>`):
@@ -83,9 +86,9 @@ PASS FLAGS (for `opt`, `run --opt` and `client <file>`):
                        batch (one shortest-path sweep per source), dbm
                        (dense difference-bound relaxation), or auto (pick
                        per function by graph shape); verdicts are identical
-    --metrics          emit abcd-metrics/5 JSON (stdout for opt, stderr for run)
+    --metrics          emit abcd-metrics/6 JSON (stdout for opt, stderr for run)
     --metrics-out F    write the metrics JSON to file F
-    --trace-out F      record an abcd-trace/2 JSONL structured trace to F
+    --trace-out F      record an abcd-trace/3 JSONL structured trace to F
                        (spans for every pass, prove query, PRE decision and
                        cache lookup; zero overhead when absent)
     --deterministic-metrics
@@ -105,11 +108,25 @@ CACHING (for `opt`, `run --opt`; always on in `serve` unless --no-cache):
                        is reported as an incident and recompiled cold
     --cache-bytes N    in-memory cache budget in bytes (default 64 MiB)
 
-SERVER (for `serve`; `client` retries `busy` replies per the retry hint):
+SERVER (for `serve`; `client` retries `busy` replies with exponential
+backoff + jitter, floored by the server's adaptive retry hint):
     --socket PATH      Unix-domain socket (required for serve/client)
     --workers N        concurrent request handlers (default 2)
     --queue N          bounded admission queue; overflow is answered with a
                        structured `busy` reply instead of blocking (default 8)
+    --request-timeout MS   (serve) default per-request deadline; tripping it
+                       fails open: the module is served unoptimized with a
+                       non-degraded deadline_exceeded incident
+    --io-timeout MS    (serve) socket read/write timeout per frame
+                       (default 30000; 0 disables)
+    --stuck-after MS   (serve) supervision threshold: a request in flight
+                       longer than this gets its connection kicked, 4x
+                       longer gets its worker replaced (default 30000)
+    --chaos PLAN       (serve) seeded fault injection, e.g.
+                       `seed:42,worker_panic:20` (see `abcd::ChaosPlan`)
+    --timeout MS       (client) end-to-end budget: connect, each frame, all
+                       retries and backoff sleeps combined
+    --deadline MS      (client) per-request deadline_ms sent to the server
 
 FAIL-OPEN CONTROLS (for `opt` and `run --opt`):
     --fuel N           per-query solver step budget (exhaustion keeps the check)
@@ -223,7 +240,8 @@ fn parse_options(rest: &[String]) -> Result<OptimizerOptions, String> {
             | "--no-cache" => {}
             "--arg" | "--stage" | "--fn" | "--jobs" | "--metrics-out" | "--trace-out"
             | "--check" | "--fault-plan" | "--cache-dir" | "--cache-bytes" | "--socket"
-            | "--workers" | "--queue" => i += 1,
+            | "--workers" | "--queue" | "--request-timeout" | "--io-timeout" | "--stuck-after"
+            | "--chaos" | "--timeout" | "--deadline" => i += 1,
             "--lower" if rest[i] == "--lower" => {}
             other => return Err(format!("unknown flag `{other}`")),
         }
@@ -307,7 +325,7 @@ fn incident_exit(report: &abcd::ModuleReport) -> ExitCode {
     }
 }
 
-/// Emits the `abcd-metrics/5` JSON if `--metrics` or `--metrics-out` was
+/// Emits the `abcd-metrics/6` JSON if `--metrics` or `--metrics-out` was
 /// given. `to_stderr` keeps `run`'s program output clean on stdout.
 fn emit_metrics(
     report: &abcd::ModuleReport,
@@ -342,7 +360,7 @@ fn emit_metrics(
     Ok(())
 }
 
-/// Writes the `abcd-trace/2` JSONL document if `--trace-out` was given.
+/// Writes the `abcd-trace/3` JSONL document if `--trace-out` was given.
 fn emit_trace(report: &abcd::ModuleReport, threads: usize, rest: &[String]) -> Result<(), String> {
     let Some(path) = value_of(rest, "--trace-out") else {
         return Ok(());
@@ -539,12 +557,36 @@ fn cmd_serve(rest: &[String]) -> Result<ExitCode, String> {
             ))),
         }
     };
+    let ms = |flag: &str| -> Result<Option<u64>, String> {
+        match value_of(rest, flag) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("`{flag}` needs milliseconds")),
+        }
+    };
+    let nonzero = |default_ms: u64, v: Option<u64>| match v.unwrap_or(default_ms) {
+        0 => None,
+        n => Some(std::time::Duration::from_millis(n)),
+    };
+    let chaos = match value_of(rest, "--chaos") {
+        None => None,
+        Some(spec) => Some(std::sync::Arc::new(
+            abcd::ChaosPlan::parse(spec).map_err(|e| format!("--chaos: {e}"))?,
+        )),
+    };
     let config = abcd_server::ServerConfig {
         socket: socket.into(),
         workers: count("--workers", 2)?,
         queue: count("--queue", 8)?,
         jobs: jobs_of(rest)?,
         cache,
+        request_timeout: ms("--request-timeout")?.map(std::time::Duration::from_millis),
+        io_timeout: nonzero(30_000, ms("--io-timeout")?),
+        stuck_after: nonzero(30_000, ms("--stuck-after")?)
+            .unwrap_or(std::time::Duration::from_secs(86_400)),
+        chaos,
     };
     let handle = abcd_server::start(config).map_err(|e| format!("bind {socket}: {e}"))?;
     eprintln!("mjc: serving on {socket}");
@@ -586,18 +628,38 @@ fn cmd_client(file: &str, rest: &[String]) -> Result<ExitCode, String> {
         _ => {
             let options = parse_options(rest)?;
             let text = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
+            let ms = |flag: &str| -> Result<Option<u64>, String> {
+                match value_of(rest, flag) {
+                    None => Ok(None),
+                    Some(v) => v
+                        .parse()
+                        .map(Some)
+                        .map_err(|_| format!("`{flag}` needs milliseconds")),
+                }
+            };
+            let call = abcd_server::CallOptions {
+                metrics: has(rest, "--metrics") || value_of(rest, "--metrics-out").is_some(),
+                deterministic_metrics: has(rest, "--deterministic-metrics"),
+                trace: value_of(rest, "--trace-out").is_some(),
+                deadline_ms: ms("--deadline")?,
+            };
+            let retry = match ms("--timeout")? {
+                None => abcd_server::RetryPolicy::default(),
+                Some(t) => abcd_server::RetryPolicy::with_timeout_ms(t),
+            };
             let reply = abcd_server::optimize(
                 socket,
                 (&text, file.ends_with(".ir")),
                 &options,
                 None,
-                has(rest, "--metrics") || value_of(rest, "--metrics-out").is_some(),
-                has(rest, "--deterministic-metrics"),
-                value_of(rest, "--trace-out").is_some(),
-                8,
+                &call,
+                &retry,
             )?;
             // Exactly what `cmd_dump` prints: `{module}` + one newline.
             emit(format!("{}\n", reply.ir));
+            if reply.deadline_exceeded {
+                eprintln!("mjc: server deadline exceeded; module served unoptimized (fail open)");
+            }
             if let Some(path) = value_of(rest, "--trace-out") {
                 std::fs::write(path, reply.trace.as_deref().unwrap_or(""))
                     .map_err(|e| format!("{path}: {e}"))?;

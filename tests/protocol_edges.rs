@@ -1,0 +1,126 @@
+//! Protocol edge cases, driven over a raw socket so the bytes on the
+//! wire are exactly what the test says: a truncated length prefix, a
+//! frame at / one past the 64 MiB cap, a zero-length frame, and garbage
+//! where a header should be. Every case must produce a structured error
+//! (or a clean close for unanswerable garbage) and leave the daemon
+//! healthy — no wedged worker, no poisoned state.
+
+use abcd_server::proto::MAX_FRAME;
+use abcd_server::ServerConfig;
+use std::io::{Read, Write};
+use std::net::Shutdown;
+use std::os::unix::net::UnixStream;
+
+fn sock(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("abcdd-edge-{}-{tag}.sock", std::process::id()))
+}
+
+fn ping_eventually(socket: &std::path::Path) -> bool {
+    for _ in 0..100 {
+        if abcd_server::ping(socket) {
+            return true;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    false
+}
+
+/// Sends raw bytes, half-closes the write side, and returns everything
+/// the server sends back (empty = the server just closed).
+fn send_raw(socket: &std::path::Path, bytes: &[u8]) -> Vec<u8> {
+    let mut conn = UnixStream::connect(socket).expect("connect");
+    conn.write_all(bytes).expect("send");
+    conn.shutdown(Shutdown::Write).expect("half-close");
+    let mut reply = Vec::new();
+    let _ = conn.read_to_end(&mut reply);
+    reply
+}
+
+/// Parses one reply frame and asserts it is a structured `"ok":false`
+/// error mentioning `needle`, followed by a clean close.
+fn assert_error_frame(reply: &[u8], needle: &str, what: &str) {
+    assert!(reply.len() >= 4, "{what}: no frame in reply");
+    let len = u32::from_be_bytes(reply[..4].try_into().unwrap()) as usize;
+    let body = &reply[4..];
+    assert_eq!(
+        body.len(),
+        len,
+        "{what}: frame length mismatch (no trailing bytes)"
+    );
+    let text = std::str::from_utf8(body).expect("reply is UTF-8");
+    assert!(text.starts_with("{\"ok\":false"), "{what}: {text}");
+    assert!(
+        text.contains(needle),
+        "{what}: expected `{needle}` in {text}"
+    );
+}
+
+#[test]
+fn hostile_frames_get_structured_errors_and_the_daemon_stays_healthy() {
+    let socket = sock("hostile");
+    let handle = abcd_server::start(ServerConfig::new(&socket)).unwrap();
+    assert!(ping_eventually(&socket), "server must come up");
+
+    // A length prefix cut off mid-header: unanswerable in-protocol (the
+    // request never materialized), but it must still be answered with a
+    // structured frame, not silence.
+    let reply = send_raw(&socket, &[0x00, 0x01]);
+    assert_error_frame(&reply, "bad frame", "truncated length prefix");
+
+    // Zero-length frame: a valid header for an empty body, which is not
+    // a JSON document.
+    let reply = send_raw(&socket, &0u32.to_be_bytes());
+    assert_error_frame(&reply, "bad JSON", "zero-length frame");
+
+    // One byte over the cap: rejected from the prefix alone, before any
+    // allocation; the advertised payload is never read.
+    let reply = send_raw(&socket, &(MAX_FRAME + 1).to_be_bytes());
+    assert_error_frame(&reply, "exceeds", "frame one over the cap");
+
+    // Garbage where a header should be: decodes as a ~1.1 GiB length,
+    // which the cap rejects the same way.
+    let reply = send_raw(&socket, b"GARBAGE!then{\"cmd\":\"ping\"}");
+    assert_error_frame(&reply, "exceeds", "garbage before a valid frame");
+
+    // The daemon took all of that without wedging a worker.
+    assert!(
+        ping_eventually(&socket),
+        "daemon healthy after hostile frames"
+    );
+
+    abcd_server::shutdown(&socket).unwrap();
+    handle.join();
+}
+
+/// A frame of exactly `MAX_FRAME` bytes is read in full (the cap is
+/// inclusive); its gibberish payload then fails *parsing*, proving the
+/// frame layer accepted it.
+#[test]
+fn frame_exactly_at_the_cap_is_read_and_parse_rejected() {
+    let socket = sock("atcap");
+    let mut config = ServerConfig::new(&socket);
+    // 64 MiB over a local socket pair can outlast the default frame
+    // timeout on a slow CI box; give it room.
+    config.io_timeout = Some(std::time::Duration::from_secs(120));
+    let handle = abcd_server::start(config).unwrap();
+    assert!(ping_eventually(&socket), "server must come up");
+
+    let mut conn = UnixStream::connect(&socket).expect("connect");
+    conn.write_all(&MAX_FRAME.to_be_bytes()).expect("header");
+    // Stream the body in chunks so the test never holds 64 MiB twice.
+    let chunk = vec![b'x'; 1 << 20];
+    for _ in 0..(MAX_FRAME as usize / chunk.len()) {
+        conn.write_all(&chunk).expect("body");
+    }
+    conn.shutdown(Shutdown::Write).expect("half-close");
+    let mut reply = Vec::new();
+    let _ = conn.read_to_end(&mut reply);
+    assert_error_frame(&reply, "bad JSON", "frame exactly at the cap");
+
+    assert!(
+        ping_eventually(&socket),
+        "daemon healthy after a max-size frame"
+    );
+    abcd_server::shutdown(&socket).unwrap();
+    handle.join();
+}

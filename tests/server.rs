@@ -51,25 +51,30 @@ fn served_output_is_byte_identical_to_local() {
     let options = OptimizerOptions::default();
     // Twice: the second request is a warm-cache replay and must not differ.
     for pass in 0..2 {
+        let call = abcd_server::CallOptions {
+            metrics: true,
+            deterministic_metrics: true,
+            trace: true,
+            deadline_ms: None,
+        };
         let reply = abcd_server::optimize(
             &socket,
             (PROGRAM, false),
             &options,
             None,
-            true,
-            true,
-            true,
-            4,
+            &call,
+            &abcd_server::RetryPolicy::default(),
         )
         .unwrap();
+        assert!(!reply.deadline_exceeded, "no deadline was set");
         assert_eq!(reply.ir, reference, "pass {pass}");
         assert_eq!(reply.incidents, (0, 0), "pass {pass}");
         let trace = reply.trace.expect("trace requested");
-        assert!(trace.starts_with("{\"schema\":\"abcd-trace/2\""), "{trace}");
+        assert!(trace.starts_with("{\"schema\":\"abcd-trace/3\""), "{trace}");
         assert!(trace.contains("\"span\":\"request\""), "{trace}");
         let metrics = reply.metrics.expect("metrics requested");
         assert!(
-            metrics.contains("\"schema\":\"abcd-metrics/5\""),
+            metrics.contains("\"schema\":\"abcd-metrics/6\""),
             "{metrics}"
         );
         assert!(metrics.contains("\"deterministic\":true"), "{metrics}");
@@ -104,10 +109,11 @@ fn concurrent_clients_all_get_the_sequential_answer() {
                         (PROGRAM, false),
                         &OptimizerOptions::default(),
                         None,
-                        false,
-                        false,
-                        false,
-                        16,
+                        &abcd_server::CallOptions::default(),
+                        &abcd_server::RetryPolicy {
+                            max_attempts: 16,
+                            ..abcd_server::RetryPolicy::default()
+                        },
                     )
                     .unwrap()
                     .ir
@@ -199,6 +205,198 @@ fn malformed_requests_get_structured_errors_not_disconnects() {
             other => panic!("{request} → {other:?}"),
         }
     }
+
+    abcd_server::shutdown(&socket).unwrap();
+    handle.join();
+}
+
+/// Tentpole: a tripped deadline fails OPEN — the reply is still `ok`,
+/// the module is served exactly as the front end produced it (every
+/// check kept), the incident is non-degraded, and the counters show up
+/// in both `stats` and the Prometheus exposition.
+#[test]
+fn deadline_fails_open_with_all_checks_kept() {
+    let socket = sock("deadline");
+    let mut config = ServerConfig::new(&socket);
+    config.cache = Some(Arc::new(AnalysisCache::in_memory(1 << 20)));
+    let handle = abcd_server::start(config).unwrap();
+
+    let unoptimized = compile(PROGRAM).expect("compiles").to_string();
+    let call = abcd_server::CallOptions {
+        metrics: true,
+        deterministic_metrics: true,
+        deadline_ms: Some(0), // trips at the first checkpoint, deterministically
+        ..abcd_server::CallOptions::default()
+    };
+    let reply = abcd_server::optimize(
+        &socket,
+        (PROGRAM, false),
+        &OptimizerOptions::default(),
+        None,
+        &call,
+        &abcd_server::RetryPolicy::default(),
+    )
+    .unwrap();
+    assert!(reply.deadline_exceeded, "deadline 0 must trip");
+    assert_eq!(
+        reply.ir, unoptimized,
+        "fail-open serves the unoptimized module"
+    );
+    assert_eq!(reply.checks.1, 0, "nothing removed");
+    assert_eq!(reply.checks.2, 0, "nothing hoisted");
+    assert_eq!(reply.incidents, (1, 0), "one incident, zero degraded");
+    let metrics = reply.metrics.expect("metrics requested");
+    assert!(
+        metrics.contains("\"kind\":\"deadline_exceeded\""),
+        "{metrics}"
+    );
+
+    // A request under no deadline on the same server still optimizes.
+    let normal = abcd_server::optimize(
+        &socket,
+        (PROGRAM, false),
+        &OptimizerOptions::default(),
+        None,
+        &abcd_server::CallOptions::default(),
+        &abcd_server::RetryPolicy::default(),
+    )
+    .unwrap();
+    assert!(!normal.deadline_exceeded);
+    assert_eq!(normal.ir, local_reference(PROGRAM));
+
+    let stats = abcd_server::stats(&socket).unwrap();
+    let n = |k: &str| stats.get(k).and_then(abcd_server::json::Json::as_u64);
+    assert_eq!(n("deadline_exceeded"), Some(1), "{stats:?}");
+    let exposition = abcd_server::metrics(&socket, false).unwrap();
+    assert!(
+        exposition.contains("abcdd_deadline_exceeded_total 1"),
+        "{exposition}"
+    );
+    assert!(
+        exposition.contains("abcdd_worker_restarts_total 0"),
+        "{exposition}"
+    );
+    assert!(
+        exposition.contains("abcdd_cache_events_total{event=\"recovered\"} 0"),
+        "{exposition}"
+    );
+
+    abcd_server::shutdown(&socket).unwrap();
+    handle.join();
+}
+
+/// The server-side default deadline (`--request-timeout`) applies to
+/// requests that carry no `deadline_ms` of their own.
+#[test]
+fn server_default_request_timeout_fails_open() {
+    let socket = sock("req-timeout");
+    let mut config = ServerConfig::new(&socket);
+    config.request_timeout = Some(std::time::Duration::from_millis(0));
+    let handle = abcd_server::start(config).unwrap();
+
+    let reply = abcd_server::optimize(
+        &socket,
+        (PROGRAM, false),
+        &OptimizerOptions::default(),
+        None,
+        &abcd_server::CallOptions::default(),
+        &abcd_server::RetryPolicy::default(),
+    )
+    .unwrap();
+    assert!(reply.deadline_exceeded, "server default must apply");
+    assert_eq!(reply.ir, compile(PROGRAM).unwrap().to_string());
+
+    abcd_server::shutdown(&socket).unwrap();
+    handle.join();
+}
+
+/// Supervision: a panicking worker is respawned, its in-flight request
+/// fails with a structured error (not a silent hangup), and the daemon
+/// keeps serving and still drains to a clean exit.
+#[test]
+fn panicked_workers_are_respawned_and_requests_fail_cleanly() {
+    let socket = sock("respawn");
+    let mut config = ServerConfig::new(&socket);
+    config.workers = 2;
+    config.chaos = Some(Arc::new(
+        abcd::ChaosPlan::parse("seed:7,worker_panic:500").unwrap(),
+    ));
+    let handle = abcd_server::start(config).unwrap();
+    assert!(ping_eventually(&socket), "server must come up");
+
+    let (mut panics, mut pongs) = (0u32, 0u32);
+    for _ in 0..40 {
+        match abcd_server::roundtrip(&socket, "{\"cmd\":\"ping\"}") {
+            Ok(Reply::Ok(..)) => pongs += 1,
+            Ok(Reply::Err(e)) => {
+                assert!(e.contains("worker panicked"), "{e}");
+                panics += 1;
+            }
+            Ok(Reply::Busy { .. }) | Err(_) => {}
+        }
+    }
+    assert!(panics > 0, "chaos at 50% must fire in 40 requests");
+    assert!(pongs > 0, "respawned workers must keep serving");
+
+    let stats = loop {
+        match abcd_server::stats(&socket) {
+            Ok(s) => break s,
+            Err(_) => std::thread::sleep(std::time::Duration::from_millis(5)),
+        }
+    };
+    let restarts = stats
+        .get("worker_restarts")
+        .and_then(abcd_server::json::Json::as_u64)
+        .unwrap();
+    assert!(restarts >= u64::from(panics), "{stats:?}");
+
+    while abcd_server::shutdown(&socket).is_err() {
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    handle.join();
+    assert!(!socket.exists(), "clean drain even under chaos");
+}
+
+/// Supervision: a worker stuck in compute past `stuck_after` first has
+/// its connection kicked, then is detached and replaced, so capacity
+/// recovers without waiting for the runaway request.
+#[test]
+fn stuck_workers_are_kicked_then_replaced() {
+    let socket = sock("stuck");
+    let mut config = ServerConfig::new(&socket);
+    config.workers = 1;
+    config.stuck_after = std::time::Duration::from_millis(100);
+    let handle = abcd_server::start(config).unwrap();
+    assert!(ping_eventually(&socket), "server must come up");
+
+    // `sleep` stands in for a runaway optimization: not blocked on IO,
+    // so only detachment can recover the worker's slot.
+    let wedged = std::thread::spawn({
+        let socket = socket.clone();
+        move || abcd_server::roundtrip(&socket, "{\"cmd\":\"sleep\",\"ms\":1500}")
+    });
+    // Kick fires ~100ms in; detach+respawn fires ~400ms in. By 800ms a
+    // fresh worker must be serving again even though the old one still
+    // has ~700ms of wedge left.
+    assert!(
+        ping_eventually(&socket),
+        "replacement worker must take over while the wedged one sleeps"
+    );
+    let wedged = wedged.join().unwrap();
+    assert!(
+        wedged.is_err(),
+        "the kicked request must fail, not hang: {wedged:?}"
+    );
+
+    let stats = abcd_server::stats(&socket).unwrap();
+    let n = |k: &str| {
+        stats
+            .get(k)
+            .and_then(abcd_server::json::Json::as_u64)
+            .unwrap()
+    };
+    assert!(n("worker_kicks") >= 1, "{stats:?}");
+    assert!(n("worker_restarts") >= 1, "{stats:?}");
 
     abcd_server::shutdown(&socket).unwrap();
     handle.join();
