@@ -14,6 +14,7 @@ use crate::pre::{apply_insertions, merge_remaining_checks};
 use crate::report::{
     CheckOutcome, EliminatedCheck, FunctionReport, HoistedCheck, Incident, ModuleReport,
 };
+use crate::scratch::{ScratchArena, ScratchPool};
 use crate::solver::{AnyProver, DemandProver, PreOutcome, PreProver, ProverBackend};
 use crate::trace::{FunctionTrace, PreInsertionRecord, Span};
 use abcd_ir::{Block, CheckKind, CheckSite, FuncId, Function, InstId, InstKind, Module, Value};
@@ -139,6 +140,11 @@ pub struct Optimizer {
     /// cache-fingerprinted and wire-serialized, and observing a run must
     /// never change its cache keys or verdicts.
     trace: bool,
+    /// Pooled per-worker scratch (graph shells, prover tables) shared
+    /// across modules/requests. `None` = a transient pool per
+    /// `optimize_module` call (buffers still reused across the module's
+    /// functions).
+    scratch: Option<Arc<ScratchPool>>,
 }
 
 impl Optimizer {
@@ -155,7 +161,17 @@ impl Optimizer {
             fault_plan: None,
             cache: None,
             trace: false,
+            scratch: None,
         }
+    }
+
+    /// Attaches a shared scratch pool: workers draw their per-function
+    /// arenas (graph shells, prover memo tables, sweep buffers) from it, so
+    /// the warm capacity survives across modules and — in the server —
+    /// across requests. Steady state allocates nothing on the prove path.
+    pub fn with_scratch_pool(mut self, pool: Arc<ScratchPool>) -> Self {
+        self.scratch = Some(pool);
+        self
     }
 
     /// Enables (or disables) structured span tracing: every
@@ -218,6 +234,13 @@ impl Optimizer {
     pub fn optimize_module(&self, module: &mut Module, profile: Option<&Profile>) -> ModuleReport {
         let mut report = ModuleReport::default();
         let options_fp = crate::cache::options_fingerprint(&self.options);
+        // Without an attached pool, a transient one still shares warm
+        // buffers across this module's functions.
+        let pool = self
+            .scratch
+            .clone()
+            .unwrap_or_else(|| Arc::new(ScratchPool::new()));
+        let pool = &pool;
         if !self.options.interprocedural {
             report.functions = self.map_functions(module, |id, func| {
                 if let Some(r) = self.cold_skip_report(func, id, profile) {
@@ -249,9 +272,13 @@ impl Optimizer {
                         Err(incident) => corrupt = Some(incident),
                     }
                 }
+                let mut arena = pool.checkout();
                 let mut rep = self
-                    .isolated(func, |f| self.optimize_function_inner(f, id, profile))
+                    .isolated(func, |f| {
+                        self.optimize_function_inner(f, id, profile, &mut arena)
+                    })
                     .merge();
+                pool.checkin(arena);
                 // Store before surfacing the corruption incident: the cold
                 // recompile is the healthy entry that heals the cache.
                 if let Some((cache, key)) = keyed {
@@ -315,11 +342,16 @@ impl Optimizer {
                 }
             }
             let mut rep = match prep {
-                FailOpen::Done(Ok(gvn)) => self
-                    .isolated(func, move |f| {
-                        self.analyze_function(f, id, profile, gvn, facts.of(id))
-                    })
-                    .merge(),
+                FailOpen::Done(Ok(gvn)) => {
+                    let mut arena = pool.checkout();
+                    let rep = self
+                        .isolated(func, |f| {
+                            self.analyze_function(f, id, profile, gvn, facts.of(id), &mut arena)
+                        })
+                        .merge();
+                    pool.checkin(arena);
+                    rep
+                }
                 FailOpen::Done(Err(incident)) => fail_open_report(func, incident),
                 FailOpen::Panicked(r) => *r,
             };
@@ -376,7 +408,7 @@ impl Optimizer {
             }
             Err(payload) => {
                 let incident = Incident::PassPanic {
-                    function: func.name().to_string(),
+                    function: func.name_symbol(),
                     pass: current_pass().to_string(),
                     payload: payload_message(payload.as_ref()),
                 };
@@ -495,7 +527,7 @@ impl Optimizer {
         match cache.lookup(key) {
             Lookup::Miss => Ok(None),
             Lookup::Corrupt(detail) => Err(Incident::CacheCorrupt {
-                function: func.name().to_string(),
+                function: func.name_symbol(),
                 detail,
             }),
             Lookup::Hit(entry) => match self.replay_entry(func, &entry) {
@@ -503,7 +535,7 @@ impl Optimizer {
                 // An in-memory entry that fails replay is equally a
                 // corruption event; fall back to cold.
                 Err(detail) => Err(Incident::CacheCorrupt {
-                    function: func.name().to_string(),
+                    function: func.name_symbol(),
                     detail,
                 }),
             },
@@ -581,8 +613,19 @@ impl Optimizer {
         func_id: FuncId,
         profile: Option<&Profile>,
     ) -> FunctionReport {
-        self.isolated(func, |f| self.optimize_function_inner(f, func_id, profile))
-            .merge()
+        let mut arena = match &self.scratch {
+            Some(pool) => pool.checkout(),
+            None => ScratchArena::new(),
+        };
+        let rep = self
+            .isolated(func, |f| {
+                self.optimize_function_inner(f, func_id, profile, &mut arena)
+            })
+            .merge();
+        if let Some(pool) = &self.scratch {
+            pool.checkin(arena);
+        }
+        rep
     }
 
     fn optimize_function_inner(
@@ -590,9 +633,10 @@ impl Optimizer {
         func: &mut Function,
         func_id: FuncId,
         profile: Option<&Profile>,
+        arena: &mut ScratchArena,
     ) -> FunctionReport {
         match self.prepare_function(func) {
-            Ok(gvn) => self.analyze_function(func, func_id, profile, gvn, &[]),
+            Ok(gvn) => self.analyze_function(func, func_id, profile, gvn, &[], arena),
             Err(incident) => fail_open_report(func, incident),
         }
     }
@@ -636,7 +680,7 @@ impl Optimizer {
             Ok(()) => Ok(()),
             Err(error) => {
                 let incident = Incident::VerifyFailed {
-                    function: func.name().to_string(),
+                    function: func.name_symbol(),
                     pass: pass.to_string(),
                     error,
                 };
@@ -704,6 +748,7 @@ impl Optimizer {
         profile: Option<&Profile>,
         prepared: PreparedGvn,
         facts: &[crate::interproc::ParamFact],
+        arena: &mut ScratchArena,
     ) -> FunctionReport {
         let opts = &self.options;
         let mut report = FunctionReport::new(func.name());
@@ -730,8 +775,10 @@ impl Optimizer {
             plan.maybe_panic(func.name(), "graph_build");
         }
         let graph_started = Instant::now();
-        let mut upper_graph = InequalityGraph::build(func, Problem::Upper, None);
-        let mut lower_graph = InequalityGraph::build(func, Problem::Lower, None);
+        let mut upper_graph = arena.take_graph(Problem::Upper);
+        upper_graph.rebuild_excluding(func, Problem::Upper, None, &[]);
+        let mut lower_graph = arena.take_graph(Problem::Lower);
+        lower_graph.rebuild_excluding(func, Problem::Lower, None, &[]);
         crate::interproc::apply_facts(facts, func, &mut upper_graph);
         crate::interproc::apply_facts(facts, func, &mut lower_graph);
         if let Some(plan) = &self.fault_plan {
@@ -812,7 +859,8 @@ impl Optimizer {
         // checks against the same array (or the constant 0) — including the
         // PRE provers, whose exact-match memo is equally reusable.
         let mut upper_provers: HashMap<Value, AnyProver> = HashMap::new();
-        let mut lower_prover = AnyProver::new(&lower_graph, Vertex::Const(0), lower_backend);
+        let mut lower_prover =
+            AnyProver::with_arena(&lower_graph, Vertex::Const(0), lower_backend, arena);
         if self.trace {
             lower_prover.enable_trace();
         }
@@ -860,7 +908,7 @@ impl Optimizer {
                 .map(|budget| budget.saturating_sub(already_spent));
             if fuel_fault || function_fuel_left == Some(0) {
                 report.incidents.push(Incident::BudgetExhausted {
-                    function: func.name().to_string(),
+                    function: func.name_symbol(),
                     site,
                     kind,
                     fuel: if fuel_fault { 0 } else { already_spent },
@@ -890,6 +938,7 @@ impl Optimizer {
                     &upper_graph,
                     upper_backend,
                     &mut upper_provers,
+                    arena,
                     &mut report.metrics,
                     &mut spent_steps,
                     &mut exhausted,
@@ -916,6 +965,7 @@ impl Optimizer {
                         &upper_graph,
                         upper_backend,
                         &mut upper_provers,
+                        arena,
                         &mut report.metrics,
                         &mut spent_steps,
                         &mut exhausted,
@@ -950,6 +1000,7 @@ impl Optimizer {
                         &upper_graph,
                         upper_backend,
                         &mut upper_provers,
+                        arena,
                         &mut report.metrics,
                         &mut spent_steps,
                         &mut exhausted,
@@ -988,6 +1039,7 @@ impl Optimizer {
                         index,
                         c,
                         &mut local_graphs,
+                        arena,
                     );
                 report.metrics.solve_time += started.elapsed();
                 CheckOutcome::RemovedFully {
@@ -998,7 +1050,7 @@ impl Optimizer {
                 // Conservative: keep the check, surface the budget stop.
                 report.metrics.solve_time += started.elapsed();
                 report.incidents.push(Incident::BudgetExhausted {
-                    function: func.name().to_string(),
+                    function: func.name_symbol(),
                     site,
                     kind,
                     fuel: spent_steps,
@@ -1011,7 +1063,7 @@ impl Optimizer {
                 // the precision loss is surfaced as a non-degraded incident.
                 report.metrics.solve_time += started.elapsed();
                 report.incidents.push(Incident::SolverOverflow {
-                    function: func.name().to_string(),
+                    function: func.name_symbol(),
                     site,
                     kind,
                 });
@@ -1025,7 +1077,7 @@ impl Optimizer {
                 let pre_started = Instant::now();
                 let tracing = self.trace;
                 let prover = pre_provers.entry((problem, source)).or_insert_with(|| {
-                    let mut p = PreProver::new(graph, source, freq_dyn);
+                    let mut p = PreProver::with_scratch(graph, source, freq_dyn, arena.take_pre());
                     if tracing {
                         p.enable_trace();
                     }
@@ -1047,7 +1099,7 @@ impl Optimizer {
                 set_current_pass("solve");
                 if prover.last_query_exhausted() {
                     report.incidents.push(Incident::BudgetExhausted {
-                        function: func.name().to_string(),
+                        function: func.name_symbol(),
                         site,
                         kind,
                         fuel: spent_steps + pre_steps,
@@ -1090,9 +1142,20 @@ impl Optimizer {
             report.metrics.pre_memo_hits += p.memo_hits;
             report.metrics.pre_memo_misses += p.memo_misses;
         }
-        drop(upper_provers);
-        drop(lower_prover);
-        drop(pre_provers);
+        // Retire every prover and graph into the arena: their warm tables
+        // and shells seed the next function's analysis.
+        for (_, p) in upper_provers {
+            p.reclaim(arena);
+        }
+        lower_prover.reclaim(arena);
+        for (_, p) in pre_provers {
+            arena.put_pre(p.into_scratch());
+        }
+        for (_, g) in local_graphs {
+            arena.put_graph(g);
+        }
+        arena.put_graph(upper_graph);
+        arena.put_graph(lower_graph);
 
         // 5: transform. The rewrite runs as a verified stage: if the
         // verifier rejects the transformed function, the pre-transform
@@ -1273,12 +1336,20 @@ impl Optimizer {
         index: Value,
         c: i64,
         cache: &mut HashMap<(Block, Problem), InequalityGraph>,
+        arena: &mut ScratchArena,
     ) -> bool {
-        let g = cache
-            .entry((block, problem))
-            .or_insert_with(|| InequalityGraph::build(func, problem, Some(block)));
-        let mut prover = DemandProver::new(g, source);
-        prover.demand_prove(Vertex::Value(index), c)
+        let g = match cache.entry((block, problem)) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                let mut g = arena.take_graph(problem);
+                g.rebuild_excluding(func, problem, Some(block), &[]);
+                e.insert(g)
+            }
+        };
+        let mut prover = DemandProver::with_scratch(g, source, arena.take_demand());
+        let ok = prover.demand_prove(Vertex::Value(index), c);
+        arena.put_demand(prover.into_scratch());
+        ok
     }
 }
 
@@ -1291,6 +1362,7 @@ fn prove_upper<'g>(
     graph: &'g InequalityGraph,
     backend: ProverBackend,
     provers: &mut HashMap<Value, AnyProver<'g>>,
+    arena: &mut ScratchArena,
     metrics: &mut crate::metrics::FunctionMetrics,
     spent: &mut u64,
     exhausted: &mut bool,
@@ -1303,7 +1375,7 @@ fn prove_upper<'g>(
 ) -> bool {
     let tracing = trace.is_some();
     let p = provers.entry(array).or_insert_with(|| {
-        let mut p = AnyProver::new(graph, Vertex::ArrayLen(array), backend);
+        let mut p = AnyProver::with_arena(graph, Vertex::ArrayLen(array), backend, arena);
         if tracing {
             p.enable_trace();
         }
@@ -1379,6 +1451,24 @@ fn prove_lower(
         });
     }
     ok
+}
+
+/// Resolves a `--jobs` request against the host: `0` (auto) becomes the
+/// available parallelism, and explicit counts are clamped to it — workers
+/// beyond physical CPUs only add contention (measured ~40% slower over the
+/// benchsuite at 2–4 workers on a 1-CPU host; see the
+/// `pipeline/abcd_suite_threads/*` rows of `BENCH_pipeline.json`).
+///
+/// CLI entry points route their worker counts through this; direct
+/// [`Optimizer::with_threads`] callers stay unclamped so tests can still
+/// exercise oversubscribed pools deliberately.
+pub fn clamp_jobs(requested: usize) -> usize {
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if requested == 0 {
+        cpus
+    } else {
+        requested.min(cpus)
+    }
 }
 
 /// GVN result plus cleanup statistics, carried from prepare to analyze.

@@ -66,13 +66,37 @@ struct DenseRows {
     present: Vec<bool>,
 }
 
+/// Reusable buffers for [`ExhaustiveDistances::compute_with`] — the sweep
+/// backends' share of the zero-allocation prove path. A retired table
+/// donates its distance vector back via [`ExhaustiveDistances::into_dist`].
+#[derive(Debug, Default)]
+pub struct SweepScratch {
+    /// Donated distance storage for the next table.
+    dist: Vec<i64>,
+    axiom: Vec<bool>,
+    reach: Vec<bool>,
+    work: Vec<u32>,
+    pinned: Vec<bool>,
+    dense_weight: Vec<i64>,
+    dense_present: Vec<bool>,
+}
+
+impl SweepScratch {
+    /// Donates a retired table's distance vector back for reuse.
+    pub fn adopt(&mut self, table: ExhaustiveDistances) {
+        self.dist = table.into_dist();
+    }
+}
+
 impl DenseRows {
-    fn build(graph: &InequalityGraph, n: usize) -> DenseRows {
-        let mut rows = DenseRows {
-            n,
-            weight: vec![0; n * n],
-            present: vec![false; n * n],
-        };
+    fn build(graph: &InequalityGraph, n: usize, scratch: &mut SweepScratch) -> DenseRows {
+        let mut weight = std::mem::take(&mut scratch.dense_weight);
+        weight.clear();
+        weight.resize(n * n, 0);
+        let mut present = std::mem::take(&mut scratch.dense_present);
+        present.clear();
+        present.resize(n * n, false);
+        let mut rows = DenseRows { n, weight, present };
         for v in 0..n {
             let vid = VertexId::from_index(v);
             let keep_max = graph.is_max(vid);
@@ -139,11 +163,40 @@ impl ExhaustiveDistances {
         fuel: u64,
         relaxation: Relaxation,
     ) -> ExhaustiveDistances {
+        Self::compute_with(
+            graph,
+            source,
+            fuel,
+            relaxation,
+            &mut SweepScratch::default(),
+        )
+    }
+
+    /// The retired table's distance storage, for donation back into a
+    /// [`SweepScratch`].
+    pub fn into_dist(self) -> Vec<i64> {
+        self.dist
+    }
+
+    /// Like [`ExhaustiveDistances::compute_budgeted`], running entirely in
+    /// the donated scratch buffers: with warm capacities (a previous sweep
+    /// of the same or a larger graph) the computation performs no heap
+    /// allocation.
+    pub fn compute_with(
+        graph: &InequalityGraph,
+        source: Vertex,
+        fuel: u64,
+        relaxation: Relaxation,
+        scratch: &mut SweepScratch,
+    ) -> ExhaustiveDistances {
         let n = graph.vertex_count();
         let src = graph.lookup(source);
         let source_potential = src.and_then(|s| graph.potential(s));
+        let mut dist = std::mem::take(&mut scratch.dist);
+        dist.clear();
+        dist.resize(n, BOT);
         let mut this = ExhaustiveDistances {
-            dist: vec![BOT; n],
+            dist,
             source_vertex: source,
             source_potential,
             problem: graph.problem(),
@@ -155,7 +208,7 @@ impl ExhaustiveDistances {
             return this;
         }
         let dense = match relaxation {
-            Relaxation::Dense if n <= DENSE_LIMIT => Some(DenseRows::build(graph, n)),
+            Relaxation::Dense if n <= DENSE_LIMIT => Some(DenseRows::build(graph, n, scratch)),
             _ => None,
         };
 
@@ -163,7 +216,9 @@ impl ExhaustiveDistances {
         // every constant-potential vertex (exact numeric relation,
         // computed in i128 so adversarial constants saturate instead of
         // wrapping).
-        let mut axiom = vec![false; n];
+        let mut axiom = std::mem::take(&mut scratch.axiom);
+        axiom.clear();
+        axiom.resize(n, false);
         if let Some(s) = src {
             this.dist[s.index()] = 0;
             axiom[s.index()] = true;
@@ -187,18 +242,17 @@ impl ExhaustiveDistances {
             }
         }
 
-        // Step 1: plain edge reachability from the axioms; everything not
-        // reached carries no constraint at all.
-        let mut out: Vec<Vec<u32>> = vec![Vec::new(); n];
-        for v in 0..n {
-            for e in graph.in_edges(VertexId::from_index(v)) {
-                out[e.src.index()].push(v as u32);
-            }
-        }
-        let mut reach = axiom.clone();
-        let mut work: Vec<u32> = (0..n as u32).filter(|&v| axiom[v as usize]).collect();
+        // Step 1: plain edge reachability from the axioms over the graph's
+        // out-neighbor CSR; everything not reached carries no constraint
+        // at all.
+        let mut reach = std::mem::take(&mut scratch.reach);
+        reach.clear();
+        reach.extend_from_slice(&axiom);
+        let mut work = std::mem::take(&mut scratch.work);
+        work.clear();
+        work.extend((0..n as u32).filter(|&v| axiom[v as usize]));
         while let Some(v) = work.pop() {
-            for &w in &out[v as usize] {
+            for &w in graph.out_neighbors(VertexId::from_index(v as usize)) {
                 if !reach[w as usize] {
                     reach[w as usize] = true;
                     work.push(w);
@@ -241,7 +295,9 @@ impl ExhaustiveDistances {
                 }
             }
         };
-        let mut pinned = vec![false; n];
+        let mut pinned = std::mem::take(&mut scratch.pinned);
+        pinned.clear();
+        pinned.resize(n, false);
         'sweep: loop {
             let rounds = n + 2;
             let mut changed_last = false;
@@ -332,6 +388,15 @@ impl ExhaustiveDistances {
                 }
             }
         }
+        // Return every working buffer for the next sweep.
+        if let Some(rows) = dense {
+            scratch.dense_weight = rows.weight;
+            scratch.dense_present = rows.present;
+        }
+        scratch.axiom = axiom;
+        scratch.reach = reach;
+        scratch.work = work;
+        scratch.pinned = pinned;
         this
     }
 

@@ -63,14 +63,15 @@ pub mod metrics;
 pub mod oracle;
 mod pre;
 mod report;
+mod scratch;
 mod solver;
 pub mod trace;
 mod validate;
 pub mod versioning;
 
 pub use cache::{AnalysisCache, CacheEntry, CacheKey, CacheStats};
-pub use driver::{Optimizer, OptimizerOptions};
-pub use exhaustive::{ExhaustiveDistances, Relaxation};
+pub use driver::{clamp_jobs, Optimizer, OptimizerOptions};
+pub use exhaustive::{ExhaustiveDistances, Relaxation, SweepScratch};
 pub use faults::{ChaosPlan, ChaosSite, Fault, FaultPlan, CHAOS_SITES};
 pub use graph::{GraphShape, InEdge, InequalityGraph, Problem, Vertex, VertexId};
 pub use interproc::{infer_param_facts, ModuleFacts, ParamFact};
@@ -79,9 +80,10 @@ pub use pre::{apply_insertions, compensation_delta, merge_remaining_checks};
 pub use report::{
     CheckOutcome, EliminatedCheck, FunctionReport, HoistedCheck, Incident, ModuleReport,
 };
+pub use scratch::{ScratchArena, ScratchPool};
 pub use solver::{
-    AnyProver, DemandProver, InsertionPoint, Lattice, PreOutcome, PreProver, Prover, ProverBackend,
-    SweepProver,
+    AnyProver, DemandProver, DemandScratch, InsertionPoint, Lattice, PreOutcome, PreProver,
+    PreScratch, Prover, ProverBackend, SweepProver,
 };
 pub use trace::{
     explain_function, json_escape, module_trace_jsonl, request_span_jsonl, witness_path,

@@ -257,7 +257,7 @@ fn incident_json(incident: &Incident, out: &mut String) {
             let _ = write!(
                 out,
                 ",\"function\":\"{}\",\"site\":\"{site}\",\"check\":\"{}\",\"fuel\":{fuel}",
-                escape(function),
+                escape(function.as_str()),
                 kind_str(*kind),
             );
         }
@@ -269,7 +269,7 @@ fn incident_json(incident: &Incident, out: &mut String) {
             let _ = write!(
                 out,
                 ",\"function\":\"{}\",\"pass\":\"{}\",\"payload\":\"{}\"",
-                escape(function),
+                escape(function.as_str()),
                 escape(pass),
                 escape(payload),
             );
@@ -282,7 +282,7 @@ fn incident_json(incident: &Incident, out: &mut String) {
             let _ = write!(
                 out,
                 ",\"function\":\"{}\",\"pass\":\"{}\",\"error\":\"{}\"",
-                escape(function),
+                escape(function.as_str()),
                 escape(pass),
                 escape(error),
             );
@@ -295,7 +295,7 @@ fn incident_json(incident: &Incident, out: &mut String) {
             let _ = write!(
                 out,
                 ",\"function\":\"{}\",\"site\":\"{site}\",\"check\":\"{}\"",
-                escape(function),
+                escape(function.as_str()),
                 kind_str(*kind),
             );
         }
@@ -303,7 +303,7 @@ fn incident_json(incident: &Incident, out: &mut String) {
             let _ = write!(
                 out,
                 ",\"function\":\"{}\",\"detail\":\"{}\"",
-                escape(function),
+                escape(function.as_str()),
                 escape(detail),
             );
         }
@@ -315,7 +315,7 @@ fn incident_json(incident: &Incident, out: &mut String) {
             let _ = write!(
                 out,
                 ",\"function\":\"{}\",\"site\":\"{site}\",\"check\":\"{}\"",
-                escape(function),
+                escape(function.as_str()),
                 kind_str(*kind),
             );
         }
@@ -327,7 +327,7 @@ fn incident_json(incident: &Incident, out: &mut String) {
             let _ = write!(
                 out,
                 ",\"function\":\"{}\",\"deadline_ms\":{deadline_ms},\"elapsed_ms\":{elapsed_ms}",
-                escape(function),
+                escape(function.as_str()),
             );
         }
     }
@@ -404,7 +404,7 @@ fn function_json(report: &crate::report::FunctionReport, det: bool, out: &mut St
          \"checks_validated\":{},\"checks_reinstated\":{},\"from_cache\":{},\
          \"memo_hits\":{},\"memo_misses\":{},\"memo_hit_rate\":{},\
          \"pre_memo_hits\":{},\"pre_memo_misses\":{}",
-        escape(&report.name),
+        escape(report.name.as_str()),
         report.checks_total,
         report.removed_fully(),
         report.hoisted(),
@@ -641,13 +641,13 @@ mod tests {
         let mut f = crate::report::FunctionReport::new("f");
         f.fuel_limit = Some(64);
         f.incidents.push(Incident::BudgetExhausted {
-            function: "f".to_string(),
+            function: "f".into(),
             site: CheckSite::new(3),
             kind: CheckKind::Upper,
             fuel: 64,
         });
         f.incidents.push(Incident::PassPanic {
-            function: "f".to_string(),
+            function: "f".into(),
             pass: "cleanup".to_string(),
             payload: "injected \"quote\"".to_string(),
         });
@@ -670,7 +670,7 @@ mod tests {
         let mut report = ModuleReport::default();
         let mut f = crate::report::FunctionReport::new("f");
         f.incidents.push(Incident::CacheCorrupt {
-            function: "f".to_string(),
+            function: "f".into(),
             detail: "checksum mismatch".to_string(),
         });
         report.functions.push(f);
@@ -686,7 +686,7 @@ mod tests {
         let mut report = ModuleReport::default();
         let mut f = crate::report::FunctionReport::new("f");
         f.incidents.push(Incident::DeadlineExceeded {
-            function: "f".to_string(),
+            function: "f".into(),
             deadline_ms: 50,
             elapsed_ms: 61,
         });

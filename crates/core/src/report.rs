@@ -5,7 +5,7 @@
 //! (hoisted), or kept; how many `prove` steps the solver spent per check;
 //! and the analysis wall-clock time.
 
-use abcd_ir::{Block, CheckKind, CheckSite, InstId, Value};
+use abcd_ir::{Block, CheckKind, CheckSite, InstId, Symbol, Value};
 use std::fmt;
 use std::time::Duration;
 
@@ -42,7 +42,7 @@ pub enum Incident {
     /// A prover hit its fuel budget; the check was kept conservatively.
     BudgetExhausted {
         /// Function the query ran in.
-        function: String,
+        function: Symbol,
         /// Site of the check that stayed in place.
         site: CheckSite,
         /// Which bound was being proven.
@@ -54,7 +54,7 @@ pub enum Incident {
     /// A pipeline pass panicked; the function shipped unoptimized.
     PassPanic {
         /// Function whose pipeline unwound.
-        function: String,
+        function: Symbol,
         /// The pass that was running when the panic unwound.
         pass: String,
         /// Panic payload (message), when it was a string.
@@ -64,7 +64,7 @@ pub enum Incident {
     /// shipped instead.
     VerifyFailed {
         /// Function the verifier rejected.
-        function: String,
+        function: Symbol,
         /// The pass whose output failed verification.
         pass: String,
         /// The verifier's error message.
@@ -74,7 +74,7 @@ pub enum Incident {
     /// the check was reinstated.
     ValidationReinstated {
         /// Function the check belongs to.
-        function: String,
+        function: Symbol,
         /// Site of the reinstated check.
         site: CheckSite,
         /// Which bound had been eliminated.
@@ -86,7 +86,7 @@ pub enum Incident {
     /// writer crash mid-entry), never a correctness one.
     CacheCorrupt {
         /// Function whose entry was rejected.
-        function: String,
+        function: Symbol,
         /// Why re-verification rejected the entry.
         detail: String,
     },
@@ -95,7 +95,7 @@ pub enum Incident {
     /// budget stop, this is a precision loss, never a soundness one.
     SolverOverflow {
         /// Function the query ran in.
-        function: String,
+        function: Symbol,
         /// Site of the check that stayed in place.
         site: CheckSite,
         /// Which bound was being proven.
@@ -108,7 +108,7 @@ pub enum Incident {
     DeadlineExceeded {
         /// Function the report entry belongs to (`*` when the whole
         /// module was cut off before per-function attribution existed).
-        function: String,
+        function: Symbol,
         /// The deadline that was in force, in milliseconds.
         deadline_ms: u64,
         /// Elapsed time when the deadline tripped, in milliseconds
@@ -248,8 +248,8 @@ pub struct HoistedCheck {
 /// Report for one function.
 #[derive(Clone, Debug, Default)]
 pub struct FunctionReport {
-    /// Function name.
-    pub name: String,
+    /// Function name (interned; resolve with [`Symbol::as_str`]).
+    pub name: Symbol,
     /// Static checks present before optimization.
     pub checks_total: usize,
     /// Outcome per analyzed check.
@@ -303,9 +303,9 @@ pub struct FunctionReport {
 }
 
 impl FunctionReport {
-    pub(crate) fn new(name: &str) -> Self {
+    pub(crate) fn new(name: impl Into<Symbol>) -> Self {
         FunctionReport {
-            name: name.to_string(),
+            name: name.into(),
             ..FunctionReport::default()
         }
     }
@@ -487,19 +487,19 @@ impl ModuleReport {
             fr.checks_total = f.check_site_count();
             report.functions.push(fr);
         }
-        let incident = |function: String| Incident::DeadlineExceeded {
+        let incident = |function: Symbol| Incident::DeadlineExceeded {
             function,
             deadline_ms,
             elapsed_ms,
         };
         match report.functions.first_mut() {
             Some(first) => {
-                let name = first.name.clone();
+                let name = first.name;
                 first.incidents.push(incident(name));
             }
             None => {
                 let mut fr = FunctionReport::new("*");
-                fr.incidents.push(incident("*".to_string()));
+                fr.incidents.push(incident(Symbol::intern("*")));
                 report.functions.push(fr);
             }
         }

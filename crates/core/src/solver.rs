@@ -22,7 +22,7 @@
 //! proves every weaker query, and one refuted with a larger bound refutes
 //! every stronger query.
 
-use crate::exhaustive::{ExhaustiveDistances, Relaxation};
+use crate::exhaustive::{ExhaustiveDistances, Relaxation, SweepScratch};
 use crate::graph::{InequalityGraph, Vertex, VertexId};
 use crate::trace::ProveEvent;
 use abcd_ir::{Block, Value};
@@ -91,6 +91,63 @@ pub enum PreOutcome {
 /// context-free fact about the constraint system and safe to memoize.
 const NO_DEP: u32 = u32::MAX;
 
+/// Reusable dense state for [`DemandProver`] — the per-worker scratch the
+/// zero-allocation prove path is built on. Every table is indexed by
+/// `VertexId` and sized once per function ([`attach`](Self::attach));
+/// clearing between functions is O(touched vertices), and clearing the
+/// active set between queries is O(1) (an epoch bump).
+#[derive(Debug, Default)]
+pub struct DemandScratch {
+    /// memo[v] = (c, verdict) entries, consulted with subsumption.
+    memo: Vec<Vec<(i64, Lattice)>>,
+    /// Vertices holding at least one memo entry (bounds the reset walk).
+    touched: Vec<u32>,
+    /// Active DFS entry slack, valid where `mark == epoch`.
+    active_c: Vec<i64>,
+    /// Active DFS stack depth, valid where `mark == epoch`.
+    active_d: Vec<u32>,
+    mark: Vec<u32>,
+    /// Current query's epoch; 0 is never current, so stale marks are inert.
+    epoch: u32,
+}
+
+impl DemandScratch {
+    /// Sizes the tables for a graph of `n` vertices and clears leftovers
+    /// from the previous function. Growth allocates (that is the
+    /// per-function reserve); re-attachment at steady-state sizes does not.
+    fn attach(&mut self, n: usize) {
+        self.reset_memo();
+        if self.memo.len() < n {
+            self.memo.resize_with(n, Vec::new);
+        }
+        if self.mark.len() < n {
+            self.mark.resize(n, 0);
+            self.active_c.resize(n, 0);
+            self.active_d.resize(n, 0);
+        }
+    }
+
+    /// Invalidates the whole active set in O(1).
+    fn begin_query(&mut self) {
+        if self.epoch == u32::MAX {
+            self.mark.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+    }
+
+    /// Drops every memoized verdict while keeping each buffer's capacity,
+    /// so subsequent queries re-traverse without allocating — what the
+    /// allocation gate uses to prove the warm path is allocation-free even
+    /// on memo misses.
+    pub fn reset_memo(&mut self) {
+        for &v in &self.touched {
+            self.memo[v as usize].clear();
+        }
+        self.touched.clear();
+    }
+}
+
 /// A demand-driven prover for one `(graph, source)` pair.
 ///
 /// The memo table persists across queries against the same source (e.g. all
@@ -114,10 +171,9 @@ pub struct DemandProver<'g> {
     graph: &'g InequalityGraph,
     source: Option<VertexId>,
     source_vertex: Vertex,
-    /// memo[v] = (c, result) entries, consulted with subsumption.
-    memo: HashMap<VertexId, Vec<(i64, Lattice)>>,
-    /// Active DFS vertices: entry slack and stack depth.
-    active: HashMap<VertexId, (i64, u32)>,
+    /// Dense memo/active tables, possibly donated by a [`super::scratch::ScratchArena`]
+    /// and reclaimable via [`DemandProver::into_scratch`].
+    scratch: DemandScratch,
     /// Per-query fuel allowance (`u64::MAX` = unbudgeted). Every call to
     /// [`DemandProver::demand_prove`] starts with a fresh allowance of this
     /// many steps, so one query's spend never starves the next.
@@ -151,12 +207,22 @@ impl<'g> DemandProver<'g> {
     /// Creates a prover for queries from `source` (e.g. `ArrayLen(a)` for
     /// upper-bound checks, `Const(0)` for lower-bound checks).
     pub fn new(graph: &'g InequalityGraph, source: Vertex) -> Self {
+        Self::with_scratch(graph, source, DemandScratch::default())
+    }
+
+    /// Like [`DemandProver::new`], reusing a donated scratch: warm tables
+    /// make prover construction and the queries themselves allocation-free.
+    pub fn with_scratch(
+        graph: &'g InequalityGraph,
+        source: Vertex,
+        mut scratch: DemandScratch,
+    ) -> Self {
+        scratch.attach(graph.vertex_count());
         DemandProver {
             graph,
             source: graph.lookup(source),
             source_vertex: source,
-            memo: HashMap::new(),
-            active: HashMap::new(),
+            scratch,
             query_fuel: u64::MAX,
             fuel_stop: u64::MAX,
             exhausted_in_query: false,
@@ -167,6 +233,19 @@ impl<'g> DemandProver<'g> {
             exhausted_queries: 0,
             trace: None,
         }
+    }
+
+    /// Retires the prover, handing its scratch back for reuse (typically
+    /// into a [`crate::ScratchArena`]).
+    pub fn into_scratch(self) -> DemandScratch {
+        self.scratch
+    }
+
+    /// Drops memoized verdicts while keeping every buffer's capacity, so
+    /// subsequent queries re-traverse without allocating (see
+    /// [`DemandScratch::reset_memo`]).
+    pub fn reset_memo(&mut self) {
+        self.scratch.reset_memo();
     }
 
     /// Budgets every subsequent query: each may spend at most `fuel` solver
@@ -219,7 +298,7 @@ impl<'g> DemandProver<'g> {
             // itself, or a constant comparable by potentials.
             return self.trivial(target, c).unwrap_or(false);
         };
-        self.active.clear();
+        self.scratch.begin_query();
         let (result, _) = self.prove(t, c, 0);
         if self.exhausted_in_query {
             self.exhausted_queries += 1;
@@ -266,7 +345,8 @@ impl<'g> DemandProver<'g> {
         let g = self.graph;
 
         // Lines 3–5: memoized subsumption.
-        if let Some(entries) = self.memo.get(&v) {
+        let entries = &self.scratch.memo[v.0 as usize];
+        if !entries.is_empty() {
             let mut hit = None;
             for &(c2, l) in entries {
                 match l {
@@ -341,7 +421,11 @@ impl<'g> DemandProver<'g> {
         }
         // Lines 8–11: cycle detection. The verdict is relative to the
         // ancestor's entry slack, so it depends on that ancestor's depth.
-        if let Some(&(ac, ad)) = self.active.get(&v) {
+        if self.scratch.mark[v.0 as usize] == self.scratch.epoch {
+            let (ac, ad) = (
+                self.scratch.active_c[v.0 as usize],
+                self.scratch.active_d[v.0 as usize],
+            );
             let l = if c < ac {
                 Lattice::False // amplifying cycle
             } else {
@@ -360,7 +444,9 @@ impl<'g> DemandProver<'g> {
         }
         self.memo_misses += 1;
         // Lines 12–18: recurse over in-edges, merging per vertex kind.
-        self.active.insert(v, (c, depth));
+        self.scratch.mark[v.0 as usize] = self.scratch.epoch;
+        self.scratch.active_c[v.0 as usize] = c;
+        self.scratch.active_d[v.0 as usize] = depth;
         if let Some(buf) = &mut self.trace {
             buf.push(ProveEvent::Visit {
                 v: g.vertex(v).to_string(),
@@ -396,7 +482,7 @@ impl<'g> DemandProver<'g> {
                 break; // short-circuit
             }
         }
-        self.active.remove(&v);
+        self.scratch.mark[v.0 as usize] = 0;
         if let Some(buf) = &mut self.trace {
             buf.push(ProveEvent::Resolved {
                 v: g.vertex(v).to_string(),
@@ -409,7 +495,11 @@ impl<'g> DemandProver<'g> {
             // out at this vertex, which is now fully resolved. (Verdicts
             // tainted by fuel exhaustion or arithmetic overflow are
             // placeholders, not facts, and must not outlive the query.)
-            self.memo.entry(v).or_default().push((c, result));
+            let slot = &mut self.scratch.memo[v.0 as usize];
+            if slot.is_empty() {
+                self.scratch.touched.push(v.0);
+            }
+            slot.push((c, result));
             (result, NO_DEP)
         } else {
             // Depends on an ancestor still on the stack — valid only in
@@ -429,11 +519,8 @@ impl<'g> DemandProver<'g> {
 pub struct PreProver<'g, 'f> {
     graph: &'g InequalityGraph,
     source: Option<VertexId>,
-    /// Exact-match memo (subsumption is unsound for insertion sets).
-    memo: HashMap<(VertexId, i64), Res>,
-    /// Active DFS vertices: entry slack and stack depth (see
-    /// [`DemandProver`] on memo soundness).
-    active: HashMap<VertexId, (i64, u32)>,
+    /// Pooled memo/worklist tables (see [`PreScratch`]).
+    scratch: PreScratch,
     /// Edge-frequency oracle for choosing the cheapest salvage at min
     /// vertices (block execution counts from the profile; `None` = count
     /// insertion points).
@@ -473,6 +560,25 @@ impl Res {
     }
 }
 
+/// Reusable tables for [`PreProver`] — pooled across functions so the PRE
+/// worklists reuse map capacity. (The PRE path returns owned
+/// [`InsertionPoint`] sets by design and is therefore outside the
+/// zero-allocation gate; pooling still removes the per-function churn.)
+#[derive(Debug, Default)]
+pub struct PreScratch {
+    /// Exact-match memo (subsumption is unsound for insertion sets).
+    memo: HashMap<(VertexId, i64), Res>,
+    /// Active DFS vertices: entry slack and stack depth.
+    active: HashMap<VertexId, (i64, u32)>,
+}
+
+impl PreScratch {
+    fn attach(&mut self) {
+        self.memo.clear();
+        self.active.clear();
+    }
+}
+
 impl<'g, 'f> PreProver<'g, 'f> {
     /// Creates a PRE-collecting prover.
     pub fn new(
@@ -480,11 +586,21 @@ impl<'g, 'f> PreProver<'g, 'f> {
         source: Vertex,
         freq: Option<&'f dyn Fn(Block) -> u64>,
     ) -> Self {
+        Self::with_scratch(graph, source, freq, PreScratch::default())
+    }
+
+    /// Like [`PreProver::new`], reusing donated (capacity-warm) tables.
+    pub fn with_scratch(
+        graph: &'g InequalityGraph,
+        source: Vertex,
+        freq: Option<&'f dyn Fn(Block) -> u64>,
+        mut scratch: PreScratch,
+    ) -> Self {
+        scratch.attach();
         PreProver {
             graph,
             source: graph.lookup(source),
-            memo: HashMap::new(),
-            active: HashMap::new(),
+            scratch,
             freq,
             query_fuel: u64::MAX,
             fuel_stop: u64::MAX,
@@ -496,6 +612,11 @@ impl<'g, 'f> PreProver<'g, 'f> {
             exhausted_queries: 0,
             trace: None,
         }
+    }
+
+    /// Retires the prover, handing its tables back for reuse.
+    pub fn into_scratch(self) -> PreScratch {
+        self.scratch
     }
 
     /// Budgets every subsequent query, re-armed per query
@@ -546,7 +667,7 @@ impl<'g, 'f> PreProver<'g, 'f> {
         let Some(t) = self.graph.lookup(target) else {
             return PreOutcome::Failed;
         };
-        self.active.clear();
+        self.scratch.active.clear();
         let (res, _) = self.prove(t, c, 0);
         if self.exhausted_in_query {
             self.exhausted_queries += 1;
@@ -575,7 +696,7 @@ impl<'g, 'f> PreProver<'g, 'f> {
         }
         self.steps += 1;
         let g = self.graph;
-        if let Some(r) = self.memo.get(&(v, c)) {
+        if let Some(r) = self.scratch.memo.get(&(v, c)) {
             self.memo_hits += 1;
             let r = r.clone();
             if let Some(buf) = &mut self.trace {
@@ -637,7 +758,7 @@ impl<'g, 'f> PreProver<'g, 'f> {
                 NO_DEP,
             );
         }
-        if let Some(&(ac, ad)) = self.active.get(&v) {
+        if let Some(&(ac, ad)) = self.scratch.active.get(&v) {
             let r = if c < ac {
                 Res {
                     lat: Lattice::False,
@@ -659,7 +780,7 @@ impl<'g, 'f> PreProver<'g, 'f> {
         }
         self.memo_misses += 1;
 
-        self.active.insert(v, (c, depth));
+        self.scratch.active.insert(v, (c, depth));
         if let Some(buf) = &mut self.trace {
             buf.push(ProveEvent::Visit {
                 v: g.vertex(v).to_string(),
@@ -672,7 +793,7 @@ impl<'g, 'f> PreProver<'g, 'f> {
         } else {
             self.prove_min(c, edges, depth)
         };
-        self.active.remove(&v);
+        self.scratch.active.remove(&v);
         if let Some(buf) = &mut self.trace {
             buf.push(ProveEvent::Resolved {
                 v: g.vertex(v).to_string(),
@@ -684,7 +805,7 @@ impl<'g, 'f> PreProver<'g, 'f> {
             // Self-contained (see DemandProver::prove): safe to memoize.
             // Exhaustion- and overflow-tainted verdicts never enter the
             // memo.
-            self.memo.insert((v, c), result.clone());
+            self.scratch.memo.insert((v, c), result.clone());
             (result, NO_DEP)
         } else {
             (result, dep)
@@ -847,7 +968,7 @@ impl<'g, 'f> PreProver<'g, 'f> {
         let Vertex::Value(arg_val) = self.graph.vertex(arg) else {
             return Vec::new();
         };
-        self.graph.phi_pred(phi_val, arg_val).to_vec()
+        self.graph.phi_pred(phi_val, arg_val).collect()
     }
 }
 
@@ -1017,6 +1138,7 @@ pub struct SweepProver<'g> {
     kind: ProverBackend,
     relaxation: Relaxation,
     table: Option<ExhaustiveDistances>,
+    scratch: SweepScratch,
     query_fuel: u64,
     exhausted_in_query: bool,
     overflow_in_query: bool,
@@ -1036,6 +1158,17 @@ impl<'g> SweepProver<'g> {
     /// [`ProverBackend::Dbm`] uses the dense matrix, anything else the
     /// sparse edge lists.
     pub fn new(graph: &'g InequalityGraph, source: Vertex, kind: ProverBackend) -> Self {
+        Self::with_scratch(graph, source, kind, SweepScratch::default())
+    }
+
+    /// Like [`SweepProver::new`], adopting donated sweep buffers so a warm
+    /// scratch makes the sweep itself allocation-free.
+    pub fn with_scratch(
+        graph: &'g InequalityGraph,
+        source: Vertex,
+        kind: ProverBackend,
+        scratch: SweepScratch,
+    ) -> Self {
         let relaxation = match kind {
             ProverBackend::Dbm => Relaxation::Dense,
             _ => Relaxation::Sparse,
@@ -1046,6 +1179,7 @@ impl<'g> SweepProver<'g> {
             kind,
             relaxation,
             table: None,
+            scratch,
             query_fuel: u64::MAX,
             exhausted_in_query: false,
             overflow_in_query: false,
@@ -1054,6 +1188,23 @@ impl<'g> SweepProver<'g> {
             memo_misses: 0,
             exhausted_queries: 0,
             trace: None,
+        }
+    }
+
+    /// Retires the prover, returning its scratch (including the table's
+    /// distance storage) for reuse by a later prover.
+    pub fn into_scratch(mut self) -> SweepScratch {
+        if let Some(table) = self.table.take() {
+            self.scratch.adopt(table);
+        }
+        self.scratch
+    }
+
+    /// Retires the current table into the scratch so the next query
+    /// recomputes the sweep — into the now-warm buffers.
+    pub fn reset_table(&mut self) {
+        if let Some(table) = self.table.take() {
+            self.scratch.adopt(table);
         }
     }
 
@@ -1098,11 +1249,12 @@ impl<'g> SweepProver<'g> {
         self.overflow_in_query = false;
         if self.table.is_none() {
             self.memo_misses += 1;
-            let sweep = ExhaustiveDistances::compute_budgeted(
+            let sweep = ExhaustiveDistances::compute_with(
                 self.graph,
                 self.source,
                 self.query_fuel,
                 self.relaxation,
+                &mut self.scratch,
             );
             self.steps += sweep.steps;
             if sweep.aborted() {
@@ -1113,6 +1265,7 @@ impl<'g> SweepProver<'g> {
                 if let Some(buf) = &mut self.trace {
                     buf.push(ProveEvent::Fuel { d: 0 });
                 }
+                self.scratch.adopt(sweep);
                 return false;
             }
             self.table = Some(sweep);
@@ -1193,6 +1346,17 @@ impl<'g> AnyProver<'g> {
         match self {
             AnyProver::Demand(_) => ProverBackend::Demand,
             AnyProver::Sweep(p) => p.kind,
+        }
+    }
+
+    /// Forgets memoized answers while keeping every buffer's capacity:
+    /// the next query re-traverses (demand) or re-sweeps (batch/dbm)
+    /// into warm storage. This is what the steady-state allocation gate
+    /// exercises.
+    pub fn reset_warm(&mut self) {
+        match self {
+            AnyProver::Demand(p) => p.reset_memo(),
+            AnyProver::Sweep(p) => p.reset_table(),
         }
     }
 

@@ -116,7 +116,7 @@ pub(crate) fn validate_function(
         report.mark_reinstated(e.site, e.kind);
         report.checks_reinstated += 1;
         report.incidents.push(Incident::ValidationReinstated {
-            function: func.name().to_string(),
+            function: func.name_symbol(),
             site: e.site,
             kind: e.kind,
         });
@@ -153,7 +153,7 @@ pub(crate) fn validate_function(
         report.mark_reinstated(h.site, h.kind);
         report.checks_reinstated += 1;
         report.incidents.push(Incident::ValidationReinstated {
-            function: func.name().to_string(),
+            function: func.name_symbol(),
             site: h.site,
             kind: h.kind,
         });

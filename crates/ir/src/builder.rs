@@ -40,7 +40,11 @@ pub struct FunctionBuilder {
 
 impl FunctionBuilder {
     /// Starts building a function; the current block is the entry block.
-    pub fn new(name: impl Into<String>, param_types: Vec<Type>, ret_type: Option<Type>) -> Self {
+    pub fn new(
+        name: impl Into<crate::Symbol>,
+        param_types: Vec<Type>,
+        ret_type: Option<Type>,
+    ) -> Self {
         let func = Function::new(name, param_types, ret_type);
         let current = func.entry();
         FunctionBuilder { func, current }

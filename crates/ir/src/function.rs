@@ -2,6 +2,7 @@
 
 use crate::entities::{Block, CheckSite, InstId, Local, Value};
 use crate::inst::{Inst, InstKind, Terminator};
+use crate::intern::Symbol;
 use crate::types::Type;
 
 /// Where a [`Value`] comes from.
@@ -50,7 +51,7 @@ impl BlockData {
 /// slots are invisible.
 #[derive(Clone, Debug)]
 pub struct Function {
-    name: String,
+    name: Symbol,
     param_types: Vec<Type>,
     ret_type: Option<Type>,
     local_types: Vec<Type>,
@@ -66,7 +67,7 @@ impl Function {
     /// Creates an empty function with one (entry) block.
     ///
     /// Parameters become values `v0..vN` in order.
-    pub fn new(name: impl Into<String>, param_types: Vec<Type>, ret_type: Option<Type>) -> Self {
+    pub fn new(name: impl Into<Symbol>, param_types: Vec<Type>, ret_type: Option<Type>) -> Self {
         let mut f = Function {
             name: name.into(),
             values: Vec::new(),
@@ -87,12 +88,18 @@ impl Function {
     }
 
     /// The function's name.
-    pub fn name(&self) -> &str {
-        &self.name
+    pub fn name(&self) -> &'static str {
+        self.name.as_str()
+    }
+
+    /// The function's name as its interned handle (cheap to copy, compare
+    /// and hash; resolve with [`Symbol::as_str`] at display time).
+    pub fn name_symbol(&self) -> Symbol {
+        self.name
     }
 
     /// Renames the function (used when cloning specialized versions).
-    pub fn set_name(&mut self, name: impl Into<String>) {
+    pub fn set_name(&mut self, name: impl Into<Symbol>) {
         self.name = name.into();
     }
 

@@ -25,10 +25,12 @@ USAGE:
 
 OPTIONS:
     --socket PATH      Unix-domain socket to listen on (required)
-    --workers N        concurrent request handlers (default 2)
+    --workers N        concurrent request handlers (default: all host CPUs;
+                       requests beyond the available parallelism are clamped)
     --queue N          bounded admission queue; overflow gets a `busy`
                        reply with a retry hint (default 8)
-    --jobs N           optimizer threads per request (default 0 = sequential)
+    --jobs N           optimizer threads per request (default: all host
+                       CPUs; clamped to the available parallelism)
     --cache-bytes N    in-memory analysis-cache budget (default 64 MiB)
     --cache-dir DIR    also persist cache entries to DIR (content-addressed,
                        re-verified on load; corruption falls back to cold)
@@ -127,9 +129,12 @@ fn run() -> Result<ExitCode, String> {
     };
     let config = ServerConfig {
         socket: socket.into(),
-        workers: count_of("--workers", 2)?,
+        // Both knobs are clamped to the host's available parallelism:
+        // oversubscribing a small host ran the benchsuite ~40% slower (see
+        // `pipeline/abcd_suite_threads/*` in `BENCH_pipeline.json`).
+        workers: abcd::clamp_jobs(count_of("--workers", 0)?),
         queue: count_of("--queue", 8)?,
-        jobs: count_of("--jobs", 0)?,
+        jobs: abcd::clamp_jobs(count_of("--jobs", 0)?),
         cache,
         request_timeout: ms_of("--request-timeout")?.map(Duration::from_millis),
         io_timeout: duration_of("--io-timeout", 30_000)?,

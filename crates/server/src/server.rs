@@ -209,6 +209,10 @@ struct Shared {
     config: ServerConfig,
     stop: AtomicBool,
     counters: Counters,
+    /// Pooled analysis scratch shared across requests: arenas warmed by
+    /// one request serve the next, so steady-state re-optimization
+    /// allocates nothing on the prove path.
+    scratch: Arc<abcd::ScratchPool>,
 }
 
 /// Locks a mutex, riding through poison: a worker that panicked while
@@ -312,6 +316,7 @@ pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
         config,
         stop: AtomicBool::new(false),
         counters: Counters::default(),
+        scratch: Arc::new(abcd::ScratchPool::new()),
     });
 
     let cells: Vec<WorkerCell> = (0..workers).map(|_| spawn_worker(&shared, &rx)).collect();
@@ -750,7 +755,8 @@ fn handle_optimize(
     }
     let mut optimizer = Optimizer::with_options(req.options)
         .with_threads(shared.config.jobs)
-        .with_trace(req.trace);
+        .with_trace(req.trace)
+        .with_scratch_pool(Arc::clone(&shared.scratch));
     if let Some(cache) = &shared.config.cache {
         optimizer = optimizer.with_cache(Arc::clone(cache));
     }

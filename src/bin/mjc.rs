@@ -81,7 +81,9 @@ PASS FLAGS (for `opt`, `run --opt` and `client <file>`):
     --ipa              closed-world interprocedural parameter facts
     --version-fns      guarded fast/slow function clones
     --hot N            with --profile: analyze only sites with ≥N hits
-    --jobs N           optimize functions on N worker threads
+    --jobs N           optimize functions on N worker threads (default and
+                       ceiling: all host CPUs — requests are clamped to the
+                       available parallelism)
     --prover ENGINE    query engine: demand (default, the paper's DFS),
                        batch (one shortest-path sweep per source), dbm
                        (dense difference-bound relaxation), or auto (pick
@@ -111,7 +113,8 @@ CACHING (for `opt`, `run --opt`; always on in `serve` unless --no-cache):
 SERVER (for `serve`; `client` retries `busy` replies with exponential
 backoff + jitter, floored by the server's adaptive retry hint):
     --socket PATH      Unix-domain socket (required for serve/client)
-    --workers N        concurrent request handlers (default 2)
+    --workers N        concurrent request handlers (default: all host CPUs;
+                       clamped to the available parallelism)
     --queue N          bounded admission queue; overflow is answered with a
                        structured `busy` reply instead of blocking (default 8)
     --request-timeout MS   (serve) default per-request deadline; tripping it
@@ -262,9 +265,16 @@ fn value_of<'a>(rest: &'a [String], flag: &str) -> Option<&'a str> {
 }
 
 fn jobs_of(rest: &[String]) -> Result<usize, String> {
+    // Requests are clamped to the host's available parallelism: extra
+    // workers on an undersized host only add contention (the benchsuite ran
+    // ~40% slower oversubscribed — see `pipeline/abcd_suite_threads/*` in
+    // `BENCH_pipeline.json`). `--jobs 0` / absent means "all host CPUs".
     match value_of(rest, "--jobs") {
-        None => Ok(0),
-        Some(v) => v.parse().map_err(|_| "`--jobs` needs a count".to_string()),
+        None => Ok(abcd::clamp_jobs(0)),
+        Some(v) => v
+            .parse()
+            .map(abcd::clamp_jobs)
+            .map_err(|_| "`--jobs` needs a count".to_string()),
     }
 }
 
@@ -491,7 +501,11 @@ fn cmd_explain(file: &str, rest: &[String]) -> Result<ExitCode, String> {
     let report = optimizer
         .with_trace(true)
         .optimize_module(&mut module, None);
-    let Some(frep) = report.functions.iter().find(|f| f.name == func_name) else {
+    let Some(frep) = report
+        .functions
+        .iter()
+        .find(|f| f.name.as_str() == func_name)
+    else {
         return Err(format!("no function `{func_name}` in {file}"));
     };
     match abcd::explain_function(frep, check) {
@@ -578,7 +592,9 @@ fn cmd_serve(rest: &[String]) -> Result<ExitCode, String> {
     };
     let config = abcd_server::ServerConfig {
         socket: socket.into(),
-        workers: count("--workers", 2)?,
+        // Clamped like abcdd: worker counts beyond the host's available
+        // parallelism only add contention.
+        workers: abcd::clamp_jobs(count("--workers", 0)?),
         queue: count("--queue", 8)?,
         jobs: jobs_of(rest)?,
         cache,

@@ -224,7 +224,7 @@ fn faulted_runs_stay_byte_identical_in_parallel() {
         let outcomes = |r: &ModuleReport| {
             r.functions
                 .iter()
-                .map(|f| (f.name.clone(), f.outcomes.clone()))
+                .map(|f| (f.name, f.outcomes.clone()))
                 .collect::<Vec<_>>()
         };
         assert_eq!(

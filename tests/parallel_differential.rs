@@ -26,12 +26,12 @@ fn train(bench: &abcd_benchsuite::Benchmark) -> Profile {
     vm.into_profile()
 }
 
-type FunctionOutcomes = (String, Vec<(CheckSite, CheckKind, CheckOutcome)>);
+type FunctionOutcomes = (abcd_ir::Symbol, Vec<(CheckSite, CheckKind, CheckOutcome)>);
 
 fn outcomes(r: &ModuleReport) -> Vec<FunctionOutcomes> {
     r.functions
         .iter()
-        .map(|f| (f.name.clone(), f.outcomes.clone()))
+        .map(|f| (f.name, f.outcomes.clone()))
         .collect()
 }
 

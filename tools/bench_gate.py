@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""CI gate over the BENCH_pipeline.json perf trajectory.
+
+Usage: bench_gate.py COMMITTED.json REGENERATED.json
+
+Compares a freshly regenerated pipeline-bench document against the
+committed one, with per-quantity strictness matching how deterministic
+each quantity is:
+
+  * schema                      — exact (both must be abcd-bench-pipeline/2)
+  * backends.*.suite_solver_steps — exact: solver traversal is deterministic,
+                                  any drift is an algorithm change
+  * phases.steady_prove.allocs  — exactly 0: the zero-allocation prove-path
+                                  claim, in both files
+  * other alloc counts          — regression-banded (x1.25): allocation
+                                  counts are deterministic per binary but may
+                                  shift slightly across toolchains
+  * wall times (ns)             — regression-banded (x2.5): runner hardware
+                                  differs from the calibration host, so only
+                                  order-of-magnitude slowdowns fail
+
+Improvements never fail the gate. Exit 0 on pass, 1 with a report on fail.
+"""
+
+import json
+import sys
+
+ALLOC_BAND = 1.25
+WALL_BAND = 2.5
+
+failures = []
+
+
+def check(ok, msg):
+    if not ok:
+        failures.append(msg)
+
+
+def banded(name, old, new, band):
+    check(
+        new <= old * band,
+        f"{name}: {new:.0f} vs committed {old:.0f} (allowed x{band})",
+    )
+
+
+def main(committed_path, regenerated_path):
+    old = json.load(open(committed_path))
+    new = json.load(open(regenerated_path))
+
+    check(old.get("schema") == "abcd-bench-pipeline/2", "committed schema is not /2")
+    check(new.get("schema") == old.get("schema"), "regenerated schema differs")
+
+    for name, row in old.get("backends", {}).items():
+        got = new.get("backends", {}).get(name)
+        check(got is not None, f"backends.{name}: missing from regenerated run")
+        if got is None:
+            continue
+        check(
+            got["suite_solver_steps"] == row["suite_solver_steps"],
+            f"backends.{name}.suite_solver_steps: {got['suite_solver_steps']} "
+            f"vs committed {row['suite_solver_steps']} (must match exactly)",
+        )
+        banded(f"backends.{name}.suite_ns_per_iter",
+               row["suite_ns_per_iter"], got["suite_ns_per_iter"], WALL_BAND)
+
+    for name, row in old.get("phases", {}).items():
+        got = new.get("phases", {}).get(name)
+        check(got is not None, f"phases.{name}: missing from regenerated run")
+        if got is None:
+            continue
+        if name == "steady_prove":
+            check(row["allocs"] == 0, "committed steady_prove.allocs is not 0")
+            check(
+                got["allocs"] == 0,
+                f"phases.steady_prove.allocs: {got['allocs']} — the "
+                "zero-allocation prove path regressed",
+            )
+        else:
+            banded(f"phases.{name}.allocs", row["allocs"], got["allocs"], ALLOC_BAND)
+        banded(f"phases.{name}.ns", row["ns"], got["ns"], WALL_BAND)
+
+    for name, row in old.get("benchmarks", {}).items():
+        got = new.get("benchmarks", {}).get(name)
+        check(got is not None, f"benchmarks[{name}]: missing from regenerated run")
+        if got is None:
+            continue
+        banded(f"benchmarks[{name}].ns", row["ns"], got["ns"], WALL_BAND)
+        banded(f"benchmarks[{name}].allocs", row["allocs"], got["allocs"], ALLOC_BAND)
+
+    if failures:
+        print(f"bench gate: {len(failures)} regression(s) vs {committed_path}:")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print(f"bench gate: regenerated run is within tolerance of {committed_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    if len(sys.argv) != 3:
+        print(__doc__)
+        sys.exit(2)
+    sys.exit(main(sys.argv[1], sys.argv[2]))
