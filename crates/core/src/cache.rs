@@ -423,8 +423,12 @@ struct Inner {
 /// The function-level analysis cache: in-memory LRU under a byte budget,
 /// optionally backed by an on-disk tier (`--cache-dir`) whose entries are
 /// re-verified on every load. Shared across driver worker threads (and
-/// server requests) behind one mutex — lookups are a hash probe plus a
-/// clone, far cheaper than the analysis they replace.
+/// server requests) behind **lock stripes**: keys hash onto one of N
+/// independent `Mutex<Inner>` maps, so N shards' workers probing disjoint
+/// functions never serialize on one lock. The default is a single stripe
+/// (exactly the old one-mutex behavior, including global LRU order);
+/// sharded servers call [`AnalysisCache::with_stripes`] to split the
+/// budget into per-stripe LRU domains.
 pub struct AnalysisCache {
     budget: usize,
     dir: Option<PathBuf>,
@@ -433,7 +437,7 @@ pub struct AnalysisCache {
     recovered: u64,
     /// Armed chaos plan driving disk-fault injection, if any.
     chaos: Mutex<Option<Arc<ChaosPlan>>>,
-    inner: Mutex<Inner>,
+    stripes: Vec<Mutex<Inner>>,
 }
 
 impl fmt::Debug for AnalysisCache {
@@ -456,8 +460,20 @@ impl AnalysisCache {
             dir: None,
             recovered: 0,
             chaos: Mutex::new(None),
-            inner: Mutex::new(Inner::default()),
+            stripes: vec![Mutex::new(Inner::default())],
         }
+    }
+
+    /// Splits the in-memory tier into `n` lock stripes (clamped to ≥ 1).
+    /// Keys hash onto a stripe; each stripe runs its own LRU over an equal
+    /// share of the byte budget. With `n = 1` this is a no-op. Stripes are
+    /// a concurrency knob, not a semantic one: hits, misses, and disk-tier
+    /// behavior are identical for any `n` — only eviction *order* under
+    /// budget pressure can differ, because LRU age is tracked per stripe.
+    pub fn with_stripes(mut self, n: usize) -> AnalysisCache {
+        let n = n.max(1);
+        self.stripes = (0..n).map(|_| Mutex::new(Inner::default())).collect();
+        self
     }
 
     /// A cache persisted under `dir` (created if absent) with the given
@@ -477,7 +493,7 @@ impl AnalysisCache {
             dir: Some(dir),
             recovered,
             chaos: Mutex::new(None),
-            inner: Mutex::new(Inner::default()),
+            stripes: vec![Mutex::new(Inner::default())],
         })
     }
 
@@ -494,29 +510,48 @@ impl AnalysisCache {
         self.dir.as_deref()
     }
 
-    /// Snapshot of the counters.
+    /// The stripe holding `key` (stable: pure function of the key bits).
+    fn stripe(&self, key: CacheKey) -> &Mutex<Inner> {
+        &self.stripes[(key.0 as usize) % self.stripes.len()]
+    }
+
+    /// Each stripe's share of the in-memory byte budget.
+    fn stripe_budget(&self) -> usize {
+        self.budget / self.stripes.len()
+    }
+
+    /// How many lock stripes back the in-memory tier.
+    pub fn stripe_count(&self) -> usize {
+        self.stripes.len()
+    }
+
+    /// Snapshot of the counters, aggregated across stripes.
     pub fn stats(&self) -> CacheStats {
-        let inner = self.inner.lock().expect("cache lock");
-        CacheStats {
-            entries: inner.map.len(),
-            bytes: inner.bytes,
+        let mut s = CacheStats {
             budget_bytes: self.budget,
-            hits: inner.hits,
-            misses: inner.misses,
-            stores: inner.stores,
-            evictions: inner.evictions,
-            corrupt: inner.corrupt,
-            disk_hits: inner.disk_hits,
             recovered: self.recovered,
-            write_errors: inner.write_errors,
+            ..CacheStats::default()
+        };
+        for stripe in &self.stripes {
+            let inner = stripe.lock().expect("cache lock");
+            s.entries += inner.map.len();
+            s.bytes += inner.bytes;
+            s.hits += inner.hits;
+            s.misses += inner.misses;
+            s.stores += inner.stores;
+            s.evictions += inner.evictions;
+            s.corrupt += inner.corrupt;
+            s.disk_hits += inner.disk_hits;
+            s.write_errors += inner.write_errors;
         }
+        s
     }
 
     /// Looks `key` up: memory first, then the disk tier (with full
     /// re-verification). Never panics and never returns unverified data.
     pub fn lookup(&self, key: CacheKey) -> Lookup {
         {
-            let mut inner = self.inner.lock().expect("cache lock");
+            let mut inner = self.stripe(key).lock().expect("cache lock");
             inner.tick += 1;
             let tick = inner.tick;
             if let Some(slot) = inner.map.get_mut(&key.0) {
@@ -528,12 +563,12 @@ impl AnalysisCache {
         }
         match self.load_disk(key) {
             None => {
-                self.inner.lock().expect("cache lock").misses += 1;
+                self.stripe(key).lock().expect("cache lock").misses += 1;
                 Lookup::Miss
             }
             Some(Ok(entry)) => {
                 {
-                    let mut inner = self.inner.lock().expect("cache lock");
+                    let mut inner = self.stripe(key).lock().expect("cache lock");
                     inner.hits += 1;
                     inner.disk_hits += 1;
                 }
@@ -542,7 +577,7 @@ impl AnalysisCache {
             }
             Some(Err(reason)) => {
                 {
-                    let mut inner = self.inner.lock().expect("cache lock");
+                    let mut inner = self.stripe(key).lock().expect("cache lock");
                     inner.misses += 1;
                     inner.corrupt += 1;
                 }
@@ -560,13 +595,14 @@ impl AnalysisCache {
     pub fn insert(&self, key: CacheKey, entry: CacheEntry) {
         self.store_disk(key, &entry);
         self.insert_memory(key, entry);
-        self.inner.lock().expect("cache lock").stores += 1;
+        self.stripe(key).lock().expect("cache lock").stores += 1;
     }
 
     fn insert_memory(&self, key: CacheKey, entry: CacheEntry) {
         let size = entry.byte_size();
-        let mut inner = self.inner.lock().expect("cache lock");
-        if size > self.budget {
+        let budget = self.stripe_budget();
+        let mut inner = self.stripe(key).lock().expect("cache lock");
+        if size > budget {
             // Oversized for the memory tier entirely; the disk tier (if
             // any) still has it.
             return;
@@ -584,7 +620,7 @@ impl AnalysisCache {
             inner.bytes -= old.size;
         }
         inner.bytes += size;
-        while inner.bytes > self.budget {
+        while inner.bytes > budget {
             let Some((&victim, _)) = inner
                 .map
                 .iter()
@@ -647,7 +683,7 @@ impl AnalysisCache {
             if plan.decide(ChaosSite::DiskFull) {
                 // ENOSPC: the persist fails cleanly, nothing is left behind
                 // and the published entry (if any) is untouched.
-                self.inner.lock().expect("cache lock").write_errors += 1;
+                self.stripe(key).lock().expect("cache lock").write_errors += 1;
                 return;
             }
             if plan.decide(ChaosSite::DiskShortWrite) {
@@ -656,7 +692,7 @@ impl AnalysisCache {
                 // place deliberately — the next startup's recovery sweep
                 // must quarantine it.
                 let _ = std::fs::write(&tmp, &buf[..buf.len() / 2]);
-                self.inner.lock().expect("cache lock").write_errors += 1;
+                self.stripe(key).lock().expect("cache lock").write_errors += 1;
                 return;
             }
         }
@@ -668,7 +704,7 @@ impl AnalysisCache {
         // back — a cache that cannot persist is merely cold, not broken.
         if persist_atomically(&tmp, &path, &buf).is_err() {
             let _ = std::fs::remove_file(&tmp);
-            self.inner.lock().expect("cache lock").write_errors += 1;
+            self.stripe(key).lock().expect("cache lock").write_errors += 1;
             return;
         }
 

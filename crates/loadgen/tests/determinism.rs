@@ -1,0 +1,54 @@
+//! The determinism contract: the offered load is a pure function of the
+//! seed. No wall clock, no environment — two runs with the same seed
+//! produce the byte-identical request sequence.
+
+use abcd_loadgen::{corpus, schedule, Arrival};
+
+#[test]
+fn same_seed_same_schedule_byte_for_byte() {
+    let a = schedule(42, 500, 150.0, 24, 1.2);
+    let b = schedule(42, 500, 150.0, 24, 1.2);
+    assert_eq!(a, b, "schedule must replay exactly");
+    assert_eq!(a.len(), 500);
+    assert!(
+        a.windows(2).all(|w| w[0].at_us <= w[1].at_us),
+        "arrivals are time-ordered"
+    );
+    assert!(
+        a.iter().all(|arr| arr.corpus_idx < 24),
+        "every pick lands in the corpus"
+    );
+}
+
+#[test]
+fn same_seed_same_corpus_byte_for_byte() {
+    assert_eq!(corpus(42, 24), corpus(42, 24));
+}
+
+#[test]
+fn different_seeds_offer_different_load() {
+    let a = schedule(1, 200, 150.0, 24, 1.2);
+    let b = schedule(2, 200, 150.0, 24, 1.2);
+    assert_ne!(a, b);
+    assert_ne!(corpus(1, 4), corpus(2, 4));
+}
+
+#[test]
+fn zipf_skew_prefers_the_head() {
+    let arrivals = schedule(42, 2000, 150.0, 24, 1.2);
+    let head: usize = arrivals.iter().filter(|a| a.corpus_idx == 0).count();
+    let tail: usize = arrivals.iter().filter(|a| a.corpus_idx == 23).count();
+    assert!(
+        head > 10 * tail.max(1),
+        "rank 1 ({head}) should dwarf rank 24 ({tail})"
+    );
+}
+
+#[test]
+fn arrival_is_plain_data() {
+    let a = Arrival {
+        at_us: 7,
+        corpus_idx: 3,
+    };
+    assert_eq!(a, a.clone());
+}

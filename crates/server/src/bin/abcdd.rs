@@ -1,7 +1,8 @@
 //! `abcdd` — the persistent ABCD optimization daemon.
 //!
 //! ```text
-//! abcdd --socket /tmp/abcdd.sock [--workers N] [--queue N] [--jobs N]
+//! abcdd --socket /tmp/abcdd.sock [--listen tcp:127.0.0.1:7433]...
+//!       [--shards N] [--workers N] [--queue N] [--jobs N]
 //!       [--cache-bytes N] [--cache-dir DIR] [--no-cache]
 //!       [--request-timeout MS] [--io-timeout MS] [--stuck-after MS]
 //!       [--chaos PLAN]
@@ -12,7 +13,7 @@
 //! exits 0. Exit 1 means bad usage or a bind failure.
 
 use abcd::{AnalysisCache, ChaosPlan};
-use abcd_server::{ServerConfig, ServerHandle};
+use abcd_server::{ListenAddr, ServerConfig, ServerHandle};
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
@@ -21,14 +22,23 @@ const HELP: &str = "\
 abcdd — persistent ABCD optimization service
 
 USAGE:
-    abcdd --socket PATH [options]
+    abcdd [--socket PATH | --listen ADDR]... [options]
 
 OPTIONS:
-    --socket PATH      Unix-domain socket to listen on (required)
-    --workers N        concurrent request handlers (default: all host CPUs;
+    --socket PATH      Unix-domain socket to listen on (same as
+                       `--listen uds:PATH`)
+    --listen ADDR      endpoint to listen on: `uds:/path/to.sock` or
+                       `tcp:host:port` (`tcp:127.0.0.1:0` picks a free
+                       port). Repeatable; all endpoints are served
+                       concurrently by the same shard set.
+    --shards N         independent run queues with work stealing between
+                       them (default 1); admission places each connection
+                       on the least-loaded shard
+    --workers N        request handlers PER SHARD (default: all host CPUs;
                        requests beyond the available parallelism are clamped)
-    --queue N          bounded admission queue; overflow gets a `busy`
-                       reply with a retry hint (default 8)
+    --queue N          bounded admission queue per shard; when every shard
+                       is full the connection gets a queue-position reply
+                       `{\"queued\":P,\"retry_after_ms\":...}` (default 8)
     --jobs N           optimizer threads per request (default: all host
                        CPUs; clamped to the available parallelism)
     --cache-bytes N    in-memory analysis-cache budget (default 64 MiB)
@@ -87,24 +97,59 @@ fn run() -> Result<ExitCode, String> {
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
-            "--socket" | "--workers" | "--queue" | "--jobs" | "--cache-bytes" | "--cache-dir"
-            | "--request-timeout" | "--io-timeout" | "--stuck-after" | "--chaos" => i += 1,
+            "--socket" | "--listen" | "--shards" | "--workers" | "--queue" | "--jobs"
+            | "--cache-bytes" | "--cache-dir" | "--request-timeout" | "--io-timeout"
+            | "--stuck-after" | "--chaos" => i += 1,
             "--no-cache" => {}
             other => return Err(format!("unknown flag `{other}`\n{HELP}")),
         }
         i += 1;
     }
 
-    let socket = value_of("--socket").ok_or(format!("`--socket PATH` is required\n{HELP}"))?;
+    // Gather every endpoint: each `--socket PATH` (UDS, the historical
+    // spelling) and each `--listen uds:…|tcp:…`, in argv order.
+    let mut listen: Vec<ListenAddr> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--socket" => {
+                let path = args
+                    .get(i + 1)
+                    .ok_or(format!("`--socket` needs a path\n{HELP}"))?;
+                listen.push(ListenAddr::Uds(path.into()));
+                i += 1;
+            }
+            "--listen" => {
+                let spec = args
+                    .get(i + 1)
+                    .ok_or(format!("`--listen` needs an address\n{HELP}"))?;
+                listen.push(ListenAddr::parse(spec).map_err(|e| format!("--listen: {e}"))?);
+                i += 1;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    if listen.is_empty() {
+        return Err(format!(
+            "at least one `--socket PATH` or `--listen ADDR` is required\n{HELP}"
+        ));
+    }
     let cache_bytes = count_of("--cache-bytes", abcd::cache::DEFAULT_CACHE_BYTES)?;
+    let shards = count_of("--shards", 1)?.max(1);
     let cache = if args.iter().any(|a| a == "--no-cache") {
         None
     } else {
-        Some(Arc::new(match value_of("--cache-dir") {
-            None => AnalysisCache::in_memory(cache_bytes),
-            Some(dir) => AnalysisCache::with_dir(std::path::Path::new(dir), cache_bytes)
-                .map_err(|e| format!("--cache-dir {dir}: {e}"))?,
-        }))
+        // Stripe the shared cache to match the shard count so parallel
+        // shards don't serialize on one cache lock.
+        Some(Arc::new(
+            match value_of("--cache-dir") {
+                None => AnalysisCache::in_memory(cache_bytes),
+                Some(dir) => AnalysisCache::with_dir(std::path::Path::new(dir), cache_bytes)
+                    .map_err(|e| format!("--cache-dir {dir}: {e}"))?,
+            }
+            .with_stripes(shards),
+        ))
     };
     let ms_of = |flag: &str| -> Result<Option<u64>, String> {
         match value_of(flag) {
@@ -128,7 +173,8 @@ fn run() -> Result<ExitCode, String> {
         )),
     };
     let config = ServerConfig {
-        socket: socket.into(),
+        listen,
+        shards,
         // Both knobs are clamped to the host's available parallelism:
         // oversubscribing a small host ran the benchsuite ~40% slower (see
         // `pipeline/abcd_suite_threads/*` in `BENCH_pipeline.json`).
@@ -141,9 +187,10 @@ fn run() -> Result<ExitCode, String> {
         stuck_after: duration_of("--stuck-after", 30_000)?.unwrap_or(Duration::from_secs(86_400)),
         chaos,
     };
-    let handle: ServerHandle =
-        abcd_server::start(config).map_err(|e| format!("bind {socket}: {e}"))?;
-    eprintln!("abcdd: listening on {socket}");
+    let handle: ServerHandle = abcd_server::start(config).map_err(|e| format!("bind: {e}"))?;
+    for endpoint in handle.endpoints() {
+        eprintln!("abcdd: listening on {}", endpoint.describe());
+    }
     handle.join();
     eprintln!("abcdd: drained, bye");
     Ok(ExitCode::SUCCESS)

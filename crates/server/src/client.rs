@@ -1,17 +1,24 @@
-//! A blocking client for the `abcdd` wire protocol.
+//! A blocking client for the `abcdd` wire protocol, over UDS or TCP.
 //!
-//! One call = one connection = one frame each way, mirroring the server's
-//! admission model. The only non-terminal failure is `busy`, surfaced as
-//! [`Reply::Busy`] so callers can implement the documented retry contract;
-//! [`RetryPolicy`] implements it (exponential backoff with jitter, floored
-//! by the server's adaptive hint, bounded by an attempt cap and an overall
-//! deadline) for callers that just want the right behavior.
+//! One call = one connection = one request frame, mirroring the server's
+//! admission model; a protocol-v2 batch call reads its N streamed reply
+//! frames back on the same connection. The only non-terminal failure is
+//! `busy` — including the sharded server's queue-position replies —
+//! surfaced as [`Reply::Busy`] so callers can implement the documented
+//! retry contract; [`RetryPolicy`] implements it (exponential backoff with
+//! jitter, floored by the server's adaptive hint, bounded by an attempt
+//! cap and an overall deadline) for callers that just want the right
+//! behavior.
+//!
+//! The `&Path` entry points ([`optimize`], [`ping`], [`stats`], …) are the
+//! original UDS API and remain unchanged; each has an `_at` twin taking an
+//! [`Endpoint`] that also speaks TCP.
 
 use crate::json::Json;
-use crate::proto::{optimize_request_json, read_frame, write_frame};
+use crate::proto::{batch_request_json, optimize_request_json, read_frame, write_frame};
+use crate::transport::{Conn, Endpoint};
 use abcd::OptimizerOptions;
 use abcd_vm::Profile;
-use std::os::unix::net::UnixStream;
 use std::path::Path;
 use std::time::{Duration, Instant};
 
@@ -22,11 +29,15 @@ pub enum Reply {
     /// reply text (the `metrics` field must be extracted verbatim — a
     /// re-serialization would not be byte-comparable with batch `mjc`).
     Ok(Json, String),
-    /// The admission queue was full; retry after the given delay.
+    /// Every shard's admission queue was full; retry after the delay.
     Busy {
         /// Advisory back-off before resending the identical request —
-        /// adaptive: the server scales it with the queue depth it shed at.
+        /// adaptive: the server scales it with the backlog it shed at.
         retry_after_ms: u64,
+        /// Queue position the request would have held (sharded servers
+        /// only): patience can scale with the backlog instead of being
+        /// guessed. `None` from pre-shard `busy` replies.
+        queued: Option<u64>,
     },
     /// A terminal, structured error.
     Err(String),
@@ -141,38 +152,9 @@ pub struct Optimized {
     pub trace: Option<String>,
 }
 
-/// Sends one raw request frame and returns the parsed reply.
-pub fn roundtrip(socket: &Path, request: &str) -> Result<Reply, String> {
-    roundtrip_timeout(socket, request, None)
-}
-
-/// [`roundtrip`] with a socket read/write timeout bounding each frame.
-/// (A Unix-socket `connect` blocks only while the accept backlog is full,
-/// so the frames are where a wedged server would otherwise pin a client.)
-pub fn roundtrip_timeout(
-    socket: &Path,
-    request: &str,
-    io_timeout: Option<Duration>,
-) -> Result<Reply, String> {
-    let mut conn =
-        UnixStream::connect(socket).map_err(|e| format!("connect {}: {e}", socket.display()))?;
-    if let Some(t) = io_timeout {
-        let t = t.max(Duration::from_millis(1)); // zero would disable, not expire
-        conn.set_read_timeout(Some(t))
-            .map_err(|e| format!("set read timeout: {e}"))?;
-        conn.set_write_timeout(Some(t))
-            .map_err(|e| format!("set write timeout: {e}"))?;
-    }
-    // A shed connection is answered and closed without the request being
-    // read, so the send can fail with EPIPE while a perfectly good `busy`
-    // frame sits in our receive buffer — always try the read.
-    let sent = write_frame(&mut conn, request.as_bytes());
-    let payload = match (read_frame(&mut conn), sent) {
-        (Ok(p), _) => p,
-        (Err(_), Err(e)) => return Err(format!("send: {e}")),
-        (Err(e), Ok(())) => return Err(format!("receive: {e}")),
-    };
-    let text = std::str::from_utf8(&payload).map_err(|_| "reply is not UTF-8".to_string())?;
+/// Parses one reply frame into a [`Reply`].
+fn parse_reply(payload: &[u8]) -> Result<Reply, String> {
+    let text = std::str::from_utf8(payload).map_err(|_| "reply is not UTF-8".to_string())?;
     let doc = Json::parse(text).map_err(|e| format!("bad reply: {e}"))?;
     if doc.get("ok").and_then(Json::as_bool) == Some(true) {
         return Ok(Reply::Ok(doc, text.to_string()));
@@ -183,6 +165,7 @@ pub fn roundtrip_timeout(
                 .get("retry_after_ms")
                 .and_then(Json::as_u64)
                 .unwrap_or(25),
+            queued: doc.get("queued").and_then(Json::as_u64),
         });
     }
     Ok(Reply::Err(
@@ -193,10 +176,78 @@ pub fn roundtrip_timeout(
     ))
 }
 
-/// Optimizes a module remotely, retrying `busy` replies per `retry`; any
-/// other failure is terminal.
+/// Dials `endpoint` with the given IO timeout applied to both directions.
+fn dial(endpoint: &Endpoint, io_timeout: Option<Duration>) -> Result<Conn, String> {
+    let conn = endpoint
+        .connect()
+        .map_err(|e| format!("connect {}: {e}", endpoint.describe()))?;
+    if let Some(t) = io_timeout {
+        let t = t.max(Duration::from_millis(1)); // zero would disable, not expire
+        conn.set_read_timeout(Some(t))
+            .map_err(|e| format!("set read timeout: {e}"))?;
+        conn.set_write_timeout(Some(t))
+            .map_err(|e| format!("set write timeout: {e}"))?;
+    }
+    Ok(conn)
+}
+
+/// Sends one raw request frame and returns the parsed reply.
+pub fn roundtrip(socket: &Path, request: &str) -> Result<Reply, String> {
+    roundtrip_timeout(socket, request, None)
+}
+
+/// [`roundtrip`] with a socket read/write timeout bounding each frame.
+pub fn roundtrip_timeout(
+    socket: &Path,
+    request: &str,
+    io_timeout: Option<Duration>,
+) -> Result<Reply, String> {
+    roundtrip_at(&Endpoint::uds(socket), request, io_timeout)
+}
+
+/// Sends one raw request frame to `endpoint` (UDS or TCP) and returns the
+/// parsed reply.
+pub fn roundtrip_at(
+    endpoint: &Endpoint,
+    request: &str,
+    io_timeout: Option<Duration>,
+) -> Result<Reply, String> {
+    let mut conn = dial(endpoint, io_timeout)?;
+    // A shed connection is answered and closed without the request being
+    // read, so the send can fail with EPIPE while a perfectly good `busy`
+    // frame sits in our receive buffer — always try the read.
+    let sent = write_frame(&mut conn, request.as_bytes());
+    let payload = match (read_frame(&mut conn), sent) {
+        (Ok(p), _) => p,
+        (Err(_), Err(e)) => return Err(format!("send: {e}")),
+        (Err(e), Ok(())) => return Err(format!("receive: {e}")),
+    };
+    parse_reply(&payload)
+}
+
+/// Optimizes a module remotely over UDS, retrying `busy` replies per
+/// `retry`; any other failure is terminal.
 pub fn optimize(
     socket: &Path,
+    source_or_ir: (&str, bool),
+    options: &OptimizerOptions,
+    profile: Option<&Profile>,
+    call: &CallOptions,
+    retry: &RetryPolicy,
+) -> Result<Optimized, String> {
+    optimize_at(
+        &Endpoint::uds(socket),
+        source_or_ir,
+        options,
+        profile,
+        call,
+        retry,
+    )
+}
+
+/// [`optimize`] against any [`Endpoint`] (UDS or TCP).
+pub fn optimize_at(
+    endpoint: &Endpoint,
     source_or_ir: (&str, bool),
     options: &OptimizerOptions,
     profile: Option<&Profile>,
@@ -212,6 +263,71 @@ pub fn optimize(
         call.trace,
         call.deadline_ms,
     );
+    let (doc, raw) = call_with_retry(endpoint, &request, 1, retry)?
+        .into_iter()
+        .next()
+        .ok_or("no reply")??;
+    into_optimized(&doc, &raw)
+}
+
+/// One element of a protocol-v2 batch: `((source_or_ir, is_ir), optimizer
+/// options, optional profile, per-call options)` — the same arguments
+/// [`optimize_at`] takes for a single request.
+pub type BatchItem<'a> = (
+    (&'a str, bool),
+    &'a OptimizerOptions,
+    Option<&'a Profile>,
+    CallOptions,
+);
+
+/// Sends N optimize requests as **one pipelined protocol-v2 frame** and
+/// reads the N streamed replies back in request order. A queue-position
+/// (`busy`) reply retries the whole batch — admission is all-or-nothing,
+/// so no element is ever processed twice. Per-element failures (parse
+/// errors, etc.) come back as `Err` in that element's slot; transport
+/// failures mid-stream are terminal for the remaining elements.
+pub fn optimize_batch_at(
+    endpoint: &Endpoint,
+    items: &[BatchItem<'_>],
+    retry: &RetryPolicy,
+) -> Result<Vec<Result<Optimized, String>>, String> {
+    if items.is_empty() {
+        return Err("empty batch".to_string());
+    }
+    let bodies: Vec<String> = items
+        .iter()
+        .map(|(source_or_ir, options, profile, call)| {
+            optimize_request_json(
+                *source_or_ir,
+                options,
+                *profile,
+                call.metrics,
+                call.deterministic_metrics,
+                call.trace,
+                call.deadline_ms,
+            )
+        })
+        .collect();
+    let request = batch_request_json(&bodies);
+    let replies = call_with_retry(endpoint, &request, items.len(), retry)?;
+    Ok(replies
+        .into_iter()
+        .map(|reply| reply.and_then(|(doc, raw)| into_optimized(&doc, &raw)))
+        .collect())
+}
+
+/// One call with the busy-retry loop: sends `request`, expects `expect`
+/// reply frames (1 for v1, N for a batch). A `busy`/queued reply —
+/// always the sole frame on its connection — sleeps and retries the
+/// identical request; `Ok` carries each frame's parsed document and raw
+/// text, or the per-frame error.
+#[allow(clippy::type_complexity)]
+fn call_with_retry(
+    endpoint: &Endpoint,
+    request: &str,
+    expect: usize,
+    retry: &RetryPolicy,
+) -> Result<Vec<Result<(Json, String), String>>, String> {
     let started = Instant::now();
     let remaining = |started: Instant| -> Result<Option<Duration>, String> {
         match retry.overall_ms {
@@ -228,7 +344,7 @@ pub fn optimize(
         }
     };
     let mut attempt: u32 = 0;
-    loop {
+    'attempts: loop {
         let left = remaining(started)?;
         // Each frame gets min(per-frame timeout, what's left of the
         // overall budget), so a single slow frame cannot overrun it.
@@ -237,45 +353,72 @@ pub fn optimize(
             (Some(io), None) => Some(io),
             (None, left) => left,
         };
-        match roundtrip_timeout(socket, &request, io)? {
-            Reply::Ok(doc, raw) => {
-                let n = |key: &str| doc.get(key).and_then(Json::as_u64).unwrap_or(0);
-                return Ok(Optimized {
-                    ir: doc
-                        .get("ir")
-                        .and_then(Json::as_str)
-                        .ok_or("reply missing `ir`")?
-                        .to_string(),
-                    checks: (n("checks_total"), n("removed_fully"), n("hoisted")),
-                    incidents: (n("incidents"), n("degraded_incidents")),
-                    functions_from_cache: n("functions_from_cache"),
-                    deadline_exceeded: doc
-                        .get("deadline_exceeded")
-                        .and_then(Json::as_bool)
-                        .unwrap_or(false),
-                    metrics: extract_metrics(&doc, &raw),
-                    trace: doc.get("trace").and_then(Json::as_str).map(str::to_string),
-                });
-            }
-            Reply::Busy { retry_after_ms } => {
-                attempt += 1;
-                if attempt >= retry.max_attempts.max(1) {
-                    return Err(format!("server busy after {attempt} attempts"));
-                }
-                let sleep = Duration::from_millis(retry.backoff_ms(attempt, retry_after_ms));
-                if let Some(left) = remaining(started)? {
-                    if sleep >= left {
-                        return Err(format!(
-                            "server busy; backoff would exceed the client deadline of {} ms",
-                            retry.overall_ms.unwrap_or(0)
-                        ));
+        let mut conn = dial(endpoint, io)?;
+        let sent = write_frame(&mut conn, request.as_bytes());
+        let mut replies = Vec::with_capacity(expect);
+        for i in 0..expect {
+            let payload = match (read_frame(&mut conn), &sent) {
+                (Ok(p), _) => p,
+                (Err(_), Err(e)) if i == 0 => return Err(format!("send: {e}")),
+                (Err(e), _) => {
+                    if i == 0 {
+                        return Err(format!("receive: {e}"));
                     }
+                    // Mid-stream transport failure: the remaining
+                    // elements are undeliverable.
+                    for _ in i..expect {
+                        replies.push(Err(format!("receive: {e}")));
+                    }
+                    return Ok(replies);
                 }
-                std::thread::sleep(sleep);
+            };
+            match parse_reply(&payload)? {
+                Reply::Ok(doc, raw) => replies.push(Ok((doc, raw))),
+                Reply::Err(e) => replies.push(Err(e)),
+                Reply::Busy { retry_after_ms, .. } => {
+                    // Backpressure is decided at admission, before any
+                    // element ran: safe to resend the whole request.
+                    attempt += 1;
+                    if attempt >= retry.max_attempts.max(1) {
+                        return Err(format!("server busy after {attempt} attempts"));
+                    }
+                    let sleep = Duration::from_millis(retry.backoff_ms(attempt, retry_after_ms));
+                    if let Some(left) = remaining(started)? {
+                        if sleep >= left {
+                            return Err(format!(
+                                "server busy; backoff would exceed the client deadline of {} ms",
+                                retry.overall_ms.unwrap_or(0)
+                            ));
+                        }
+                    }
+                    std::thread::sleep(sleep);
+                    continue 'attempts;
+                }
             }
-            Reply::Err(e) => return Err(e),
         }
+        return Ok(replies);
     }
+}
+
+/// Extracts the [`Optimized`] payload from a success reply document.
+fn into_optimized(doc: &Json, raw: &str) -> Result<Optimized, String> {
+    let n = |key: &str| doc.get(key).and_then(Json::as_u64).unwrap_or(0);
+    Ok(Optimized {
+        ir: doc
+            .get("ir")
+            .and_then(Json::as_str)
+            .ok_or("reply missing `ir`")?
+            .to_string(),
+        checks: (n("checks_total"), n("removed_fully"), n("hoisted")),
+        incidents: (n("incidents"), n("degraded_incidents")),
+        functions_from_cache: n("functions_from_cache"),
+        deadline_exceeded: doc
+            .get("deadline_exceeded")
+            .and_then(Json::as_bool)
+            .unwrap_or(false),
+        metrics: extract_metrics(doc, raw),
+        trace: doc.get("trace").and_then(Json::as_str).map(str::to_string),
+    })
 }
 
 /// Slices the verbatim `metrics` field out of a raw success reply. The
@@ -293,12 +436,25 @@ fn extract_metrics(doc: &Json, raw: &str) -> Option<String> {
 
 /// Sends a `ping`; true when a live server answered.
 pub fn ping(socket: &Path) -> bool {
-    matches!(roundtrip(socket, "{\"cmd\":\"ping\"}"), Ok(Reply::Ok(..)))
+    ping_at(&Endpoint::uds(socket))
+}
+
+/// [`ping`] against any endpoint.
+pub fn ping_at(endpoint: &Endpoint) -> bool {
+    matches!(
+        roundtrip_at(endpoint, "{\"cmd\":\"ping\"}", None),
+        Ok(Reply::Ok(..))
+    )
 }
 
 /// Sends a `shutdown` request.
 pub fn shutdown(socket: &Path) -> Result<(), String> {
-    match roundtrip(socket, "{\"cmd\":\"shutdown\"}")? {
+    shutdown_at(&Endpoint::uds(socket))
+}
+
+/// [`shutdown`] against any endpoint.
+pub fn shutdown_at(endpoint: &Endpoint) -> Result<(), String> {
+    match roundtrip_at(endpoint, "{\"cmd\":\"shutdown\"}", None)? {
         Reply::Ok(..) => Ok(()),
         Reply::Busy { .. } => Err("server busy; shutdown not accepted".to_string()),
         Reply::Err(e) => Err(e),
@@ -307,7 +463,12 @@ pub fn shutdown(socket: &Path) -> Result<(), String> {
 
 /// Sends a `stats` request and returns the raw document.
 pub fn stats(socket: &Path) -> Result<Json, String> {
-    match roundtrip(socket, "{\"cmd\":\"stats\"}")? {
+    stats_at(&Endpoint::uds(socket))
+}
+
+/// [`stats`] against any endpoint.
+pub fn stats_at(endpoint: &Endpoint) -> Result<Json, String> {
+    match roundtrip_at(endpoint, "{\"cmd\":\"stats\"}", None)? {
         Reply::Ok(doc, _) => Ok(doc),
         Reply::Busy { .. } => Err("server busy".to_string()),
         Reply::Err(e) => Err(e),
@@ -317,8 +478,13 @@ pub fn stats(socket: &Path) -> Result<Json, String> {
 /// Sends a `metrics` request and returns the Prometheus-style text
 /// exposition, unescaped and ready to print or scrape.
 pub fn metrics(socket: &Path, deterministic: bool) -> Result<String, String> {
+    metrics_at(&Endpoint::uds(socket), deterministic)
+}
+
+/// [`metrics`] against any endpoint.
+pub fn metrics_at(endpoint: &Endpoint, deterministic: bool) -> Result<String, String> {
     let request = format!("{{\"cmd\":\"metrics\",\"deterministic\":{deterministic}}}");
-    match roundtrip(socket, &request)? {
+    match roundtrip_at(endpoint, &request, None)? {
         Reply::Ok(doc, _) => doc
             .get("exposition")
             .and_then(Json::as_str)
@@ -370,5 +536,26 @@ mod tests {
         let b5 = p.backoff_ms(5, 0);
         assert!(b5 <= 80, "cap bounds the exponential: {b5}");
         assert_eq!(p.backoff_ms(1, 400), 400, "server hint is a floor");
+    }
+
+    #[test]
+    fn queued_replies_parse_as_busy_with_position() {
+        let payload = crate::proto::queued_response(12, 55);
+        match parse_reply(payload.as_bytes()).unwrap() {
+            Reply::Busy {
+                retry_after_ms,
+                queued,
+            } => {
+                assert_eq!(retry_after_ms, 55);
+                assert_eq!(queued, Some(12));
+            }
+            other => panic!("{other:?}"),
+        }
+        // Pre-shard busy replies still parse, with no position.
+        let payload = crate::proto::busy_response(40);
+        match parse_reply(payload.as_bytes()).unwrap() {
+            Reply::Busy { queued, .. } => assert_eq!(queued, None),
+            other => panic!("{other:?}"),
+        }
     }
 }

@@ -8,10 +8,14 @@
 //! an edit to one function recompiles *that function* (plus interprocedural
 //! dependents, via summary fingerprints) instead of the module.
 //!
-//! - [`proto`] — framing, request/response schema, deadline + retry contract;
-//! - [`server`] — acceptor / bounded queue / supervised worker pool /
-//!   graceful drain, with optional seeded fault injection;
-//! - [`client`] — a blocking client used by `mjc client` and the tests;
+//! - [`proto`] — framing, request/response schema (v1 single + v2
+//!   pipelined batches), deadline + retry contract;
+//! - [`transport`] — UDS and TCP listeners/connections behind one type;
+//! - [`server`] — per-listener acceptors / sharded work-stealing run
+//!   queues / supervised worker pools / graceful drain, with optional
+//!   seeded fault injection;
+//! - [`client`] — a blocking client used by `mjc client`, `loadgen`, and
+//!   the tests;
 //! - [`json`] — the dependency-free JSON reader behind both.
 //!
 //! Differential guarantee: a served module is byte-identical to one-shot
@@ -26,9 +30,13 @@ pub mod client;
 pub mod json;
 pub mod proto;
 pub mod server;
+mod shard;
+pub mod transport;
 
 pub use client::{
-    metrics, optimize, ping, roundtrip, roundtrip_timeout, shutdown, stats, CallOptions, Optimized,
-    Reply, RetryPolicy,
+    metrics, metrics_at, optimize, optimize_at, optimize_batch_at, ping, ping_at, roundtrip,
+    roundtrip_at, roundtrip_timeout, shutdown, shutdown_at, stats, stats_at, BatchItem,
+    CallOptions, Optimized, Reply, RetryPolicy,
 };
 pub use server::{start, ServerConfig, ServerHandle};
+pub use transport::{Endpoint, ListenAddr};

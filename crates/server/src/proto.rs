@@ -1,14 +1,27 @@
 //! The `abcdd` wire protocol: length-prefixed JSON frames over a
-//! Unix-domain socket.
+//! Unix-domain socket or TCP connection.
 //!
 //! # Framing
 //!
 //! Every message — in both directions — is one frame: a big-endian `u32`
 //! byte length followed by exactly that many bytes of UTF-8 JSON. Frames
 //! above [`MAX_FRAME`] are rejected before allocation. One connection
-//! carries one request and one response (connect → send → receive →
+//! carries one request frame and its replies (connect → send → receive →
 //! close), which keeps admission control trivially fair: the bounded
 //! queue holds connections, not partially-read requests.
+//!
+//! # Protocol v2: pipelined batches
+//!
+//! A request frame whose JSON payload is an **array** is a v2 batch: each
+//! element is one `optimize` request body (the `"cmd"` field is optional
+//! inside a batch; when present it must be `"optimize"` — batching is for
+//! compilation, not control commands). The server streams back one reply
+//! frame **per element, in request order**, then closes. Deadlines stay
+//! per-request: element k tripping its `deadline_ms` fails open (see
+//! below) without affecting elements k+1…N. An empty batch (`[]`) is a
+//! structured error, and the [`MAX_FRAME`] cap applies to the whole batch
+//! frame. v1 (single JSON object) and v2 clients share the same socket —
+//! the server dispatches on the payload's first non-space byte.
 //!
 //! # Requests
 //!
@@ -51,13 +64,18 @@
 //!
 //! # Retry contract
 //!
-//! A `busy` response means the admission queue was full at connect time.
-//! The request was *not* partially processed; clients should resend the
-//! identical frame after backing off. `retry_after_ms` is an **adaptive
-//! hint**: the server scales it with the admission-queue depth it saw when
-//! it shed the connection (a loaded queue advises a longer pause), so a
-//! thundering herd spreads out instead of re-colliding. Clients should
-//! treat it as a floor, add exponential backoff with jitter on repeated
+//! A `busy` response means every shard's admission queue was full at
+//! connect time. The request was *not* partially processed; clients
+//! should resend the identical frame after backing off. `retry_after_ms`
+//! is an **adaptive hint**: the server scales it with the backlog it saw
+//! when it shed the connection (a loaded queue advises a longer pause),
+//! so a thundering herd spreads out instead of re-colliding. The sharded
+//! server degrades to **queue-position replies** instead of bare
+//! busy-shedding: `{"ok":false,"busy":true,"queued":P,...}` tells the
+//! client it would have been P-th in line, so patience can scale with P
+//! rather than be guessed. `busy:true` is retained so v1 clients parse
+//! queue-position replies as ordinary backpressure. Clients should treat
+//! the hint as a floor, add exponential backoff with jitter on repeated
 //! busy replies, and give up after an attempt cap or an overall deadline
 //! (see `abcd_server::RetryPolicy`, which implements exactly this). Every
 //! non-busy `"ok":false` is a terminal, structured error — resending the
@@ -135,6 +153,9 @@ pub struct OptimizeRequest {
 pub enum Request {
     /// Optimize a module.
     Optimize(Box<OptimizeRequest>),
+    /// A protocol-v2 pipelined batch: N optimize requests in one frame,
+    /// answered by N reply frames in request order.
+    Batch(Vec<OptimizeRequest>),
     /// Liveness probe.
     Ping,
     /// Server + cache counters.
@@ -158,6 +179,27 @@ pub enum Request {
 pub fn parse_request(payload: &[u8]) -> Result<Request, String> {
     let text = std::str::from_utf8(payload).map_err(|_| "request is not UTF-8".to_string())?;
     let doc = Json::parse(text).map_err(|e| format!("bad JSON: {e}"))?;
+    if let Json::Arr(items) = &doc {
+        // Protocol v2: a top-level array is a pipelined batch.
+        if items.is_empty() {
+            return Err("empty batch: a v2 frame needs at least one request".to_string());
+        }
+        let batch = items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| {
+                if let Some(cmd) = item.get("cmd").and_then(Json::as_str) {
+                    if cmd != "optimize" {
+                        return Err(format!(
+                            "batch element {i}: only `optimize` may be batched, got `{cmd}`"
+                        ));
+                    }
+                }
+                parse_optimize_body(item).map_err(|e| format!("batch element {i}: {e}"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        return Ok(Request::Batch(batch));
+    }
     let cmd = doc
         .get("cmd")
         .and_then(Json::as_str)
@@ -178,40 +220,42 @@ pub fn parse_request(payload: &[u8]) -> Result<Request, String> {
                 .unwrap_or(50)
                 .min(5_000),
         )),
-        "optimize" => {
-            let source = doc.get("source").and_then(Json::as_str).map(str::to_string);
-            let ir = doc.get("ir").and_then(Json::as_str).map(str::to_string);
-            match (&source, &ir) {
-                (None, None) => return Err("optimize needs `source` or `ir`".to_string()),
-                (Some(_), Some(_)) => {
-                    return Err("optimize takes `source` or `ir`, not both".to_string())
-                }
-                _ => {}
-            }
-            let options = match doc.get("options") {
-                None | Some(Json::Null) => OptimizerOptions::default(),
-                Some(o) => parse_options(o)?,
-            };
-            let profile = match doc.get("profile") {
-                None | Some(Json::Null) => None,
-                Some(p) => Some(parse_profile(p)?),
-            };
-            Ok(Request::Optimize(Box::new(OptimizeRequest {
-                source,
-                ir,
-                options,
-                profile,
-                metrics: doc.get("metrics").and_then(Json::as_bool).unwrap_or(false),
-                deterministic_metrics: doc
-                    .get("deterministic_metrics")
-                    .and_then(Json::as_bool)
-                    .unwrap_or(false),
-                trace: doc.get("trace").and_then(Json::as_bool).unwrap_or(false),
-                deadline_ms: doc.get("deadline_ms").and_then(Json::as_u64),
-            })))
-        }
+        "optimize" => Ok(Request::Optimize(Box::new(parse_optimize_body(&doc)?))),
         other => Err(format!("unknown cmd `{other}`")),
     }
+}
+
+/// Parses the body of one optimize request (shared by v1 single requests
+/// and v2 batch elements).
+fn parse_optimize_body(doc: &Json) -> Result<OptimizeRequest, String> {
+    let source = doc.get("source").and_then(Json::as_str).map(str::to_string);
+    let ir = doc.get("ir").and_then(Json::as_str).map(str::to_string);
+    match (&source, &ir) {
+        (None, None) => return Err("optimize needs `source` or `ir`".to_string()),
+        (Some(_), Some(_)) => return Err("optimize takes `source` or `ir`, not both".to_string()),
+        _ => {}
+    }
+    let options = match doc.get("options") {
+        None | Some(Json::Null) => OptimizerOptions::default(),
+        Some(o) => parse_options(o)?,
+    };
+    let profile = match doc.get("profile") {
+        None | Some(Json::Null) => None,
+        Some(p) => Some(parse_profile(p)?),
+    };
+    Ok(OptimizeRequest {
+        source,
+        ir,
+        options,
+        profile,
+        metrics: doc.get("metrics").and_then(Json::as_bool).unwrap_or(false),
+        deterministic_metrics: doc
+            .get("deterministic_metrics")
+            .and_then(Json::as_bool)
+            .unwrap_or(false),
+        trace: doc.get("trace").and_then(Json::as_bool).unwrap_or(false),
+        deadline_ms: doc.get("deadline_ms").and_then(Json::as_u64),
+    })
 }
 
 fn parse_options(doc: &Json) -> Result<OptimizerOptions, String> {
@@ -447,6 +491,32 @@ pub fn busy_response(retry_after_ms: u64) -> String {
     )
 }
 
+/// Builds a queue-position backpressure reply: all shards were full, and
+/// the request would have been `position`-th in line. Keeps `busy:true`
+/// so protocol-v1 clients treat it as ordinary backpressure.
+pub fn queued_response(position: u64, retry_after_ms: u64) -> String {
+    format!(
+        "{{\"ok\":false,\"busy\":true,\"queued\":{position},\
+         \"retry_after_ms\":{retry_after_ms},\
+         \"error\":\"all shards at capacity\"}}"
+    )
+}
+
+/// Wraps pre-rendered optimize request bodies (each built by
+/// [`optimize_request_json`]) into one protocol-v2 batch frame payload.
+pub fn batch_request_json(bodies: &[String]) -> String {
+    let mut out = String::with_capacity(bodies.iter().map(String::len).sum::<usize>() + 16);
+    out.push('[');
+    for (i, body) in bodies.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(body);
+    }
+    out.push(']');
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -532,6 +602,59 @@ mod tests {
             5
         );
         assert!(o.metrics && o.deterministic_metrics && o.trace);
+    }
+
+    #[test]
+    fn batch_frames_parse_and_reject_edges() {
+        let one = optimize_request_json(
+            ("func", true),
+            &OptimizerOptions::default(),
+            None,
+            false,
+            false,
+            false,
+            Some(50),
+        );
+        let two = optimize_request_json(
+            ("fn main() -> int { return 0; }", false),
+            &OptimizerOptions::default(),
+            None,
+            true,
+            true,
+            false,
+            None,
+        );
+        let payload = batch_request_json(&[one, two]);
+        let Request::Batch(batch) = parse_request(payload.as_bytes()).unwrap() else {
+            panic!("expected batch");
+        };
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch[0].ir.as_deref(), Some("func"));
+        assert_eq!(batch[0].deadline_ms, Some(50));
+        assert!(batch[1].source.is_some() && batch[1].metrics);
+
+        // `cmd` is optional in a batch but must be `optimize` when present.
+        assert!(matches!(
+            parse_request(br#"[{"ir":"func @f"}]"#),
+            Ok(Request::Batch(b)) if b.len() == 1
+        ));
+        let err = parse_request(br#"[{"cmd":"ping"}]"#).unwrap_err();
+        assert!(err.contains("only `optimize`"), "{err}");
+
+        // Empty batches and malformed elements are structured errors.
+        assert!(parse_request(b"[]").unwrap_err().contains("empty batch"));
+        let err = parse_request(br#"[{"ir":"a"},{"cmd":"optimize"}]"#).unwrap_err();
+        assert!(err.contains("batch element 1"), "{err}");
+    }
+
+    #[test]
+    fn queued_response_is_busy_compatible() {
+        let text = queued_response(7, 40);
+        let doc = Json::parse(&text).unwrap();
+        assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(doc.get("busy").and_then(Json::as_bool), Some(true));
+        assert_eq!(doc.get("queued").and_then(Json::as_u64), Some(7));
+        assert_eq!(doc.get("retry_after_ms").and_then(Json::as_u64), Some(40));
     }
 
     #[test]

@@ -1,26 +1,37 @@
-//! The `abcdd` daemon: a bounded-admission, multi-worker optimization
-//! service over a Unix-domain socket.
+//! The `abcdd` daemon: a sharded, bounded-admission optimization service
+//! over Unix-domain sockets and TCP, with work-stealing between shards.
 //!
 //! # Architecture
 //!
 //! ```text
-//!             accept()           sync_channel(queue)
-//!   clients ──────────► acceptor ───────────────────► worker × N
-//!                          │  try_send full?                │
-//!                          └─► write Busy frame        Optimizer (+ shared
-//!                              and close                AnalysisCache)
-//!                                                           ▲
-//!                                          supervisor ──────┘
+//!              accept()                admit (least-loaded)
+//!   clients ─────────────► acceptor ───────────────────────► shard 0 ─ worker × W
+//!        (UDS and/or TCP,     │  all shards full?            shard 1 ─ worker × W
+//!         one thread each)    └─► queue-position reply          ⋮    (steal ⇄)
+//!                                 and close                   shard N-1
+//!                                                                │
+//!                                          supervisor ──────────┘
 //!                                          (respawn / kick / detach)
 //! ```
 //!
-//! One thread accepts connections and *only* accepts: admission control is
-//! a `try_send` onto a bounded channel, so a full queue is detected without
-//! reading a byte of the request and answered with the documented `busy`
-//! response carrying an adaptive retry hint. Workers own the whole request
-//! lifecycle (read frame → parse → optimize → write frame), sharing one
-//! [`AnalysisCache`] so a function optimized for any client is a cache hit
-//! for every later client.
+//! Each listener gets an acceptor thread that *only* accepts: admission is
+//! a lock-light placement onto the least-loaded shard's bounded queue, so
+//! overload is detected without reading a byte of the request. When every
+//! shard is full the connection is answered with a **queue-position
+//! reply** (`{"queued":P,"retry_after_ms":...}`, still `busy:true` for v1
+//! clients) instead of being silently shed. Workers own the whole request
+//! lifecycle (read frame → parse → optimize → write frame(s)); an idle
+//! worker **steals** the oldest job from the deepest sibling shard, so one
+//! hot shard cannot starve requests while others idle. All shards share
+//! one [`AnalysisCache`] (lock-striped per shard), so a function optimized
+//! for any client is a cache hit for every later client on any transport.
+//!
+//! # Protocol v2
+//!
+//! A request frame holding a JSON array is a pipelined batch: the worker
+//! serves each element in order, streaming one reply frame per element
+//! over the same connection, with per-element deadlines measured from the
+//! connection's admission (see `proto`).
 //!
 //! # Supervision
 //!
@@ -40,8 +51,9 @@
 //! [`ServerConfig::request_timeout`]. A tripped deadline **fails open**:
 //! the reply is the compiled but unoptimized module — every bounds check
 //! kept, correctness untouched — with a non-degraded `deadline_exceeded`
-//! incident. Socket reads and writes are additionally bounded by
-//! [`ServerConfig::io_timeout`], so a stalled peer cannot pin a worker.
+//! incident. In a batch the deadline trips per element; later elements
+//! are served normally. Socket reads and writes are additionally bounded
+//! by [`ServerConfig::io_timeout`], so a stalled peer cannot pin a worker.
 //!
 //! # Fault injection
 //!
@@ -54,17 +66,19 @@
 //!
 //! # Shutdown
 //!
-//! A `shutdown` request sets the stop flag, then self-connects to the
-//! socket to wake the acceptor out of its blocking `accept`. The acceptor
-//! exits and drops its channel sender; workers drain every request already
-//! admitted (the graceful part), then see the channel close and exit. The
-//! supervisor reaps them and exits last; [`ServerHandle::join`] observes
-//! all of it.
+//! A `shutdown` request sets the stop flag, then self-connects to every
+//! listener to wake the acceptors out of their blocking `accept`. The
+//! acceptors exit; workers drain every request already admitted (the
+//! graceful part), then — once the queues are empty and no acceptor can
+//! admit more — exit. The supervisor reaps them and exits last;
+//! [`ServerHandle::join`] observes all of it.
 
 use crate::proto::{
-    busy_response, error_response, ok_response, parse_request, read_frame, write_frame,
+    error_response, ok_response, parse_request, queued_response, read_frame, write_frame,
     OptimizeRequest, Request,
 };
+use crate::shard::{Dequeue, Job, ShardSet};
+use crate::transport::{self, Conn, ListenAddr, Listener};
 use abcd::{
     module_metrics_json, AnalysisCache, ChaosPlan, ChaosSite, ModuleReport, Optimizer, RunInfo,
     CHAOS_SITES,
@@ -73,10 +87,8 @@ use abcd_frontend::compile;
 use abcd_ir::Module;
 use std::io::Write as _;
 use std::net::Shutdown;
-use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
@@ -85,22 +97,26 @@ const BUSY_HINT_BASE_MS: u64 = 5;
 /// Ceiling of the adaptive busy hint.
 const BUSY_HINT_CAP_MS: u64 = 500;
 
-/// The advisory retry delay for a shed connection, scaled by the
-/// admission-queue depth observed at shed time: a deeper queue advises a
-/// longer pause, so a thundering herd spreads out instead of re-colliding.
-fn busy_hint_ms(queue_depth: usize) -> u64 {
-    (BUSY_HINT_BASE_MS * (queue_depth as u64 + 1)).clamp(BUSY_HINT_BASE_MS, BUSY_HINT_CAP_MS)
+/// The advisory retry delay for a shed connection, scaled by the backlog
+/// observed at shed time: a deeper backlog advises a longer pause, so a
+/// thundering herd spreads out instead of re-colliding.
+fn busy_hint_ms(backlog: usize) -> u64 {
+    (BUSY_HINT_BASE_MS * (backlog as u64 + 1)).clamp(BUSY_HINT_BASE_MS, BUSY_HINT_CAP_MS)
 }
 
 /// Configuration for [`start`].
 #[derive(Clone, Debug)]
 pub struct ServerConfig {
-    /// Unix-domain socket path (created on start, removed on drop).
-    pub socket: PathBuf,
-    /// Worker threads handling requests concurrently.
+    /// Addresses to listen on — any mix of UDS paths and TCP binds, all
+    /// served concurrently by the same shard set.
+    pub listen: Vec<ListenAddr>,
+    /// Number of shards; each owns a worker pool and a bounded run queue.
+    pub shards: usize,
+    /// Worker threads *per shard* handling requests concurrently.
     pub workers: usize,
-    /// Bounded admission-queue depth; `0` means a worker must be free at
-    /// connect time (rendezvous), anything else queues that many requests.
+    /// Bounded admission-queue depth *per shard*; `0` means a worker of
+    /// that shard must be idle at connect time (rendezvous), anything
+    /// else queues that many requests.
     pub queue: usize,
     /// `Optimizer::with_threads` parallelism *within* one request.
     pub jobs: usize,
@@ -121,10 +137,12 @@ pub struct ServerConfig {
 }
 
 impl ServerConfig {
-    /// A single-worker server on `socket` with library defaults.
+    /// A single-shard, single-worker server on UDS `socket` with library
+    /// defaults.
     pub fn new(socket: impl Into<PathBuf>) -> ServerConfig {
         ServerConfig {
-            socket: socket.into(),
+            listen: vec![ListenAddr::Uds(socket.into())],
+            shards: 1,
             workers: 1,
             queue: 8,
             jobs: 0,
@@ -137,7 +155,7 @@ impl ServerConfig {
     }
 }
 
-/// Counters shared by the acceptor and workers, reported by `stats` and
+/// Counters shared by the acceptors and workers, reported by `stats` and
 /// exposed by `metrics`.
 #[derive(Debug, Default)]
 struct Counters {
@@ -148,10 +166,9 @@ struct Counters {
     deadline_exceeded: AtomicU64,
     worker_restarts: AtomicU64,
     worker_kicks: AtomicU64,
-    queue_depth: AtomicUsize,
     /// Request latency (enqueue → response written), microseconds.
     latency: Hist,
-    /// Admission-queue depth observed at each dequeue.
+    /// Total queued backlog observed at each dequeue.
     queue_hist: Hist,
 }
 
@@ -209,16 +226,23 @@ struct Shared {
     config: ServerConfig,
     stop: AtomicBool,
     counters: Counters,
-    /// Pooled analysis scratch shared across requests: arenas warmed by
-    /// one request serve the next, so steady-state re-optimization
-    /// allocates nothing on the prove path.
-    scratch: Arc<abcd::ScratchPool>,
+    shards: ShardSet,
+    /// The addresses actually bound (TCP ephemeral ports resolved) —
+    /// what shutdown wakes and [`ServerHandle::endpoints`] reports.
+    resolved: Vec<ListenAddr>,
+    /// Acceptor threads still running; drain completes only at zero, so
+    /// a connection admitted concurrently with shutdown is never orphaned.
+    acceptors_live: AtomicUsize,
+    /// Pooled analysis scratch, one pool per shard: arenas warmed by one
+    /// request serve the next on the same shard, so steady-state
+    /// re-optimization allocates nothing on the prove path and shards
+    /// never contend on the pool mutex.
+    scratch: Vec<Arc<abcd::ScratchPool>>,
 }
 
 /// Locks a mutex, riding through poison: a worker that panicked while
-/// holding the receiver lock must not take its siblings down with it —
-/// the protected state (a channel receiver, an inflight slot) stays
-/// coherent across an unwind.
+/// holding a shared lock must not take its siblings down with it — the
+/// protected state (an inflight slot) stays coherent across an unwind.
 fn lock_tolerant<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
@@ -229,7 +253,7 @@ struct Inflight {
     started: Instant,
     /// A clone of the connection, so a rescue can answer even after the
     /// worker's own handle unwound.
-    conn: Option<UnixStream>,
+    conn: Option<Conn>,
     /// The supervisor already shut this connection down.
     kicked: bool,
 }
@@ -246,31 +270,47 @@ struct SlotState {
     detached: AtomicBool,
 }
 
-/// A supervised worker: its thread handle plus the shared slot.
+/// A supervised worker: its thread handle, shared slot, and home shard.
 struct WorkerCell {
     handle: Option<std::thread::JoinHandle<()>>,
     slot: Arc<SlotState>,
+    shard: usize,
 }
 
-type Conn = (UnixStream, Instant);
-
-/// A running server; join or drop to clean up the socket file.
+/// A running server; join or drop to clean up the socket files.
 pub struct ServerHandle {
     shared: Arc<Shared>,
-    acceptor: Option<std::thread::JoinHandle<()>>,
+    acceptors: Vec<std::thread::JoinHandle<()>>,
     supervisor: Option<std::thread::JoinHandle<()>>,
 }
 
 impl ServerHandle {
-    /// The socket path the server is listening on.
-    pub fn socket(&self) -> &std::path::Path {
-        &self.shared.config.socket
+    /// The first Unix-domain socket path the server listens on, if any.
+    pub fn socket(&self) -> Option<&std::path::Path> {
+        self.shared.resolved.iter().find_map(|a| match a {
+            ListenAddr::Uds(p) => Some(p.as_path()),
+            ListenAddr::Tcp(_) => None,
+        })
+    }
+
+    /// The first TCP address the server listens on (ephemeral ports
+    /// resolved to the real port), if any.
+    pub fn tcp_addr(&self) -> Option<&str> {
+        self.shared.resolved.iter().find_map(|a| match a {
+            ListenAddr::Tcp(addr) => Some(addr.as_str()),
+            ListenAddr::Uds(_) => None,
+        })
+    }
+
+    /// Every address actually bound, TCP ports resolved.
+    pub fn endpoints(&self) -> &[ListenAddr] {
+        &self.shared.resolved
     }
 
     /// Blocks until the server has shut down and every admitted request
     /// has been answered. The supervisor reaps the workers.
     pub fn join(mut self) {
-        if let Some(a) = self.acceptor.take() {
+        for a in self.acceptors.drain(..) {
             let _ = a.join();
         }
         if let Some(s) = self.supervisor.take() {
@@ -286,75 +326,87 @@ impl ServerHandle {
 
 impl Drop for ServerHandle {
     fn drop(&mut self) {
-        let _ = std::fs::remove_file(&self.shared.config.socket);
+        for addr in &self.shared.resolved {
+            if let ListenAddr::Uds(path) = addr {
+                let _ = std::fs::remove_file(path);
+            }
+        }
     }
 }
 
-/// Starts the daemon: binds the socket, spawns the acceptor, workers and
-/// supervisor, and returns immediately.
+/// Starts the daemon: binds every listener, spawns the acceptors, shard
+/// workers and supervisor, and returns immediately.
 pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
-    // A stale socket file from a crashed daemon would make bind fail;
-    // connect() distinguishes "stale" from "live" so we never steal a
-    // running server's socket.
-    if config.socket.exists() {
-        if UnixStream::connect(&config.socket).is_ok() {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::AddrInUse,
-                format!("{} already has a live server", config.socket.display()),
-            ));
-        }
-        std::fs::remove_file(&config.socket)?;
+    if config.listen.is_empty() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "no listen addresses",
+        ));
     }
-    let listener = UnixListener::bind(&config.socket)?;
+    let mut listeners = Vec::with_capacity(config.listen.len());
+    for addr in &config.listen {
+        listeners.push(Listener::bind(addr)?);
+    }
+    let resolved: Vec<ListenAddr> = listeners.iter().map(Listener::resolved).collect();
+    let shard_count = config.shards.max(1);
     let workers = config.workers.max(1);
     if let (Some(cache), Some(plan)) = (&config.cache, &config.chaos) {
         cache.set_chaos(Arc::clone(plan));
     }
-    let (tx, rx) = std::sync::mpsc::sync_channel::<Conn>(config.queue);
-    let rx = Arc::new(Mutex::new(rx));
+    let shards = ShardSet::new(shard_count, config.queue, workers);
     let shared = Arc::new(Shared {
-        config,
         stop: AtomicBool::new(false),
         counters: Counters::default(),
-        scratch: Arc::new(abcd::ScratchPool::new()),
+        shards,
+        resolved,
+        acceptors_live: AtomicUsize::new(listeners.len()),
+        scratch: (0..shard_count)
+            .map(|_| Arc::new(abcd::ScratchPool::new()))
+            .collect(),
+        config,
     });
 
-    let cells: Vec<WorkerCell> = (0..workers).map(|_| spawn_worker(&shared, &rx)).collect();
+    let cells: Vec<WorkerCell> = (0..shard_count)
+        .flat_map(|shard| (0..workers).map(move |_| shard))
+        .map(|shard| spawn_worker(&shared, shard))
+        .collect();
     let supervisor = {
         let shared = Arc::clone(&shared);
-        let rx = Arc::clone(&rx);
-        std::thread::spawn(move || supervise(&shared, &rx, cells))
+        std::thread::spawn(move || supervise(&shared, cells))
     };
-    let acceptor = {
-        let shared = Arc::clone(&shared);
-        std::thread::spawn(move || accept_loop(&shared, listener, tx))
-    };
+    let acceptors = listeners
+        .into_iter()
+        .map(|listener| {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(&shared, listener))
+        })
+        .collect();
     Ok(ServerHandle {
         shared,
-        acceptor: Some(acceptor),
+        acceptors,
         supervisor: Some(supervisor),
     })
 }
 
-fn spawn_worker(shared: &Arc<Shared>, rx: &Arc<Mutex<Receiver<Conn>>>) -> WorkerCell {
+fn spawn_worker(shared: &Arc<Shared>, shard: usize) -> WorkerCell {
     let slot = Arc::new(SlotState::default());
     let handle = {
         let shared = Arc::clone(shared);
-        let rx = Arc::clone(rx);
         let slot = Arc::clone(&slot);
-        std::thread::spawn(move || worker_loop(&shared, &rx, &slot))
+        std::thread::spawn(move || worker_loop(&shared, shard, &slot))
     };
     WorkerCell {
         handle: Some(handle),
         slot,
+        shard,
     }
 }
 
 /// The monitor loop: respawns panicked workers (rescuing their in-flight
 /// request), kicks the connections of stuck ones, and detaches workers
 /// wedged in compute. Exits once every worker has finished, which only
-/// happens after shutdown drains the queue.
-fn supervise(shared: &Arc<Shared>, rx: &Arc<Mutex<Receiver<Conn>>>, mut cells: Vec<WorkerCell>) {
+/// happens after shutdown drains the queues.
+fn supervise(shared: &Arc<Shared>, mut cells: Vec<WorkerCell>) {
     loop {
         let mut alive = false;
         for cell in &mut cells {
@@ -367,12 +419,12 @@ fn supervise(shared: &Arc<Shared>, rx: &Arc<Mutex<Receiver<Conn>>>, mut cells: V
                     let _ = h.join();
                 }
                 if !clean {
-                    rescue_inflight(shared, &cell.slot, "worker panicked; request failed");
+                    rescue_inflight(shared, cell, "worker panicked; request failed");
                     shared
                         .counters
                         .worker_restarts
                         .fetch_add(1, Ordering::Relaxed);
-                    *cell = spawn_worker(shared, rx);
+                    *cell = spawn_worker(shared, cell.shard);
                     alive = true;
                 }
                 continue;
@@ -407,7 +459,7 @@ fn supervise(shared: &Arc<Shared>, rx: &Arc<Mutex<Receiver<Conn>>>, mut cells: V
                     .counters
                     .worker_restarts
                     .fetch_add(1, Ordering::Relaxed);
-                *cell = spawn_worker(shared, rx);
+                *cell = spawn_worker(shared, cell.shard);
             }
         }
         if !alive {
@@ -418,104 +470,121 @@ fn supervise(shared: &Arc<Shared>, rx: &Arc<Mutex<Receiver<Conn>>>, mut cells: V
 }
 
 /// Answers a rescued worker's in-flight connection with a structured
-/// error so the client sees a reply, not a hangup.
-fn rescue_inflight(shared: &Shared, slot: &SlotState, message: &str) {
-    if let Some(mut inf) = lock_tolerant(&slot.inflight).take() {
+/// error so the client sees a reply, not a hangup. The panicked worker
+/// never reached [`ShardSet::finish`], so the shard's busy gauge is
+/// rebalanced here.
+fn rescue_inflight(shared: &Shared, cell: &WorkerCell, message: &str) {
+    if let Some(mut inf) = lock_tolerant(&cell.slot.inflight).take() {
         if let Some(conn) = inf.conn.as_mut() {
             let _ = write_frame(conn, error_response(message).as_bytes());
             let _ = conn.shutdown(Shutdown::Both);
         }
         shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+        shared.shards.finish(cell.shard);
     }
 }
 
-fn accept_loop(shared: &Shared, listener: UnixListener, tx: SyncSender<Conn>) {
-    for conn in listener.incoming() {
+fn accept_loop(shared: &Shared, listener: Listener) {
+    loop {
+        let conn = match listener.accept() {
+            Ok(conn) => conn,
+            Err(_) => {
+                if shared.stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                // Transient accept errors (EMFILE, aborted handshake):
+                // don't spin, don't die.
+                std::thread::sleep(Duration::from_millis(5));
+                continue;
+            }
+        };
         if shared.stop.load(Ordering::SeqCst) {
-            // `conn` is the self-connect wake-up (or a late client); the
-            // channel sender drops below, which is what drains workers.
+            // `conn` is the self-connect wake-up (or a late client).
             break;
         }
-        let Ok(conn) = conn else { continue };
         shared.counters.accepted.fetch_add(1, Ordering::Relaxed);
-        shared.counters.queue_depth.fetch_add(1, Ordering::SeqCst);
-        match tx.try_send((conn, Instant::now())) {
-            Ok(()) => {}
-            Err(TrySendError::Full((mut conn, _)) | TrySendError::Disconnected((mut conn, _))) => {
-                let depth = shared
-                    .counters
-                    .queue_depth
-                    .fetch_sub(1, Ordering::SeqCst)
-                    .saturating_sub(1);
-                shared.counters.shed.fetch_add(1, Ordering::Relaxed);
-                // Load-shed without reading the request: tiny frame, the
-                // socket buffer absorbs it even if the client is mid-write.
-                let _ = write_frame(&mut conn, busy_response(busy_hint_ms(depth)).as_bytes());
-            }
+        let job = Job {
+            conn,
+            enqueued: Instant::now(),
+        };
+        if let Err((job, position)) = shared.shards.admit(job) {
+            shared.counters.shed.fetch_add(1, Ordering::Relaxed);
+            let hint = busy_hint_ms(shared.shards.total_load());
+            // Backpressure without reading the request: tiny frame, the
+            // socket buffer absorbs it even if the client is mid-write.
+            let mut conn = job.conn;
+            let _ = write_frame(&mut conn, queued_response(position as u64, hint).as_bytes());
         }
     }
+    shared.acceptors_live.fetch_sub(1, Ordering::SeqCst);
 }
 
-fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<Conn>>, slot: &SlotState) {
+fn worker_loop(shared: &Shared, shard: usize, slot: &SlotState) {
     loop {
         if slot.detached.load(Ordering::SeqCst) {
             // Replaced by the supervisor while we were wedged; our slot
             // already has a new owner.
             return;
         }
-        // Hold the lock only for the dequeue so workers drain in parallel;
-        // the timeout keeps the detach check responsive.
-        let msg = lock_tolerant(rx).recv_timeout(Duration::from_millis(25));
-        let (mut conn, enqueued) = match msg {
-            Ok(m) => m,
-            Err(RecvTimeoutError::Timeout) => continue,
-            Err(RecvTimeoutError::Disconnected) => break,
-        };
-        let depth_before = shared.counters.queue_depth.fetch_sub(1, Ordering::SeqCst);
-        shared
-            .counters
-            .queue_hist
-            .observe(depth_before.saturating_sub(1) as u64);
-        // Register the request before any fallible work, so a panic
-        // anywhere below still gets the client a structured error.
-        *lock_tolerant(&slot.inflight) = Some(Inflight {
-            started: Instant::now(),
-            conn: conn.try_clone().ok(),
-            kicked: false,
-        });
-        if let Some(t) = shared.config.io_timeout {
-            let _ = conn.set_read_timeout(Some(t));
-            let _ = conn.set_write_timeout(Some(t));
+        // Drain only once no acceptor can admit another connection, so a
+        // job admitted concurrently with shutdown is still served.
+        let drain =
+            shared.stop.load(Ordering::SeqCst) && shared.acceptors_live.load(Ordering::SeqCst) == 0;
+        match shared.shards.next_job(shard, drain) {
+            Dequeue::TimedOut => continue,
+            Dequeue::Drained => break,
+            Dequeue::Job(job, _stolen) => {
+                serve_job(shared, shard, slot, job);
+                shared.shards.finish(shard);
+            }
         }
-        let chaos = shared.config.chaos.as_deref();
-        if chaos.is_some_and(|p| p.decide(ChaosSite::Disconnect)) {
-            // Simulated mid-request disconnect: hang up without reading a
-            // byte; the client sees EOF where a reply should be.
-            let _ = conn.shutdown(Shutdown::Both);
-            shared.counters.errors.fetch_add(1, Ordering::Relaxed);
-            *lock_tolerant(&slot.inflight) = None;
-            continue;
-        }
-        if chaos.is_some_and(|p| p.decide(ChaosSite::WorkerPanic)) {
-            panic!("chaos: injected worker panic");
-        }
-        let response = handle_connection(shared, &mut conn, enqueued);
-        if write_response(shared, &mut conn, &response).is_err() {
-            shared.counters.errors.fetch_add(1, Ordering::Relaxed);
-        }
-        *lock_tolerant(&slot.inflight) = None;
-        shared
-            .counters
-            .latency
-            .observe(enqueued.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
     }
     slot.done.store(true, Ordering::SeqCst);
 }
 
-/// Writes the response frame, applying frame-level chaos when armed:
+/// Serves one admitted connection end to end: inflight registration,
+/// chaos, dispatch, reply frame(s), latency accounting.
+fn serve_job(shared: &Shared, shard: usize, slot: &SlotState, job: Job) {
+    let Job { mut conn, enqueued } = job;
+    shared
+        .counters
+        .queue_hist
+        .observe(shared.shards.total_depth() as u64);
+    // Register the request before any fallible work, so a panic anywhere
+    // below still gets the client a structured error.
+    *lock_tolerant(&slot.inflight) = Some(Inflight {
+        started: Instant::now(),
+        conn: conn.try_clone().ok(),
+        kicked: false,
+    });
+    if let Some(t) = shared.config.io_timeout {
+        let _ = conn.set_read_timeout(Some(t));
+        let _ = conn.set_write_timeout(Some(t));
+    }
+    let chaos = shared.config.chaos.as_deref();
+    if chaos.is_some_and(|p| p.decide(ChaosSite::Disconnect)) {
+        // Simulated mid-request disconnect: hang up without reading a
+        // byte; the client sees EOF where a reply should be.
+        let _ = conn.shutdown(Shutdown::Both);
+        shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+        *lock_tolerant(&slot.inflight) = None;
+        return;
+    }
+    if chaos.is_some_and(|p| p.decide(ChaosSite::WorkerPanic)) {
+        panic!("chaos: injected worker panic");
+    }
+    handle_connection(shared, shard, &mut conn, enqueued);
+    *lock_tolerant(&slot.inflight) = None;
+    shared
+        .counters
+        .latency
+        .observe(enqueued.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+}
+
+/// Writes one response frame, applying frame-level chaos when armed:
 /// `frame_truncate` advertises the full length but delivers half and
 /// hangs up; `frame_slow` delivers an intact frame in dribbled chunks.
-fn write_response(shared: &Shared, conn: &mut UnixStream, response: &str) -> std::io::Result<()> {
+fn write_response(shared: &Shared, conn: &mut Conn, response: &str) -> std::io::Result<()> {
     let payload = response.as_bytes();
     if let Some(plan) = &shared.config.chaos {
         if plan.decide(ChaosSite::FrameTruncate) {
@@ -548,24 +617,48 @@ fn write_response(shared: &Shared, conn: &mut UnixStream, response: &str) -> std
     write_frame(conn, payload)
 }
 
-/// Reads, parses and dispatches one request; every outcome is a response
-/// string (the server never drops a connection silently).
-fn handle_connection(shared: &Shared, conn: &mut UnixStream, enqueued: Instant) -> String {
+/// Reads, parses and dispatches one request frame, writing every reply
+/// frame; every outcome is answered (the server never drops a connection
+/// silently). A v2 batch streams one reply per element, in order.
+fn handle_connection(shared: &Shared, shard: usize, conn: &mut Conn, enqueued: Instant) {
     let payload = match read_frame(conn) {
         Ok(p) => p,
         Err(e) => {
             shared.counters.errors.fetch_add(1, Ordering::Relaxed);
-            return error_response(&format!("bad frame: {e}"));
+            let _ = write_response(shared, conn, &error_response(&format!("bad frame: {e}")));
+            return;
         }
     };
     let request = match parse_request(&payload) {
         Ok(r) => r,
         Err(e) => {
             shared.counters.errors.fetch_add(1, Ordering::Relaxed);
-            return error_response(&e);
+            let _ = write_response(shared, conn, &error_response(&e));
+            return;
         }
     };
-    match request {
+    let response = match request {
+        Request::Batch(reqs) => {
+            for req in &reqs {
+                let reply = match handle_optimize(shared, shard, req, enqueued) {
+                    Ok(reply) => {
+                        shared.counters.served.fetch_add(1, Ordering::Relaxed);
+                        reply
+                    }
+                    Err(e) => {
+                        shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+                        error_response(&e)
+                    }
+                };
+                if write_response(shared, conn, &reply).is_err() {
+                    // The stream is broken; later elements cannot be
+                    // delivered in order, so stop rather than desync.
+                    shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+            }
+            return;
+        }
         Request::Ping => {
             shared.counters.served.fetch_add(1, Ordering::Relaxed);
             "{\"ok\":true,\"pong\":true}".to_string()
@@ -587,12 +680,16 @@ fn handle_connection(shared: &Shared, conn: &mut UnixStream, enqueued: Instant) 
         }
         Request::Shutdown => {
             shared.stop.store(true, Ordering::SeqCst);
-            // Wake the acceptor out of its blocking accept().
-            let _ = UnixStream::connect(&shared.config.socket);
+            // Wake every acceptor out of its blocking accept(), and every
+            // parked worker so the drain check runs promptly.
+            for addr in &shared.resolved {
+                transport::wake(addr);
+            }
+            shared.shards.wake_all();
             shared.counters.served.fetch_add(1, Ordering::Relaxed);
             "{\"ok\":true,\"shutting_down\":true}".to_string()
         }
-        Request::Optimize(req) => match handle_optimize(shared, &req, enqueued) {
+        Request::Optimize(req) => match handle_optimize(shared, shard, &req, enqueued) {
             Ok(response) => {
                 shared.counters.served.fetch_add(1, Ordering::Relaxed);
                 response
@@ -602,10 +699,14 @@ fn handle_connection(shared: &Shared, conn: &mut UnixStream, enqueued: Instant) 
                 error_response(&e)
             }
         },
+    };
+    if write_response(shared, conn, &response).is_err() {
+        shared.counters.errors.fetch_add(1, Ordering::Relaxed);
     }
 }
 
 fn stats_response(shared: &Shared) -> String {
+    use std::fmt::Write as _;
     let c = &shared.counters;
     let cache = match &shared.config.cache {
         None => "null".to_string(),
@@ -628,10 +729,29 @@ fn stats_response(shared: &Shared) -> String {
             )
         }
     };
+    let mut shards_json = String::from("[");
+    for id in 0..shared.shards.shard_count() {
+        let s = shared.shards.shard(id);
+        if id > 0 {
+            shards_json.push(',');
+        }
+        let _ = write!(
+            shards_json,
+            "{{\"shard\":{id},\"queue_depth\":{},\"busy\":{},\
+             \"enqueued\":{},\"stolen_from\":{}}}",
+            s.depth.load(Ordering::SeqCst),
+            s.busy.load(Ordering::SeqCst),
+            s.enqueued_total.load(Ordering::Relaxed),
+            s.stolen_from.load(Ordering::Relaxed),
+        );
+    }
+    shards_json.push(']');
     format!(
-        "{{\"ok\":true,\"accepted\":{},\"served\":{},\"shed\":{},\"errors\":{},\
-         \"deadline_exceeded\":{},\"worker_restarts\":{},\"worker_kicks\":{},\
-         \"queue_depth\":{},\"workers\":{},\"queue\":{},\"cache\":{cache}}}",
+        "{{\"ok\":true,\"schema\":\"abcdd-stats/2\",\"accepted\":{},\"served\":{},\
+         \"shed\":{},\"errors\":{},\"deadline_exceeded\":{},\"worker_restarts\":{},\
+         \"worker_kicks\":{},\"queue_depth\":{},\"queued_replies\":{},\"steals\":{},\
+         \"workers\":{},\"queue\":{},\"shard_count\":{},\"shards\":{shards_json},\
+         \"cache\":{cache}}}",
         c.accepted.load(Ordering::Relaxed),
         c.served.load(Ordering::Relaxed),
         c.shed.load(Ordering::Relaxed),
@@ -639,19 +759,25 @@ fn stats_response(shared: &Shared) -> String {
         c.deadline_exceeded.load(Ordering::Relaxed),
         c.worker_restarts.load(Ordering::Relaxed),
         c.worker_kicks.load(Ordering::Relaxed),
-        c.queue_depth.load(Ordering::SeqCst),
+        shared.shards.total_depth(),
+        shared.shards.queued_replies.load(Ordering::Relaxed),
+        shared.shards.steals.load(Ordering::Relaxed),
         shared.config.workers.max(1),
         shared.config.queue,
+        shared.shards.shard_count(),
     )
 }
 
 /// Renders the Prometheus-style text exposition and wraps it in the JSON
-/// reply. `deterministic` zeroes every sampled value (histogram buckets,
-/// sums, counts) while keeping the full line set, so tests can compare
-/// the exposition byte-for-byte.
+/// reply. `deterministic` zeroes every sampled value (counters, gauges,
+/// histogram buckets, sums, counts) while keeping the full line set —
+/// configuration gauges (`abcdd_workers`, `abcdd_shards`) keep their real
+/// values — so tests can compare the exposition byte-for-byte.
 fn metrics_response(shared: &Shared, deterministic: bool) -> String {
     use std::fmt::Write as _;
     let c = &shared.counters;
+    let v = |n: u64| if deterministic { 0 } else { n };
+    let g = |n: usize| if deterministic { 0 } else { n };
     let mut text = String::new();
     let _ = writeln!(text, "# TYPE abcdd_requests_total counter");
     for (outcome, n) in [
@@ -660,34 +786,72 @@ fn metrics_response(shared: &Shared, deterministic: bool) -> String {
         ("shed", c.shed.load(Ordering::Relaxed)),
         ("errors", c.errors.load(Ordering::Relaxed)),
     ] {
-        let _ = writeln!(text, "abcdd_requests_total{{outcome=\"{outcome}\"}} {n}");
+        let _ = writeln!(
+            text,
+            "abcdd_requests_total{{outcome=\"{outcome}\"}} {}",
+            v(n)
+        );
     }
     let _ = writeln!(text, "# TYPE abcdd_deadline_exceeded_total counter");
     let _ = writeln!(
         text,
         "abcdd_deadline_exceeded_total {}",
-        c.deadline_exceeded.load(Ordering::Relaxed)
+        v(c.deadline_exceeded.load(Ordering::Relaxed))
     );
     let _ = writeln!(text, "# TYPE abcdd_worker_restarts_total counter");
     let _ = writeln!(
         text,
         "abcdd_worker_restarts_total {}",
-        c.worker_restarts.load(Ordering::Relaxed)
+        v(c.worker_restarts.load(Ordering::Relaxed))
     );
     let _ = writeln!(text, "# TYPE abcdd_worker_kicks_total counter");
     let _ = writeln!(
         text,
         "abcdd_worker_kicks_total {}",
-        c.worker_kicks.load(Ordering::Relaxed)
+        v(c.worker_kicks.load(Ordering::Relaxed))
     );
-    let _ = writeln!(text, "# TYPE abcdd_queue_depth gauge");
+    let _ = writeln!(text, "# TYPE abcdd_steals_total counter");
     let _ = writeln!(
         text,
-        "abcdd_queue_depth {}",
-        c.queue_depth.load(Ordering::SeqCst)
+        "abcdd_steals_total {}",
+        v(shared.shards.steals.load(Ordering::Relaxed))
     );
+    let _ = writeln!(text, "# TYPE abcdd_queued_replies_total counter");
+    let _ = writeln!(
+        text,
+        "abcdd_queued_replies_total {}",
+        v(shared.shards.queued_replies.load(Ordering::Relaxed))
+    );
+    let _ = writeln!(text, "# TYPE abcdd_queue_depth gauge");
+    let _ = writeln!(text, "abcdd_queue_depth {}", g(shared.shards.total_depth()));
+    let _ = writeln!(text, "# TYPE abcdd_shard_queue_depth gauge");
+    for id in 0..shared.shards.shard_count() {
+        let _ = writeln!(
+            text,
+            "abcdd_shard_queue_depth{{shard=\"{id}\"}} {}",
+            g(shared.shards.shard(id).depth.load(Ordering::SeqCst))
+        );
+    }
+    let _ = writeln!(text, "# TYPE abcdd_shard_busy gauge");
+    for id in 0..shared.shards.shard_count() {
+        let _ = writeln!(
+            text,
+            "abcdd_shard_busy{{shard=\"{id}\"}} {}",
+            g(shared.shards.shard(id).busy.load(Ordering::SeqCst))
+        );
+    }
+    let _ = writeln!(text, "# TYPE abcdd_shard_steals_total counter");
+    for id in 0..shared.shards.shard_count() {
+        let _ = writeln!(
+            text,
+            "abcdd_shard_steals_total{{shard=\"{id}\"}} {}",
+            v(shared.shards.shard(id).stolen_from.load(Ordering::Relaxed))
+        );
+    }
     let _ = writeln!(text, "# TYPE abcdd_workers gauge");
     let _ = writeln!(text, "abcdd_workers {}", shared.config.workers.max(1));
+    let _ = writeln!(text, "# TYPE abcdd_shards gauge");
+    let _ = writeln!(text, "abcdd_shards {}", shared.shards.shard_count());
     if let Some(cache) = &shared.config.cache {
         let s = cache.stats();
         let _ = writeln!(text, "# TYPE abcdd_cache_events_total counter");
@@ -701,12 +865,16 @@ fn metrics_response(shared: &Shared, deterministic: bool) -> String {
             ("write_errors", s.write_errors),
             ("disk_hits", s.disk_hits),
         ] {
-            let _ = writeln!(text, "abcdd_cache_events_total{{event=\"{event}\"}} {n}");
+            let _ = writeln!(
+                text,
+                "abcdd_cache_events_total{{event=\"{event}\"}} {}",
+                v(n)
+            );
         }
         let _ = writeln!(text, "# TYPE abcdd_cache_entries gauge");
-        let _ = writeln!(text, "abcdd_cache_entries {}", s.entries);
+        let _ = writeln!(text, "abcdd_cache_entries {}", g(s.entries));
         let _ = writeln!(text, "# TYPE abcdd_cache_bytes gauge");
-        let _ = writeln!(text, "abcdd_cache_bytes {}", s.bytes);
+        let _ = writeln!(text, "abcdd_cache_bytes {}", g(s.bytes));
     }
     if let Some(plan) = &shared.config.chaos {
         let _ = writeln!(text, "# TYPE abcdd_chaos_injections_total counter");
@@ -715,7 +883,7 @@ fn metrics_response(shared: &Shared, deterministic: bool) -> String {
                 text,
                 "abcdd_chaos_injections_total{{site=\"{}\"}} {}",
                 site.name(),
-                plan.injected(site)
+                v(plan.injected(site))
             );
         }
     }
@@ -731,6 +899,7 @@ fn metrics_response(shared: &Shared, deterministic: bool) -> String {
 
 fn handle_optimize(
     shared: &Shared,
+    shard: usize,
     req: &OptimizeRequest,
     enqueued: Instant,
 ) -> Result<String, String> {
@@ -756,7 +925,7 @@ fn handle_optimize(
     let mut optimizer = Optimizer::with_options(req.options)
         .with_threads(shared.config.jobs)
         .with_trace(req.trace)
-        .with_scratch_pool(Arc::clone(&shared.scratch));
+        .with_scratch_pool(Arc::clone(&shared.scratch[shard]));
     if let Some(cache) = &shared.config.cache {
         optimizer = optimizer.with_cache(Arc::clone(cache));
     }
@@ -778,7 +947,7 @@ fn handle_optimize(
     let trace = if req.trace {
         let mut doc = abcd::module_trace_jsonl(&report, threads, req.deterministic_metrics);
         doc.push_str(&abcd::request_span_jsonl(
-            shared.counters.queue_depth.load(Ordering::SeqCst),
+            shared.shards.total_depth(),
             enqueued.elapsed(),
             deadline_ms,
             req.deterministic_metrics,
@@ -792,7 +961,7 @@ fn handle_optimize(
         if let Some(cache) = &shared.config.cache {
             run = run.with_cache(cache.stats());
         }
-        run.queue_depth = Some(shared.counters.queue_depth.load(Ordering::SeqCst));
+        run.queue_depth = Some(shared.shards.total_depth());
         run.request_latency = Some(enqueued.elapsed());
         if req.deterministic_metrics {
             run = run.deterministic();
@@ -831,7 +1000,7 @@ fn deadline_reply(
     };
     let report = ModuleReport::deadline_fail_open(module, deadline_ms, elapsed_ms);
     let ir = module.to_string();
-    let depth = shared.counters.queue_depth.load(Ordering::SeqCst);
+    let depth = shared.shards.total_depth();
     let trace = if req.trace {
         let mut doc = abcd::module_trace_jsonl(&report, 1, req.deterministic_metrics);
         doc.push_str(&abcd::request_span_jsonl(

@@ -67,13 +67,14 @@ USAGE:
     mjc explain <file.mj|file.ir> <fn> [--check N] [pass flags]
     mjc dump  <file.mj|file.ir> [--stage ir|ssa|essa|opt]
     mjc graph <file.mj|file.ir> [--fn NAME] [--lower]        (Graphviz output)
-    mjc serve --socket PATH [--workers N] [--queue N] [--jobs N]
+    mjc serve --socket PATH [--listen ADDR]... [--shards N] [--workers N]
+              [--queue N] [--jobs N]
               [--cache-dir DIR] [--cache-bytes N] [--no-cache]
               [--request-timeout MS] [--io-timeout MS] [--stuck-after MS]
               [--chaos PLAN]
-    mjc client <file.mj|file.ir> --socket PATH [pass flags] [--metrics]
-               [--timeout MS] [--deadline MS]
-    mjc client ping|stats|metrics|shutdown --socket PATH
+    mjc client <file.mj|file.ir> (--socket PATH | --tcp ADDR) [pass flags]
+               [--metrics] [--timeout MS] [--deadline MS] [--batch N]
+    mjc client ping|stats|metrics|shutdown (--socket PATH | --tcp ADDR)
 
 PASS FLAGS (for `opt`, `run --opt` and `client <file>`):
     --no-pre --no-lower --no-upper --no-cleanup --no-gvn-hook
@@ -110,13 +111,26 @@ CACHING (for `opt`, `run --opt`; always on in `serve` unless --no-cache):
                        is reported as an incident and recompiled cold
     --cache-bytes N    in-memory cache budget in bytes (default 64 MiB)
 
-SERVER (for `serve`; `client` retries `busy` replies with exponential
-backoff + jitter, floored by the server's adaptive retry hint):
-    --socket PATH      Unix-domain socket (required for serve/client)
-    --workers N        concurrent request handlers (default: all host CPUs;
+SERVER (for `serve`; `client` retries `busy` and queue-position replies
+with exponential backoff + jitter, floored by the server's adaptive hint):
+    --socket PATH      Unix-domain socket (serve: same as --listen uds:PATH;
+                       client: where to connect)
+    --listen ADDR      (serve) extra endpoint: uds:/path.sock or
+                       tcp:host:port (tcp:127.0.0.1:0 picks a free port);
+                       repeatable — all endpoints share one shard set
+    --shards N         (serve) independent run queues with work stealing
+                       between them; admission is least-loaded (default 1)
+    --tcp ADDR         (client) connect over TCP to host:port instead of
+                       the Unix socket
+    --batch N          (client) send the request N times as one pipelined
+                       protocol-v2 frame; replies stream back in order and
+                       must all carry identical IR (printed once)
+    --workers N        request handlers per shard (default: all host CPUs;
                        clamped to the available parallelism)
-    --queue N          bounded admission queue; overflow is answered with a
-                       structured `busy` reply instead of blocking (default 8)
+    --queue N          bounded admission queue per shard; when every shard
+                       is full the reply is a queue-position `busy` with
+                       `queued`/`retry_after_ms` instead of blocking
+                       (default 8)
     --request-timeout MS   (serve) default per-request deadline; tripping it
                        fails open: the module is served unoptimized with a
                        non-degraded deadline_exceeded incident
@@ -243,8 +257,9 @@ fn parse_options(rest: &[String]) -> Result<OptimizerOptions, String> {
             | "--no-cache" => {}
             "--arg" | "--stage" | "--fn" | "--jobs" | "--metrics-out" | "--trace-out"
             | "--check" | "--fault-plan" | "--cache-dir" | "--cache-bytes" | "--socket"
-            | "--workers" | "--queue" | "--request-timeout" | "--io-timeout" | "--stuck-after"
-            | "--chaos" | "--timeout" | "--deadline" => i += 1,
+            | "--listen" | "--shards" | "--tcp" | "--batch" | "--workers" | "--queue"
+            | "--request-timeout" | "--io-timeout" | "--stuck-after" | "--chaos" | "--timeout"
+            | "--deadline" => i += 1,
             "--lower" if rest[i] == "--lower" => {}
             other => return Err(format!("unknown flag `{other}`")),
         }
@@ -554,7 +569,30 @@ fn emit(text: String) {
 fn cmd_serve(rest: &[String]) -> Result<ExitCode, String> {
     let options = parse_options(rest)?; // reject typos even though serve ignores pass flags
     let _ = options;
-    let socket = value_of(rest, "--socket").ok_or("`serve` needs `--socket PATH`")?;
+    // Every `--socket PATH` and `--listen uds:…|tcp:…`, in argv order.
+    let mut listen: Vec<abcd_server::ListenAddr> = Vec::new();
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--socket" => {
+                let path = rest.get(i + 1).ok_or("`--socket` needs a path")?;
+                listen.push(abcd_server::ListenAddr::Uds(path.into()));
+                i += 1;
+            }
+            "--listen" => {
+                let spec = rest.get(i + 1).ok_or("`--listen` needs an address")?;
+                listen.push(
+                    abcd_server::ListenAddr::parse(spec).map_err(|e| format!("--listen: {e}"))?,
+                );
+                i += 1;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    if listen.is_empty() {
+        return Err("`serve` needs `--socket PATH` or `--listen ADDR`".to_string());
+    }
     let count = |flag: &str, default: usize| -> Result<usize, String> {
         match value_of(rest, flag) {
             None => Ok(default),
@@ -590,22 +628,32 @@ fn cmd_serve(rest: &[String]) -> Result<ExitCode, String> {
             abcd::ChaosPlan::parse(spec).map_err(|e| format!("--chaos: {e}"))?,
         )),
     };
+    let shards = count("--shards", 1)?.max(1);
     let config = abcd_server::ServerConfig {
-        socket: socket.into(),
+        listen,
+        shards,
         // Clamped like abcdd: worker counts beyond the host's available
         // parallelism only add contention.
         workers: abcd::clamp_jobs(count("--workers", 0)?),
         queue: count("--queue", 8)?,
         jobs: jobs_of(rest)?,
-        cache,
+        // Stripe the shared cache to the shard count so parallel shards
+        // don't serialize on one cache lock (the Arc is freshly built
+        // above, so the unwrap never actually fails).
+        cache: cache.map(|c| match std::sync::Arc::try_unwrap(c) {
+            Ok(inner) => std::sync::Arc::new(inner.with_stripes(shards)),
+            Err(shared) => shared,
+        }),
         request_timeout: ms("--request-timeout")?.map(std::time::Duration::from_millis),
         io_timeout: nonzero(30_000, ms("--io-timeout")?),
         stuck_after: nonzero(30_000, ms("--stuck-after")?)
             .unwrap_or(std::time::Duration::from_secs(86_400)),
         chaos,
     };
-    let handle = abcd_server::start(config).map_err(|e| format!("bind {socket}: {e}"))?;
-    eprintln!("mjc: serving on {socket}");
+    let handle = abcd_server::start(config).map_err(|e| format!("bind: {e}"))?;
+    for endpoint in handle.endpoints() {
+        eprintln!("mjc: serving on {}", endpoint.describe());
+    }
     handle.join();
     eprintln!("mjc: server drained");
     Ok(ExitCode::SUCCESS)
@@ -616,29 +664,40 @@ fn cmd_serve(rest: &[String]) -> Result<ExitCode, String> {
 /// The optimized IR goes to stdout exactly as `mjc dump --stage opt` would
 /// print it, so the two are byte-comparable.
 fn cmd_client(file: &str, rest: &[String]) -> Result<ExitCode, String> {
-    let socket = value_of(rest, "--socket").ok_or("`client` needs `--socket PATH`")?;
-    let socket = std::path::Path::new(socket);
+    let endpoint = match (value_of(rest, "--tcp"), value_of(rest, "--socket")) {
+        (Some(addr), _) => abcd_server::Endpoint::parse(&format!("tcp:{addr}"))
+            .map_err(|e| format!("--tcp: {e}"))?,
+        (None, Some(path)) => abcd_server::Endpoint::uds(std::path::Path::new(path)),
+        (None, None) => return Err("`client` needs `--socket PATH` or `--tcp ADDR`".to_string()),
+    };
     match file {
         "ping" => {
-            if abcd_server::ping(socket) {
+            if abcd_server::ping_at(&endpoint) {
                 println!("pong");
                 Ok(ExitCode::SUCCESS)
             } else {
-                Err(format!("no server at {}", socket.display()))
+                Err(format!("no server at {}", endpoint.describe()))
             }
         }
         "stats" => {
-            let doc = abcd_server::stats(socket)?;
-            emit(format!("{doc:?}\n"));
-            Ok(ExitCode::SUCCESS)
+            // Print the server's reply verbatim: it is already one
+            // `abcdd-stats/2` JSON document, ready to pipe into jq.
+            match abcd_server::roundtrip_at(&endpoint, "{\"cmd\":\"stats\"}", None)? {
+                abcd_server::Reply::Ok(_, raw) => {
+                    emit(format!("{raw}\n"));
+                    Ok(ExitCode::SUCCESS)
+                }
+                abcd_server::Reply::Busy { .. } => Err("server busy".to_string()),
+                abcd_server::Reply::Err(e) => Err(e),
+            }
         }
         "metrics" => {
-            let text = abcd_server::metrics(socket, has(rest, "--deterministic-metrics"))?;
+            let text = abcd_server::metrics_at(&endpoint, has(rest, "--deterministic-metrics"))?;
             emit(text);
             Ok(ExitCode::SUCCESS)
         }
         "shutdown" => {
-            abcd_server::shutdown(socket)?;
+            abcd_server::shutdown_at(&endpoint)?;
             Ok(ExitCode::SUCCESS)
         }
         _ => {
@@ -663,14 +722,44 @@ fn cmd_client(file: &str, rest: &[String]) -> Result<ExitCode, String> {
                 None => abcd_server::RetryPolicy::default(),
                 Some(t) => abcd_server::RetryPolicy::with_timeout_ms(t),
             };
-            let reply = abcd_server::optimize(
-                socket,
-                (&text, file.ends_with(".ir")),
-                &options,
-                None,
-                &call,
-                &retry,
-            )?;
+            let batch: usize = match value_of(rest, "--batch") {
+                None => 1,
+                Some(v) => match v.parse() {
+                    Ok(n) if n >= 1 => n,
+                    _ => return Err("`--batch` needs a count >= 1".to_string()),
+                },
+            };
+            let reply = if batch == 1 {
+                abcd_server::optimize_at(
+                    &endpoint,
+                    (&text, file.ends_with(".ir")),
+                    &options,
+                    None,
+                    &call,
+                    &retry,
+                )?
+            } else {
+                // One pipelined frame carrying the same request N times;
+                // the N replies stream back in order and must agree —
+                // a cheap differential check of the batch path itself.
+                let item = ((text.as_str(), file.ends_with(".ir")), &options, None, call);
+                let items: Vec<_> = (0..batch).map(|_| item).collect();
+                let mut replies = abcd_server::optimize_batch_at(&endpoint, &items, &retry)?
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, r)| r.map_err(|e| format!("batch element {i}: {e}")))
+                    .collect::<Result<Vec<_>, String>>()?;
+                let first = replies.remove(0);
+                for (i, other) in replies.iter().enumerate() {
+                    if other.ir != first.ir {
+                        return Err(format!(
+                            "batch element {} served different IR than element 0",
+                            i + 1
+                        ));
+                    }
+                }
+                first
+            };
             // Exactly what `cmd_dump` prints: `{module}` + one newline.
             emit(format!("{}\n", reply.ir));
             if reply.deadline_exceeded {

@@ -18,11 +18,14 @@
 //!    the cache dir exactly like `kill -9` mid-write would; a restart
 //!    quarantines them and reports `recovered` in the stats.
 //!
-//! Scale via `CHAOS_SOAK_REQUESTS` (default 2000; CI smoke uses less).
+//! Scale via `CHAOS_SOAK_REQUESTS` (default 2000; CI smoke uses less) and
+//! `CHAOS_SOAK_SHARDS` (default 2 — the storm runs against a sharded,
+//! work-stealing server, with half the clients sending pipelined
+//! protocol-v2 batches).
 
 use abcd::{AnalysisCache, ChaosPlan, Optimizer, OptimizerOptions};
 use abcd_frontend::compile;
-use abcd_server::{CallOptions, RetryPolicy, ServerConfig};
+use abcd_server::{CallOptions, Endpoint, RetryPolicy, ServerConfig};
 use std::sync::Arc;
 
 fn sock(tag: &str) -> std::path::PathBuf {
@@ -99,6 +102,14 @@ fn soak_requests() -> usize {
         .unwrap_or(2000)
 }
 
+fn soak_shards() -> usize {
+    std::env::var("CHAOS_SOAK_SHARDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2)
+        .max(1)
+}
+
 #[test]
 fn chaos_soak_no_wrong_bytes_no_deadlock_healthy_after_storm() {
     quiet_injected_panics();
@@ -124,7 +135,8 @@ fn chaos_soak_no_wrong_bytes_no_deadlock_healthy_after_storm() {
         .unwrap(),
     );
     let mut config = ServerConfig::new(&socket);
-    config.workers = 3;
+    config.shards = soak_shards();
+    config.workers = 3; // per shard
     config.queue = 16;
     config.cache = Some(Arc::new(
         AnalysisCache::with_dir(&cache_dir, 1 << 20).unwrap(),
@@ -147,22 +159,36 @@ fn chaos_soak_no_wrong_bytes_no_deadlock_healthy_after_storm() {
                 let refs = &refs;
                 scope.spawn(move || {
                     let mut tally = (0u64, 0u64, 0u64);
-                    for i in 0..per_client {
-                        let n = c * per_client + i;
-                        let r = &refs[n % refs.len()];
-                        let call = CallOptions {
-                            metrics: n.is_multiple_of(7),
-                            deterministic_metrics: true,
-                            trace: n.is_multiple_of(11),
-                            // A zero deadline trips deterministically; a
-                            // tiny one races — both answers are legal,
-                            // and the reply flag says which we got.
-                            deadline_ms: match n % 10 {
-                                3 => Some(0),
-                                7 => Some(5),
-                                _ => None,
-                            },
-                        };
+                    // Odd clients speak protocol v2: 4 requests per
+                    // pipelined frame. Even clients stay on v1 singles,
+                    // so both protocols share the storm (and the socket).
+                    let batch = if c % 2 == 1 { 4 } else { 1 };
+                    let endpoint = Endpoint::uds(&socket);
+                    let options = OptimizerOptions::default();
+                    let first = c * per_client;
+                    let mut n = first;
+                    while n < first + per_client {
+                        let frame: Vec<usize> =
+                            (n..(n + batch).min(first + per_client)).collect();
+                        let calls: Vec<CallOptions> = frame
+                            .iter()
+                            .map(|&n| CallOptions {
+                                metrics: n.is_multiple_of(7),
+                                deterministic_metrics: true,
+                                trace: n.is_multiple_of(11),
+                                // A zero deadline trips deterministically;
+                                // a tiny one races — both answers are
+                                // legal, and the reply flag says which we
+                                // got. In a batch this also exercises the
+                                // partial-trip contract: one element fails
+                                // open, its neighbors are unaffected.
+                                deadline_ms: match n % 10 {
+                                    3 => Some(0),
+                                    7 => Some(5),
+                                    _ => None,
+                                },
+                            })
+                            .collect();
                         let retry = RetryPolicy {
                             max_attempts: 10,
                             overall_ms: Some(30_000),
@@ -170,35 +196,56 @@ fn chaos_soak_no_wrong_bytes_no_deadlock_healthy_after_storm() {
                             seed: n as u64,
                             ..RetryPolicy::default()
                         };
-                        match abcd_server::optimize(
-                            &socket,
-                            (&r.source, false),
-                            &OptimizerOptions::default(),
-                            None,
-                            &call,
-                            &retry,
-                        ) {
-                            Ok(reply) => {
-                                // Invariant 1: never wrong bytes.
-                                if reply.deadline_exceeded {
-                                    assert_eq!(
-                                        reply.ir, r.unoptimized,
-                                        "request {n}: fail-open reply must be the unoptimized module"
-                                    );
-                                    tally.1 += 1;
-                                } else {
-                                    assert_eq!(
-                                        reply.ir, r.optimized,
-                                        "request {n}: served bytes differ from one-shot optimization"
-                                    );
-                                    tally.0 += 1;
+                        let items: Vec<_> = frame
+                            .iter()
+                            .zip(&calls)
+                            .map(|(&n, call)| {
+                                (
+                                    (refs[n % refs.len()].source.as_str(), false),
+                                    &options,
+                                    None,
+                                    *call,
+                                )
+                            })
+                            .collect();
+                        let replies = if items.len() == 1 {
+                            // v1 single-request path, unchanged.
+                            vec![abcd_server::optimize(
+                                &socket, items[0].0, &options, None, &calls[0], &retry,
+                            )]
+                        } else {
+                            abcd_server::optimize_batch_at(&endpoint, &items, &retry)
+                                .unwrap_or_else(|e| {
+                                    frame.iter().map(|_| Err(e.clone())).collect()
+                                })
+                        };
+                        for (&n, reply) in frame.iter().zip(replies) {
+                            let r = &refs[n % refs.len()];
+                            match reply {
+                                Ok(reply) => {
+                                    // Invariant 1: never wrong bytes.
+                                    if reply.deadline_exceeded {
+                                        assert_eq!(
+                                            reply.ir, r.unoptimized,
+                                            "request {n}: fail-open reply must be the unoptimized module"
+                                        );
+                                        tally.1 += 1;
+                                    } else {
+                                        assert_eq!(
+                                            reply.ir, r.optimized,
+                                            "request {n}: served bytes differ from one-shot optimization"
+                                        );
+                                        tally.0 += 1;
+                                    }
                                 }
+                                // Chaos is allowed to fail a request — the
+                                // client sees a structured error or a
+                                // broken connection, never a hang
+                                // (timeouts above).
+                                Err(_) => tally.2 += 1,
                             }
-                            // Chaos is allowed to fail a request — the
-                            // client sees a structured error or a broken
-                            // connection, never a hang (timeouts above).
-                            Err(_) => tally.2 += 1,
                         }
+                        n += frame.len();
                     }
                     tally
                 })

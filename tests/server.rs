@@ -151,7 +151,7 @@ fn full_queue_sheds_load_with_busy_and_recovers() {
     });
     std::thread::sleep(std::time::Duration::from_millis(150));
     match abcd_server::roundtrip(&socket, "{\"cmd\":\"ping\"}").unwrap() {
-        Reply::Busy { retry_after_ms } => assert!(retry_after_ms > 0),
+        Reply::Busy { retry_after_ms, .. } => assert!(retry_after_ms > 0),
         other => panic!("expected busy, got {other:?}"),
     }
     assert!(matches!(pin.join().unwrap(), Ok(Reply::Ok(..))));

@@ -1,13 +1,12 @@
 #!/usr/bin/env python3
-"""CI gate over the BENCH_pipeline.json perf trajectory.
+"""CI gate over the committed perf trajectories.
 
 Usage: bench_gate.py COMMITTED.json REGENERATED.json
 
-Compares a freshly regenerated pipeline-bench document against the
-committed one, with per-quantity strictness matching how deterministic
-each quantity is:
+The schema field of the committed document selects the gate:
 
-  * schema                      — exact (both must be abcd-bench-pipeline/2)
+abcd-bench-pipeline/2 (BENCH_pipeline.json)
+  * schema                      — exact
   * backends.*.suite_solver_steps — exact: solver traversal is deterministic,
                                   any drift is an algorithm change
   * phases.steady_prove.allocs  — exactly 0: the zero-allocation prove-path
@@ -19,6 +18,20 @@ each quantity is:
                                   differs from the calibration host, so only
                                   order-of-magnitude slowdowns fail
 
+abcd-bench-abcdd/1 (BENCH_abcdd.json, written by `loadgen`)
+  * schema + params             — exact: the offered load is a pure function
+                                  of the seed, so both runs must have replayed
+                                  the identical request sequence
+  * per-scenario requests_sent  — exact, and ok + fail_open + errors must
+                                  account for every request (nothing dropped)
+  * regenerated errors          — exactly 0: the differential guarantee and
+                                  the retry contract must hold under load
+  * sum of steals               — >= 1: the work-stealing witness (a sharded
+                                  run over a zipf-skewed corpus must steal)
+  * throughput_rps              — regression-banded (x2.5 slowdown allowed):
+                                  latency percentiles are reported, not gated
+                                  (shared CI boxes make tails meaningless)
+
 Improvements never fail the gate. Exit 0 on pass, 1 with a report on fail.
 """
 
@@ -27,6 +40,7 @@ import sys
 
 ALLOC_BAND = 1.25
 WALL_BAND = 2.5
+THROUGHPUT_BAND = 2.5
 
 failures = []
 
@@ -43,11 +57,7 @@ def banded(name, old, new, band):
     )
 
 
-def main(committed_path, regenerated_path):
-    old = json.load(open(committed_path))
-    new = json.load(open(regenerated_path))
-
-    check(old.get("schema") == "abcd-bench-pipeline/2", "committed schema is not /2")
+def gate_pipeline(old, new):
     check(new.get("schema") == old.get("schema"), "regenerated schema differs")
 
     for name, row in old.get("backends", {}).items():
@@ -86,6 +96,71 @@ def main(committed_path, regenerated_path):
             continue
         banded(f"benchmarks[{name}].ns", row["ns"], got["ns"], WALL_BAND)
         banded(f"benchmarks[{name}].allocs", row["allocs"], got["allocs"], ALLOC_BAND)
+
+
+def gate_abcdd(old, new):
+    check(new.get("schema") == old.get("schema"), "regenerated schema differs")
+    check(
+        new.get("params") == old.get("params"),
+        f"params differ: committed {old.get('params')} vs "
+        f"regenerated {new.get('params')} — the offered load must replay exactly",
+    )
+
+    old_scenarios = {s["name"]: s for s in old.get("scenarios", [])}
+    new_scenarios = {s["name"]: s for s in new.get("scenarios", [])}
+    check(
+        sorted(old_scenarios) == sorted(new_scenarios),
+        f"scenario sets differ: {sorted(old_scenarios)} vs {sorted(new_scenarios)}",
+    )
+
+    total_steals = 0
+    for name, row in old_scenarios.items():
+        got = new_scenarios.get(name)
+        if got is None:
+            continue
+        check(
+            got["requests_sent"] == row["requests_sent"],
+            f"{name}.requests_sent: {got['requests_sent']} vs committed "
+            f"{row['requests_sent']} (the seeded schedule is exact)",
+        )
+        for doc, which in ((row, "committed"), (got, "regenerated")):
+            accounted = doc["ok"] + doc["fail_open"] + doc["errors"]
+            check(
+                accounted == doc["requests_sent"],
+                f"{name} ({which}): ok {doc['ok']} + fail_open {doc['fail_open']} "
+                f"+ errors {doc['errors']} != sent {doc['requests_sent']}",
+            )
+        check(
+            got["errors"] == 0,
+            f"{name}.errors: {got['errors']} — differential or retry "
+            "contract violated under load",
+        )
+        banded_floor = row["throughput_rps"] / THROUGHPUT_BAND
+        check(
+            got["throughput_rps"] >= banded_floor,
+            f"{name}.throughput_rps: {got['throughput_rps']:.1f} vs committed "
+            f"{row['throughput_rps']:.1f} (floor {banded_floor:.1f}, x{THROUGHPUT_BAND})",
+        )
+        total_steals += got.get("server", {}).get("steals", 0)
+
+    check(
+        total_steals >= 1,
+        "no scenario recorded a steal — work stealing is not exercised "
+        "(shards misconfigured, or the zipf skew collapsed)",
+    )
+
+
+def main(committed_path, regenerated_path):
+    old = json.load(open(committed_path))
+    new = json.load(open(regenerated_path))
+
+    schema = old.get("schema")
+    if schema == "abcd-bench-pipeline/2":
+        gate_pipeline(old, new)
+    elif schema == "abcd-bench-abcdd/1":
+        gate_abcdd(old, new)
+    else:
+        check(False, f"unknown committed schema {schema!r}")
 
     if failures:
         print(f"bench gate: {len(failures)} regression(s) vs {committed_path}:")
